@@ -1,0 +1,51 @@
+// Ablation (paper §3.1): the maximum hand-off estimation function size
+// N_quad — the number of cached quadruplets used per (prev, next) pair.
+// The paper fixes N_quad = 100 "to reduce the memory and computation
+// complexity" without studying sensitivity; this bench fills that gap.
+//
+// Tiny histories produce noisy estimates of the sojourn distribution
+// (quantized p_h values), which destabilizes B_r; very large histories
+// cost memory/CPU but change little once the distribution is resolved.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  double load = 300.0;
+  cli::Parser cli("ablation_nquad",
+                  "sensitivity to the history size N_quad (paper §3.1)");
+  bench::add_common_flags(cli, opts);
+  cli.add_double("load", &load, "offered load per cell");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Ablation — hand-off history size N_quad (§3.1)");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"n_quad", "pcb", "phd", "br_avg"});
+
+  core::TablePrinter table({"N_quad", "P_CB", "P_HD", "avg B_r"},
+                           {7, 10, 10, 8});
+  table.print_header();
+  for (const int n_quad : {1, 5, 25, 100, 400}) {
+    core::StationaryParams p;
+    p.offered_load = load;
+    p.voice_ratio = 1.0;
+    p.mobility = core::Mobility::kHigh;
+    p.policy = admission::PolicyKind::kAc3;
+    p.seed = opts.seed;
+    core::SystemConfig cfg = core::stationary_config(p);
+    cfg.hoef.n_quad = n_quad;
+    const auto r = core::run_system(cfg, opts.plan());
+    table.print_row({core::TablePrinter::integer(
+                         static_cast<std::uint64_t>(n_quad)),
+                     core::TablePrinter::prob(r.status.pcb),
+                     core::TablePrinter::prob(r.status.phd),
+                     core::TablePrinter::fixed(r.status.br_avg, 2)});
+    csv.row_values(n_quad, r.status.pcb, r.status.phd, r.status.br_avg);
+  }
+  table.print_rule();
+  std::cout << "\nExpected shape: the adaptive T_est controller compensates "
+               "for small\nhistories (P_HD stays near target), but the "
+               "estimates get coarser; results\nstabilize from N_quad of a "
+               "few tens — the paper's 100 sits on the plateau.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Baseline comparison (paper §6 / companion paper [4]): PABR's AC3
+// against the Naghshineh-Schwartz distributed call admission control
+// (ref. [10]), the scheme the paper positions itself against.
+//
+// The paper's criticisms of [10] that this bench makes measurable:
+//   (1) "they assumed the sojourn time of each mobile is exponentially-
+//       distributed, which is impractical" — on the road, sojourns are
+//       distance/speed, so NS-DCA's arithmetic is mis-specified; tuning
+//       its interval T trades P_HD violations against extra blocking.
+//   (2) "there is no specified mechanism to predict which cells mobiles
+//       will move to" — NS splits hand-off mass uniformly over
+//       neighbours, while PABR's estimation functions learn directions.
+//
+// Output: P_CB / P_HD vs load for AC3 and NS-DCA at two estimation
+// intervals (a permissive and a conservative one).
+#include "bench_common.h"
+
+#include "core/system.h"
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  cli::Parser cli("baseline_ns_comparison",
+                  "AC3 vs Naghshineh-Schwartz DCA (paper ref. [10])");
+  bench::add_common_flags(cli, opts);
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Baseline — AC3 vs NS-DCA [10] (high mobility, "
+                      "R_vo = 1.0)");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"scheme", "load", "pcb", "phd"});
+
+  struct Scheme {
+    std::string label;
+    admission::PolicyKind kind;
+    double ns_interval;
+  };
+  const Scheme schemes[] = {
+      {"AC3", admission::PolicyKind::kAc3, 0.0},
+      {"NS-DCA T=5s", admission::PolicyKind::kNsDca, 5.0},
+      {"NS-DCA T=15s", admission::PolicyKind::kNsDca, 15.0},
+  };
+
+  core::TablePrinter table({"scheme", "load", "P_CB", "P_HD", "target"},
+                           {13, 6, 10, 10, 7});
+  table.print_header();
+  for (const auto& scheme : schemes) {
+    for (const double load : core::paper_load_grid()) {
+      core::StationaryParams p;
+      p.offered_load = load;
+      p.voice_ratio = 1.0;
+      p.mobility = core::Mobility::kHigh;
+      p.policy = scheme.kind;
+      p.seed = opts.seed;
+      core::SystemConfig cfg = core::stationary_config(p);
+      if (scheme.kind == admission::PolicyKind::kNsDca) {
+        cfg.ns.estimation_interval_s = scheme.ns_interval;
+        cfg.ns.overload_target = 0.01;
+        // Mean transit of a 1 km cell at E[1/V] for [80,120] km/h.
+        cfg.ns.mean_sojourn_s = 36.5;
+      }
+      const auto r = core::run_system(cfg, opts.plan());
+      table.print_row({scheme.label, core::TablePrinter::fixed(load, 0),
+                       core::TablePrinter::prob(r.status.pcb),
+                       core::TablePrinter::prob(r.status.phd),
+                       r.status.phd <= 0.0125 ? "ok" : "MISS"});
+      csv.row_values(scheme.label, load, r.status.pcb, r.status.phd);
+    }
+    table.print_rule();
+  }
+
+  // Part 2 — robustness: the same NS parameters (tuned for the high-
+  // mobility road) applied to low-mobility traffic, vs AC3 which carries
+  // no mobility parameters at all.
+  std::cout << "\n-- robustness under LOW mobility (NS parameters left "
+               "tuned for high) --\n";
+  core::TablePrinter table2({"scheme", "load", "P_CB", "P_HD", "target"},
+                            {13, 6, 10, 10, 7});
+  table2.print_header();
+  for (const auto& scheme : schemes) {
+    for (const double load : {180.0, 300.0}) {
+      core::StationaryParams p;
+      p.offered_load = load;
+      p.voice_ratio = 1.0;
+      p.mobility = core::Mobility::kLow;  // actual sojourn ~73 s
+      p.policy = scheme.kind;
+      p.seed = opts.seed;
+      core::SystemConfig cfg = core::stationary_config(p);
+      if (scheme.kind == admission::PolicyKind::kNsDca) {
+        cfg.ns.estimation_interval_s = scheme.ns_interval;
+        cfg.ns.overload_target = 0.01;
+        cfg.ns.mean_sojourn_s = 36.5;  // stale: assumes high mobility
+      }
+      const auto r = core::run_system(cfg, opts.plan());
+      table2.print_row({scheme.label, core::TablePrinter::fixed(load, 0),
+                        core::TablePrinter::prob(r.status.pcb),
+                        core::TablePrinter::prob(r.status.phd),
+                        r.status.phd <= 0.0125 ? "ok" : "MISS"});
+      csv.row_values(scheme.label + " (low)", load, r.status.pcb,
+                     r.status.phd);
+    }
+    table2.print_rule();
+  }
+
+  std::cout << "\nReading the comparison: NS-DCA can match AC3 when its "
+               "interval T and sojourn\nparameters are hand-tuned to the "
+               "scenario, but it has no adaptation — a\nmis-chosen T (or "
+               "stale mobility parameters) silently violates the target,\n"
+               "exactly the paper's §6 criticism. AC3 carries no such "
+               "parameters: the\nhistory-driven estimators and the T_est "
+               "controller re-tune themselves.\n";
+  return 0;
+}

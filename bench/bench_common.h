@@ -1,0 +1,60 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --full        paper-scale run lengths (defaults are shape-preserving
+//                 but shorter so the whole suite finishes in minutes)
+//   --seed N      simulation seed
+//   --csv PATH    mirror the printed rows into a CSV file
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace pabr::bench {
+
+struct CommonOptions {
+  bool full = false;
+  unsigned long long seed = 1;
+  std::string csv_path;
+
+  core::RunPlan plan() const {
+    core::RunPlan p;
+    if (full) {
+      p.warmup_s = 4000.0;
+      p.measure_s = 20000.0;
+    } else {
+      p.warmup_s = 1000.0;
+      p.measure_s = 3000.0;
+    }
+    return p;
+  }
+};
+
+/// Registers the common flags on `cli`.
+inline void add_common_flags(cli::Parser& cli, CommonOptions& opts) {
+  cli.add_bool("full", &opts.full, "paper-scale run lengths");
+  cli.add_uint64("seed", &opts.seed, "simulation seed");
+  cli.add_string("csv", &opts.csv_path, "also write rows to this CSV file");
+}
+
+inline void print_banner(const std::string& what) {
+  std::cout << "==============================================================="
+               "=\n"
+            << what << "\n"
+            << "(reproduction of Choi & Shin, SIGCOMM'98 — shapes, not exact "
+               "samples)\n"
+            << "==============================================================="
+               "=\n";
+}
+
+inline const char* policy_flag_name(admission::PolicyKind k) {
+  return admission::policy_kind_name(k);
+}
+
+}  // namespace pabr::bench

@@ -1,0 +1,70 @@
+// Extension experiment (§7 future work): the Fig. 8/12/13 sweeps
+// transplanted to a two-dimensional hexagonal system (4x6 torus).
+//
+// Questions the paper leaves open, answered here:
+//   * does AC3 still bound P_HD at the target when each cell has SIX
+//     hand-in neighbours instead of two?
+//   * §5.2.3's warning — "the complexity increase could be larger for
+//     two-dimensional cellular structures" — how much larger? (AC2 now
+//     costs 7 B_r computations per admission; AC3's selective
+//     participation is where the savings compound.)
+#include "bench_common.h"
+
+#include "core/hex_system.h"
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  cli::Parser cli("ext_2d_load_sweep",
+                  "2-D hex-grid load sweep: AC1/AC2/AC3/static (§7)");
+  bench::add_common_flags(cli, opts);
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Extension — 2-D hexagonal system (4x6 torus, "
+                      "R_vo = 1.0, vehicular mobility)");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"policy", "load", "pcb", "phd", "n_calc"});
+
+  const admission::PolicyKind kinds[] = {
+      admission::PolicyKind::kStatic, admission::PolicyKind::kAc1,
+      admission::PolicyKind::kAc2, admission::PolicyKind::kAc3};
+
+  core::TablePrinter table(
+      {"policy", "load", "P_CB", "P_HD", "N_calc", "target"},
+      {7, 6, 10, 10, 7, 7});
+  table.print_header();
+  for (const auto kind : kinds) {
+    for (const double load : {100.0, 180.0, 260.0}) {
+      core::HexSystemConfig cfg;
+      cfg.policy = kind;
+      cfg.static_g = 10.0;
+      cfg.voice_ratio = 1.0;
+      cfg.set_offered_load(load);
+      cfg.seed = opts.seed;
+
+      // 24 cells yield ~2.4x the per-second samples of the 1-D ring, so
+      // shorter runs reach the same confidence.
+      core::HexCellularSystem sys(cfg);
+      sys.run_for(opts.full ? 2000.0 : 600.0);
+      sys.reset_metrics();
+      sys.run_for(opts.full ? 8000.0 : 1500.0);
+      const auto s = sys.system_status();
+
+      table.print_row({admission::policy_kind_name(kind),
+                       core::TablePrinter::fixed(load, 0),
+                       core::TablePrinter::prob(s.pcb),
+                       core::TablePrinter::prob(s.phd),
+                       core::TablePrinter::fixed(s.n_calc, 2),
+                       s.phd <= 0.0125 ? "ok" : "MISS"});
+      csv.row_values(admission::policy_kind_name(kind), load, s.pcb, s.phd,
+                     s.n_calc);
+    }
+    table.print_rule();
+  }
+  std::cout << "\nExpected shape: the predictive/adaptive machinery carries "
+               "to 2-D unchanged\n(AC3 keeps P_HD at target); AC2's cost "
+               "grows from 3 to 7 calculations per\nadmission while AC3 "
+               "stays a fraction of that — §5.2.3's prediction, "
+               "quantified.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 7: P_CB and P_HD vs offered load under STATIC reservation
+// (G = 10 BUs permanently set aside), for R_vo in {1.0, 0.8, 0.5} and
+// (a) high / (b) low user mobility.
+//
+// Paper's observations this should reproduce:
+//   * G = 10 suffices (P_HD < 0.01) for R_vo = 1.0 but NOT for R_vo = 0.5;
+//   * for R_vo = 0.8 it suffices only under low mobility / low load;
+//   * for R_vo = 1.0 at light load it over-reserves (P_HD << target).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  double g = 10.0;
+  cli::Parser cli("fig07_static_reservation",
+                  "P_CB/P_HD vs load, static reservation (paper Fig. 7)");
+  bench::add_common_flags(cli, opts);
+  cli.add_double("g", &g, "statically reserved BUs per cell");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Figure 7 — static reservation, G = " +
+                      core::TablePrinter::fixed(g, 0) + " BU");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"mobility", "voice_ratio", "load", "pcb", "phd"});
+
+  core::TablePrinter table({"mobility", "R_vo", "load", "P_CB", "P_HD"},
+                           {8, 6, 6, 10, 10});
+  for (const core::Mobility mob :
+       {core::Mobility::kHigh, core::Mobility::kLow}) {
+    std::cout << "\n-- " << core::mobility_name(mob) << " user mobility ("
+              << (mob == core::Mobility::kHigh ? "[80,120]" : "[40,60]")
+              << " km/h) --\n";
+    table.print_header();
+    for (const double rvo : {1.0, 0.8, 0.5}) {
+      for (const double load : core::paper_load_grid()) {
+        core::StationaryParams p;
+        p.offered_load = load;
+        p.voice_ratio = rvo;
+        p.mobility = mob;
+        p.policy = admission::PolicyKind::kStatic;
+        p.static_g = g;
+        p.seed = opts.seed;
+        const auto r = core::run_system(core::stationary_config(p),
+                                        opts.plan());
+        table.print_row({core::mobility_name(mob),
+                         core::TablePrinter::fixed(rvo, 1),
+                         core::TablePrinter::fixed(load, 0),
+                         core::TablePrinter::prob(r.status.pcb),
+                         core::TablePrinter::prob(r.status.phd)});
+        csv.row_values(core::mobility_name(mob), rvo, load, r.status.pcb,
+                       r.status.phd);
+      }
+      table.print_rule();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9: average target reservation bandwidth B_r and average used
+// bandwidth B_u vs offered load under AC3, for (a) high / (b) low user
+// mobility and R_vo in {1.0, 0.8, 0.5}.
+//
+// Paper's observations this should reproduce:
+//   * B_r increases monotonically with load and saturates once the cell is
+//     over-loaded;
+//   * more video (smaller R_vo) -> larger B_r;
+//   * high mobility reserves more than low mobility;
+//   * B_u moves inversely to B_r and B_r + B_u stays below the capacity.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  cli::Parser cli("fig09_reservation_pattern",
+                  "average B_r / B_u vs load under AC3 (paper Fig. 9)");
+  bench::add_common_flags(cli, opts);
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Figure 9 — adaptive reservation pattern, AC3");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"mobility", "voice_ratio", "load", "br_avg", "bu_avg"});
+
+  core::TablePrinter table(
+      {"mobility", "R_vo", "load", "avg B_r", "avg B_u", "B_r+B_u"},
+      {8, 6, 6, 9, 9, 9});
+  for (const core::Mobility mob :
+       {core::Mobility::kHigh, core::Mobility::kLow}) {
+    std::cout << "\n-- " << core::mobility_name(mob)
+              << " user mobility --\n";
+    table.print_header();
+    for (const double rvo : {1.0, 0.8, 0.5}) {
+      for (const double load : core::paper_load_grid()) {
+        core::StationaryParams p;
+        p.offered_load = load;
+        p.voice_ratio = rvo;
+        p.mobility = mob;
+        p.policy = admission::PolicyKind::kAc3;
+        p.seed = opts.seed;
+        const auto r = core::run_system(core::stationary_config(p),
+                                        opts.plan());
+        table.print_row(
+            {core::mobility_name(mob), core::TablePrinter::fixed(rvo, 1),
+             core::TablePrinter::fixed(load, 0),
+             core::TablePrinter::fixed(r.status.br_avg, 2),
+             core::TablePrinter::fixed(r.status.bu_avg, 2),
+             core::TablePrinter::fixed(r.status.br_avg + r.status.bu_avg,
+                                       2)});
+        csv.row_values(core::mobility_name(mob), rvo, load, r.status.br_avg,
+                       r.status.bu_avg);
+      }
+      table.print_rule();
+    }
+  }
+  return 0;
+}

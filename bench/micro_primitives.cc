@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) of the algorithmic primitives: the
+// cost that each B_r calculation, quadruplet insertion and controller
+// update adds to a base station. These are not paper figures; they back
+// DESIGN.md's claim that the scheme is "not complex" (paper §7) with
+// concrete per-operation costs.
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.h"
+#include "core/system.h"
+#include "hoef/estimator.h"
+#include "reservation/test_window.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace pabr;
+
+hoef::HandoffEstimator seeded_estimator(int events) {
+  hoef::EstimatorConfig cfg;
+  cfg.t_int = sim::kInfiniteDuration;
+  hoef::HandoffEstimator e(0, cfg);
+  sim::Rng rng(7);
+  sim::Time t = 0.0;
+  const geom::CellId prevs[] = {0, 1, 2};
+  const geom::CellId nexts[] = {1, 2};
+  for (int i = 0; i < events; ++i) {
+    t += 0.5;
+    e.record({t, prevs[rng.uniform_int(0, 2)], nexts[rng.uniform_int(0, 1)],
+              rng.uniform(1.0, 120.0)});
+  }
+  return e;
+}
+
+void BM_HoefRecord(benchmark::State& state) {
+  hoef::EstimatorConfig cfg;
+  cfg.t_int = sim::kInfiniteDuration;
+  hoef::HandoffEstimator e(0, cfg);
+  sim::Time t = 0.0;
+  for (auto _ : state) {
+    t += 0.5;
+    e.record({t, 1, 2, 30.0});
+  }
+}
+BENCHMARK(BM_HoefRecord);
+
+void BM_HoefProbabilityWarmSnapshot(benchmark::State& state) {
+  auto e = seeded_estimator(static_cast<int>(state.range(0)));
+  const sim::Time t0 = 1e6;
+  double ext = 0.0;
+  for (auto _ : state) {
+    ext = ext > 100.0 ? 0.0 : ext + 0.37;
+    benchmark::DoNotOptimize(e.handoff_probability(t0, 1, 2, ext, 30.0));
+  }
+}
+BENCHMARK(BM_HoefProbabilityWarmSnapshot)->Arg(100)->Arg(1000);
+
+void BM_HoefSnapshotRebuild(benchmark::State& state) {
+  auto e = seeded_estimator(static_cast<int>(state.range(0)));
+  sim::Time t = 1e6;
+  for (auto _ : state) {
+    // Each record invalidates the snapshot; the probability rebuilds it.
+    t += 0.5;
+    e.record({t, 1, 2, 30.0});
+    benchmark::DoNotOptimize(e.handoff_probability(t, 1, 2, 10.0, 30.0));
+  }
+}
+BENCHMARK(BM_HoefSnapshotRebuild)->Arg(100)->Arg(1000);
+
+void BM_TestWindowUpdate(benchmark::State& state) {
+  reservation::TestWindowController c({});
+  int i = 0;
+  for (auto _ : state) {
+    c.on_handoff((++i % 97) == 0, 120.0);
+  }
+  benchmark::DoNotOptimize(c.t_est());
+}
+BENCHMARK(BM_TestWindowUpdate);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Time t = 0.0;
+  sim::Rng rng(3);
+  // Keep a steady backlog of range(0) pending events.
+  for (int i = 0; i < state.range(0); ++i) {
+    q.schedule(t + rng.uniform(0.0, 100.0), [] {});
+  }
+  for (auto _ : state) {
+    t += 0.01;
+    q.schedule(t + rng.uniform(0.0, 100.0), [] {});
+    q.pop();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_ReservationRecompute(benchmark::State& state) {
+  // A loaded live system: measure one full B_r computation (Eqs. 4-6)
+  // over the real neighbour occupancy.
+  core::StationaryParams p;
+  p.offered_load = static_cast<double>(state.range(0));
+  p.policy = admission::PolicyKind::kAc3;
+  core::CellularSystem sys(core::stationary_config(p));
+  sys.run_for(500.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.recompute_reservation(4));
+  }
+}
+BENCHMARK(BM_ReservationRecompute)->Arg(100)->Arg(300);
+
+void BM_FullSimulationSecond(benchmark::State& state) {
+  // Wall cost of one simulated second of the paper's stationary scenario.
+  core::StationaryParams p;
+  p.offered_load = static_cast<double>(state.range(0));
+  p.policy = admission::PolicyKind::kAc3;
+  core::CellularSystem sys(core::stationary_config(p));
+  sys.run_for(200.0);  // warm the system
+  for (auto _ : state) {
+    sys.run_for(1.0);
+  }
+}
+BENCHMARK(BM_FullSimulationSecond)->Arg(100)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 3: per-cell status when ALL mobiles travel from cell <1> toward
+// cell <10> on an OPEN road (borders disconnected), offered load 300,
+// R_vo = 1.0, high mobility — AC1 vs AC3.
+//
+// Paper's observations this should reproduce:
+//   * cell <1> has no incoming mobiles: P_HD = 0 there; under AC1 it
+//     accepts everything (P_CB = 0) and floods cell <2>/<3>;
+//   * AC1 shows the every-other-cell starvation pattern with some cells'
+//     P_HD above target;
+//   * AC3 blocks some new connections in cell <1> (it "cares about" cell
+//     <2>) and bounds P_HD everywhere.
+#include "bench_common.h"
+
+namespace {
+
+void run_one(pabr::admission::PolicyKind kind,
+             const pabr::bench::CommonOptions& opts, pabr::csv::Writer& csv) {
+  using namespace pabr;
+  core::DirectionalParams p;
+  p.offered_load = 300.0;
+  p.voice_ratio = 1.0;
+  p.policy = kind;
+  p.seed = opts.seed;
+
+  core::RunPlan plan;
+  plan.warmup_s = 0.0;
+  plan.measure_s = opts.full ? 20000.0 : 6000.0;
+  plan.reset_after_warmup = false;
+
+  const auto r = core::run_system(core::directional_config(p), plan);
+
+  std::cout << "\n-- " << admission::policy_kind_name(kind) << " --\n";
+  core::TablePrinter table({"Cell", "P_CB", "P_HD", "handoffs"},
+                           {5, 10, 10, 9});
+  table.print_header();
+  for (const auto& c : r.cells) {
+    table.print_row({core::TablePrinter::integer(
+                         static_cast<std::uint64_t>(c.cell)),
+                     core::TablePrinter::prob(c.pcb),
+                     core::TablePrinter::prob(c.phd),
+                     core::TablePrinter::integer(c.handoffs)});
+    csv.row_values(admission::policy_kind_name(kind), c.cell, c.pcb, c.phd,
+                   c.handoffs);
+  }
+  table.print_rule();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  cli::Parser cli(
+      "table3_one_directional",
+      "per-cell status, one-directional open road (paper Table 3)");
+  bench::add_common_flags(cli, opts);
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Table 3 — one-directional mobiles <1> -> <10>, "
+                      "open road (L = 300, R_vo = 1.0, high mobility)");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"policy", "cell", "pcb", "phd", "handoffs"});
+  run_one(admission::PolicyKind::kAc1, opts, csv);
+  run_one(admission::PolicyKind::kAc3, opts, csv);
+  return 0;
+}

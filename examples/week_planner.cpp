@@ -1,0 +1,129 @@
+// week_planner — showcases the §3.1 calendar extension: weekday and
+// weekend hand-off behaviour live in separate quadruplet sets (weekday
+// windows repeat every T_day, weekend windows every T_week), so the same
+// wall-clock hour yields different predictions on a Tuesday and a
+// Saturday.
+//
+// The example synthesizes two weeks of observations for one cell of a
+// commuter corridor:
+//   * weekdays: a morning rush of eastbound commuters crossing fast;
+//   * weekends: sparse strollers in both directions, lingering longer;
+// then asks the estimator the operational question a BS faces: "a mobile
+// just arrived from the west and has been here 20 s — how much bandwidth
+// will it demand from my eastern neighbour within T_est?"
+//
+//   $ ./week_planner [--weeks 2]
+#include <iostream>
+
+#include "core/experiment.h"
+#include "hoef/calendar.h"
+#include "sim/random.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace pabr;
+
+constexpr geom::CellId kCell = 1;   // the observed cell
+constexpr geom::CellId kWest = 0;   // previous cell of commuters
+constexpr geom::CellId kEast = 2;   // rush-hour destination
+
+/// Synthesizes one day of hand-off event quadruplets, pre-sorted by event
+/// time (the estimator requires simulation order).
+std::vector<hoef::Quadruplet> synthesize_day(
+    const hoef::CalendarEstimator& est, int day, std::uint64_t seed) {
+  std::vector<hoef::Quadruplet> events;
+  sim::Rng rng(seed ^ (0x9E37ULL * static_cast<unsigned>(day + 1)));
+  const double day_start = day * sim::kDay;
+  const bool weekend = est.is_weekend(day_start + sim::kHour);
+
+  if (!weekend) {
+    // Weekday: a 7:30-9:30 rush of eastbound commuters, ~35 s transits,
+    // plus a light evening counter-flow westward.
+    for (int i = 0; i < 60; ++i) {
+      events.push_back({day_start + rng.uniform(7.5, 9.5) * sim::kHour,
+                        kWest, kEast, rng.uniform(30.0, 40.0)});
+    }
+    for (int i = 0; i < 20; ++i) {
+      events.push_back({day_start + rng.uniform(17.0, 19.0) * sim::kHour,
+                        kEast, kWest, rng.uniform(30.0, 40.0)});
+    }
+  } else {
+    // Weekend: sparse strollers, undecided direction, 2-6 min sojourns.
+    for (int i = 0; i < 15; ++i) {
+      events.push_back({day_start + rng.uniform(8.0, 20.0) * sim::kHour,
+                        kWest, rng.bernoulli(0.5) ? kEast : kWest,
+                        rng.uniform(120.0, 360.0)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const hoef::Quadruplet& a, const hoef::Quadruplet& b) {
+              return a.event_time < b.event_time;
+            });
+  return events;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int weeks = 2;
+  unsigned long long seed = 1;
+  cli::Parser cli("week_planner",
+                  "weekday vs weekend hand-off estimation (§3.1 calendar)");
+  cli.add_int("weeks", &weeks, "weeks of history to synthesize");
+  cli.add_uint64("seed", &seed, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  hoef::CalendarConfig cfg;
+  cfg.t_int = 1.5 * sim::kHour;  // +/- 90 min around the same time of day
+  cfg.n_win_days = 5;            // look back a work week
+  cfg.weekday_weights = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  cfg.n_win_weeks = 3;
+  cfg.weekend_weights = {1.0, 1.0, 1.0, 1.0};
+  hoef::CalendarEstimator est(kCell, cfg);
+
+  for (int day = 0; day < weeks * 7; ++day) {
+    for (const auto& q : synthesize_day(est, day, seed)) est.record(q);
+  }
+
+  std::cout << "week_planner — " << weeks << " weeks of history, "
+            << est.cached_events() << " quadruplets cached ("
+            << est.weekday_set().cached_events() << " weekday / "
+            << est.weekend_set().cached_events() << " weekend)\n\n";
+
+  // The operational question at various (day, hour) points: probability
+  // that a mobile from the west, extant sojourn 20 s, hands off east
+  // within T_est = 30 s.
+  struct Query {
+    const char* label;
+    int day;     // since start of a Monday
+    double hour;
+  };
+  const Query queries[] = {
+      {"Mon 08:30 (rush)", 14, 8.5},
+      {"Mon 13:00 (midday)", 14, 13.0},
+      {"Wed 08:30 (rush)", 16, 8.5},
+      {"Sat 08:30", 19, 8.5},
+      {"Sat 14:00", 19, 14.0},
+      {"Sun 14:00", 20, 14.0},
+  };
+
+  core::TablePrinter table(
+      {"when", "day class", "p_h(east, 30s)", "T_soj,max"},
+      {20, 10, 15, 10});
+  table.print_header();
+  for (const auto& q : queries) {
+    const sim::Time t = q.day * sim::kDay + q.hour * sim::kHour;
+    const double ph = est.handoff_probability(t, kWest, kEast, 20.0, 30.0);
+    table.print_row({q.label, est.is_weekend(t) ? "weekend" : "weekday",
+                     core::TablePrinter::fixed(ph, 3),
+                     core::TablePrinter::fixed(est.max_sojourn(t), 0)});
+  }
+  table.print_rule();
+
+  std::cout << "\nWeekday rush hours predict a near-certain fast eastbound "
+               "hand-off (reserve\nahead!); the same wall-clock hour on a "
+               "weekend predicts a slow, undecided\nmobile — the BS "
+               "reserves far less. One estimator, two learned calendars.\n";
+  return 0;
+}

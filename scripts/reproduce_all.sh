@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the ablations, mirroring rows
+# into CSVs under results/. Pass --full for paper-scale run lengths.
+set -u
+cd "$(dirname "$0")/.."
+EXTRA="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p results
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name =="
+  "$b" $EXTRA --csv "results/$name.csv" | tee "results/$name.txt"
+done

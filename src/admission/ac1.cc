@@ -1,0 +1,12 @@
+#include "admission/ac1.h"
+
+namespace pabr::admission {
+
+bool Ac1Policy::admit(AdmissionContext& sys, geom::CellId cell,
+                      traffic::Bandwidth b_new) {
+  const double br = sys.recompute_reservation(cell);
+  return sys.used_bandwidth(cell) + static_cast<double>(b_new) <=
+         sys.capacity(cell) - br;
+}
+
+}  // namespace pabr::admission

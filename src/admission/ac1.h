@@ -1,0 +1,16 @@
+// AC1 (§4.3): the simple admission test — recompute B_r,0 in the current
+// cell only and admit iff  sum_j b(C_0,j) + b_new <= C(0) - B_r,0.
+#pragma once
+
+#include "admission/policy.h"
+
+namespace pabr::admission {
+
+class Ac1Policy final : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "AC1"; }
+  bool admit(AdmissionContext& sys, geom::CellId cell,
+             traffic::Bandwidth b_new) override;
+};
+
+}  // namespace pabr::admission

@@ -1,0 +1,20 @@
+#include "admission/ac2.h"
+
+namespace pabr::admission {
+
+bool Ac2Policy::admit(AdmissionContext& sys, geom::CellId cell,
+                      traffic::Bandwidth b_new) {
+  bool ok = true;
+  for (geom::CellId i : sys.adjacent(cell)) {
+    const double br_i = sys.recompute_reservation(i);
+    if (sys.used_bandwidth(i) > sys.capacity(i) - br_i) ok = false;
+  }
+  const double br = sys.recompute_reservation(cell);
+  if (sys.used_bandwidth(cell) + static_cast<double>(b_new) >
+      sys.capacity(cell) - br) {
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace pabr::admission

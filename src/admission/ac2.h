@@ -1,0 +1,19 @@
+// AC2 (§4.3): every adjacent cell participates in every admission test —
+//   1. for all i in A_0:  sum_j b(C_i,j) <= C(i) - B_r,i   (recomputed)
+//   2. sum_j b(C_0,j) + b_new <= C(0) - B_r,0              (recomputed)
+// All B_r recomputations are performed unconditionally (the paper reports
+// a flat N_calc = 3 on the 1-D road), then the tests are evaluated.
+#pragma once
+
+#include "admission/policy.h"
+
+namespace pabr::admission {
+
+class Ac2Policy final : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "AC2"; }
+  bool admit(AdmissionContext& sys, geom::CellId cell,
+             traffic::Bandwidth b_new) override;
+};
+
+}  // namespace pabr::admission

@@ -1,0 +1,26 @@
+#include "admission/ac3.h"
+
+namespace pabr::admission {
+
+bool Ac3Policy::admit(AdmissionContext& sys, geom::CellId cell,
+                      traffic::Bandwidth b_new) {
+  bool ok = true;
+  for (geom::CellId i : sys.adjacent(cell)) {
+    // Participation test uses the *stale* target B_r^curr (paper: "which
+    // was calculated for a previous admission test, is not reserved
+    // fully").
+    if (sys.used_bandwidth(i) + sys.current_reservation(i) >
+        sys.capacity(i)) {
+      const double br_i = sys.recompute_reservation(i);
+      if (sys.used_bandwidth(i) > sys.capacity(i) - br_i) ok = false;
+    }
+  }
+  const double br = sys.recompute_reservation(cell);
+  if (sys.used_bandwidth(cell) + static_cast<double>(b_new) >
+      sys.capacity(cell) - br) {
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace pabr::admission

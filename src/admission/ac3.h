@@ -1,0 +1,23 @@
+// AC3 (§4.3): the hybrid scheme the paper recommends. An adjacent cell i
+// participates only when it *appears* unable to reserve its
+// previously-computed target:
+//   1. for all i in A_0 with sum_j b(C_i,j) + B_r,i^curr > C(i):
+//        recompute B_r,i, set B_r,i^curr := B_r,i,
+//        and check sum_j b(C_i,j) <= C(i) - B_r,i
+//   2. sum_j b(C_0,j) + b_new <= C(0) - B_r,0 (recomputed)
+// This keeps N_calc near 1 at light load and below AC2's |A_0|+1 even
+// when overloaded, while bounding P_HD like AC2 (paper §5.2.3).
+#pragma once
+
+#include "admission/policy.h"
+
+namespace pabr::admission {
+
+class Ac3Policy final : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "AC3"; }
+  bool admit(AdmissionContext& sys, geom::CellId cell,
+             traffic::Bandwidth b_new) override;
+};
+
+}  // namespace pabr::admission

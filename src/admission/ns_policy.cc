@@ -1,0 +1,72 @@
+#include "admission/ns_policy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace pabr::admission {
+
+NsPolicy::NsPolicy(NsConfig config) : config_(config) {
+  PABR_CHECK(config.estimation_interval_s > 0.0, "NS: bad interval");
+  PABR_CHECK(config.overload_target > 0.0 && config.overload_target < 1.0,
+             "NS: bad overload target");
+  PABR_CHECK(config.mean_sojourn_s > 0.0, "NS: bad sojourn");
+  PABR_CHECK(config.mean_lifetime_s > 0.0, "NS: bad lifetime");
+
+  const double t = config.estimation_interval_s;
+  const double survive_call = std::exp(-t / config.mean_lifetime_s);
+  p_stay_ = std::exp(-t / config.mean_sojourn_s) * survive_call;
+  p_move_ = (1.0 - std::exp(-t / config.mean_sojourn_s)) * survive_call;
+  z_ = mathx::inverse_normal_cdf(1.0 - config.overload_target);
+}
+
+NsPolicy::OccupancyEstimate NsPolicy::estimate(const AdmissionContext& sys,
+                                               geom::CellId cell) const {
+  OccupancyEstimate e;
+  // Resident bandwidth that is still here after T. Treating the resident
+  // bandwidth as ~1-BU Bernoulli units keeps the variance bound simple
+  // and errs conservative for video (which moves in 4-BU lumps).
+  const double resident = sys.used_bandwidth(cell);
+  e.mean += resident * p_stay_;
+  e.variance += resident * p_stay_ * (1.0 - p_stay_);
+
+  for (geom::CellId i : sys.adjacent(cell)) {
+    const double neighbors =
+        static_cast<double>(sys.adjacent(i).size());
+    PABR_CHECK(neighbors > 0.0, "NS: isolated neighbour cell");
+    const double p_in = p_move_ / neighbors;
+    const double incoming = sys.used_bandwidth(i);
+    e.mean += incoming * p_in;
+    e.variance += incoming * p_in * (1.0 - p_in);
+  }
+  return e;
+}
+
+bool NsPolicy::admit(AdmissionContext& sys, geom::CellId cell,
+                     traffic::Bandwidth b_new) {
+  // Hard FCA constraint first: a channel must physically exist right now.
+  if (sys.used_bandwidth(cell) + static_cast<double>(b_new) >
+      sys.capacity(cell)) {
+    return false;
+  }
+  // The scheme checks the target cell and every adjacent cell: admitting
+  // here must not overload the neighbourhood once mobiles redistribute.
+  const auto check = [&](geom::CellId j, double extra) {
+    const OccupancyEstimate e = estimate(sys, j);
+    const double bound = e.mean + z_ * std::sqrt(e.variance) + extra;
+    return bound <= sys.capacity(j);
+  };
+
+  // The new call contributes to its own cell now and may hand into each
+  // neighbour within T.
+  if (!check(cell, static_cast<double>(b_new))) return false;
+  for (geom::CellId i : sys.adjacent(cell)) {
+    const double spill = static_cast<double>(b_new) * p_move_ /
+                         static_cast<double>(sys.adjacent(cell).size());
+    if (!check(i, spill)) return false;
+  }
+  return true;
+}
+
+}  // namespace pabr::admission

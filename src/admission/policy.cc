@@ -1,0 +1,46 @@
+#include "admission/policy.h"
+
+#include "admission/ac1.h"
+#include "admission/ac2.h"
+#include "admission/ac3.h"
+#include "admission/ns_policy.h"
+#include "admission/static_policy.h"
+#include "util/check.h"
+
+namespace pabr::admission {
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAc1:
+      return "AC1";
+    case PolicyKind::kAc2:
+      return "AC2";
+    case PolicyKind::kAc3:
+      return "AC3";
+    case PolicyKind::kStatic:
+      return "Static";
+    case PolicyKind::kNsDca:
+      return "NS-DCA";
+  }
+  return "?";
+}
+
+std::unique_ptr<AdmissionPolicy> make_policy(PolicyKind kind,
+                                             double static_g,
+                                             const NsConfig* ns) {
+  switch (kind) {
+    case PolicyKind::kAc1:
+      return std::make_unique<Ac1Policy>();
+    case PolicyKind::kAc2:
+      return std::make_unique<Ac2Policy>();
+    case PolicyKind::kAc3:
+      return std::make_unique<Ac3Policy>();
+    case PolicyKind::kStatic:
+      return std::make_unique<StaticPolicy>(static_g);
+    case PolicyKind::kNsDca:
+      return std::make_unique<NsPolicy>(ns != nullptr ? *ns : NsConfig{});
+  }
+  PABR_CHECK(false, "unknown policy kind");
+}
+
+}  // namespace pabr::admission

@@ -1,0 +1,75 @@
+// Admission-control schemes of §4.3 (paper Table 1):
+//
+//   AC1    — recompute B_r in the current cell only, then Eq. (1):
+//            sum b + b_new <= C(0) - B_r,0.
+//   AC2    — additionally every adjacent cell recomputes B_r and checks
+//            that it can actually reserve it: sum b <= C(i) - B_r,i.
+//   AC3    — hybrid: only adjacent cells that *appear* unable to reserve
+//            their previously-computed target (sum b + B_r^curr > C(i))
+//            recompute and participate.
+//   Static — fixed G BUs set aside in every cell (Hong & Rappaport 1986);
+//            no B_r computation at all.
+//
+// Policies are stateless visitors over an AdmissionContext, which the core
+// CellularSystem implements; every `recompute_reservation` call is the
+// unit the paper's N_calc complexity metric counts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geom/topology.h"
+#include "traffic/connection.h"
+
+namespace pabr::admission {
+
+/// The system facade a policy needs: capacities, occupancy, neighbour
+/// lists, and on-demand target-reservation computation.
+class AdmissionContext {
+ public:
+  virtual ~AdmissionContext() = default;
+
+  virtual double capacity(geom::CellId cell) const = 0;
+  virtual double used_bandwidth(geom::CellId cell) const = 0;
+  virtual const std::vector<geom::CellId>& adjacent(
+      geom::CellId cell) const = 0;
+
+  /// Recomputes the target reservation bandwidth B_r of `cell` from the
+  /// current traffic in its adjacent cells (Eqs. 4-6), stores it as the
+  /// cell's current target, and returns it. Counted once per call in
+  /// N_calc.
+  virtual double recompute_reservation(geom::CellId cell) = 0;
+
+  /// The cell's most recently computed target B_r^curr (possibly stale;
+  /// 0 before any computation). AC3's participation test uses this.
+  virtual double current_reservation(geom::CellId cell) const = 0;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decides whether a new connection of `b_new` BUs may be admitted in
+  /// `cell`. May call `recompute_reservation` on any cell it consults.
+  virtual bool admit(AdmissionContext& sys, geom::CellId cell,
+                     traffic::Bandwidth b_new) = 0;
+};
+
+/// kNsDca is the Naghshineh-Schwartz distributed admission baseline (the
+/// paper's ref. [10], see ns_policy.h).
+enum class PolicyKind { kAc1, kAc2, kAc3, kStatic, kNsDca };
+
+const char* policy_kind_name(PolicyKind kind);
+
+struct NsConfig;  // ns_policy.h
+
+/// Factory. `static_g` is the permanently reserved bandwidth used only by
+/// the static policy (the paper evaluates G = 10 BUs); `ns` configures
+/// only the kNsDca baseline (defaults used when null).
+std::unique_ptr<AdmissionPolicy> make_policy(PolicyKind kind,
+                                             double static_g = 10.0,
+                                             const NsConfig* ns = nullptr);
+
+}  // namespace pabr::admission

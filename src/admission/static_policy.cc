@@ -1,0 +1,25 @@
+#include "admission/static_policy.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pabr::admission {
+
+StaticPolicy::StaticPolicy(double g) : g_(g) {
+  PABR_CHECK(g >= 0.0, "negative static reservation");
+}
+
+std::string StaticPolicy::name() const {
+  std::ostringstream os;
+  os << "Static(G=" << g_ << ")";
+  return os.str();
+}
+
+bool StaticPolicy::admit(AdmissionContext& sys, geom::CellId cell,
+                         traffic::Bandwidth b_new) {
+  return sys.used_bandwidth(cell) + static_cast<double>(b_new) <=
+         sys.capacity(cell) - g_;
+}
+
+}  // namespace pabr::admission

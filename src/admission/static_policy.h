@@ -1,0 +1,24 @@
+// Static reservation (§1, §5.2.1): G BUs of every cell's capacity are
+// permanently set aside for hand-offs; new connections are admitted iff
+// sum b + b_new <= C - G. The paper's baseline, with G = 10.
+#pragma once
+
+#include "admission/policy.h"
+
+namespace pabr::admission {
+
+class StaticPolicy final : public AdmissionPolicy {
+ public:
+  explicit StaticPolicy(double g);
+
+  std::string name() const override;
+  bool admit(AdmissionContext& sys, geom::CellId cell,
+             traffic::Bandwidth b_new) override;
+
+  double g() const { return g_; }
+
+ private:
+  double g_;
+};
+
+}  // namespace pabr::admission

@@ -1,0 +1,138 @@
+#include "analysis/guard_channel.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::analysis {
+namespace {
+
+/// E[1/V] for V uniform on [lo, hi] km/h, in hours/km.
+double mean_inverse_speed(double lo, double hi) {
+  PABR_CHECK(lo > 0.0 && hi >= lo, "bad speed range");
+  if (hi == lo) return 1.0 / lo;
+  return std::log(hi / lo) / (hi - lo);
+}
+
+}  // namespace
+
+double erlang_b(int servers, double erlangs) {
+  PABR_CHECK(servers >= 0, "negative server count");
+  PABR_CHECK(erlangs >= 0.0, "negative offered traffic");
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = erlangs * b / (static_cast<double>(k) + erlangs * b);
+  }
+  return b;
+}
+
+std::vector<double> birth_death_distribution(int servers, int threshold,
+                                             double lambda_all,
+                                             double lambda_ho, double mu) {
+  PABR_CHECK(servers >= 1, "need at least one server");
+  PABR_CHECK(threshold >= 0 && threshold <= servers,
+             "threshold out of range");
+  PABR_CHECK(lambda_all >= 0.0 && lambda_ho >= 0.0, "negative rates");
+  PABR_CHECK(mu > 0.0, "non-positive service rate");
+
+  std::vector<double> pi(static_cast<std::size_t>(servers) + 1);
+  // Work with unnormalized log weights to dodge overflow at C = 100.
+  std::vector<double> logw(pi.size(), 0.0);
+  for (int n = 0; n < servers; ++n) {
+    const double birth = n < threshold ? lambda_all : lambda_ho;
+    const auto idx = static_cast<std::size_t>(n);
+    if (birth <= 0.0) {
+      // No flow upward: every higher state has probability zero.
+      for (std::size_t k = idx + 1; k < logw.size(); ++k) {
+        logw[k] = -1e300;
+      }
+      break;
+    }
+    logw[idx + 1] =
+        logw[idx] + std::log(birth) -
+        std::log(static_cast<double>(n + 1) * mu);
+  }
+  double max_log = logw[0];
+  for (double lw : logw) max_log = std::max(max_log, lw);
+  double total = 0.0;
+  for (std::size_t i = 0; i < logw.size(); ++i) {
+    pi[i] = std::exp(logw[i] - max_log);
+    total += pi[i];
+  }
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+double mean_residence_new_s(const GuardChannelParams& p) {
+  // Uniform start position: mean distance to the exit boundary is D/2.
+  return 0.5 * p.cell_diameter_km *
+         mean_inverse_speed(p.speed_min_kmh, p.speed_max_kmh) * 3600.0;
+}
+
+double mean_residence_handoff_s(const GuardChannelParams& p) {
+  return p.cell_diameter_km *
+         mean_inverse_speed(p.speed_min_kmh, p.speed_max_kmh) * 3600.0;
+}
+
+GuardChannelResult evaluate(const GuardChannelParams& p, int max_iterations,
+                            double tolerance) {
+  PABR_CHECK(p.capacity_bu >= 1.0, "capacity too small");
+  PABR_CHECK(p.guard_bu >= 0.0 && p.guard_bu <= p.capacity_bu,
+             "guard out of range");
+  PABR_CHECK(p.lambda_new >= 0.0, "negative arrival rate");
+  PABR_CHECK(p.mean_lifetime_s > 0.0, "bad lifetime");
+
+  const int servers = static_cast<int>(p.capacity_bu);
+  const int threshold = static_cast<int>(p.capacity_bu - p.guard_bu);
+  const double eta = 1.0 / p.mean_lifetime_s;
+  const double mu_res_new = 1.0 / mean_residence_new_s(p);
+  const double mu_res_ho = 1.0 / mean_residence_handoff_s(p);
+  // P(call crosses the boundary before completing), exponential
+  // residence approximation.
+  const double p_hn = mu_res_new / (mu_res_new + eta);
+  const double p_hh = mu_res_ho / (mu_res_ho + eta);
+
+  GuardChannelResult r;
+  double lambda_h = 0.0;
+  for (int it = 1; it <= max_iterations; ++it) {
+    r.iterations = it;
+    // Blend the residence rates by the admitted stream composition.
+    const double w_new = p.lambda_new * (1.0 - r.pcb);
+    const double w_ho = lambda_h * (1.0 - r.phd);
+    const double mu_res =
+        (w_new + w_ho) <= 0.0
+            ? mu_res_new
+            : (w_new * mu_res_new + w_ho * mu_res_ho) / (w_new + w_ho);
+    const double mu = eta + mu_res;
+
+    const auto pi = birth_death_distribution(
+        servers, threshold, p.lambda_new + lambda_h, lambda_h, mu);
+    double pcb = 0.0;
+    for (int n = threshold; n <= servers; ++n) {
+      pcb += pi[static_cast<std::size_t>(n)];
+    }
+    const double phd = pi[static_cast<std::size_t>(servers)];
+
+    double busy = 0.0;
+    for (int n = 0; n <= servers; ++n) {
+      busy += static_cast<double>(n) * pi[static_cast<std::size_t>(n)];
+    }
+
+    const double next_lambda_h = p.lambda_new * (1.0 - pcb) * p_hn +
+                                 lambda_h * (1.0 - phd) * p_hh;
+    const double delta = std::fabs(next_lambda_h - lambda_h);
+    r.pcb = pcb;
+    r.phd = phd;
+    r.mean_busy = busy;
+    // Damped update keeps the heavy-load fixed point stable.
+    lambda_h = 0.5 * lambda_h + 0.5 * next_lambda_h;
+    r.lambda_h = lambda_h;
+    if (delta < tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace pabr::analysis

@@ -1,0 +1,74 @@
+// Analytical guard-channel model — Hong & Rappaport, "Traffic model and
+// performance analysis for cellular mobile radio telephone systems with
+// prioritized and nonprioritized hand-off procedures", IEEE Trans. Veh.
+// Tech. 1986 (the paper's reference [5] and the origin of its static
+// reservation baseline).
+//
+// The cell is an M/M/C/C birth-death chain over busy bandwidth units with
+// G guard units: new calls are admitted while n < C - G, hand-offs while
+// n < C. Per-call channel-holding time is approximated as exponential
+// with rate (call-completion rate + cell-departure rate), and the
+// hand-off arrival rate is obtained by a fixed-point iteration over the
+// flow balance
+//
+//   lambda_h = (lambda_n (1 - P_CB) p_hn + lambda_h (1 - P_HD) p_hh)
+//
+// where p_hn / p_hh are the probabilities that a new / handed-off call
+// leaves its cell before completing (computed from the paper's uniform
+// speed range and 1-D cell geometry).
+//
+// The model is an *approximation* of the simulator (sojourn times on a
+// road are not exponential — a point the paper §6 makes against [10]);
+// it is used to sanity-check the simulator's static-reservation results
+// and to show where the exponential assumption bends.
+#pragma once
+
+#include <vector>
+
+namespace pabr::analysis {
+
+struct GuardChannelParams {
+  double capacity_bu = 100.0;  ///< C
+  double guard_bu = 10.0;      ///< G (static reservation)
+  /// New-call arrival rate per cell (calls/s); voice-only (1 BU each).
+  double lambda_new = 1.0;
+  double mean_lifetime_s = 120.0;      ///< 1/eta
+  double cell_diameter_km = 1.0;       ///< D
+  double speed_min_kmh = 80.0;         ///< SP_min
+  double speed_max_kmh = 120.0;        ///< SP_max
+};
+
+struct GuardChannelResult {
+  double pcb = 0.0;       ///< new-call blocking probability
+  double phd = 0.0;       ///< hand-off dropping probability
+  double lambda_h = 0.0;  ///< converged hand-off arrival rate (calls/s)
+  double mean_busy = 0.0; ///< E[busy BUs]
+  int iterations = 0;     ///< fixed-point iterations used
+  bool converged = false;
+};
+
+/// Classic Erlang-B blocking probability for offered load `erlangs` on
+/// `servers` servers (numerically stable recurrence).
+double erlang_b(int servers, double erlangs);
+
+/// Steady-state distribution of the two-rate birth-death chain:
+/// birth rate lambda_all for n < threshold, lambda_ho for
+/// threshold <= n < servers, death rate n * mu. Returns pi_0..pi_servers.
+std::vector<double> birth_death_distribution(int servers, int threshold,
+                                             double lambda_all,
+                                             double lambda_ho, double mu);
+
+/// Mean residence time in the cell for a call that starts uniformly
+/// inside it (new call) — E[(distance to boundary)/speed] with speed
+/// uniform in [min, max].
+double mean_residence_new_s(const GuardChannelParams& p);
+
+/// Mean residence time for a call that enters at the boundary (hand-off).
+double mean_residence_handoff_s(const GuardChannelParams& p);
+
+/// Solves the fixed point and evaluates the chain.
+GuardChannelResult evaluate(const GuardChannelParams& p,
+                            int max_iterations = 200,
+                            double tolerance = 1e-9);
+
+}  // namespace pabr::analysis

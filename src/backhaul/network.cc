@@ -1,0 +1,71 @@
+#include "backhaul/network.h"
+
+#include "util/check.h"
+
+namespace pabr::backhaul {
+
+const char* message_type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kTestWindowAnnounce:
+      return "test_window_announce";
+    case MessageType::kBandwidthQuery:
+      return "bandwidth_query";
+    case MessageType::kBandwidthReply:
+      return "bandwidth_reply";
+    case MessageType::kReservationCheck:
+      return "reservation_check";
+    case MessageType::kHandoffSignal:
+      return "handoff_signal";
+    case MessageType::kCount:
+      break;
+  }
+  return "?";
+}
+
+InterconnectModel::InterconnectModel(InterconnectKind kind,
+                                     double per_hop_latency_s)
+    : kind_(kind), per_hop_latency_s_(per_hop_latency_s) {
+  PABR_CHECK(per_hop_latency_s >= 0.0, "negative backhaul latency");
+}
+
+int InterconnectModel::hops_between(geom::CellId from, geom::CellId to) const {
+  if (from == to) return 0;
+  return kind_ == InterconnectKind::kStarMsc ? 2 : 1;
+}
+
+double InterconnectModel::latency_between(geom::CellId from,
+                                          geom::CellId to) const {
+  return per_hop_latency_s_ * hops_between(from, to);
+}
+
+void InterconnectModel::record(geom::CellId from, geom::CellId to,
+                               MessageType type) {
+  PABR_CHECK(type != MessageType::kCount, "bad message type");
+  ++by_type_[static_cast<std::size_t>(type)];
+  total_hops_ += static_cast<std::uint64_t>(hops_between(from, to));
+}
+
+std::uint64_t InterconnectModel::messages(MessageType type) const {
+  PABR_CHECK(type != MessageType::kCount, "bad message type");
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t InterconnectModel::total_messages() const {
+  std::uint64_t total = 0;
+  for (auto c : by_type_) total += c;
+  return total;
+}
+
+std::uint64_t InterconnectModel::total_hops() const { return total_hops_; }
+
+std::string InterconnectModel::describe() const {
+  return kind_ == InterconnectKind::kStarMsc ? "star (via MSC)"
+                                             : "fully-connected BSs";
+}
+
+void InterconnectModel::reset() {
+  by_type_.fill(0);
+  total_hops_ = 0;
+}
+
+}  // namespace pabr::backhaul

@@ -1,0 +1,65 @@
+// Inter-BS signalling network model (paper Fig. 1).
+//
+// Two interconnect configurations are modelled:
+//   * kStarMsc        — BSs talk only through the Mobile Switching Center
+//                        (2 wired hops per BS->BS exchange); the MSC is
+//                        where B_r computation logically runs.
+//   * kFullyConnected — BSs talk directly (1 hop).
+//
+// The paper's complexity study (Fig. 13) counts B_r *calculations*; this
+// model additionally tallies signalling messages and hop counts so the
+// backhaul cost of AC1/AC2/AC3 can be compared per topology.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geom/topology.h"
+
+namespace pabr::backhaul {
+
+enum class InterconnectKind { kStarMsc, kFullyConnected };
+
+enum class MessageType : std::size_t {
+  kTestWindowAnnounce = 0,  ///< cell 0 informs neighbours of T_est,0
+  kBandwidthQuery,          ///< request for B_{i,0} from neighbour i
+  kBandwidthReply,          ///< B_{i,0} back to cell 0
+  kReservationCheck,        ///< AC2/AC3 neighbour-side admission test
+  kHandoffSignal,           ///< connection context transfer on hand-off
+  kCount
+};
+
+const char* message_type_name(MessageType t);
+
+class InterconnectModel {
+ public:
+  InterconnectModel(InterconnectKind kind, double per_hop_latency_s = 0.0);
+
+  /// Records one BS-to-BS (or BS-to-MSC-to-BS) message.
+  void record(geom::CellId from, geom::CellId to, MessageType type);
+
+  /// Wired hops a message between two BSs traverses under this topology.
+  int hops_between(geom::CellId from, geom::CellId to) const;
+
+  /// One-way delivery latency between BSs.
+  double latency_between(geom::CellId from, geom::CellId to) const;
+
+  std::uint64_t messages(MessageType type) const;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_hops() const;
+
+  InterconnectKind kind() const { return kind_; }
+  std::string describe() const;
+
+  void reset();
+
+ private:
+  InterconnectKind kind_;
+  double per_hop_latency_s_;
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageType::kCount)>
+      by_type_{};
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace pabr::backhaul

@@ -1,0 +1,42 @@
+#include "backhaul/signaling.h"
+
+#include "util/check.h"
+
+namespace pabr::backhaul {
+
+void SignalingAccountant::begin_admission() {
+  PABR_CHECK(!open_, "begin_admission: previous admission still open");
+  open_ = true;
+  in_flight_ = 0;
+}
+
+void SignalingAccountant::record_br_calculation(geom::CellId cell) {
+  // Outside an admission (periodic refresh, tests) the calculation still
+  // counts toward totals but not toward the per-admission N_calc mean.
+  if (open_) ++in_flight_;
+  total_.add();
+  if (interconnect_ != nullptr) {
+    // Computing B_r for `cell` requires a T_est announcement plus a
+    // query/reply pair with every adjacent BS.
+    for (geom::CellId n : topology_.neighbors(cell)) {
+      interconnect_->record(cell, n, MessageType::kTestWindowAnnounce);
+      interconnect_->record(cell, n, MessageType::kBandwidthQuery);
+      interconnect_->record(n, cell, MessageType::kBandwidthReply);
+    }
+  }
+}
+
+void SignalingAccountant::end_admission() {
+  PABR_CHECK(open_, "end_admission without begin_admission");
+  open_ = false;
+  per_admission_.add(static_cast<double>(in_flight_));
+}
+
+void SignalingAccountant::reset() {
+  per_admission_.reset();
+  total_.reset();
+  in_flight_ = 0;
+  open_ = false;
+}
+
+}  // namespace pabr::backhaul

@@ -1,0 +1,51 @@
+// Accounting for the paper's complexity metric N_calc — "the average
+// number of B_r calculations for the admission test of a new connection
+// request" (§5.2.3, Fig. 13) — plus the per-admission signalling messages
+// implied by each calculation.
+#pragma once
+
+#include "backhaul/network.h"
+#include "geom/topology.h"
+#include "sim/stats.h"
+
+namespace pabr::backhaul {
+
+/// Scoped per-admission accounting. Usage:
+///
+///   accountant.begin_admission();
+///   ... policy runs, calling record_br_calculation(cell) ...
+///   accountant.end_admission();
+class SignalingAccountant {
+ public:
+  SignalingAccountant(const geom::Topology& topology,
+                      InterconnectModel* interconnect)
+      : topology_(topology), interconnect_(interconnect) {}
+
+  void begin_admission();
+
+  /// One full B_r computation performed by/for `cell`: the cell's BS asks
+  /// each adjacent BS for its expected hand-in bandwidth B_{i,cell} and
+  /// receives a reply (paper §4.1 last paragraph).
+  void record_br_calculation(geom::CellId cell);
+
+  void end_admission();
+
+  /// Mean B_r calculations per admission test (the paper's N_calc).
+  double n_calc() const { return per_admission_.mean(); }
+  std::uint64_t admissions_observed() const {
+    return per_admission_.samples();
+  }
+  std::uint64_t total_br_calculations() const { return total_.count(); }
+
+  void reset();
+
+ private:
+  const geom::Topology& topology_;
+  InterconnectModel* interconnect_;  // may be null (no message accounting)
+  sim::MeanAccumulator per_admission_;
+  sim::Counter total_;
+  int in_flight_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace pabr::backhaul

@@ -1,0 +1,4 @@
+#include "core/base_station.h"
+
+// BaseStation is header-only today; this TU anchors the target so the
+// module keeps a stable home for future out-of-line logic.

@@ -1,0 +1,40 @@
+// Control-plane state of one cell's base station: the hand-off estimation
+// function built from this cell's departure history, the adaptive T_est
+// controller, and the most recently computed target reservation B_r^curr
+// (which AC3's participation test consults without recomputing).
+#pragma once
+
+#include "geom/topology.h"
+#include "hoef/estimator.h"
+#include "reservation/test_window.h"
+#include "sim/time.h"
+
+namespace pabr::core {
+
+class BaseStation {
+ public:
+  BaseStation(geom::CellId id, hoef::EstimatorConfig estimator_config,
+              reservation::TestWindowConfig window_config)
+      : id_(id),
+        estimator_(id, std::move(estimator_config)),
+        window_(window_config) {}
+
+  geom::CellId id() const { return id_; }
+
+  hoef::HandoffEstimator& estimator() { return estimator_; }
+  const hoef::HandoffEstimator& estimator() const { return estimator_; }
+
+  reservation::TestWindowController& window() { return window_; }
+  const reservation::TestWindowController& window() const { return window_; }
+
+  double current_reservation() const { return br_current_; }
+  void set_current_reservation(double br) { br_current_ = br; }
+
+ private:
+  geom::CellId id_;
+  hoef::HandoffEstimator estimator_;
+  reservation::TestWindowController window_;
+  double br_current_ = 0.0;
+};
+
+}  // namespace pabr::core

@@ -1,0 +1,43 @@
+#include "core/cell.h"
+
+#include "util/check.h"
+
+namespace pabr::core {
+
+Cell::Cell(geom::CellId id, double capacity_bu, double soft_margin)
+    : id_(id), capacity_(capacity_bu), soft_margin_(soft_margin) {
+  PABR_CHECK(capacity_bu > 0.0, "Cell: non-positive capacity");
+  PABR_CHECK(soft_margin >= 0.0, "Cell: negative soft margin");
+}
+
+void Cell::attach(traffic::ConnectionId id, traffic::Bandwidth b) {
+  PABR_CHECK(b > 0, "Cell: non-positive bandwidth");
+  PABR_CHECK(used_ + static_cast<double>(b) <= soft_capacity() + 1e-9,
+             "Cell: attach exceeds soft capacity");
+  const auto [it, inserted] = by_id_.emplace(id, b);
+  PABR_CHECK(inserted, "Cell: connection already attached");
+  (void)it;
+  used_ += static_cast<double>(b);
+}
+
+void Cell::detach(traffic::ConnectionId id) {
+  const auto it = by_id_.find(id);
+  PABR_CHECK(it != by_id_.end(), "Cell: detaching unknown connection");
+  used_ -= static_cast<double>(it->second);
+  PABR_CHECK(used_ >= -1e-9, "Cell: negative used bandwidth");
+  if (used_ < 0.0) used_ = 0.0;
+  by_id_.erase(it);
+}
+
+void Cell::reassign(traffic::ConnectionId id, traffic::Bandwidth new_b) {
+  PABR_CHECK(new_b > 0, "Cell: non-positive bandwidth");
+  const auto it = by_id_.find(id);
+  PABR_CHECK(it != by_id_.end(), "Cell: reassigning unknown connection");
+  const double delta = static_cast<double>(new_b - it->second);
+  PABR_CHECK(used_ + delta <= soft_capacity() + 1e-9,
+             "Cell: reassign exceeds soft capacity");
+  used_ += delta;
+  it->second = new_b;
+}
+
+}  // namespace pabr::core

@@ -1,0 +1,64 @@
+// Radio resource state of one cell: the fixed wireless link capacity C(i)
+// (FCA, §2) and the bandwidth of the connections currently camped here.
+//
+// Reserved bandwidth is *not* subtracted here: hand-offs may consume any
+// free capacity (Eq. 1 constrains new admissions only), so the cell keeps
+// only physical accounting and leaves policy to the admission layer.
+#pragma once
+
+#include <map>
+
+#include "geom/topology.h"
+#include "traffic/connection.h"
+
+namespace pabr::core {
+
+class Cell {
+ public:
+  /// `soft_margin` models CDMA-style soft capacity (§7): hand-offs may
+  /// stretch occupancy to C * (1 + soft_margin) at the cost of raised
+  /// interference, while new admissions always see the hard C.
+  Cell(geom::CellId id, double capacity_bu, double soft_margin = 0.0);
+
+  geom::CellId id() const { return id_; }
+  double capacity() const { return capacity_; }
+  /// C * (1 + soft_margin): the ceiling hand-offs may stretch to.
+  double soft_capacity() const { return capacity_ * (1.0 + soft_margin_); }
+  double used() const { return used_; }
+  double free() const { return capacity_ - used_; }
+
+  /// Fit test for a hand-off: reservation does not apply, and the soft
+  /// margin (if any) is available.
+  bool can_fit(traffic::Bandwidth b) const {
+    return used_ + static_cast<double>(b) <= soft_capacity();
+  }
+
+  /// True while occupancy exceeds the hard capacity (soft-capacity
+  /// overload: degraded interference budget).
+  bool overloaded() const { return used_ > capacity_ + 1e-9; }
+
+  void attach(traffic::ConnectionId id, traffic::Bandwidth b);
+  void detach(traffic::ConnectionId id);
+
+  int connection_count() const { return static_cast<int>(by_id_.size()); }
+
+  /// Connections camped in this cell (id -> bandwidth), in id order so
+  /// that reservation sums are reproducible.
+  const std::map<traffic::ConnectionId, traffic::Bandwidth>& connections()
+      const {
+    return by_id_;
+  }
+
+  /// Changes the bandwidth held by an attached connection (adaptive-QoS
+  /// degrade/upgrade, §1). The new total must fit the soft capacity.
+  void reassign(traffic::ConnectionId id, traffic::Bandwidth new_b);
+
+ private:
+  geom::CellId id_;
+  double capacity_;
+  double soft_margin_;
+  double used_ = 0.0;
+  std::map<traffic::ConnectionId, traffic::Bandwidth> by_id_;
+};
+
+}  // namespace pabr::core

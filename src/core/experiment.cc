@@ -1,0 +1,139 @@
+#include "core/experiment.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace pabr::core {
+
+RunResult run_system(const SystemConfig& config, const RunPlan& plan) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CellularSystem system(config);
+  system.run_for(plan.warmup_s);
+  if (plan.reset_after_warmup) system.reset_metrics();
+  system.run_for(plan.measure_s);
+
+  RunResult result;
+  result.status = system.system_status();
+  result.cells.reserve(static_cast<std::size_t>(config.num_cells));
+  for (geom::CellId c = 0; c < config.num_cells; ++c) {
+    result.cells.push_back(system.cell_status(c));
+  }
+  result.events = system.events_executed();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::vector<SweepPoint> sweep_loads(
+    const std::vector<double>& loads,
+    const std::function<SystemConfig(double)>& config_for_load,
+    const RunPlan& plan) {
+  std::vector<SweepPoint> out;
+  out.reserve(loads.size());
+  for (double load : loads) {
+    SweepPoint p;
+    p.offered_load = load;
+    p.result = run_system(config_for_load(load), plan);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+namespace {
+
+Replicated replicate(const std::vector<double>& xs) {
+  Replicated r;
+  r.samples = xs;
+  r.mean = mathx::mean(xs);
+  r.ci95 = mathx::ci95_halfwidth(xs);
+  return r;
+}
+
+}  // namespace
+
+ReplicatedResult run_replicated(const SystemConfig& config,
+                                const RunPlan& plan, int n_seeds) {
+  PABR_CHECK(n_seeds >= 1, "run_replicated: need at least one seed");
+  ReplicatedResult out;
+  std::vector<double> pcb, phd, br, ncalc;
+  for (int i = 0; i < n_seeds; ++i) {
+    SystemConfig cfg = config;
+    cfg.seed = config.seed + static_cast<std::uint64_t>(i);
+    RunResult r = run_system(cfg, plan);
+    pcb.push_back(r.status.pcb);
+    phd.push_back(r.status.phd);
+    br.push_back(r.status.br_avg);
+    ncalc.push_back(r.status.n_calc);
+    out.runs.push_back(std::move(r));
+  }
+  out.pcb = replicate(pcb);
+  out.phd = replicate(phd);
+  out.br_avg = replicate(br);
+  out.n_calc = replicate(ncalc);
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  PABR_CHECK(headers_.size() == widths_.size(),
+             "TablePrinter: header/width mismatch");
+}
+
+void TablePrinter::print_header() const {
+  print_rule();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << ' ';
+    os.width(widths_[i]);
+    os << headers_[i];
+  }
+  std::cout << os.str() << '\n';
+  print_rule();
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) const {
+  PABR_CHECK(cells.size() == headers_.size(), "TablePrinter: column count");
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << ' ';
+    os.width(widths_[i]);
+    os << cells[i];
+  }
+  std::cout << os.str() << '\n';
+}
+
+void TablePrinter::print_rule() const {
+  std::size_t total = 0;
+  for (int w : widths_) total += static_cast<std::size_t>(w) + 1;
+  std::cout << std::string(total, '-') << '\n';
+}
+
+std::string TablePrinter::prob(double p) {
+  if (p == 0.0) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", p);
+  return buf;
+}
+
+std::string TablePrinter::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::integer(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+std::vector<double> paper_load_grid() {
+  return {60.0, 100.0, 140.0, 180.0, 220.0, 260.0, 300.0};
+}
+
+}  // namespace pabr::core

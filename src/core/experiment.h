@@ -1,0 +1,93 @@
+// Experiment harness shared by the bench binaries: run scenarios with a
+// warm-up + measurement phase, sweep offered loads, and print
+// paper-formatted tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/system.h"
+
+namespace pabr::core {
+
+/// Run durations: the system warms up (filling estimation functions and
+/// adapting T_est, as the paper's runs do from t = 0), metrics are then
+/// reset and measured over the second phase.
+struct RunPlan {
+  sim::Duration warmup_s = 2000.0;
+  sim::Duration measure_s = 8000.0;
+  bool reset_after_warmup = true;
+};
+
+struct RunResult {
+  SystemStatus status;
+  std::vector<CellStatus> cells;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// Builds the system from `config`, executes the plan, and snapshots all
+/// metrics.
+RunResult run_system(const SystemConfig& config, const RunPlan& plan);
+
+/// Convenience sweep: one run per offered load value.
+struct SweepPoint {
+  double offered_load = 0.0;
+  RunResult result;
+};
+std::vector<SweepPoint> sweep_loads(
+    const std::vector<double>& loads,
+    const std::function<SystemConfig(double)>& config_for_load,
+    const RunPlan& plan);
+
+/// A metric replicated over independent seeds: mean and the 95% normal-
+/// approximation confidence half-width.
+struct Replicated {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  std::vector<double> samples;
+};
+
+/// Aggregate of `n` independent replications of one scenario.
+struct ReplicatedResult {
+  Replicated pcb;
+  Replicated phd;
+  Replicated br_avg;
+  Replicated n_calc;
+  std::vector<RunResult> runs;
+};
+
+/// Runs the scenario under `n_seeds` different seeds (config.seed + i)
+/// and aggregates the headline metrics — use when a single sample is too
+/// noisy to compare schemes (the paper reports single runs; CIs make the
+/// reproduction's comparisons defensible).
+ReplicatedResult run_replicated(const SystemConfig& config,
+                                const RunPlan& plan, int n_seeds);
+
+/// Fixed-width console table writer used by the bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths);
+
+  void print_header() const;
+  void print_row(const std::vector<std::string>& cells) const;
+  void print_rule() const;
+
+  /// Probability formatting like the paper's tables (e.g. "6.53e-3",
+  /// or "0" for an exact zero).
+  static std::string prob(double p);
+  static std::string fixed(double v, int decimals);
+  static std::string integer(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// The offered-load grid the paper's sweeps cover (60..300).
+std::vector<double> paper_load_grid();
+
+}  // namespace pabr::core

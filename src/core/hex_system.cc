@@ -1,0 +1,297 @@
+#include "core/hex_system.h"
+
+#include <algorithm>
+
+#include "reservation/reservation.h"
+#include "util/check.h"
+
+namespace pabr::core {
+
+void HexSystemConfig::set_offered_load(double load) {
+  PABR_CHECK(load >= 0.0, "negative offered load");
+  const double mean_bw = voice_ratio * traffic::kVoiceBandwidth +
+                         (1.0 - voice_ratio) * traffic::kVideoBandwidth;
+  arrival_rate_per_cell = load / (mean_bw * mean_lifetime_s);
+}
+
+HexCellularSystem::HexCellularSystem(HexSystemConfig config)
+    : config_(std::move(config)),
+      grid_(config_.rows, config_.cols, config_.wrap),
+      motion_(grid_, config_.motion),
+      accountant_(grid_, nullptr),
+      policy_(admission::make_policy(config_.policy, config_.static_g,
+                                     &config_.ns)),
+      arrival_rng_(sim::RngFactory(config_.seed).make("hex-arrivals")),
+      movement_rng_(sim::RngFactory(config_.seed).make("hex-movement")) {
+  PABR_CHECK(config_.capacity_bu > 0.0, "non-positive capacity");
+  PABR_CHECK(config_.arrival_rate_per_cell >= 0.0, "negative arrival rate");
+  PABR_CHECK(
+      config_.voice_ratio >= 0.0 && config_.voice_ratio <= 1.0,
+      "voice ratio out of [0,1]");
+  PABR_CHECK(config_.speed_min_kmh > 0.0 &&
+                 config_.speed_max_kmh >= config_.speed_min_kmh,
+             "bad speed range");
+
+  reservation::TestWindowConfig twc;
+  twc.phd_target = config_.phd_target;
+  twc.t_start = config_.t_start;
+
+  const int n = grid_.num_cells();
+  cells_.reserve(static_cast<std::size_t>(n));
+  stations_.reserve(static_cast<std::size_t>(n));
+  metrics_.resize(static_cast<std::size_t>(n));
+  for (geom::CellId c = 0; c < n; ++c) {
+    cells_.emplace_back(c, config_.capacity_bu);
+    stations_.emplace_back(c, config_.hoef, twc);
+    metrics_[static_cast<std::size_t>(c)].br_mean.update(0.0, 0.0);
+    metrics_[static_cast<std::size_t>(c)].bu_mean.update(0.0, 0.0);
+  }
+
+  schedule_next_arrival();
+}
+
+void HexCellularSystem::check_cell_id(geom::CellId cell) const {
+  PABR_CHECK(cell >= 0 && cell < grid_.num_cells(), "cell id out of range");
+}
+
+void HexCellularSystem::run_for(sim::Duration duration) {
+  PABR_CHECK(duration >= 0.0, "negative run duration");
+  simulator_.run_until(simulator_.now() + duration);
+}
+
+void HexCellularSystem::reset_metrics() {
+  const sim::Time t = simulator_.now();
+  for (geom::CellId c = 0; c < grid_.num_cells(); ++c) {
+    auto& m = metrics_[static_cast<std::size_t>(c)];
+    m.pcb.reset();
+    m.phd.reset();
+    m.br_mean.reset(t);
+    m.br_mean.update(
+        t, stations_[static_cast<std::size_t>(c)].current_reservation());
+    m.bu_mean.reset(t);
+    m.bu_mean.update(t, cells_[static_cast<std::size_t>(c)].used());
+  }
+  accountant_.reset();
+}
+
+// ---- AdmissionContext -------------------------------------------------------
+
+double HexCellularSystem::capacity(geom::CellId cell) const {
+  check_cell_id(cell);
+  return cells_[static_cast<std::size_t>(cell)].capacity();
+}
+
+double HexCellularSystem::used_bandwidth(geom::CellId cell) const {
+  check_cell_id(cell);
+  return cells_[static_cast<std::size_t>(cell)].used();
+}
+
+const std::vector<geom::CellId>& HexCellularSystem::adjacent(
+    geom::CellId cell) const {
+  return grid_.neighbors(cell);
+}
+
+double HexCellularSystem::recompute_reservation(geom::CellId cell) {
+  check_cell_id(cell);
+  const sim::Time t = simulator_.now();
+  accountant_.record_br_calculation(cell);
+  const sim::Duration t_est =
+      stations_[static_cast<std::size_t>(cell)].window().t_est();
+
+  double br = 0.0;
+  for (geom::CellId i : grid_.neighbors(cell)) {
+    const auto& estimator =
+        stations_[static_cast<std::size_t>(i)].estimator();
+    for (const auto& [conn_id, bw] :
+         cells_[static_cast<std::size_t>(i)].connections()) {
+      const auto& m = mobiles_.at(conn_id);
+      br += static_cast<double>(bw) *
+            estimator.handoff_probability(t, m.prev, cell,
+                                          t - m.entered_at, t_est);
+    }
+  }
+  stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
+  metrics_[static_cast<std::size_t>(cell)].br_mean.update(t, br);
+  return br;
+}
+
+double HexCellularSystem::current_reservation(geom::CellId cell) const {
+  check_cell_id(cell);
+  return stations_[static_cast<std::size_t>(cell)].current_reservation();
+}
+
+// ---- Workload ----------------------------------------------------------------
+
+void HexCellularSystem::schedule_next_arrival() {
+  const double system_rate = config_.arrival_rate_per_cell *
+                             static_cast<double>(grid_.num_cells());
+  if (system_rate <= 0.0) return;
+  simulator_.schedule_in(arrival_rng_.exponential(1.0 / system_rate),
+                         [this] {
+                           schedule_next_arrival();
+                           const geom::CellId cell = arrival_rng_.uniform_int(
+                               0, grid_.num_cells() - 1);
+                           const auto service =
+                               arrival_rng_.bernoulli(config_.voice_ratio)
+                                   ? traffic::ServiceClass::kVoice
+                                   : traffic::ServiceClass::kVideo;
+                           const double speed = arrival_rng_.uniform(
+                               config_.speed_min_kmh, config_.speed_max_kmh);
+                           const double lifetime = arrival_rng_.exponential(
+                               config_.mean_lifetime_s);
+                           handle_request(cell, service, speed, lifetime);
+                         });
+}
+
+bool HexCellularSystem::submit_request(geom::CellId cell,
+                                       traffic::ServiceClass service,
+                                       double speed_kmh,
+                                       sim::Duration lifetime_s) {
+  check_cell_id(cell);
+  return handle_request(cell, service, speed_kmh, lifetime_s);
+}
+
+bool HexCellularSystem::handle_request(geom::CellId cell,
+                                       traffic::ServiceClass service,
+                                       double speed_kmh,
+                                       sim::Duration lifetime_s) {
+  const traffic::Bandwidth bw = traffic::bandwidth_of(service);
+  accountant_.begin_admission();
+  bool admitted = policy_->admit(*this, cell, bw);
+  accountant_.end_admission();
+  // The policies' probabilistic tests do not replace the hard FCA check.
+  admitted = admitted && cells_[static_cast<std::size_t>(cell)].can_fit(bw);
+  metrics_[static_cast<std::size_t>(cell)].pcb.trial(!admitted);
+  if (!admitted) return false;
+
+  const traffic::ConnectionId id = next_id_++;
+  HexMobile m;
+  m.id = id;
+  m.service = service;
+  m.cell = cell;
+  m.prev = cell;  // started here (the paper's prev = 0)
+  m.entered_at = simulator_.now();
+  m.speed_kmh = speed_kmh;
+
+  cells_[static_cast<std::size_t>(cell)].attach(id, bw);
+  record_bu(cell);
+
+  const auto [it, inserted] = mobiles_.emplace(id, std::move(m));
+  PABR_CHECK(inserted, "duplicate connection id");
+  it->second.expiry = simulator_.schedule_in(
+      lifetime_s, [this, id] { handle_expiry(id); });
+  schedule_crossing(it->second);
+  return true;
+}
+
+// ---- Motion / hand-offs --------------------------------------------------------
+
+void HexCellularSystem::schedule_crossing(HexMobile& m) {
+  const sim::Duration stay = motion_.sojourn(m.speed_kmh, movement_rng_);
+  m.crossing = simulator_.schedule_in(
+      stay, [this, id = m.id] { handle_crossing(id); });
+}
+
+void HexCellularSystem::handle_crossing(traffic::ConnectionId id) {
+  const auto it = mobiles_.find(id);
+  PABR_CHECK(it != mobiles_.end(), "crossing for unknown mobile");
+  HexMobile& m = it->second;
+  const sim::Time t = simulator_.now();
+
+  const geom::CellId from = m.cell;
+  const geom::CellId to = motion_.next_cell(m.prev, m.cell, movement_rng_);
+  PABR_CHECK(grid_.adjacent(from, to), "hex motion left adjacency");
+
+  stations_[static_cast<std::size_t>(from)].estimator().record(
+      hoef::Quadruplet{t, m.prev, to, t - m.entered_at});
+
+  Cell& dst = cells_[static_cast<std::size_t>(to)];
+  const bool dropped = !dst.can_fit(m.bandwidth());
+  stations_[static_cast<std::size_t>(to)].window().on_handoff(
+      dropped, t_soj_max_for(to));
+  metrics_[static_cast<std::size_t>(to)].phd.trial(dropped);
+
+  cells_[static_cast<std::size_t>(from)].detach(id);
+  record_bu(from);
+  if (dropped) {
+    simulator_.cancel(m.expiry);
+    mobiles_.erase(it);
+    return;
+  }
+  dst.attach(id, m.bandwidth());
+  record_bu(to);
+  m.prev = from;
+  m.cell = to;
+  m.entered_at = t;
+  schedule_crossing(m);
+}
+
+void HexCellularSystem::handle_expiry(traffic::ConnectionId id) {
+  const auto it = mobiles_.find(id);
+  PABR_CHECK(it != mobiles_.end(), "expiry for unknown mobile");
+  simulator_.cancel(it->second.crossing);
+  cells_[static_cast<std::size_t>(it->second.cell)].detach(id);
+  record_bu(it->second.cell);
+  mobiles_.erase(it);
+}
+
+sim::Duration HexCellularSystem::t_soj_max_for(geom::CellId cell) const {
+  sim::Duration m = 0.0;
+  for (geom::CellId i : grid_.neighbors(cell)) {
+    m = std::max(m, stations_[static_cast<std::size_t>(i)].estimator()
+                        .max_sojourn(simulator_.now()));
+  }
+  return m;
+}
+
+void HexCellularSystem::record_bu(geom::CellId cell) {
+  metrics_[static_cast<std::size_t>(cell)].bu_mean.update(
+      simulator_.now(), cells_[static_cast<std::size_t>(cell)].used());
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+const CellMetrics& HexCellularSystem::cell_metrics(geom::CellId cell) const {
+  check_cell_id(cell);
+  return metrics_[static_cast<std::size_t>(cell)];
+}
+
+SystemStatus HexCellularSystem::system_status() const {
+  SystemStatus s;
+  const sim::Time t = simulator_.now();
+  double br_sum = 0.0;
+  double bu_sum = 0.0;
+  const int n = grid_.num_cells();
+  for (geom::CellId c = 0; c < n; ++c) {
+    const auto idx = static_cast<std::size_t>(c);
+    s.requests += metrics_[idx].pcb.trials();
+    s.blocks += metrics_[idx].pcb.hits();
+    s.handoffs += metrics_[idx].phd.trials();
+    s.drops += metrics_[idx].phd.hits();
+    br_sum += metrics_[idx].br_mean.mean(t);
+    bu_sum += metrics_[idx].bu_mean.mean(t);
+  }
+  s.pcb = s.requests == 0 ? 0.0
+                          : static_cast<double>(s.blocks) /
+                                static_cast<double>(s.requests);
+  s.phd = s.handoffs == 0 ? 0.0
+                          : static_cast<double>(s.drops) /
+                                static_cast<double>(s.handoffs);
+  s.n_calc = accountant_.n_calc();
+  s.br_avg = br_sum / static_cast<double>(n);
+  s.bu_avg = bu_sum / static_cast<double>(n);
+  s.br_calculations = accountant_.total_br_calculations();
+  return s;
+}
+
+Cell& HexCellularSystem::cell(geom::CellId id) {
+  check_cell_id(id);
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+BaseStation& HexCellularSystem::base_station(geom::CellId id) {
+  check_cell_id(id);
+  return stations_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace pabr::core

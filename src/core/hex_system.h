@@ -1,0 +1,149 @@
+// HexCellularSystem — the paper's §7 future work as a library feature:
+// "We plan to evaluate our scheme in more realistic and general
+// environments with two-dimensional cellular structures."
+//
+// A full admission/reservation/hand-off simulator over a hexagonal grid
+// (paper Fig. 2(b)): Poisson arrivals per cell, direction-persistent
+// random-walk mobility (mobility::HexMotion), per-cell hand-off
+// estimation functions and T_est controllers, Eq. 5/6 reservation over
+// the six neighbours, and the same AdmissionPolicy objects as the 1-D
+// road — AC1/AC2/AC3/static/NS run unmodified.
+//
+// §5.2.3 predicts "the complexity increase could be larger for two-
+// dimensional cellular structures": here AC2 costs |A_0|+1 = 7 B_r
+// computations per admission, making AC3's selective participation far
+// more valuable — bench/ext_2d_load_sweep quantifies it.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "admission/ns_policy.h"
+#include "admission/policy.h"
+#include "backhaul/signaling.h"
+#include "core/base_station.h"
+#include "core/cell.h"
+#include "core/metrics.h"
+#include "geom/hex_topology.h"
+#include "hoef/estimator.h"
+#include "mobility/hex_motion.h"
+#include "sim/simulator.h"
+#include "traffic/workload.h"
+
+namespace pabr::core {
+
+struct HexSystemConfig {
+  // Grid (Fig. 2(b)); wrap = torus to avoid border effects like the 1-D
+  // ring of §5.1.
+  int rows = 4;
+  int cols = 6;
+  bool wrap = true;
+  double capacity_bu = 100.0;
+
+  // Admission control (same policies as the road system).
+  admission::PolicyKind policy = admission::PolicyKind::kAc3;
+  double static_g = 10.0;
+  admission::NsConfig ns;
+
+  // Reservation / estimation.
+  double phd_target = 0.01;
+  sim::Duration t_start = 1.0;
+  hoef::EstimatorConfig hoef;
+
+  // Workload (A2/A3/A5 transplanted to 2-D).
+  double arrival_rate_per_cell = 0.5;  ///< connections/s/cell
+  double voice_ratio = 1.0;
+  sim::Duration mean_lifetime_s = 120.0;
+  double speed_min_kmh = 80.0;
+  double speed_max_kmh = 120.0;
+
+  // Mobility over the grid.
+  mobility::HexMotionConfig motion;
+
+  std::uint64_t seed = 1;
+
+  /// Offered load per cell, Eq. (7).
+  double offered_load() const {
+    const double mean_bw = voice_ratio * traffic::kVoiceBandwidth +
+                           (1.0 - voice_ratio) * traffic::kVideoBandwidth;
+    return arrival_rate_per_cell * mean_bw * mean_lifetime_s;
+  }
+  /// Sets the arrival rate from a target offered load.
+  void set_offered_load(double load);
+};
+
+class HexCellularSystem final : public admission::AdmissionContext {
+ public:
+  explicit HexCellularSystem(HexSystemConfig config);
+
+  void run_for(sim::Duration duration);
+  sim::Time now() const { return simulator_.now(); }
+  void reset_metrics();
+
+  // ---- AdmissionContext ---------------------------------------------------
+  double capacity(geom::CellId cell) const override;
+  double used_bandwidth(geom::CellId cell) const override;
+  const std::vector<geom::CellId>& adjacent(geom::CellId cell) const override;
+  double recompute_reservation(geom::CellId cell) override;
+  double current_reservation(geom::CellId cell) const override;
+
+  // ---- Metrics --------------------------------------------------------------
+  const CellMetrics& cell_metrics(geom::CellId cell) const;
+  SystemStatus system_status() const;
+
+  // ---- Introspection ----------------------------------------------------------
+  const geom::HexTopology& grid() const { return grid_; }
+  const HexSystemConfig& config() const { return config_; }
+  Cell& cell(geom::CellId id);
+  BaseStation& base_station(geom::CellId id);
+  std::size_t active_connections() const { return mobiles_.size(); }
+
+  /// Test hook: injects one connection request now (cell, service,
+  /// speed); returns whether it was admitted.
+  bool submit_request(geom::CellId cell, traffic::ServiceClass service,
+                      double speed_kmh, sim::Duration lifetime_s);
+
+ private:
+  struct HexMobile {
+    traffic::ConnectionId id = 0;
+    traffic::ServiceClass service = traffic::ServiceClass::kVoice;
+    geom::CellId cell = geom::kNoCell;
+    geom::CellId prev = geom::kNoCell;  ///< == cell when started here
+    sim::Time entered_at = 0.0;
+    double speed_kmh = 0.0;
+    sim::EventHandle expiry;
+    sim::EventHandle crossing;
+
+    traffic::Bandwidth bandwidth() const {
+      return traffic::bandwidth_of(service);
+    }
+  };
+
+  void schedule_next_arrival();
+  bool handle_request(geom::CellId cell, traffic::ServiceClass service,
+                      double speed_kmh, sim::Duration lifetime_s);
+  void schedule_crossing(HexMobile& m);
+  void handle_crossing(traffic::ConnectionId id);
+  void handle_expiry(traffic::ConnectionId id);
+  sim::Duration t_soj_max_for(geom::CellId cell) const;
+  void record_bu(geom::CellId cell);
+  void check_cell_id(geom::CellId cell) const;
+
+  HexSystemConfig config_;
+  sim::Simulator simulator_;
+  geom::HexTopology grid_;
+  mobility::HexMotion motion_;
+  backhaul::SignalingAccountant accountant_;
+  std::unique_ptr<admission::AdmissionPolicy> policy_;
+  sim::Rng arrival_rng_;
+  sim::Rng movement_rng_;
+
+  std::vector<Cell> cells_;
+  std::vector<BaseStation> stations_;
+  std::vector<CellMetrics> metrics_;
+  std::unordered_map<traffic::ConnectionId, HexMobile> mobiles_;
+  traffic::ConnectionId next_id_ = 1;
+};
+
+}  // namespace pabr::core

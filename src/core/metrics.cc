@@ -1,0 +1,38 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::core {
+
+OfferedLoadTracker::OfferedLoadTracker(int num_cells,
+                                       sim::Duration mean_lifetime_s)
+    : num_cells_(num_cells), mean_lifetime_s_(mean_lifetime_s) {
+  PABR_CHECK(num_cells > 0, "OfferedLoadTracker: no cells");
+  PABR_CHECK(mean_lifetime_s > 0.0, "OfferedLoadTracker: bad lifetime");
+}
+
+void OfferedLoadTracker::on_request(sim::Time t, double bandwidth_bu) {
+  PABR_CHECK(t >= 0.0 && bandwidth_bu >= 0.0, "bad request sample");
+  const auto hour = static_cast<std::size_t>(std::floor(t / sim::kHour));
+  if (hour >= hourly_bandwidth_.size()) {
+    hourly_bandwidth_.resize(hour + 1, 0.0);
+  }
+  hourly_bandwidth_[hour] += bandwidth_bu;
+}
+
+std::vector<OfferedLoadTracker::HourSample> OfferedLoadTracker::hourly()
+    const {
+  std::vector<HourSample> out;
+  out.reserve(hourly_bandwidth_.size());
+  for (std::size_t h = 0; h < hourly_bandwidth_.size(); ++h) {
+    const double rate_bu_per_s =
+        hourly_bandwidth_[h] / (sim::kHour * static_cast<double>(num_cells_));
+    out.push_back(HourSample{static_cast<double>(h),
+                             rate_bu_per_s * mean_lifetime_s_});
+  }
+  return out;
+}
+
+}  // namespace pabr::core

@@ -1,0 +1,88 @@
+// Measurement plumbing for the paper's evaluation metrics (§5):
+// per-cell and system-wide P_CB, P_HD, time-averaged B_r and B_u, and the
+// actual offered load (with retries) of the time-varying experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace pabr::core {
+
+/// Live per-cell accumulators.
+struct CellMetrics {
+  sim::RatioEstimator pcb;        ///< blocked / requested new connections
+  sim::RatioEstimator phd;        ///< dropped / attempted hand-offs (into)
+  sim::TimeWeightedMean br_mean;  ///< target reservation bandwidth B_r
+  sim::TimeWeightedMean bu_mean;  ///< bandwidth in use B_u
+  sim::Counter degrades;          ///< adaptive-QoS hand-off degradations
+  sim::Counter upgrades;          ///< restorations back to full QoS
+  sim::TimeWeightedMean overload; ///< soft-capacity overload indicator
+  sim::Counter soft_alloc;        ///< soft hand-off legs pre-allocated here
+  sim::Counter soft_fallback;     ///< zone entries that found no room
+};
+
+/// End-of-run snapshot of one cell — the rows of the paper's Tables 2-3.
+struct CellStatus {
+  int cell = 0;  ///< 1-based, as the paper numbers cells
+  double pcb = 0.0;
+  double phd = 0.0;
+  double t_est = 0.0;
+  double br = 0.0;  ///< current target reservation at snapshot time
+  double bu = 0.0;  ///< bandwidth in use at snapshot time
+  double br_avg = 0.0;
+  double bu_avg = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t drops = 0;
+};
+
+/// Aggregate snapshot across all cells.
+struct SystemStatus {
+  double pcb = 0.0;
+  double phd = 0.0;
+  double n_calc = 0.0;  ///< mean B_r calculations per admission test
+  double br_avg = 0.0;  ///< mean over cells of time-averaged B_r
+  double bu_avg = 0.0;  ///< mean over cells of time-averaged B_u
+  std::uint64_t requests = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t br_calculations = 0;
+  std::uint64_t backhaul_messages = 0;
+  /// Adaptive-QoS / soft-capacity / soft hand-off extensions (0 unless
+  /// the corresponding mechanism is enabled).
+  std::uint64_t degrades = 0;
+  std::uint64_t upgrades = 0;
+  double overload_frac = 0.0;  ///< mean fraction of time above hard C
+  std::uint64_t soft_allocations = 0;
+  std::uint64_t soft_fallbacks = 0;
+};
+
+/// Accumulates the *actual* offered load per cell, hour by hour — the
+/// L_a(t) curve of Fig. 14(a). Each new-connection attempt (including
+/// §5.3 retries) contributes its bandwidth; the hourly actual load is
+///   L_a = (sum of attempted bandwidth) / (3600 * num_cells) * mean_lifetime
+/// which reduces to Eq. (7)'s lambda_a * E[b] * T.
+class OfferedLoadTracker {
+ public:
+  OfferedLoadTracker(int num_cells, sim::Duration mean_lifetime_s);
+
+  void on_request(sim::Time t, double bandwidth_bu);
+
+  struct HourSample {
+    double hour_start;  ///< hours since simulation start
+    double load;        ///< actual offered load per cell (BU)
+  };
+  std::vector<HourSample> hourly() const;
+
+ private:
+  int num_cells_;
+  sim::Duration mean_lifetime_s_;
+  std::vector<double> hourly_bandwidth_;  // indexed by hour
+};
+
+}  // namespace pabr::core

@@ -1,0 +1,76 @@
+#include "core/scenario.h"
+
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+void apply_mobility(traffic::WorkloadConfig& wl, Mobility m) {
+  if (m == Mobility::kHigh) {
+    wl.speed_min_kmh = 80.0;
+    wl.speed_max_kmh = 120.0;
+  } else {
+    wl.speed_min_kmh = 40.0;
+    wl.speed_max_kmh = 60.0;
+  }
+}
+
+}  // namespace
+
+const char* mobility_name(Mobility m) {
+  return m == Mobility::kHigh ? "high" : "low";
+}
+
+SystemConfig stationary_config(const StationaryParams& p) {
+  PABR_CHECK(p.offered_load >= 0.0, "negative offered load");
+  SystemConfig cfg;
+  cfg.policy = p.policy;
+  cfg.static_g = p.static_g;
+  cfg.seed = p.seed;
+
+  cfg.workload.voice_ratio = p.voice_ratio;
+  cfg.workload.arrival_rate_per_cell =
+      traffic::arrival_rate_for_load(p.offered_load, p.voice_ratio);
+  apply_mobility(cfg.workload, p.mobility);
+
+  // §5.2: "For the stationary case, T_int = inf is used since the speed
+  // range and the offered load do not vary during each simulation run."
+  cfg.hoef.t_int = sim::kInfiniteDuration;
+  return cfg;
+}
+
+SystemConfig time_varying_config(const TimeVaryingParams& p) {
+  SystemConfig cfg;
+  cfg.policy = p.policy;
+  cfg.seed = p.seed;
+
+  cfg.workload.voice_ratio = p.voice_ratio;
+  cfg.load_profile = traffic::paper_load_profile();
+  cfg.speed_profile = traffic::paper_speed_profile();
+  cfg.speed_half_range_kmh = traffic::kPaperSpeedHalfRange;
+
+  cfg.retry.enabled = true;  // §5.3 blocked-call re-requests
+
+  cfg.hoef.t_int = sim::kHour;  // T_int = 1 hour (§5.1 parameters)
+  cfg.hoef.n_win_periods = 1;   // N_win-days = 1
+  cfg.hoef.weights = {1.0, 1.0};  // w_0 = w_1 = 1
+  return cfg;
+}
+
+SystemConfig directional_config(const DirectionalParams& p) {
+  SystemConfig cfg;
+  cfg.policy = p.policy;
+  cfg.seed = p.seed;
+  cfg.ring = false;  // border cells <1> and <10> disconnected
+
+  cfg.workload.voice_ratio = p.voice_ratio;
+  cfg.workload.arrival_rate_per_cell =
+      traffic::arrival_rate_for_load(p.offered_load, p.voice_ratio);
+  cfg.workload.bidirectional = false;  // all mobiles travel <1> -> <10>
+  apply_mobility(cfg.workload, Mobility::kHigh);
+
+  cfg.hoef.t_int = sim::kInfiniteDuration;
+  return cfg;
+}
+
+}  // namespace pabr::core

@@ -1,0 +1,49 @@
+// Ready-made scenario builders matching the paper's three evaluation
+// set-ups (§5.1-§5.3), so examples/benches construct systems declaratively.
+#pragma once
+
+#include <cstdint>
+
+#include "core/system.h"
+
+namespace pabr::core {
+
+enum class Mobility {
+  kHigh,  ///< [SP_min, SP_max] = [80, 120] km/h
+  kLow,   ///< [SP_min, SP_max] = [40, 60] km/h
+};
+
+const char* mobility_name(Mobility m);
+
+/// §5.2 stationary traffic/mobility on the 10-cell ring: constant lambda
+/// and speed range, T_int = infinity.
+struct StationaryParams {
+  double offered_load = 100.0;  ///< L of Eq. (7), BU per cell
+  double voice_ratio = 1.0;     ///< R_vo
+  Mobility mobility = Mobility::kHigh;
+  admission::PolicyKind policy = admission::PolicyKind::kAc3;
+  double static_g = 10.0;
+  std::uint64_t seed = 1;
+};
+SystemConfig stationary_config(const StationaryParams& p);
+
+/// §5.3 time-varying case: two simulated days, daily load/speed profiles,
+/// blocked-call retries, T_int = 1 hour.
+struct TimeVaryingParams {
+  double voice_ratio = 1.0;
+  admission::PolicyKind policy = admission::PolicyKind::kAc3;
+  std::uint64_t seed = 1;
+};
+SystemConfig time_varying_config(const TimeVaryingParams& p);
+
+/// Table 3 set-up: open (non-ring) road, all mobiles moving from cell <1>
+/// toward cell <10>, high mobility.
+struct DirectionalParams {
+  double offered_load = 300.0;
+  double voice_ratio = 1.0;
+  admission::PolicyKind policy = admission::PolicyKind::kAc3;
+  std::uint64_t seed = 1;
+};
+SystemConfig directional_config(const DirectionalParams& p);
+
+}  // namespace pabr::core

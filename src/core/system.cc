@@ -1,0 +1,591 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mobility/linear_motion.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace pabr::core {
+namespace {
+
+traffic::WorkloadConfig effective_workload(const SystemConfig& cfg) {
+  traffic::WorkloadConfig wl = cfg.workload;
+  if (cfg.load_profile.has_value()) {
+    // The generator runs at the rate of the profile's peak load; the
+    // per-time scale factor brings it down to L_o(t).
+    wl.arrival_rate_per_cell = traffic::arrival_rate_for_load(
+        cfg.load_profile->max_value(), wl.voice_ratio, wl.mean_lifetime_s);
+  }
+  return wl;
+}
+
+}  // namespace
+
+CellularSystem::CellularSystem(SystemConfig config)
+    : config_(std::move(config)),
+      road_(config_.num_cells, config_.cell_diameter_km, config_.ring),
+      interconnect_(config_.interconnect),
+      accountant_(road_, &interconnect_),
+      workload_(road_, effective_workload(config_),
+                sim::RngFactory(config_.seed).make("workload")),
+      retry_(config_.retry, sim::RngFactory(config_.seed).make("retry")),
+      route_rng_(sim::RngFactory(config_.seed).make("route")),
+      policy_(admission::make_policy(config_.policy, config_.static_g,
+                                     &config_.ns)),
+      load_tracker_(config_.num_cells, config_.workload.mean_lifetime_s) {
+  PABR_CHECK(config_.capacity_bu > 0.0, "non-positive capacity");
+
+  PABR_CHECK(
+      config_.known_route_fraction >= 0.0 &&
+          config_.known_route_fraction <= 1.0,
+      "known_route_fraction out of [0,1]");
+
+  reservation::TestWindowConfig twc;
+  twc.phd_target = config_.phd_target;
+  twc.t_start = config_.t_start;
+  twc.step_policy = config_.t_est_step;
+
+  cells_.reserve(static_cast<std::size_t>(config_.num_cells));
+  stations_.reserve(static_cast<std::size_t>(config_.num_cells));
+  metrics_.resize(static_cast<std::size_t>(config_.num_cells));
+  for (geom::CellId c = 0; c < config_.num_cells; ++c) {
+    cells_.emplace_back(c, config_.capacity_bu,
+                        config_.soft_capacity_margin);
+    stations_.emplace_back(c, config_.hoef, twc);
+    auto& m = metrics_[static_cast<std::size_t>(c)];
+    m.br_mean.update(0.0, 0.0);
+    m.bu_mean.update(0.0, 0.0);
+    m.overload.update(0.0, 0.0);
+  }
+  for (geom::CellId c : config_.traced_cells) {
+    check_cell_id(c);
+    traces_.emplace(c, CellTrace{});
+  }
+
+  if (config_.wired.has_value()) {
+    backbone_ =
+        std::make_unique<wired::Backbone>(config_.num_cells, *config_.wired);
+  }
+
+  if (config_.load_profile.has_value()) {
+    const double peak = config_.load_profile->max_value();
+    PABR_CHECK(peak > 0.0, "load profile peaks at zero");
+    const traffic::DailyProfile profile = *config_.load_profile;
+    workload_.set_rate_scale(
+        [profile, peak](sim::Time t) { return profile.at(t) / peak; }, 1.0);
+  }
+  if (config_.speed_profile.has_value()) {
+    const traffic::DailyProfile profile = *config_.speed_profile;
+    const double half = config_.speed_half_range_kmh;
+    workload_.set_speed_range([profile, half](sim::Time t) {
+      const double s = profile.at(t);
+      const double lo = std::max(1.0, s - half);
+      return std::pair<double, double>{lo, std::max(lo, s + half)};
+    });
+  }
+
+  schedule_next_arrival();
+}
+
+void CellularSystem::check_cell_id(geom::CellId cell) const {
+  PABR_CHECK(cell >= 0 && cell < config_.num_cells, "cell id out of range");
+}
+
+void CellularSystem::run_for(sim::Duration duration) {
+  PABR_CHECK(duration >= 0.0, "negative run duration");
+  simulator_.run_until(simulator_.now() + duration);
+}
+
+void CellularSystem::reset_metrics() {
+  const sim::Time t = simulator_.now();
+  for (geom::CellId c = 0; c < config_.num_cells; ++c) {
+    auto& m = metrics_[static_cast<std::size_t>(c)];
+    m.pcb.reset();
+    m.phd.reset();
+    m.br_mean.reset(t);
+    m.br_mean.update(
+        t, stations_[static_cast<std::size_t>(c)].current_reservation());
+    m.bu_mean.reset(t);
+    m.bu_mean.update(t, cells_[static_cast<std::size_t>(c)].used());
+    m.degrades.reset();
+    m.upgrades.reset();
+    m.soft_alloc.reset();
+    m.soft_fallback.reset();
+    m.overload.reset(t);
+    m.overload.update(
+        t, cells_[static_cast<std::size_t>(c)].overloaded() ? 1.0 : 0.0);
+  }
+  wired_blocks_.reset();
+  wired_drops_.reset();
+  accountant_.reset();
+  interconnect_.reset();
+}
+
+// ---- AdmissionContext -----------------------------------------------------
+
+double CellularSystem::capacity(geom::CellId cell) const {
+  check_cell_id(cell);
+  return cells_[static_cast<std::size_t>(cell)].capacity();
+}
+
+double CellularSystem::used_bandwidth(geom::CellId cell) const {
+  check_cell_id(cell);
+  return cells_[static_cast<std::size_t>(cell)].used();
+}
+
+const std::vector<geom::CellId>& CellularSystem::adjacent(
+    geom::CellId cell) const {
+  return road_.neighbors(cell);
+}
+
+double CellularSystem::recompute_reservation(geom::CellId cell) {
+  check_cell_id(cell);
+  const sim::Time t = simulator_.now();
+  accountant_.record_br_calculation(cell);
+
+  // Eq. (4) is evaluated with the *target* cell's estimation window
+  // (T_est of "cell next", §4.1).
+  const sim::Duration t_est =
+      stations_[static_cast<std::size_t>(cell)].window().t_est();
+
+  double br = 0.0;
+  for (geom::CellId i : road_.neighbors(cell)) {
+    const Cell& neighbor = cells_[static_cast<std::size_t>(i)];
+    const auto& estimator =
+        stations_[static_cast<std::size_t>(i)].estimator();
+    // Eq. (5): expected fractional hand-in bandwidth from cell i. Under
+    // adaptive QoS, "bandwidth reservation is made on the basis of the
+    // minimum QoS of each connection" (§1).
+    for (const auto& [conn_id, attached_bw] : neighbor.connections()) {
+      const auto& m = mobiles_.at(conn_id).m;
+      const traffic::Bandwidth bw =
+          config_.adaptive_qos ? min_bandwidth(m) : attached_bw;
+      double ph;
+      if (m.route_known) {
+        // §7 ITS/GPS extension: the next cell is known, so the estimation
+        // function only estimates the hand-off (sojourn) time.
+        if (next_cell_in_direction(i, m.direction) != cell) continue;
+        ph = estimator.any_handoff_probability(t, m.prev_cell,
+                                               m.extant_sojourn(t), t_est);
+      } else {
+        ph = estimator.handoff_probability(t, m.prev_cell, cell,
+                                           m.extant_sojourn(t), t_est);
+      }
+      br += static_cast<double>(bw) * ph;
+    }
+  }
+
+  stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
+  // §7: mirror the reservation onto the cell's wired access link — the
+  // same expected hand-ins will need backbone capacity.
+  if (backbone_ != nullptr) backbone_->set_reservation(cell, br);
+  metrics_[static_cast<std::size_t>(cell)].br_mean.update(t, br);
+  if (auto it = traces_.find(cell); it != traces_.end()) {
+    it->second.br.add(t, br);
+  }
+  return br;
+}
+
+double CellularSystem::current_reservation(geom::CellId cell) const {
+  check_cell_id(cell);
+  return stations_[static_cast<std::size_t>(cell)].current_reservation();
+}
+
+// ---- Arrival path ---------------------------------------------------------
+
+void CellularSystem::schedule_next_arrival() {
+  const sim::Time t = workload_.next_arrival_after(simulator_.now());
+  if (!std::isfinite(t)) return;  // zero arrival rate
+  simulator_.schedule_at(t, [this, t] {
+    traffic::ConnectionRequest req = workload_.make_request(t);
+    schedule_next_arrival();
+    handle_arrival(std::move(req));
+  });
+}
+
+bool CellularSystem::submit_request(const traffic::ConnectionRequest& req) {
+  check_cell_id(req.cell);
+  return handle_arrival(req);
+}
+
+bool CellularSystem::handle_arrival(traffic::ConnectionRequest request) {
+  load_tracker_.on_request(simulator_.now(),
+                           static_cast<double>(request.bandwidth()));
+  bool admitted = try_admit(request);
+  if (admitted && backbone_ != nullptr &&
+      !backbone_->can_admit(request.cell, request.bandwidth())) {
+    // The air interface admitted but the wired route cannot carry the
+    // call (§2): blocked at the backbone.
+    admitted = false;
+    wired_blocks_.add();
+  }
+  metrics_[static_cast<std::size_t>(request.cell)].pcb.trial(!admitted);
+  if (admitted) {
+    start_connection(request);
+  } else {
+    maybe_schedule_retry(std::move(request));
+  }
+  return admitted;
+}
+
+bool CellularSystem::try_admit(const traffic::ConnectionRequest& request) {
+  accountant_.begin_admission();
+  const bool admitted =
+      policy_->admit(*this, request.cell, request.bandwidth());
+  accountant_.end_admission();
+  return admitted;
+}
+
+void CellularSystem::maybe_schedule_retry(traffic::ConnectionRequest request) {
+  if (!retry_.enabled()) return;
+  if (!retry_.should_retry(request.attempt)) return;
+
+  const sim::Duration wait = retry_.wait();
+  traffic::ConnectionRequest next = request;
+  next.attempt = request.attempt + 1;
+  next.requested_at = simulator_.now() + wait;
+  // The (unconnected) user keeps moving while waiting to retry.
+  next.position_km = request.position_km +
+                     static_cast<double>(request.direction) *
+                         (request.speed_kmh / 3600.0) * wait;
+  const auto pos = road_.canonical_position(next.position_km);
+  if (!pos.has_value()) return;  // drove off the open road; gives up
+  next.position_km = *pos;
+  next.cell = road_.cell_at(*pos);
+
+  simulator_.schedule_in(wait, [this, next = std::move(next)]() mutable {
+    handle_arrival(std::move(next));
+  });
+}
+
+void CellularSystem::start_connection(
+    const traffic::ConnectionRequest& request) {
+  const sim::Time t = simulator_.now();
+
+  MobileRecord rec;
+  rec.m.id = request.id;
+  rec.m.service = request.service;
+  rec.m.cell = request.cell;
+  rec.m.prev_cell = request.cell;  // started here (paper's prev = 0)
+  rec.m.entered_cell_at = t;
+  rec.m.position_km = request.position_km;
+  rec.m.position_at = t;
+  rec.m.direction = request.direction;
+  rec.m.speed_kmh = request.speed_kmh;
+  rec.m.admitted_at = t;
+  rec.m.expires_at = t + request.lifetime_s;
+  rec.m.route_known = config_.known_route_fraction > 0.0 &&
+                      route_rng_.bernoulli(config_.known_route_fraction);
+
+  rec.m.current_bandwidth = request.bandwidth();  // new calls get full QoS
+
+  cells_[static_cast<std::size_t>(request.cell)].attach(request.id,
+                                                        request.bandwidth());
+  if (backbone_ != nullptr) {
+    backbone_->admit(request.cell, request.id, request.bandwidth());
+  }
+  record_bu(request.cell);
+
+  const auto [it, inserted] = mobiles_.emplace(request.id, std::move(rec));
+  PABR_CHECK(inserted, "duplicate connection id");
+  MobileRecord& stored = it->second;
+
+  stored.expiry = simulator_.schedule_at(
+      stored.m.expires_at, [this, id = request.id] { handle_expiry(id); });
+  schedule_crossing(stored);
+}
+
+// ---- Motion / hand-off path -------------------------------------------------
+
+void CellularSystem::schedule_crossing(MobileRecord& rec) {
+  const auto crossing =
+      mobility::next_crossing(road_, rec.m, simulator_.now());
+  if (!crossing.has_value()) return;  // stationary mobile
+  rec.crossing_to = crossing->to;
+  rec.crossing_boundary_km = crossing->boundary_km;
+  rec.crossing = simulator_.schedule_at(
+      crossing->when, [this, id = rec.m.id] { handle_crossing(id); });
+
+  // CDMA soft hand-off (§7): pre-allocate the second leg when the mobile
+  // enters the boundary zone.
+  if (config_.soft_handoff_zone_km > 0.0 &&
+      crossing->to != geom::kNoCell) {
+    const sim::Duration lead =
+        config_.soft_handoff_zone_km / rec.m.speed_km_per_s();
+    const sim::Time when =
+        std::max(simulator_.now(), crossing->when - lead);
+    rec.zone_entry = simulator_.schedule_at(
+        when, [this, id = rec.m.id] { handle_zone_entry(id); });
+  }
+}
+
+void CellularSystem::handle_zone_entry(traffic::ConnectionId id) {
+  const auto it = mobiles_.find(id);
+  PABR_CHECK(it != mobiles_.end(), "zone entry for unknown mobile");
+  MobileRecord& rec = it->second;
+  if (rec.dual()) return;  // already holding a second leg
+  const geom::CellId to = rec.crossing_to;
+  PABR_CHECK(to != geom::kNoCell, "zone entry without a next cell");
+
+  Cell& dst = cells_[static_cast<std::size_t>(to)];
+  const traffic::Bandwidth granted = grant_for_handoff(dst, rec.m);
+  if (granted == 0) {
+    // No room yet: fall back to a hard hand-off attempt at the boundary.
+    metrics_[static_cast<std::size_t>(to)].soft_fallback.add();
+    return;
+  }
+  dst.attach(id, granted);
+  rec.dual_cell = to;
+  rec.dual_bw = granted;
+  metrics_[static_cast<std::size_t>(to)].soft_alloc.add();
+  record_bu(to);
+}
+
+void CellularSystem::handle_crossing(traffic::ConnectionId id) {
+  const auto it = mobiles_.find(id);
+  PABR_CHECK(it != mobiles_.end(), "crossing for unknown mobile");
+  MobileRecord& rec = it->second;
+  const sim::Time t = simulator_.now();
+
+  const geom::CellId from = rec.m.cell;
+  const geom::CellId to = rec.crossing_to;
+  const sim::Duration sojourn = rec.m.extant_sojourn(t);
+
+  // Pin the mobile to the boundary (avoids floating-point drift).
+  rec.m.position_km = rec.crossing_boundary_km;
+  rec.m.position_at = t;
+
+  if (to == geom::kNoCell) {
+    // Drives off the open road: the connection ends without a hand-off
+    // and without a quadruplet (no adjacent cell was entered).
+    terminate(rec, /*cancel_expiry=*/true, /*cancel_crossing=*/false);
+    mobiles_.erase(it);
+    return;
+  }
+
+  // The departed cell caches the hand-off event quadruplet (§3.1) — the
+  // mobile physically moved regardless of whether the hand-off survives.
+  stations_[static_cast<std::size_t>(from)].estimator().record(
+      hoef::Quadruplet{t, rec.m.prev_cell, to, sojourn});
+  interconnect_.record(from, to, backhaul::MessageType::kHandoffSignal);
+
+  Cell& dst = cells_[static_cast<std::size_t>(to)];
+
+  // A soft hand-off leg pre-allocated in the destination makes the
+  // crossing drop-proof (make-before-break); otherwise grant full QoS if
+  // it fits, or the adaptive-QoS minimum (§1), or drop.
+  const bool via_dual = rec.dual() && rec.dual_cell == to;
+  traffic::Bandwidth granted =
+      via_dual ? rec.dual_bw : grant_for_handoff(dst, rec.m);
+  // §2/§7 wired leg: the new access link must also carry the call. (The
+  // soft hand-off pre-allocation covers the radio only — the wired
+  // re-route happens at the actual crossing.)
+  if (granted > 0 && backbone_ != nullptr &&
+      !backbone_->can_handoff_into(to, granted)) {
+    granted = 0;
+    wired_drops_.add();
+  }
+  const bool dropped = granted == 0;
+
+  // Fig. 6 controller of the destination cell observes every hand-off.
+  stations_[static_cast<std::size_t>(to)].window().on_handoff(
+      dropped, t_soj_max_for(to));
+  metrics_[static_cast<std::size_t>(to)].phd.trial(dropped);
+  if (auto tr = traces_.find(to); tr != traces_.end()) {
+    tr->second.t_est.add(
+        t, stations_[static_cast<std::size_t>(to)].window().t_est());
+    tr->second.phd.add(
+        t, metrics_[static_cast<std::size_t>(to)].phd.value());
+  }
+
+  if (dropped) {
+    terminate(rec, /*cancel_expiry=*/true, /*cancel_crossing=*/false);
+    mobiles_.erase(it);
+    return;
+  }
+
+  if (granted < rec.m.bandwidth()) {
+    metrics_[static_cast<std::size_t>(to)].degrades.add();
+  } else if (rec.m.degraded()) {
+    metrics_[static_cast<std::size_t>(to)].upgrades.add();
+  }
+
+  cells_[static_cast<std::size_t>(from)].detach(id);
+  record_bu(from);
+  if (via_dual) {
+    // The second leg becomes the primary; nothing to allocate.
+    rec.dual_cell = geom::kNoCell;
+    rec.dual_bw = 0;
+  } else {
+    dst.attach(id, granted);
+  }
+  if (backbone_ != nullptr) backbone_->reroute(from, to, id, granted);
+  rec.m.current_bandwidth = granted;
+  record_bu(to);
+
+  rec.m.prev_cell = from;
+  rec.m.cell = to;
+  rec.m.entered_cell_at = t;
+  schedule_crossing(rec);
+}
+
+void CellularSystem::handle_expiry(traffic::ConnectionId id) {
+  const auto it = mobiles_.find(id);
+  PABR_CHECK(it != mobiles_.end(), "expiry for unknown mobile");
+  terminate(it->second, /*cancel_expiry=*/false, /*cancel_crossing=*/true);
+  mobiles_.erase(it);
+}
+
+void CellularSystem::terminate(MobileRecord& rec, bool cancel_expiry,
+                               bool cancel_crossing) {
+  if (cancel_expiry) simulator_.cancel(rec.expiry);
+  if (cancel_crossing) simulator_.cancel(rec.crossing);
+  simulator_.cancel(rec.zone_entry);  // inert if never scheduled/fired
+  cells_[static_cast<std::size_t>(rec.m.cell)].detach(rec.m.id);
+  if (backbone_ != nullptr) backbone_->release(rec.m.cell, rec.m.id);
+  record_bu(rec.m.cell);
+  if (rec.dual()) {
+    cells_[static_cast<std::size_t>(rec.dual_cell)].detach(rec.m.id);
+    record_bu(rec.dual_cell);
+    rec.dual_cell = geom::kNoCell;
+  }
+}
+
+traffic::Bandwidth CellularSystem::grant_for_handoff(
+    const Cell& dst, const mobility::Mobile& m) const {
+  const traffic::Bandwidth full = m.bandwidth();
+  if (dst.can_fit(full)) return full;
+  if (config_.adaptive_qos) {
+    const traffic::Bandwidth floor = min_bandwidth(m);
+    if (floor < full && dst.can_fit(floor)) return floor;
+  }
+  return 0;
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+void CellularSystem::record_bu(geom::CellId cell) {
+  auto& m = metrics_[static_cast<std::size_t>(cell)];
+  const Cell& c = cells_[static_cast<std::size_t>(cell)];
+  m.bu_mean.update(simulator_.now(), c.used());
+  m.overload.update(simulator_.now(), c.overloaded() ? 1.0 : 0.0);
+}
+
+traffic::Bandwidth CellularSystem::min_bandwidth(
+    const mobility::Mobile& m) const {
+  if (m.service == traffic::ServiceClass::kVideo) {
+    return std::min(config_.video_min_bu, m.bandwidth());
+  }
+  return m.bandwidth();
+}
+
+geom::CellId CellularSystem::next_cell_in_direction(geom::CellId cell,
+                                                    int direction) const {
+  PABR_CHECK(direction == 1 || direction == -1, "bad direction");
+  if (road_.wraps()) {
+    const int n = config_.num_cells;
+    return ((cell + direction) % n + n) % n;
+  }
+  const geom::CellId candidate = cell + direction;
+  return (candidate < 0 || candidate >= config_.num_cells) ? geom::kNoCell
+                                                           : candidate;
+}
+
+sim::Duration CellularSystem::t_soj_max_for(geom::CellId cell) const {
+  // T_soj,max: "the maximum T_soj derived from the hand-off estimation
+  // functions in adjacent cells" (§4.2).
+  sim::Duration m = 0.0;
+  for (geom::CellId i : road_.neighbors(cell)) {
+    m = std::max(m, stations_[static_cast<std::size_t>(i)].estimator()
+                        .max_sojourn(simulator_.now()));
+  }
+  return m;
+}
+
+const CellMetrics& CellularSystem::cell_metrics(geom::CellId cell) const {
+  check_cell_id(cell);
+  return metrics_[static_cast<std::size_t>(cell)];
+}
+
+CellStatus CellularSystem::cell_status(geom::CellId cell) const {
+  check_cell_id(cell);
+  const auto idx = static_cast<std::size_t>(cell);
+  const sim::Time t = simulator_.now();
+  CellStatus s;
+  s.cell = cell + 1;  // the paper's 1-based numbering
+  s.pcb = metrics_[idx].pcb.value();
+  s.phd = metrics_[idx].phd.value();
+  s.t_est = stations_[idx].window().t_est();
+  s.br = stations_[idx].current_reservation();
+  s.bu = cells_[idx].used();
+  s.br_avg = metrics_[idx].br_mean.mean(t);
+  s.bu_avg = metrics_[idx].bu_mean.mean(t);
+  s.requests = metrics_[idx].pcb.trials();
+  s.blocks = metrics_[idx].pcb.hits();
+  s.handoffs = metrics_[idx].phd.trials();
+  s.drops = metrics_[idx].phd.hits();
+  return s;
+}
+
+SystemStatus CellularSystem::system_status() const {
+  SystemStatus s;
+  const sim::Time t = simulator_.now();
+  double br_sum = 0.0;
+  double bu_sum = 0.0;
+  for (geom::CellId c = 0; c < config_.num_cells; ++c) {
+    const auto idx = static_cast<std::size_t>(c);
+    s.requests += metrics_[idx].pcb.trials();
+    s.blocks += metrics_[idx].pcb.hits();
+    s.handoffs += metrics_[idx].phd.trials();
+    s.drops += metrics_[idx].phd.hits();
+    s.degrades += metrics_[idx].degrades.count();
+    s.upgrades += metrics_[idx].upgrades.count();
+    s.soft_allocations += metrics_[idx].soft_alloc.count();
+    s.soft_fallbacks += metrics_[idx].soft_fallback.count();
+    s.overload_frac += metrics_[idx].overload.mean(t) /
+                       static_cast<double>(config_.num_cells);
+    br_sum += metrics_[idx].br_mean.mean(t);
+    bu_sum += metrics_[idx].bu_mean.mean(t);
+  }
+  s.pcb = s.requests == 0 ? 0.0
+                          : static_cast<double>(s.blocks) /
+                                static_cast<double>(s.requests);
+  s.phd = s.handoffs == 0 ? 0.0
+                          : static_cast<double>(s.drops) /
+                                static_cast<double>(s.handoffs);
+  s.n_calc = accountant_.n_calc();
+  s.br_avg = br_sum / static_cast<double>(config_.num_cells);
+  s.bu_avg = bu_sum / static_cast<double>(config_.num_cells);
+  s.br_calculations = accountant_.total_br_calculations();
+  s.backhaul_messages = interconnect_.total_messages();
+  return s;
+}
+
+const CellTrace* CellularSystem::trace(geom::CellId cell) const {
+  const auto it = traces_.find(cell);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+Cell& CellularSystem::cell(geom::CellId id) {
+  check_cell_id(id);
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+const Cell& CellularSystem::cell(geom::CellId id) const {
+  check_cell_id(id);
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+BaseStation& CellularSystem::base_station(geom::CellId id) {
+  check_cell_id(id);
+  return stations_[static_cast<std::size_t>(id)];
+}
+
+const BaseStation& CellularSystem::base_station(geom::CellId id) const {
+  check_cell_id(id);
+  return stations_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace pabr::core

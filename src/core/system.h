@@ -1,0 +1,232 @@
+// CellularSystem — the full simulator of the paper's §5 evaluation
+// environment: a linear road of cells with Poisson connection arrivals,
+// admission control with predictive/adaptive bandwidth reservation,
+// constant-velocity mobiles, hand-offs (with drops on insufficient
+// capacity), hand-off event quadruplet collection, and metric recording.
+//
+// It also implements admission::AdmissionContext: the admission policies
+// call back into the system for occupancy and on-demand B_r computation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "admission/ns_policy.h"
+#include "admission/policy.h"
+#include "backhaul/network.h"
+#include "backhaul/signaling.h"
+#include "core/base_station.h"
+#include "core/cell.h"
+#include "core/metrics.h"
+#include "geom/linear_topology.h"
+#include "hoef/estimator.h"
+#include "mobility/mobile.h"
+#include "reservation/test_window.h"
+#include "sim/series.h"
+#include "sim/simulator.h"
+#include "traffic/profiles.h"
+#include "traffic/retry.h"
+#include "traffic/workload.h"
+#include "wired/backbone.h"
+
+namespace pabr::core {
+
+struct SystemConfig {
+  // Topology (assumption A1).
+  int num_cells = 10;
+  double cell_diameter_km = 1.0;
+  /// Join the border cells into a ring (§5.1); Table 3 uses an open road.
+  bool ring = true;
+  /// C(i) = C for all i (assumption A6).
+  double capacity_bu = 100.0;
+  /// CDMA-style soft capacity for hand-offs (§7 future work): hand-offs
+  /// may stretch occupancy to C * (1 + margin); new calls still see C.
+  double soft_capacity_margin = 0.0;
+
+  /// Adaptive-QoS integration (§1): a video hand-off that cannot get its
+  /// full 4 BUs in the new cell is degraded to `video_min_bu` instead of
+  /// dropped, and bandwidth reservation is computed from the minimum QoS.
+  bool adaptive_qos = false;
+  traffic::Bandwidth video_min_bu = 2;
+
+  /// Wired backbone modelling (§2 / §7 future work): when set, every
+  /// connection also occupies its serving BS's access link and the shared
+  /// MSC uplink; admission requires wired capacity net of the access
+  /// link's reservation target (kept equal to the cell's B_r), and a
+  /// hand-off is dropped if the new access link cannot carry it.
+  std::optional<wired::BackboneConfig> wired;
+
+  /// CDMA soft hand-off (§7 future work): a mobile within this distance
+  /// of the boundary pre-allocates bandwidth in the next cell and holds
+  /// both legs until the crossing (make-before-break). A successful
+  /// pre-allocation makes the hand-off drop-proof; a failed one falls
+  /// back to the ordinary break-before-make attempt at the boundary.
+  /// 0 disables the mechanism.
+  double soft_handoff_zone_km = 0.0;
+
+  // Admission control.
+  admission::PolicyKind policy = admission::PolicyKind::kAc3;
+  double static_g = 10.0;  ///< G for the static baseline
+  /// Parameters of the NS-DCA baseline (used only when policy == kNsDca).
+  admission::NsConfig ns;
+
+  // Reservation / estimation parameters (§5.1).
+  double phd_target = 0.01;
+  sim::Duration t_start = 1.0;
+  /// T_est adjustment step rule (§4.2 ablation; the paper uses kFixed).
+  reservation::StepPolicy t_est_step = reservation::StepPolicy::kFixed;
+  hoef::EstimatorConfig hoef;  ///< T_int, N_quad, weights, ...
+
+  /// Fraction of mobiles whose travel direction is known to the network
+  /// (the paper's §7 ITS/GPS extension: for such mobiles the estimation
+  /// function only estimates the sojourn time — the next cell is known).
+  double known_route_fraction = 0.0;
+
+  // Workload (assumptions A2-A5).
+  traffic::WorkloadConfig workload;
+  traffic::RetryConfig retry;
+
+  // Optional §5.3 time variation. When set, `load_profile` modulates the
+  // arrival rate so the original offered load follows the profile, and
+  // `speed_profile` drives the sampled speed range [S-half, S+half].
+  std::optional<traffic::DailyProfile> load_profile;
+  std::optional<traffic::DailyProfile> speed_profile;
+  double speed_half_range_kmh = traffic::kPaperSpeedHalfRange;
+
+  // Backhaul model.
+  backhaul::InterconnectKind interconnect =
+      backhaul::InterconnectKind::kFullyConnected;
+
+  // Trace recording (Figs. 10-11): cells whose T_est / B_r / P_HD are
+  // recorded as time series.
+  std::vector<geom::CellId> traced_cells;
+
+  std::uint64_t seed = 1;
+};
+
+/// Per-cell trace bundle (only for cells listed in traced_cells).
+struct CellTrace {
+  sim::Series t_est{"t_est"};
+  sim::Series br{"br"};
+  sim::Series phd{"phd"};
+};
+
+class CellularSystem final : public admission::AdmissionContext {
+ public:
+  explicit CellularSystem(SystemConfig config);
+
+  // ---- Run control ------------------------------------------------------
+  void run_for(sim::Duration duration);
+  sim::Time now() const { return simulator_.now(); }
+
+  /// Zeroes all probability/mean accumulators (used after a warm-up phase)
+  /// while keeping learned state: estimation functions, T_est, and the
+  /// radio occupancy all persist.
+  void reset_metrics();
+
+  // ---- AdmissionContext (called by the policies) -------------------------
+  double capacity(geom::CellId cell) const override;
+  double used_bandwidth(geom::CellId cell) const override;
+  const std::vector<geom::CellId>& adjacent(geom::CellId cell) const override;
+  double recompute_reservation(geom::CellId cell) override;
+  double current_reservation(geom::CellId cell) const override;
+
+  // ---- Metrics ------------------------------------------------------------
+  const CellMetrics& cell_metrics(geom::CellId cell) const;
+  CellStatus cell_status(geom::CellId cell) const;
+  SystemStatus system_status() const;
+  const OfferedLoadTracker& offered_load() const { return load_tracker_; }
+  const CellTrace* trace(geom::CellId cell) const;
+
+  // ---- Introspection ------------------------------------------------------
+  const geom::LinearTopology& road() const { return road_; }
+  const SystemConfig& config() const { return config_; }
+  Cell& cell(geom::CellId id);
+  const Cell& cell(geom::CellId id) const;
+  BaseStation& base_station(geom::CellId id);
+  const BaseStation& base_station(geom::CellId id) const;
+  const backhaul::InterconnectModel& interconnect() const {
+    return interconnect_;
+  }
+  const backhaul::SignalingAccountant& accountant() const {
+    return accountant_;
+  }
+  std::size_t active_connections() const { return mobiles_.size(); }
+  std::uint64_t events_executed() const {
+    return simulator_.events_executed();
+  }
+
+  /// Direct injection hooks used by unit/integration tests: bypasses the
+  /// Poisson workload and submits one request now. Returns whether it was
+  /// admitted.
+  bool submit_request(const traffic::ConnectionRequest& request);
+
+ private:
+  struct MobileRecord {
+    mobility::Mobile m;
+    sim::EventHandle expiry;
+    sim::EventHandle crossing;
+    sim::EventHandle zone_entry;
+    geom::CellId crossing_to = geom::kNoCell;
+    double crossing_boundary_km = 0.0;
+    /// Soft hand-off: cell holding the pre-allocated second leg and the
+    /// bandwidth granted there.
+    geom::CellId dual_cell = geom::kNoCell;
+    traffic::Bandwidth dual_bw = 0;
+
+    bool dual() const { return dual_cell != geom::kNoCell; }
+  };
+
+  void schedule_next_arrival();
+  bool handle_arrival(traffic::ConnectionRequest request);
+  bool try_admit(const traffic::ConnectionRequest& request);
+  void maybe_schedule_retry(traffic::ConnectionRequest request);
+  void start_connection(const traffic::ConnectionRequest& request);
+  void schedule_crossing(MobileRecord& rec);
+  void handle_crossing(traffic::ConnectionId id);
+  void handle_zone_entry(traffic::ConnectionId id);
+  void handle_expiry(traffic::ConnectionId id);
+  void terminate(MobileRecord& rec, bool cancel_expiry, bool cancel_crossing);
+  /// Bandwidth a hand-off into `dst` would be granted under the current
+  /// QoS rules (full, degraded minimum, or 0 = drop).
+  traffic::Bandwidth grant_for_handoff(const Cell& dst,
+                                       const mobility::Mobile& m) const;
+
+  void record_bu(geom::CellId cell);
+  /// Minimum-QoS bandwidth of a connection (adaptive QoS, §1).
+  traffic::Bandwidth min_bandwidth(const mobility::Mobile& m) const;
+  sim::Duration t_soj_max_for(geom::CellId cell) const;
+  /// The cell a mobile in `cell` moving in `direction` will enter next
+  /// (kNoCell past an open border).
+  geom::CellId next_cell_in_direction(geom::CellId cell, int direction) const;
+  void check_cell_id(geom::CellId cell) const;
+
+  SystemConfig config_;
+  sim::Simulator simulator_;
+  geom::LinearTopology road_;
+  backhaul::InterconnectModel interconnect_;
+  backhaul::SignalingAccountant accountant_;
+  traffic::WorkloadGenerator workload_;
+  traffic::RetryPolicy retry_;
+  sim::Rng route_rng_;  ///< decides which mobiles have known routes (§7)
+  std::unique_ptr<admission::AdmissionPolicy> policy_;
+
+  std::vector<Cell> cells_;
+  std::vector<BaseStation> stations_;
+  std::vector<CellMetrics> metrics_;
+  std::unordered_map<traffic::ConnectionId, MobileRecord> mobiles_;
+  std::unordered_map<geom::CellId, CellTrace> traces_;
+  OfferedLoadTracker load_tracker_;
+  std::unique_ptr<wired::Backbone> backbone_;  // null unless config_.wired
+  sim::Counter wired_blocks_;
+  sim::Counter wired_drops_;
+
+ public:
+  const wired::Backbone* backbone() const { return backbone_.get(); }
+  std::uint64_t wired_blocks() const { return wired_blocks_.count(); }
+  std::uint64_t wired_drops() const { return wired_drops_.count(); }
+};
+
+}  // namespace pabr::core

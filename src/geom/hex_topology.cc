@@ -1,0 +1,128 @@
+#include "geom/hex_topology.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pabr::geom {
+namespace {
+
+// Odd-q vertical offset deltas (flat-topped hexes, odd columns shifted
+// down), indexed by Direction {N, S, NE, SE, NW, SW}. Even and odd
+// columns use different (drow, dcol) for the diagonal directions.
+constexpr std::array<std::pair<int, int>, 6> kEvenColDelta = {{
+    {-1, 0},   // N
+    {+1, 0},   // S
+    {-1, +1},  // NE
+    {0, +1},   // SE
+    {-1, -1},  // NW
+    {0, -1},   // SW
+}};
+constexpr std::array<std::pair<int, int>, 6> kOddColDelta = {{
+    {-1, 0},  // N
+    {+1, 0},  // S
+    {0, +1},  // NE
+    {+1, +1}, // SE
+    {0, -1},  // NW
+    {+1, -1}, // SW
+}};
+
+}  // namespace
+
+HexTopology::HexTopology(int rows, int cols, bool wrap)
+    : rows_(rows), cols_(cols), wrap_(wrap) {
+  PABR_CHECK(rows >= 2 && cols >= 2, "HexTopology: need at least 2x2");
+  // Wrapping an odd number of columns would misalign the hex offsets.
+  PABR_CHECK(!wrap || cols % 2 == 0, "HexTopology: torus needs even cols");
+  const auto n = static_cast<std::size_t>(num_cells());
+  neighbors_.resize(n);
+  by_direction_.resize(n);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const auto id = static_cast<std::size_t>(cell_of(r, c));
+      const auto& deltas = (c % 2 == 0) ? kEvenColDelta : kOddColDelta;
+      for (int d = 0; d < kNumDirections; ++d) {
+        auto [dr, dc] = deltas[static_cast<std::size_t>(d)];
+        int nr = r + dr;
+        int nc = c + dc;
+        if (wrap_) {
+          nr = (nr + rows_) % rows_;
+          nc = (nc + cols_) % cols_;
+        } else if (nr < 0 || nr >= rows_ || nc < 0 || nc >= cols_) {
+          by_direction_[id][static_cast<std::size_t>(d)] = kNoCell;
+          continue;
+        }
+        const CellId neighbor = cell_of(nr, nc);
+        by_direction_[id][static_cast<std::size_t>(d)] = neighbor;
+        neighbors_[id].push_back(neighbor);
+      }
+    }
+  }
+}
+
+const std::vector<CellId>& HexTopology::neighbors(CellId cell) const {
+  check_cell(cell);
+  return neighbors_[static_cast<std::size_t>(cell)];
+}
+
+std::string HexTopology::describe() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " hex grid"
+     << (wrap_ ? " (torus)" : " (bounded)");
+  return os.str();
+}
+
+CellId HexTopology::cell_of(int row, int col) const {
+  PABR_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+             "cell_of: out of grid");
+  return row * cols_ + col;
+}
+
+int HexTopology::row_of(CellId cell) const {
+  check_cell(cell);
+  return cell / cols_;
+}
+
+int HexTopology::col_of(CellId cell) const {
+  check_cell(cell);
+  return cell % cols_;
+}
+
+HexTopology::Direction HexTopology::opposite(Direction d) {
+  switch (d) {
+    case Direction::kN:
+      return Direction::kS;
+    case Direction::kS:
+      return Direction::kN;
+    case Direction::kNE:
+      return Direction::kSW;
+    case Direction::kSE:
+      return Direction::kNW;
+    case Direction::kNW:
+      return Direction::kSE;
+    case Direction::kSW:
+      return Direction::kNE;
+  }
+  PABR_CHECK(false, "opposite: bad direction");
+}
+
+CellId HexTopology::neighbor_in(CellId cell, Direction d) const {
+  check_cell(cell);
+  return by_direction_[static_cast<std::size_t>(cell)]
+                      [static_cast<std::size_t>(d)];
+}
+
+std::optional<HexTopology::Direction> HexTopology::direction_between(
+    CellId from, CellId to) const {
+  check_cell(from);
+  check_cell(to);
+  for (int d = 0; d < kNumDirections; ++d) {
+    if (by_direction_[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(d)] == to) {
+      return static_cast<Direction>(d);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pabr::geom

@@ -1,0 +1,55 @@
+// 2-D hexagonal cell layout (paper Fig. 2(b); evaluation of 2-D systems is
+// the paper's stated future work — provided here as the library's
+// extension surface and exercised by the campus_2d example).
+//
+// Cells are hexagons arranged in an axial grid of `rows x cols` using
+// odd-q offset coordinates; each interior cell has 6 neighbours, exactly
+// the 1..6 adjacent-cell indexing of Fig. 2(b). The grid can optionally
+// wrap in both axes (torus) to eliminate border effects like the paper's
+// 1-D ring.
+#pragma once
+
+#include <array>
+
+#include "geom/topology.h"
+
+namespace pabr::geom {
+
+class HexTopology final : public Topology {
+ public:
+  HexTopology(int rows, int cols, bool wrap);
+
+  int num_cells() const override { return rows_ * cols_; }
+  const std::vector<CellId>& neighbors(CellId cell) const override;
+  std::string describe() const override;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool wraps() const { return wrap_; }
+
+  CellId cell_of(int row, int col) const;
+  int row_of(CellId cell) const;
+  int col_of(CellId cell) const;
+
+  /// Hex directions in a fixed order; opposite(d) = the reverse direction.
+  enum class Direction { kN = 0, kS, kNE, kSE, kNW, kSW };
+  static constexpr int kNumDirections = 6;
+  static Direction opposite(Direction d);
+
+  /// Neighbour of `cell` in direction `d`; kNoCell at a non-wrapping
+  /// border.
+  CellId neighbor_in(CellId cell, Direction d) const;
+
+  /// Direction such that neighbor_in(from, d) == to; nullopt when the
+  /// cells are not adjacent.
+  std::optional<Direction> direction_between(CellId from, CellId to) const;
+
+ private:
+  int rows_;
+  int cols_;
+  bool wrap_;
+  std::vector<std::vector<CellId>> neighbors_;       // compact (existing only)
+  std::vector<std::array<CellId, 6>> by_direction_;  // kNoCell when absent
+};
+
+}  // namespace pabr::geom

@@ -1,0 +1,96 @@
+#include "geom/linear_topology.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace pabr::geom {
+
+LinearTopology::LinearTopology(int n, double cell_diameter_km, bool wrap)
+    : n_(n), diameter_(cell_diameter_km), wrap_(wrap) {
+  PABR_CHECK(n >= 2, "LinearTopology: need at least two cells");
+  PABR_CHECK(cell_diameter_km > 0.0, "LinearTopology: non-positive diameter");
+  neighbors_.resize(static_cast<std::size_t>(n));
+  for (CellId c = 0; c < n; ++c) {
+    auto& ns = neighbors_[static_cast<std::size_t>(c)];
+    if (wrap_) {
+      ns.push_back((c + n - 1) % n);
+      ns.push_back((c + 1) % n);
+    } else {
+      if (c > 0) ns.push_back(c - 1);
+      if (c < n - 1) ns.push_back(c + 1);
+    }
+  }
+}
+
+const std::vector<CellId>& LinearTopology::neighbors(CellId cell) const {
+  check_cell(cell);
+  return neighbors_[static_cast<std::size_t>(cell)];
+}
+
+std::string LinearTopology::describe() const {
+  std::ostringstream os;
+  os << n_ << "-cell linear road (" << diameter_ << " km cells, "
+     << (wrap_ ? "ring" : "open") << ")";
+  return os.str();
+}
+
+CellId LinearTopology::cell_at(double x_km) const {
+  if (wrap_) x_km = mathx::positive_fmod(x_km, road_length_km());
+  PABR_CHECK(x_km >= 0.0 && x_km < road_length_km(),
+             "cell_at: position outside open road");
+  auto c = static_cast<CellId>(std::floor(x_km / diameter_));
+  if (c >= n_) c = n_ - 1;  // guard the x == length-epsilon float edge
+  return c;
+}
+
+std::optional<double> LinearTopology::canonical_position(double x_km) const {
+  if (wrap_) return mathx::positive_fmod(x_km, road_length_km());
+  if (x_km < 0.0 || x_km >= road_length_km()) return std::nullopt;
+  return x_km;
+}
+
+LinearTopology::Boundary LinearTopology::next_boundary(double x_km,
+                                                       int direction) const {
+  PABR_CHECK(direction == 1 || direction == -1,
+             "next_boundary: direction must be +/-1");
+  const auto pos = canonical_position(x_km);
+  PABR_CHECK(pos.has_value(), "next_boundary: position outside road");
+  const double x = *pos;
+
+  // Resolve the cell direction-sensitively: a mobile sitting exactly on a
+  // boundary and moving backwards belongs to the lower cell.
+  CellId cell = cell_at(x);
+  double boundary;
+  if (direction == 1) {
+    boundary = diameter_ * static_cast<double>(cell + 1);
+    if (boundary <= x) {  // x exactly on the upper boundary
+      ++cell;
+      boundary += diameter_;
+    }
+  } else {
+    boundary = diameter_ * static_cast<double>(cell);
+    if (boundary >= x) {  // x exactly on the lower boundary
+      --cell;
+      boundary -= diameter_;
+    }
+  }
+
+  CellId next;
+  CellId current;
+  if (wrap_) {
+    current = ((cell % n_) + n_) % n_;
+    next = ((current + direction) % n_ + n_) % n_;
+  } else {
+    PABR_CHECK(cell >= 0 && cell < n_,
+               "next_boundary: position sits at the road edge moving out");
+    current = cell;
+    const CellId candidate = cell + direction;
+    next = (candidate < 0 || candidate >= n_) ? kNoCell : candidate;
+  }
+  return Boundary{boundary, current, next};
+}
+
+}  // namespace pabr::geom

@@ -1,0 +1,55 @@
+// 1-D road topology (paper Fig. 2(a) and §5.1 assumption A1):
+// `n` cells of equal diameter laid along a straight road. With
+// `wrap = true` the two border cells are joined into a ring — the paper
+// connects cells <1> and <10> "so that the whole cellular system forms a
+// ring architecture" to avoid border effects; Table 3 uses the open road.
+//
+// The topology also owns the road geometry: continuous positions in km,
+// mapping positions to cells and distances to the next boundary.
+#pragma once
+
+#include "geom/topology.h"
+
+namespace pabr::geom {
+
+class LinearTopology final : public Topology {
+ public:
+  /// `n` cells, each `cell_diameter_km` wide. Road spans
+  /// [0, n * cell_diameter_km).
+  LinearTopology(int n, double cell_diameter_km, bool wrap);
+
+  int num_cells() const override { return n_; }
+  const std::vector<CellId>& neighbors(CellId cell) const override;
+  std::string describe() const override;
+
+  bool wraps() const { return wrap_; }
+  double cell_diameter_km() const { return diameter_; }
+  double road_length_km() const { return diameter_ * n_; }
+
+  /// Cell containing position x (km). On a ring, x is first wrapped into
+  /// the road span; on an open road x must lie inside it.
+  CellId cell_at(double x_km) const;
+
+  /// Canonicalizes a position: wraps on a ring, returns nullopt when an
+  /// open-road position lies outside the system (the mobile left).
+  std::optional<double> canonical_position(double x_km) const;
+
+  /// Boundary coordinate the mobile will hit next when moving in
+  /// `direction` (+1 or -1) from x_km, the cell it is effectively moving
+  /// through (which resolves on-boundary positions direction-sensitively),
+  /// and the cell on the other side (kNoCell when the road ends there).
+  struct Boundary {
+    double position_km;  ///< raw (unwrapped) coordinate of the boundary
+    CellId current_cell;
+    CellId next_cell;
+  };
+  Boundary next_boundary(double x_km, int direction) const;
+
+ private:
+  int n_;
+  double diameter_;
+  bool wrap_;
+  std::vector<std::vector<CellId>> neighbors_;
+};
+
+}  // namespace pabr::geom

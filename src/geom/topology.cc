@@ -1,0 +1,18 @@
+#include "geom/topology.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pabr::geom {
+
+bool Topology::adjacent(CellId a, CellId b) const {
+  const auto& ns = neighbors(a);
+  return std::find(ns.begin(), ns.end(), b) != ns.end();
+}
+
+void Topology::check_cell(CellId cell) const {
+  PABR_CHECK(cell >= 0 && cell < num_cells(), "cell id out of range");
+}
+
+}  // namespace pabr::geom

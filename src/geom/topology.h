@@ -1,0 +1,42 @@
+// Cell topology abstraction (paper Fig. 2).
+//
+// The paper evaluates a 1-D, 10-cell road (optionally closed into a ring)
+// and sketches 2-D hexagonal layouts as future work. Both are provided.
+// Cells carry global ids 0..n-1; per-cell "adjacent cell" lists implement
+// the paper's cell-centric indexing (index 0 = the cell itself, 1..k = its
+// neighbours).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pabr::geom {
+
+/// Global cell identifier, 0-based. The paper's prose numbers cells
+/// 1..10; printers add 1 when rendering tables.
+using CellId = std::int32_t;
+
+inline constexpr CellId kNoCell = -1;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int num_cells() const = 0;
+
+  /// Adjacent cells of `cell` (the paper's A_i), in a stable order.
+  virtual const std::vector<CellId>& neighbors(CellId cell) const = 0;
+
+  /// True when a and b are adjacent.
+  bool adjacent(CellId a, CellId b) const;
+
+  /// Human-readable description for logs and table headers.
+  virtual std::string describe() const = 0;
+
+ protected:
+  void check_cell(CellId cell) const;
+};
+
+}  // namespace pabr::geom

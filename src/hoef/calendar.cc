@@ -1,0 +1,82 @@
+#include "hoef/calendar.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::hoef {
+namespace {
+
+EstimatorConfig weekday_config(const CalendarConfig& c) {
+  EstimatorConfig cfg;
+  cfg.t_int = c.t_int;
+  cfg.n_quad = c.n_quad;
+  cfg.period = sim::kDay;
+  cfg.n_win_periods = c.n_win_days;
+  cfg.weights = c.weekday_weights;
+  return cfg;
+}
+
+EstimatorConfig weekend_config(const CalendarConfig& c) {
+  EstimatorConfig cfg;
+  cfg.t_int = c.t_int;
+  cfg.n_quad = c.n_quad;
+  cfg.period = sim::kWeek;  // T_week replaces T_day (paper §3.1)
+  cfg.n_win_periods = c.n_win_weeks;
+  cfg.weights = c.weekend_weights;
+  return cfg;
+}
+
+}  // namespace
+
+CalendarEstimator::CalendarEstimator(geom::CellId self, CalendarConfig config)
+    : config_(config),
+      weekday_(self, weekday_config(config)),
+      weekend_(self, weekend_config(config)) {
+  PABR_CHECK(config.start_day_of_week >= 0 && config.start_day_of_week < 7,
+             "start_day_of_week out of [0,7)");
+}
+
+bool CalendarEstimator::is_weekend(sim::Time t) const {
+  PABR_CHECK(t >= 0.0, "negative time");
+  const auto day =
+      static_cast<long>(std::floor(t / sim::kDay)) + config_.start_day_of_week;
+  const int dow = static_cast<int>(day % 7);
+  return dow == 5 || dow == 6;  // Saturday, Sunday
+}
+
+void CalendarEstimator::record(const Quadruplet& q) {
+  set_for(q.event_time).record(q);
+}
+
+double CalendarEstimator::handoff_probability(sim::Time t0, geom::CellId prev,
+                                              geom::CellId next,
+                                              sim::Duration extant_sojourn,
+                                              sim::Duration t_est) const {
+  return set_for(t0).handoff_probability(t0, prev, next, extant_sojourn,
+                                         t_est);
+}
+
+double CalendarEstimator::any_handoff_probability(
+    sim::Time t0, geom::CellId prev, sim::Duration extant_sojourn,
+    sim::Duration t_est) const {
+  return set_for(t0).any_handoff_probability(t0, prev, extant_sojourn,
+                                             t_est);
+}
+
+sim::Duration CalendarEstimator::max_sojourn(sim::Time t0) const {
+  return set_for(t0).max_sojourn(t0);
+}
+
+void CalendarEstimator::prune(sim::Time t0) {
+  weekday_.prune(t0);
+  // The weekend set ages with the week period: prune conservatively at the
+  // same instant (its own config already uses T_week windows).
+  weekend_.prune(t0);
+}
+
+std::size_t CalendarEstimator::cached_events() const {
+  return weekday_.cached_events() + weekend_.cached_events();
+}
+
+}  // namespace pabr::hoef

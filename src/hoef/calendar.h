@@ -1,0 +1,71 @@
+// Calendar-aware estimation (paper §3.1, last paragraph): weekend and
+// holiday mobility "will be significantly different from those during
+// weekdays", so "another set of quadruplets will be cached for these
+// special days" and their estimation functions are built with T_week = 7
+// days and N_win-weeks in place of T_day and N_win-days.
+//
+// CalendarEstimator routes every record and query to one of two
+// HandoffEstimators by the day class of its timestamp:
+//   * weekday set — periodic windows every T_day, depth N_win-days;
+//   * weekend set — periodic windows every T_week, depth N_win-weeks.
+// Day 0 of simulation time is a Monday by default (configurable offset).
+#pragma once
+
+#include "hoef/estimator.h"
+
+namespace pabr::hoef {
+
+struct CalendarConfig {
+  /// Shared window half-width T_int and per-pair cap N_quad.
+  sim::Duration t_int = sim::kHour;
+  int n_quad = 100;
+  /// Weekday windows: period T_day, depth N_win-days, weights w_n.
+  int n_win_days = 1;
+  std::vector<double> weekday_weights = {1.0, 1.0};
+  /// Weekend windows: period T_week, depth N_win-weeks, weights w_n.
+  int n_win_weeks = 1;
+  std::vector<double> weekend_weights = {1.0, 1.0};
+  /// Day-of-week of simulation time 0 (0 = Monday ... 6 = Sunday).
+  int start_day_of_week = 0;
+};
+
+class CalendarEstimator {
+ public:
+  CalendarEstimator(geom::CellId self, CalendarConfig config);
+
+  /// True when `t` falls on a Saturday or Sunday.
+  bool is_weekend(sim::Time t) const;
+
+  /// Routes to the weekday or weekend quadruplet set by q.event_time.
+  void record(const Quadruplet& q);
+
+  /// Routes to the estimator matching t0's day class.
+  double handoff_probability(sim::Time t0, geom::CellId prev,
+                             geom::CellId next, sim::Duration extant_sojourn,
+                             sim::Duration t_est) const;
+  double any_handoff_probability(sim::Time t0, geom::CellId prev,
+                                 sim::Duration extant_sojourn,
+                                 sim::Duration t_est) const;
+  sim::Duration max_sojourn(sim::Time t0) const;
+
+  void prune(sim::Time t0);
+  std::size_t cached_events() const;
+
+  const HandoffEstimator& weekday_set() const { return weekday_; }
+  const HandoffEstimator& weekend_set() const { return weekend_; }
+  geom::CellId self() const { return weekday_.self(); }
+
+ private:
+  const HandoffEstimator& set_for(sim::Time t) const {
+    return is_weekend(t) ? weekend_ : weekday_;
+  }
+  HandoffEstimator& set_for(sim::Time t) {
+    return is_weekend(t) ? weekend_ : weekday_;
+  }
+
+  CalendarConfig config_;
+  HandoffEstimator weekday_;
+  HandoffEstimator weekend_;
+};
+
+}  // namespace pabr::hoef

@@ -1,0 +1,288 @@
+#include "hoef/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::hoef {
+namespace {
+
+bool is_finite_duration(sim::Duration d) { return d < sim::kInfiniteDuration; }
+
+/// Weight of entries with sojourn <= x given sojourn-sorted values and
+/// their prefix-summed weights.
+double prefix_weight_at(const std::vector<double>& sojourns,
+                        const std::vector<double>& prefix, double x) {
+  const auto it = std::upper_bound(sojourns.begin(), sojourns.end(), x);
+  const auto idx = static_cast<std::size_t>(it - sojourns.begin());
+  return idx == 0 ? 0.0 : prefix[idx - 1];
+}
+
+}  // namespace
+
+HandoffEstimator::HandoffEstimator(geom::CellId self, EstimatorConfig config)
+    : self_(self), config_(std::move(config)) {
+  PABR_CHECK(config_.n_quad > 0, "N_quad must be positive");
+  PABR_CHECK(config_.n_win_periods >= 0, "negative N_win");
+  PABR_CHECK(config_.period > 0.0, "non-positive window period");
+  PABR_CHECK(config_.t_int > 0.0, "non-positive T_int");
+  PABR_CHECK(!config_.weights.empty(), "no window weights");
+  for (std::size_t i = 1; i < config_.weights.size(); ++i) {
+    PABR_CHECK(config_.weights[i] <= config_.weights[i - 1],
+               "window weights must be non-increasing (paper Eq. 3)");
+  }
+  PABR_CHECK(config_.weights.front() > 0.0, "w_0 must be positive");
+}
+
+double HandoffEstimator::window_weight(int n) const {
+  if (n < 0 || n > config_.n_win_periods) return 0.0;
+  const auto idx = static_cast<std::size_t>(n);
+  if (idx >= config_.weights.size()) return 0.0;
+  return config_.weights[idx];
+}
+
+void HandoffEstimator::record(const Quadruplet& q) {
+  PABR_CHECK(q.event_time >= last_event_time_,
+             "quadruplets must arrive in event-time order");
+  PABR_CHECK(q.sojourn >= 0.0, "negative sojourn");
+  PABR_CHECK(q.next != geom::kNoCell && q.next != self_,
+             "quadruplet.next must be an adjacent cell");
+  last_event_time_ = q.event_time;
+
+  PrevHistory& h = by_prev_[q.prev];
+  auto& dq = h.by_next[q.next];
+  dq.push_back(q);
+
+  if (!is_finite_duration(config_.t_int)) {
+    // With an infinite window the priority rule is pure recency, so only
+    // the newest N_quad events per (prev, next) can ever be selected.
+    while (dq.size() > static_cast<std::size_t>(config_.n_quad)) {
+      dq.pop_front();
+    }
+  } else {
+    // Out-of-date events (older than every remaining periodic window) can
+    // never be selected again; drop them eagerly to bound memory.
+    const sim::Time horizon =
+        q.event_time - config_.t_int -
+        config_.period * static_cast<double>(config_.n_win_periods);
+    while (!dq.empty() && dq.front().event_time < horizon) dq.pop_front();
+  }
+  ++h.revision;
+}
+
+std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
+    const std::deque<Quadruplet>& events, sim::Time t0) const {
+  std::vector<Selected> picked;
+  if (events.empty()) return picked;
+
+  if (!is_finite_duration(config_.t_int)) {
+    // Single window (n = 0) covering all of history; the deque is already
+    // capped at N_quad newest events in record().
+    const double w = window_weight(0);
+    for (const Quadruplet& q : events) {
+      if (q.event_time > t0) continue;  // future events are meaningless
+      picked.push_back(Selected{q.sojourn, w, 0, t0 - q.event_time});
+    }
+    return picked;
+  }
+
+  // When 2*T_int > period, consecutive windows overlap and an event can
+  // satisfy Eq. (2) for several n; the priority rule assigns it the
+  // smallest n only, so windows are scanned in ascending n and indices
+  // already claimed by an earlier window are skipped.
+  std::vector<std::pair<std::ptrdiff_t, std::ptrdiff_t>> claimed;
+  for (int n = 0; n <= config_.n_win_periods; ++n) {
+    const double w = window_weight(n);
+    if (w <= 0.0) continue;
+    const double shift = config_.period * static_cast<double>(n);
+    const sim::Time lo = t0 - config_.t_int - shift;
+    const sim::Time hi = t0 + config_.t_int - shift;
+    const sim::Time center = t0 - shift;
+    auto first = std::lower_bound(
+        events.begin(), events.end(), lo,
+        [](const Quadruplet& q, sim::Time v) { return q.event_time < v; });
+    auto last = std::lower_bound(
+        events.begin(), events.end(), hi,
+        [](const Quadruplet& q, sim::Time v) { return q.event_time < v; });
+    for (auto it = first; it != last; ++it) {
+      if (it->event_time > t0) break;  // the [t0, t0+T_int) part is future
+      const std::ptrdiff_t idx = it - events.begin();
+      bool taken = false;
+      for (const auto& [clo, chi] : claimed) {
+        if (idx >= clo && idx < chi) {
+          taken = true;
+          break;
+        }
+      }
+      if (taken) continue;
+      picked.push_back(
+          Selected{it->sojourn, w, n, std::fabs(it->event_time - center)});
+    }
+    claimed.emplace_back(first - events.begin(), last - events.begin());
+  }
+
+  // §3.1 priority rule: smaller n first, then closest to the window
+  // centre; keep the top N_quad.
+  if (picked.size() > static_cast<std::size_t>(config_.n_quad)) {
+    std::sort(picked.begin(), picked.end(),
+              [](const Selected& a, const Selected& b) {
+                if (a.window != b.window) return a.window < b.window;
+                return a.center_distance < b.center_distance;
+              });
+    picked.resize(static_cast<std::size_t>(config_.n_quad));
+  }
+  return picked;
+}
+
+bool HandoffEstimator::snapshot_fresh(const PrevHistory& h,
+                                      sim::Time t0) const {
+  const Snapshot& s = h.snapshot;
+  if (!s.valid || s.revision != h.revision) return false;
+  if (!is_finite_duration(config_.t_int)) return true;
+  return std::fabs(t0 - s.built_at) <= config_.snapshot_tolerance;
+}
+
+void HandoffEstimator::build_snapshot(const PrevHistory& h,
+                                      sim::Time t0) const {
+  Snapshot& s = h.snapshot;
+  s.built_at = t0;
+  s.revision = h.revision;
+  s.valid = true;
+  s.all_sojourn.clear();
+  s.all_prefix.clear();
+  s.by_next.clear();
+  s.raw_selected.clear();
+  s.all_total = 0.0;
+  s.max_sojourn = 0.0;
+
+  std::vector<std::pair<double, double>> all;  // (sojourn, weight)
+  for (const auto& [next, events] : h.by_next) {
+    std::vector<Selected> sel = select(events, t0);
+    if (sel.empty()) continue;
+    std::sort(sel.begin(), sel.end(),
+              [](const Selected& a, const Selected& b) {
+                return a.sojourn < b.sojourn;
+              });
+    auto& [sojourns, prefix] = s.by_next[next];
+    sojourns.reserve(sel.size());
+    prefix.reserve(sel.size());
+    double acc = 0.0;
+    for (const Selected& x : sel) {
+      sojourns.push_back(x.sojourn);
+      acc += x.weight;
+      prefix.push_back(acc);
+      all.emplace_back(x.sojourn, x.weight);
+      s.max_sojourn = std::max(s.max_sojourn, x.sojourn);
+    }
+    s.raw_selected.emplace_back(next, std::move(sel));
+  }
+
+  std::sort(all.begin(), all.end());
+  double acc = 0.0;
+  s.all_sojourn.reserve(all.size());
+  s.all_prefix.reserve(all.size());
+  for (const auto& [soj, w] : all) {
+    s.all_sojourn.push_back(soj);
+    acc += w;
+    s.all_prefix.push_back(acc);
+  }
+  s.all_total = acc;
+}
+
+const HandoffEstimator::Snapshot* HandoffEstimator::snapshot_for(
+    geom::CellId prev, sim::Time t0) const {
+  const auto it = by_prev_.find(prev);
+  if (it == by_prev_.end()) return nullptr;
+  const PrevHistory& h = it->second;
+  if (!snapshot_fresh(h, t0)) build_snapshot(h, t0);
+  return &h.snapshot;
+}
+
+double HandoffEstimator::handoff_probability(sim::Time t0, geom::CellId prev,
+                                             geom::CellId next,
+                                             sim::Duration extant_sojourn,
+                                             sim::Duration t_est) const {
+  PABR_CHECK(extant_sojourn >= 0.0, "negative extant sojourn");
+  PABR_CHECK(t_est >= 0.0, "negative T_est");
+  const Snapshot* s = snapshot_for(prev, t0);
+  if (s == nullptr) return 0.0;
+
+  const double denom =
+      s->all_total - prefix_weight_at(s->all_sojourn, s->all_prefix,
+                                      extant_sojourn);
+  if (denom <= 0.0) return 0.0;  // estimated stationary (paper §4.1)
+
+  const auto it = s->by_next.find(next);
+  if (it == s->by_next.end()) return 0.0;
+  const auto& [sojourns, prefix] = it->second;
+  const double numer =
+      prefix_weight_at(sojourns, prefix, extant_sojourn + t_est) -
+      prefix_weight_at(sojourns, prefix, extant_sojourn);
+  return std::clamp(numer / denom, 0.0, 1.0);
+}
+
+double HandoffEstimator::any_handoff_probability(
+    sim::Time t0, geom::CellId prev, sim::Duration extant_sojourn,
+    sim::Duration t_est) const {
+  const Snapshot* s = snapshot_for(prev, t0);
+  if (s == nullptr) return 0.0;
+  const double below =
+      prefix_weight_at(s->all_sojourn, s->all_prefix, extant_sojourn);
+  const double denom = s->all_total - below;
+  if (denom <= 0.0) return 0.0;
+  const double numer =
+      prefix_weight_at(s->all_sojourn, s->all_prefix,
+                       extant_sojourn + t_est) -
+      below;
+  return std::clamp(numer / denom, 0.0, 1.0);
+}
+
+sim::Duration HandoffEstimator::max_sojourn(sim::Time t0) const {
+  sim::Duration m = 0.0;
+  for (const auto& [prev, h] : by_prev_) {
+    if (!snapshot_fresh(h, t0)) build_snapshot(h, t0);
+    m = std::max(m, h.snapshot.max_sojourn);
+  }
+  return m;
+}
+
+std::vector<FootprintPoint> HandoffEstimator::footprint(
+    sim::Time t0, geom::CellId prev) const {
+  std::vector<FootprintPoint> out;
+  const Snapshot* s = snapshot_for(prev, t0);
+  if (s == nullptr) return out;
+  for (const auto& [next, sel] : s->raw_selected) {
+    for (const Selected& x : sel) {
+      out.push_back(FootprintPoint{next, x.sojourn, x.weight, x.window});
+    }
+  }
+  return out;
+}
+
+void HandoffEstimator::prune(sim::Time t0) {
+  if (!is_finite_duration(config_.t_int)) return;
+  const sim::Time horizon =
+      t0 - config_.t_int -
+      config_.period * static_cast<double>(config_.n_win_periods);
+  for (auto& [prev, h] : by_prev_) {
+    bool changed = false;
+    for (auto& [next, dq] : h.by_next) {
+      while (!dq.empty() && dq.front().event_time < horizon) {
+        dq.pop_front();
+        changed = true;
+      }
+    }
+    if (changed) ++h.revision;
+  }
+}
+
+std::size_t HandoffEstimator::cached_events() const {
+  std::size_t n = 0;
+  for (const auto& [prev, h] : by_prev_) {
+    for (const auto& [next, dq] : h.by_next) n += dq.size();
+  }
+  return n;
+}
+
+}  // namespace pabr::hoef

@@ -1,0 +1,144 @@
+// The hand-off estimation function F_HOE of §3.1 and the Bayes hand-off
+// probability of §4.1 (paper Eq. 4).
+//
+// One HandoffEstimator lives in each cell's BS. It ingests hand-off event
+// quadruplets and answers:
+//
+//   p_h(C -> next) = P[ mobile hands off to `next` within T_est
+//                       | it has already stayed T_ext-soj ]
+//
+// computed over the quadruplets that fall into the periodic estimation
+// windows  t0 - T_int - n*P <= T_event < t0 + T_int - n*P  (paper Eq. 2,
+// P = T_day by default) with weight w_n per window, w_n non-increasing and
+// 0 beyond N_win periods (Eq. 3). At most N_quad quadruplets are used per
+// (prev, next) pair, picked by the §3.1 priority rule: smaller n first,
+// then smallest distance |T_event - (t0 - n*P)| from the window centre.
+//
+// Lookups run on lazily built per-(prev) snapshots: sojourn-sorted arrays
+// with prefix-summed weights, so p_h costs O(log N_quad). Snapshots are
+// rebuilt when new events arrive or (for finite T_int) when t0 drifts past
+// `snapshot_tolerance`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "geom/topology.h"
+#include "hoef/quadruplet.h"
+#include "sim/time.h"
+
+namespace pabr::hoef {
+
+struct EstimatorConfig {
+  /// T_int: half-width of each periodic estimation window. Stationary
+  /// experiments use infinity ("T_int = inf is used since the speed range
+  /// and the offered load do not vary", §5.2); the time-varying ones use
+  /// 1 hour.
+  sim::Duration t_int = sim::kInfiniteDuration;
+  /// Window period P (T_day for weekday patterns, T_week for weekend
+  /// sets, §3.1).
+  sim::Duration period = sim::kDay;
+  /// N_win-days: windows older than this many periods are out-of-date.
+  int n_win_periods = 1;
+  /// w_0..w_{N_win}: non-increasing window weights (paper uses w0=w1=1).
+  std::vector<double> weights = {1.0, 1.0};
+  /// N_quad: max quadruplets used per (prev, next) pair.
+  int n_quad = 100;
+  /// Rebuild horizon for snapshots under a finite T_int.
+  sim::Duration snapshot_tolerance = 30.0;
+};
+
+/// One point of the estimation function's footprint (paper Fig. 4).
+struct FootprintPoint {
+  geom::CellId next = geom::kNoCell;
+  sim::Duration sojourn = 0.0;
+  double weight = 0.0;
+  int window = 0;  ///< the n of the periodic window the event fell into
+};
+
+class HandoffEstimator {
+ public:
+  /// `self` is the id of the owning cell (the paper's cell "0"-centric
+  /// view); quadruplets with prev == self are starts-in-cell events.
+  HandoffEstimator(geom::CellId self, EstimatorConfig config);
+
+  /// Ingests one departure observation. Event times must be
+  /// non-decreasing (simulation order).
+  void record(const Quadruplet& q);
+
+  /// Paper Eq. (4): probability that a mobile which entered from `prev`
+  /// and has stayed `extant_sojourn` hands off into `next` within `t_est`.
+  /// Returns 0 when the mobile is estimated stationary (no cached event
+  /// outlasts its extant sojourn).
+  double handoff_probability(sim::Time t0, geom::CellId prev,
+                             geom::CellId next, sim::Duration extant_sojourn,
+                             sim::Duration t_est) const;
+
+  /// Probability that the mobile hands off *anywhere* within t_est — the
+  /// same conditional with the numerator summed over all next cells.
+  double any_handoff_probability(sim::Time t0, geom::CellId prev,
+                                 sim::Duration extant_sojourn,
+                                 sim::Duration t_est) const;
+
+  /// Largest sojourn among currently-usable quadruplets, across all prev
+  /// (feeds T_soj,max of the Fig. 6 controller). 0 when empty.
+  sim::Duration max_sojourn(sim::Time t0) const;
+
+  /// Footprint of the estimation function for one prev (paper Fig. 4).
+  std::vector<FootprintPoint> footprint(sim::Time t0, geom::CellId prev) const;
+
+  /// Drops quadruplets that can no longer enter any window at or after t0
+  /// (T_event < t0 - T_int - N_win * P).
+  void prune(sim::Time t0);
+
+  /// Total quadruplets currently cached (diagnostics).
+  std::size_t cached_events() const;
+
+  geom::CellId self() const { return self_; }
+  const EstimatorConfig& config() const { return config_; }
+
+ private:
+  struct Selected {
+    sim::Duration sojourn;
+    double weight;
+    int window;
+    double center_distance;
+  };
+  struct Snapshot {
+    sim::Time built_at = -1.0;
+    std::uint64_t revision = 0;
+    bool valid = false;
+    // All selected quadruplets of this prev, sorted by sojourn.
+    std::vector<double> all_sojourn;
+    std::vector<double> all_prefix;  // prefix-summed weights (same length)
+    double all_total = 0.0;
+    double max_sojourn = 0.0;
+    // Per-next sojourn-sorted arrays.
+    std::map<geom::CellId, std::pair<std::vector<double>, std::vector<double>>>
+        by_next;
+    std::vector<std::pair<geom::CellId, std::vector<Selected>>> raw_selected;
+  };
+  struct PrevHistory {
+    // Per-next event-time-ordered deques (append order == time order).
+    std::map<geom::CellId, std::deque<Quadruplet>> by_next;
+    std::uint64_t revision = 0;
+    mutable Snapshot snapshot;
+  };
+
+  double window_weight(int n) const;
+  bool snapshot_fresh(const PrevHistory& h, sim::Time t0) const;
+  void build_snapshot(const PrevHistory& h, sim::Time t0) const;
+  /// Usable quadruplets of one deque at t0, with window index/weight.
+  std::vector<Selected> select(const std::deque<Quadruplet>& events,
+                               sim::Time t0) const;
+  const Snapshot* snapshot_for(geom::CellId prev, sim::Time t0) const;
+
+  geom::CellId self_;
+  EstimatorConfig config_;
+  std::map<geom::CellId, PrevHistory> by_prev_;
+  sim::Time last_event_time_ = 0.0;
+};
+
+}  // namespace pabr::hoef

@@ -1,0 +1,27 @@
+// The hand-off event quadruplet of §3.1:
+//   (T_event, prev, next, T_soj)
+// cached by a cell's BS for each mobile that departs into an adjacent
+// cell: when it left, where it had come from, where it went, and how long
+// it stayed.
+#pragma once
+
+#include "geom/topology.h"
+#include "sim/time.h"
+
+namespace pabr::hoef {
+
+struct Quadruplet {
+  /// T_event: when the mobile departed the current cell.
+  sim::Time event_time = 0.0;
+  /// Cell the mobile resided in before entering the current cell. By the
+  /// paper's convention prev = "0" (the current cell itself) means the
+  /// connection started here; we encode that as prev == the owning cell's
+  /// id.
+  geom::CellId prev = geom::kNoCell;
+  /// Cell the mobile entered on departure.
+  geom::CellId next = geom::kNoCell;
+  /// T_soj: time spent in the current cell (entry to departure).
+  sim::Duration sojourn = 0.0;
+};
+
+}  // namespace pabr::hoef

@@ -1,0 +1,57 @@
+#include "mobility/hex_motion.h"
+
+#include "util/check.h"
+
+namespace pabr::mobility {
+
+HexMotion::HexMotion(const geom::HexTopology& grid, HexMotionConfig config)
+    : grid_(grid), config_(config) {
+  PABR_CHECK(config.cell_diameter_km > 0.0, "HexMotion: bad cell diameter");
+  PABR_CHECK(config.persistence >= 0.0 && config.persistence <= 1.0,
+             "HexMotion: persistence out of [0,1]");
+  PABR_CHECK(config.jitter >= 0.0 && config.jitter < 1.0,
+             "HexMotion: jitter out of [0,1)");
+}
+
+geom::CellId HexMotion::straight_neighbor(geom::CellId prev,
+                                          geom::CellId current,
+                                          sim::Rng& rng) const {
+  if (prev != current) {
+    // The mobile entered `current` moving in direction d (prev -> current);
+    // straight-through means leaving in the same direction d.
+    const auto d = grid_.direction_between(prev, current);
+    if (d.has_value()) {
+      const geom::CellId ahead = grid_.neighbor_in(current, *d);
+      if (ahead != geom::kNoCell) return ahead;
+    }
+  }
+  // Fresh connection or blocked heading: pick uniformly.
+  const auto& ns = grid_.neighbors(current);
+  PABR_CHECK(!ns.empty(), "HexMotion: isolated cell");
+  return ns[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(ns.size()) - 1))];
+}
+
+geom::CellId HexMotion::next_cell(geom::CellId prev, geom::CellId current,
+                                  sim::Rng& rng) const {
+  const geom::CellId straight = straight_neighbor(prev, current, rng);
+  if (rng.bernoulli(config_.persistence)) return straight;
+  const auto& ns = grid_.neighbors(current);
+  if (ns.size() == 1) return ns.front();
+  // Uniform among the non-straight neighbours.
+  for (;;) {
+    const geom::CellId pick = ns[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(ns.size()) - 1))];
+    if (pick != straight) return pick;
+  }
+}
+
+sim::Duration HexMotion::sojourn(double speed_kmh, sim::Rng& rng) const {
+  PABR_CHECK(speed_kmh > 0.0, "HexMotion: non-positive speed");
+  const double nominal = config_.cell_diameter_km / (speed_kmh / 3600.0);
+  const double factor =
+      rng.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+  return nominal * factor;
+}
+
+}  // namespace pabr::mobility

@@ -1,0 +1,50 @@
+// 2-D hex-grid mobility (the paper's future-work extension, exercised by
+// the campus_2d example).
+//
+// Mobiles perform a direction-persistent random walk over hexagonal cells:
+// from (prev -> current) the next cell is the "straight-through" neighbour
+// with probability `persistence`, otherwise a uniformly random other
+// neighbour — capturing observation O4 of §3 ("the direction of a mobile
+// can be predicted from the path the mobile has taken so far"). The cell
+// sojourn time is cell_diameter / speed, jittered uniformly by ±`jitter`.
+#pragma once
+
+#include "geom/hex_topology.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace pabr::mobility {
+
+struct HexMotionConfig {
+  double cell_diameter_km = 1.0;
+  /// Probability of continuing in the same grid direction.
+  double persistence = 0.7;
+  /// Multiplicative sojourn jitter: actual = nominal * U[1-j, 1+j].
+  double jitter = 0.2;
+};
+
+class HexMotion {
+ public:
+  HexMotion(const geom::HexTopology& grid, HexMotionConfig config);
+
+  /// Picks the next cell for a mobile that entered `current` from `prev`
+  /// (prev == current for a fresh connection).
+  geom::CellId next_cell(geom::CellId prev, geom::CellId current,
+                         sim::Rng& rng) const;
+
+  /// Sojourn time in a cell at the given speed (km/h).
+  sim::Duration sojourn(double speed_kmh, sim::Rng& rng) const;
+
+  const HexMotionConfig& config() const { return config_; }
+
+ private:
+  /// The neighbour of `current` most opposite to `prev` (straight-through
+  /// heading); falls back to a uniform neighbour for fresh connections.
+  geom::CellId straight_neighbor(geom::CellId prev, geom::CellId current,
+                                 sim::Rng& rng) const;
+
+  const geom::HexTopology& grid_;
+  HexMotionConfig config_;
+};
+
+}  // namespace pabr::mobility

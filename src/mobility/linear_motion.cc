@@ -1,0 +1,48 @@
+#include "mobility/linear_motion.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace pabr::mobility {
+
+double position_at(const Mobile& m, sim::Time t) {
+  PABR_CHECK(t >= m.position_at, "position_at: time before cached position");
+  return m.position_km +
+         static_cast<double>(m.direction) * m.speed_km_per_s() *
+             (t - m.position_at);
+}
+
+std::optional<Crossing> next_crossing(const geom::LinearTopology& road,
+                                      const Mobile& m, sim::Time t) {
+  if (m.speed_kmh <= 0.0) return std::nullopt;
+  const double x_raw = position_at(m, t);
+  const auto x = road.canonical_position(x_raw);
+  PABR_CHECK(x.has_value(), "next_crossing: mobile is off the road");
+
+  const auto boundary = road.next_boundary(*x, m.direction);
+  const double distance = std::fabs(boundary.position_km - *x);
+  PABR_CHECK(distance > 0.0, "next_boundary returned the current position");
+  const sim::Duration travel = distance / m.speed_km_per_s();
+
+  Crossing c;
+  c.when = t + travel;
+  c.boundary_km = road.wraps()
+                      ? mathx::positive_fmod(boundary.position_km,
+                                             road.road_length_km())
+                      : boundary.position_km;
+  c.from = boundary.current_cell;
+  c.to = boundary.next_cell;
+  return c;
+}
+
+void advance_to(const geom::LinearTopology& road, Mobile& m, sim::Time t) {
+  const double x_raw = position_at(m, t);
+  const auto x = road.canonical_position(x_raw);
+  PABR_CHECK(x.has_value(), "advance_to: mobile moved off the road");
+  m.position_km = *x;
+  m.position_at = t;
+}
+
+}  // namespace pabr::mobility

@@ -1,0 +1,32 @@
+// Constant-velocity kinematics on a linear road (assumption A4: "Each
+// mobile will run straight through the road with the chosen speed").
+#pragma once
+
+#include <optional>
+
+#include "geom/linear_topology.h"
+#include "mobility/mobile.h"
+#include "sim/time.h"
+
+namespace pabr::mobility {
+
+/// Raw (unwrapped) coordinate of `m` at time `t >= m.position_at`.
+double position_at(const Mobile& m, sim::Time t);
+
+/// The next cell-boundary crossing of `m` after time `t`.
+struct Crossing {
+  sim::Time when;            ///< absolute time of the crossing
+  double boundary_km;        ///< wrapped road coordinate of the boundary
+  geom::CellId from;         ///< cell being departed
+  geom::CellId to;           ///< cell being entered; kNoCell = leaves road
+};
+
+/// Computes the crossing. Returns nullopt for a stationary mobile (speed
+/// 0) which never crosses.
+std::optional<Crossing> next_crossing(const geom::LinearTopology& road,
+                                      const Mobile& m, sim::Time t);
+
+/// Advances the mobile's cached position to time `t` (wrapping on rings).
+void advance_to(const geom::LinearTopology& road, Mobile& m, sim::Time t);
+
+}  // namespace pabr::mobility

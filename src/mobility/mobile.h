@@ -1,0 +1,61 @@
+// Mobile (active-connection) state tracked by the simulator.
+//
+// The paper uses "connection" and "mobile" interchangeably (each mobile
+// carries at most one connection, §2), so one struct holds both the radio
+// resource state and the kinematic state.
+#pragma once
+
+#include "geom/topology.h"
+#include "sim/time.h"
+#include "traffic/connection.h"
+
+namespace pabr::mobility {
+
+struct Mobile {
+  traffic::ConnectionId id = 0;
+  traffic::ServiceClass service = traffic::ServiceClass::kVoice;
+
+  geom::CellId cell = geom::kNoCell;
+  /// Cell the mobile resided in before entering `cell`; equals `cell` when
+  /// the connection started here (the paper's prev = 0 convention).
+  geom::CellId prev_cell = geom::kNoCell;
+  /// When the mobile entered `cell` — T_ext-soj(t) = t - entered_cell_at.
+  sim::Time entered_cell_at = 0.0;
+
+  /// 1-D kinematics (A4: constant speed, fixed direction).
+  double position_km = 0.0;  ///< position at time `position_at`
+  sim::Time position_at = 0.0;
+  int direction = +1;
+  double speed_kmh = 0.0;
+
+  sim::Time admitted_at = 0.0;
+  sim::Time expires_at = 0.0;  ///< lifetime end (absolute time)
+
+  /// True when the network knows this mobile's route (the paper's §7
+  /// ITS/GPS extension): its next cell is then deterministic and the
+  /// estimation function is used for the sojourn time only.
+  bool route_known = false;
+
+  /// The service's full-QoS bandwidth (1 BU voice / 4 BU video).
+  traffic::Bandwidth bandwidth() const {
+    return traffic::bandwidth_of(service);
+  }
+
+  /// Bandwidth currently granted. Equals bandwidth() unless an
+  /// adaptive-QoS hand-off (§1) degraded the connection in a congested
+  /// cell; a later hand-off into a roomier cell restores it.
+  traffic::Bandwidth current_bandwidth = 0;
+
+  bool degraded() const { return current_bandwidth < bandwidth(); }
+
+  double speed_km_per_s() const { return speed_kmh / 3600.0; }
+
+  /// Extant sojourn time in the current cell at time t (paper §4.1).
+  sim::Duration extant_sojourn(sim::Time t) const {
+    return t - entered_cell_at;
+  }
+
+  bool started_here() const { return prev_cell == cell; }
+};
+
+}  // namespace pabr::mobility

@@ -1,0 +1,45 @@
+#include "mobility/speed_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pabr::mobility {
+
+double SpeedModel::sample(sim::Rng& rng, sim::Time t) const {
+  const auto [lo, hi] = range(t);
+  return rng.uniform(lo, hi);
+}
+
+UniformSpeedModel::UniformSpeedModel(double min_kmh, double max_kmh)
+    : min_kmh_(min_kmh), max_kmh_(max_kmh) {
+  PABR_CHECK(min_kmh > 0.0 && max_kmh >= min_kmh,
+             "UniformSpeedModel: bad range");
+}
+
+std::pair<double, double> UniformSpeedModel::range(sim::Time) const {
+  return {min_kmh_, max_kmh_};
+}
+
+ProfileSpeedModel::ProfileSpeedModel(traffic::DailyProfile profile,
+                                     double half_range_kmh)
+    : profile_(std::move(profile)), half_(half_range_kmh) {
+  PABR_CHECK(half_range_kmh >= 0.0, "ProfileSpeedModel: negative half range");
+}
+
+std::pair<double, double> ProfileSpeedModel::range(sim::Time t) const {
+  const double s = profile_.at(t);
+  const double lo = std::max(1.0, s - half_);
+  const double hi = std::max(lo, s + half_);
+  return {lo, hi};
+}
+
+std::unique_ptr<SpeedModel> high_mobility() {
+  return std::make_unique<UniformSpeedModel>(80.0, 120.0);
+}
+
+std::unique_ptr<SpeedModel> low_mobility() {
+  return std::make_unique<UniformSpeedModel>(40.0, 60.0);
+}
+
+}  // namespace pabr::mobility

@@ -1,0 +1,54 @@
+// Speed sampling models.
+//
+// Stationary experiments draw uniformly from a fixed [SP_min, SP_max]
+// (high mobility = [80,120] km/h, low = [40,60] km/h, §5.2). The
+// time-varying experiments follow a daily average-speed profile S(t) and
+// sample uniformly from [S-20, S+20] (§5.3, Fig. 14(a)).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "sim/random.h"
+#include "sim/time.h"
+#include "traffic/profiles.h"
+
+namespace pabr::mobility {
+
+class SpeedModel {
+ public:
+  virtual ~SpeedModel() = default;
+
+  /// Speed bounds [lo, hi] (km/h) in force at time t.
+  virtual std::pair<double, double> range(sim::Time t) const = 0;
+
+  double sample(sim::Rng& rng, sim::Time t) const;
+};
+
+/// Fixed range, e.g. the paper's high-mobility [80, 120] km/h.
+class UniformSpeedModel final : public SpeedModel {
+ public:
+  UniformSpeedModel(double min_kmh, double max_kmh);
+  std::pair<double, double> range(sim::Time t) const override;
+
+ private:
+  double min_kmh_, max_kmh_;
+};
+
+/// [S(t) - half, S(t) + half] with S from a daily profile, floored so the
+/// lower bound stays positive.
+class ProfileSpeedModel final : public SpeedModel {
+ public:
+  ProfileSpeedModel(traffic::DailyProfile profile, double half_range_kmh);
+  std::pair<double, double> range(sim::Time t) const override;
+
+ private:
+  traffic::DailyProfile profile_;
+  double half_;
+};
+
+/// The paper's named presets.
+std::unique_ptr<SpeedModel> high_mobility();  ///< [80, 120] km/h
+std::unique_ptr<SpeedModel> low_mobility();   ///< [40, 60] km/h
+
+}  // namespace pabr::mobility

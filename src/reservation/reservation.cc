@@ -1,0 +1,21 @@
+#include "reservation/reservation.h"
+
+#include "util/check.h"
+
+namespace pabr::reservation {
+
+double expected_handin_bandwidth(
+    const hoef::HandoffEstimator& estimator,
+    const std::vector<ActiveConnectionView>& connections,
+    geom::CellId target, sim::Time now, sim::Duration t_est_target) {
+  PABR_CHECK(t_est_target >= 0.0, "negative estimation window");
+  double sum = 0.0;
+  for (const ActiveConnectionView& c : connections) {
+    const double ph = estimator.handoff_probability(
+        now, c.prev, target, c.extant_sojourn, t_est_target);
+    sum += static_cast<double>(c.bandwidth) * ph;
+  }
+  return sum;
+}
+
+}  // namespace pabr::reservation

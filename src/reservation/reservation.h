@@ -1,0 +1,41 @@
+// Target-reservation bandwidth computation (paper §4.1, Eqs. 5-6).
+//
+// For a target cell 0 with adjacent cells A_0, each adjacent cell i
+// contributes
+//
+//   B_{i,0} = sum_{j in C_i} b(C_{i,j}) * p_h(C_{i,j} -> 0)      (Eq. 5)
+//
+// and the target reservation bandwidth of cell 0 is
+//
+//   B_{r,0} = sum_{i in A_0} B_{i,0}                              (Eq. 6)
+//
+// where p_h is evaluated with the *target* cell's estimation window
+// T_est,0 (§4.1: "the estimation time T_est of cell next ... will be used
+// in Eq. (4)").
+#pragma once
+
+#include <vector>
+
+#include "geom/topology.h"
+#include "hoef/estimator.h"
+#include "sim/time.h"
+#include "traffic/connection.h"
+
+namespace pabr::reservation {
+
+/// What the reservation maths needs to know about one active connection in
+/// an adjacent cell.
+struct ActiveConnectionView {
+  geom::CellId prev = geom::kNoCell;      ///< cell resided in before current
+  sim::Duration extant_sojourn = 0.0;     ///< time spent in current cell
+  traffic::Bandwidth bandwidth = 0;
+};
+
+/// Eq. (5): expected hand-in bandwidth into `target` from the cell whose
+/// estimator and active connections are given, within `t_est_target`.
+double expected_handin_bandwidth(
+    const hoef::HandoffEstimator& estimator,
+    const std::vector<ActiveConnectionView>& connections,
+    geom::CellId target, sim::Time now, sim::Duration t_est_target);
+
+}  // namespace pabr::reservation

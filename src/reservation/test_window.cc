@@ -1,0 +1,72 @@
+#include "reservation/test_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::reservation {
+
+const char* step_policy_name(StepPolicy p) {
+  switch (p) {
+    case StepPolicy::kFixed:
+      return "fixed";
+    case StepPolicy::kAdditive:
+      return "additive";
+    case StepPolicy::kMultiplicative:
+      return "multiplicative";
+  }
+  return "?";
+}
+
+TestWindowController::TestWindowController(TestWindowConfig config)
+    : config_(config) {
+  PABR_CHECK(config.phd_target > 0.0 && config.phd_target <= 1.0,
+             "P_HD,target out of (0,1]");
+  PABR_CHECK(config.t_start >= config.t_min, "T_start below T_min");
+  w_ = static_cast<std::uint64_t>(std::ceil(1.0 / config.phd_target));
+  PABR_CHECK(w_ >= 1, "degenerate observation window");
+  w_obs_ = w_;
+  t_est_ = config.t_start;
+}
+
+sim::Duration TestWindowController::next_step(int direction) {
+  if (direction == last_direction_) {
+    ++streak_;
+  } else {
+    last_direction_ = direction;
+    streak_ = 1;
+  }
+  switch (config_.step_policy) {
+    case StepPolicy::kFixed:
+      return 1.0;
+    case StepPolicy::kAdditive:
+      return static_cast<double>(streak_);
+    case StepPolicy::kMultiplicative:
+      return std::ldexp(1.0, std::min(streak_ - 1, 30));
+  }
+  return 1.0;
+}
+
+void TestWindowController::on_handoff(bool dropped,
+                                      sim::Duration t_soj_max) {
+  ++n_h_;  // line 05
+  if (dropped) {
+    ++n_hd_;                      // line 07
+    if (n_hd_ > w_obs_ / w_) {    // line 08 (quota = W_obs / W)
+      w_obs_ += w_;               // line 09
+      if (t_est_ < t_soj_max) {   // line 10
+        t_est_ = std::min(t_est_ + next_step(+1), t_soj_max);
+      }
+    }
+  } else if (n_h_ > w_obs_) {     // line 13
+    if (n_hd_ < w_obs_ / w_ && t_est_ > config_.t_min) {  // line 14
+      t_est_ = std::max(t_est_ - next_step(-1), config_.t_min);  // line 15
+    }
+    w_obs_ = w_;                  // line 16
+    n_h_ = 0;
+    n_hd_ = 0;
+  }
+}
+
+}  // namespace pabr::reservation

@@ -1,0 +1,96 @@
+// The mobility-estimation time window controller of §4.2 — a line-for-line
+// transcription of the paper's Fig. 6 pseudocode.
+//
+//   01. W := ceil(1 / P_HD,target); W_obs := W
+//   02. T_est := T_start; n_H := 0; n_HD := 0
+//   03. while (time increases) {
+//   04.   if (hand-off into the current cell happens) then {
+//   05.     n_H := n_H + 1
+//   06.     if (it is dropped) then {
+//   07.       n_HD := n_HD + 1
+//   08.       if (n_HD > W_obs / W) then {
+//   09.         W_obs := W_obs + W
+//   10.         if (T_est < T_soj,max) then T_est := T_est + 1
+//   11.       }
+//   12.     }
+//   13.     else if (n_H > W_obs) then {
+//   14.       if (n_HD < W_obs / W and T_est > 1) then
+//   15.         T_est := T_est - 1
+//   16.       W_obs := W; n_H := 0; n_HD := 0
+//   17.     }
+//   18.   }
+//   19. }
+//
+// The controller widens T_est by 1 s on every hand-off drop beyond the
+// permitted quota (growing the observation window so repeated drops keep
+// pushing), and narrows it by 1 s when a full window of W_obs hand-offs
+// completes with fewer than the permitted drops. T_est never exceeds
+// T_soj,max (the largest sojourn seen by adjacent cells' estimation
+// functions — larger values are meaningless) and never goes below 1 s
+// ("our scheme will reserve virtually no bandwidth" otherwise).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace pabr::reservation {
+
+/// How far T_est moves per adjustment. The paper fixed both step sizes at
+/// 1 s after experimenting with additive (1,2,3,...) and multiplicative
+/// (1,2,4,...) growth for consecutive same-direction steps and finding
+/// they "cause over-reactions, and make the reserved bandwidth fluctuate
+/// severely" (§4.2). The alternatives are kept for the ablation bench.
+enum class StepPolicy {
+  kFixed,           ///< always 1 s (the paper's choice)
+  kAdditive,        ///< 1, 2, 3, ... for consecutive same-direction steps
+  kMultiplicative,  ///< 1, 2, 4, ... for consecutive same-direction steps
+};
+
+const char* step_policy_name(StepPolicy p);
+
+struct TestWindowConfig {
+  /// P_HD,target.
+  double phd_target = 0.01;
+  /// T_start: initial estimation window (seconds).
+  sim::Duration t_start = 1.0;
+  /// Lower clamp for T_est (the paper fixes it to 1 s).
+  sim::Duration t_min = 1.0;
+  /// Step-size growth rule (see above).
+  StepPolicy step_policy = StepPolicy::kFixed;
+};
+
+class TestWindowController {
+ public:
+  explicit TestWindowController(TestWindowConfig config);
+
+  /// Feeds one observed hand-off into the cell. `dropped` flags a hand-off
+  /// drop; `t_soj_max` is the current T_soj,max bound from the adjacent
+  /// cells' estimation functions.
+  void on_handoff(bool dropped, sim::Duration t_soj_max);
+
+  sim::Duration t_est() const { return t_est_; }
+
+  // Introspection for tests and traces.
+  std::uint64_t window_size() const { return w_obs_; }
+  std::uint64_t handoffs_in_window() const { return n_h_; }
+  std::uint64_t drops_in_window() const { return n_hd_; }
+  std::uint64_t base_window() const { return w_; }
+
+ private:
+  /// Step size for the next move in `direction` (+1 = widen, -1 =
+  /// narrow), growing per the configured policy on consecutive
+  /// same-direction moves.
+  sim::Duration next_step(int direction);
+
+  TestWindowConfig config_;
+  std::uint64_t w_;      // W  = ceil(1 / P_HD,target)
+  std::uint64_t w_obs_;  // W_obs
+  std::uint64_t n_h_ = 0;
+  std::uint64_t n_hd_ = 0;
+  sim::Duration t_est_;
+  int last_direction_ = 0;
+  int streak_ = 0;
+};
+
+}  // namespace pabr::reservation

@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace pabr::sim {
+
+EventHandle EventQueue::schedule(Time when, Callback cb) {
+  PABR_CHECK(cb != nullptr, "scheduling a null callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  live_ids_.insert(id);
+  ++live_count_;
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  if (live_ids_.erase(handle.id_) == 0) return false;  // fired or cancelled
+  cancelled_.insert(handle.id_);
+  PABR_CHECK(live_count_ > 0, "cancel with no live events");
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::is_dead(const Entry& e) const {
+  return cancelled_.count(e.id) != 0;
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && is_dead(heap_.top())) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_dead();
+  PABR_CHECK(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().when;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  drop_dead();
+  PABR_CHECK(!heap_.empty(), "pop on empty queue");
+  Entry top = heap_.top();
+  heap_.pop();
+  live_ids_.erase(top.id);
+  PABR_CHECK(live_count_ > 0, "pop with live_count_ == 0");
+  --live_count_;
+  return {top.when, std::move(top.cb)};
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  live_ids_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace pabr::sim

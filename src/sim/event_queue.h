@@ -1,0 +1,90 @@
+// A cancellable priority queue of timestamped events.
+//
+// Ties are broken by insertion sequence number so that runs are fully
+// deterministic: two events scheduled for the same instant fire in the
+// order they were scheduled.
+//
+// Cancellation is lazy: `cancel` marks the entry dead and the queue drops
+// dead entries when they surface, which keeps `schedule` and `pop` at
+// O(log n) without a secondary index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pabr::sim {
+
+/// Identifies a scheduled event for cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `when`.
+  EventHandle schedule(Time when, Callback cb);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a no-op. Returns true when the event was
+  /// still pending.
+  bool cancel(EventHandle handle);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest pending event; undefined when empty.
+  Time next_time();
+
+  /// Removes and returns the earliest pending event.
+  /// Precondition: !empty().
+  std::pair<Time, Callback> pop();
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+  bool is_dead(const Entry& e) const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids still pending in the heap; an id leaves this set when it fires or
+  // is cancelled. Bounded by the number of pending events.
+  std::unordered_set<std::uint64_t> live_ids_;
+  // Cancelled ids whose heap entries have not surfaced yet.
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace pabr::sim

@@ -1,0 +1,60 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Rng::uniform01() {
+  // 53-bit mantissa construction keeps the stream platform-stable.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PABR_CHECK(lo <= hi, "uniform: inverted bounds");
+  return lo + (hi - lo) * uniform01();
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  PABR_CHECK(lo <= hi, "uniform_int: inverted bounds");
+  const auto span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  return lo + static_cast<int>(engine_() % span);
+}
+
+double Rng::exponential(double mean) {
+  PABR_CHECK(mean > 0.0, "exponential: non-positive mean");
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) {
+  PABR_CHECK(p >= 0.0 && p <= 1.0, "bernoulli: p out of [0,1]");
+  return uniform01() < p;
+}
+
+std::uint64_t derive_seed(std::uint64_t run_seed,
+                          std::string_view stream_name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (char c : stream_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return splitmix64(h ^ splitmix64(run_seed));
+}
+
+}  // namespace pabr::sim

@@ -1,0 +1,61 @@
+#include "sim/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+
+void Series::add(Time t, double v) {
+  PABR_CHECK(points_.empty() || t >= points_.back().t,
+             "Series: time went backwards");
+  points_.push_back(Point{t, v});
+}
+
+double Series::value_at(Time t, double fallback) const {
+  if (points_.empty() || t < points_.front().t) return fallback;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Time lhs, const Point& rhs) { return lhs < rhs.t; });
+  return std::prev(it)->v;
+}
+
+std::vector<Series::Point> Series::thinned(std::size_t max_points) const {
+  PABR_CHECK(max_points >= 2, "thinned: need at least two points");
+  if (points_.size() <= max_points) return points_;
+  std::vector<Point> out;
+  const std::size_t stride =
+      (points_.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < points_.size(); i += stride) {
+    out.push_back(points_[i]);
+  }
+  if (out.back().t != points_.back().t) out.push_back(points_.back());
+  return out;
+}
+
+BucketedSeries::BucketedSeries(std::string name, Duration bucket_width)
+    : name_(std::move(name)), width_(bucket_width) {
+  PABR_CHECK(bucket_width > 0.0, "BucketedSeries: non-positive width");
+}
+
+void BucketedSeries::add(Time t, double v) {
+  PABR_CHECK(t >= 0.0, "BucketedSeries: negative time");
+  const auto idx = static_cast<std::size_t>(std::floor(t / width_));
+  if (idx >= sums_.size()) sums_.resize(idx + 1, {0.0, 0});
+  sums_[idx].first += v;
+  sums_[idx].second += 1;
+}
+
+std::vector<BucketedSeries::Bucket> BucketedSeries::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    const auto& [sum, n] = sums_[i];
+    if (n == 0) continue;
+    out.push_back(Bucket{width_ * static_cast<double>(i),
+                         sum / static_cast<double>(n), n});
+  }
+  return out;
+}
+
+}  // namespace pabr::sim

@@ -1,0 +1,64 @@
+// Time-series recording for the paper's trace figures (Figs. 10, 11, 14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pabr::sim {
+
+/// An append-only (time, value) series.
+class Series {
+ public:
+  struct Point {
+    Time t;
+    double v;
+  };
+
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(Time t, double v);
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Last value at or before t; `fallback` when the series is empty or t
+  /// precedes the first sample.
+  double value_at(Time t, double fallback = 0.0) const;
+
+  /// Downsamples to at most `max_points` by keeping every k-th sample
+  /// (always keeping the last). Used when printing long traces.
+  std::vector<Point> thinned(std::size_t max_points) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// Aggregates samples into fixed-duration buckets and reports per-bucket
+/// means — the paper's Fig. 14(b) reports hourly-averaged probabilities.
+class BucketedSeries {
+ public:
+  BucketedSeries(std::string name, Duration bucket_width);
+
+  void add(Time t, double v);
+
+  struct Bucket {
+    Time start;
+    double mean;
+    std::uint64_t samples;
+  };
+  std::vector<Bucket> buckets() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Duration width_;
+  // bucket index -> (sum, count); indices are non-negative.
+  std::vector<std::pair<double, std::uint64_t>> sums_;
+};
+
+}  // namespace pabr::sim

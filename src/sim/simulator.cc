@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace pabr::sim {
+
+EventHandle Simulator::schedule_in(Duration delay, EventQueue::Callback cb) {
+  PABR_CHECK(delay >= 0.0, "negative scheduling delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(Time when, EventQueue::Callback cb) {
+  PABR_CHECK(when >= now_, "scheduling into the past");
+  return queue_.schedule(when, std::move(cb));
+}
+
+void Simulator::run_until(Time until) {
+  PABR_CHECK(until >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [when, cb] = queue_.pop();
+    PABR_CHECK(when >= now_, "event queue returned a past event");
+    now_ = when;
+    ++executed_;
+    cb();
+  }
+  now_ = until;
+}
+
+bool Simulator::step(Time limit) {
+  if (queue_.empty() || queue_.next_time() > limit) return false;
+  auto [when, cb] = queue_.pop();
+  PABR_CHECK(when >= now_, "event queue returned a past event");
+  now_ = when;
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0.0;
+  executed_ = 0;
+}
+
+}  // namespace pabr::sim

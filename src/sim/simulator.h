@@ -1,0 +1,54 @@
+// The discrete-event simulator: a clock plus an event queue.
+//
+// All model code schedules callbacks against a Simulator and reads the
+// current time through `now()`. The simulator never moves time backwards
+// and fires events in (time, scheduling order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace pabr::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Schedules `cb` after `delay` seconds (>= 0).
+  EventHandle schedule_in(Duration delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` at absolute time `when` (>= now()).
+  EventHandle schedule_at(Time when, EventQueue::Callback cb);
+
+  bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+  /// Runs events until the queue is empty or the next event is strictly
+  /// after `until`; the clock is then advanced to `until`.
+  void run_until(Time until);
+
+  /// Runs a single event if one is pending before `limit`; returns whether
+  /// an event fired.
+  bool step(Time limit = kInfiniteDuration);
+
+  /// Drops all pending events and resets the clock to 0.
+  void reset();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace pabr::sim

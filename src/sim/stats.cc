@@ -1,0 +1,75 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+
+void TimeWeightedMean::update(Time t, double value) {
+  PABR_CHECK(t >= last_time_, "TimeWeightedMean: time went backwards");
+  if (has_value_) {
+    integral_ += current_ * (t - last_time_);
+  } else {
+    // The signal is considered undefined before its first sample; start
+    // integrating from the first update so early zeros do not bias B_r.
+    start_ = t;
+    has_value_ = true;
+  }
+  last_time_ = t;
+  current_ = value;
+}
+
+double TimeWeightedMean::mean(Time t) const {
+  if (!has_value_ || t <= start_) return 0.0;
+  PABR_CHECK(t >= last_time_, "TimeWeightedMean: mean() before last update");
+  const double total = integral_ + current_ * (t - last_time_);
+  return total / (t - start_);
+}
+
+void TimeWeightedMean::reset(Time t) {
+  integral_ = 0.0;
+  current_ = 0.0;
+  last_time_ = t;
+  start_ = t;
+  has_value_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  PABR_CHECK(hi > lo, "Histogram: empty range");
+  PABR_CHECK(bins > 0, "Histogram: zero bins");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  auto idx = static_cast<long>(std::floor((x - lo_) / width));
+  idx = std::clamp(idx, 0L, static_cast<long>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  return bin_low(i + 1);
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  const auto idx = static_cast<std::size_t>((x - lo_) / width);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < idx; ++i) below += bins_[i];
+  const double frac = (x - bin_low(idx)) / width;
+  const double inside = static_cast<double>(bins_[idx]) * frac;
+  return (static_cast<double>(below) + inside) / static_cast<double>(total_);
+}
+
+}  // namespace pabr::sim

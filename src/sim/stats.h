@@ -1,0 +1,120 @@
+// Statistics primitives used to measure the paper's metrics:
+//   P_CB  — new-connection blocking probability   (RatioEstimator)
+//   P_HD  — hand-off dropping probability         (RatioEstimator)
+//   B_r   — average target reservation bandwidth  (TimeWeightedMean)
+//   B_u   — average bandwidth in use              (TimeWeightedMean)
+//   N_calc— mean B_r calculations per admission   (MeanAccumulator)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pabr::sim {
+
+/// Counts events of a named kind.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { count_ += n; }
+  std::uint64_t count() const { return count_; }
+  void reset() { count_ = 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Estimates P(event) = hits / trials. `value()` is 0 when no trials have
+/// been observed (matching how the paper's plots omit empty samples).
+class RatioEstimator {
+ public:
+  void trial(bool hit) {
+    ++trials_;
+    if (hit) ++hits_;
+  }
+  void add(std::uint64_t hits, std::uint64_t trials) {
+    hits_ += hits;
+    trials_ += trials;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t trials() const { return trials_; }
+  double value() const {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(hits_) /
+                              static_cast<double>(trials_);
+  }
+  void reset() { hits_ = trials_ = 0; }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+/// Running mean of a sampled quantity.
+class MeanAccumulator {
+ public:
+  void add(double x) {
+    sum_ += x;
+    ++n_;
+  }
+  std::uint64_t samples() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  void reset() {
+    sum_ = 0.0;
+    n_ = 0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+/// Integrates a piecewise-constant signal over simulated time and reports
+/// its time-weighted average. Call `update(t, v)` whenever the signal
+/// changes to value `v` at time `t`; `mean(t)` closes the last segment at
+/// `t`.
+class TimeWeightedMean {
+ public:
+  explicit TimeWeightedMean(Time start = 0.0)
+      : last_time_(start), start_(start) {}
+
+  void update(Time t, double value);
+
+  /// Time-weighted mean over [start, t]. 0 before any update.
+  double mean(Time t) const;
+
+  /// Current (last written) value of the signal.
+  double current() const { return current_; }
+
+  void reset(Time t);
+
+ private:
+  double integral_ = 0.0;
+  double current_ = 0.0;
+  Time last_time_;
+  Time start_;
+  bool has_value_ = false;
+};
+
+/// Histogram with fixed-width bins over [lo, hi); out-of-range samples are
+/// clamped into the edge bins. Used for sojourn-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Fraction of samples at or below x (linear interpolation inside bins).
+  double cdf(double x) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pabr::sim

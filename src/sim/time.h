@@ -1,0 +1,25 @@
+// Simulation time. The paper's quantities are all expressed in seconds
+// (sojourn times, T_est, connection lifetimes) so simulation time is a
+// double count of seconds since the start of the run.
+#pragma once
+
+namespace pabr::sim {
+
+/// Seconds since simulation start.
+using Time = double;
+
+/// A span of simulated seconds.
+using Duration = double;
+
+inline constexpr Duration kSecond = 1.0;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+/// T_day in the paper: the period of the daily traffic cycle.
+inline constexpr Duration kDay = 24.0 * kHour;
+inline constexpr Duration kWeek = 7.0 * kDay;
+
+/// Sentinel for "no deadline"/"infinite window" (T_int = inf in the
+/// stationary experiments of §5.2).
+inline constexpr Duration kInfiniteDuration = 1e300;
+
+}  // namespace pabr::sim

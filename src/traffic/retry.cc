@@ -1,0 +1,21 @@
+#include "traffic/retry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pabr::traffic {
+
+double RetryPolicy::retry_probability(int attempt) const {
+  PABR_CHECK(attempt >= 1, "attempt counter is 1-based");
+  if (!config_.enabled) return 0.0;
+  return std::max(0.0, 1.0 - config_.giveup_step * attempt);
+}
+
+bool RetryPolicy::should_retry(int attempt) {
+  const double p = retry_probability(attempt);
+  if (p <= 0.0) return false;
+  return rng_.bernoulli(p);
+}
+
+}  // namespace pabr::traffic

@@ -1,0 +1,41 @@
+// Blocked-call retry model of §5.3: "a blocked connection request will be
+// re-requested with probability 1 − 0.1·N_ret after waiting 5 seconds,
+// where N_ret is the number of times a connection request has been made."
+//
+// This creates the paper's positive-feedback effect: blocking inflates the
+// actual offered load L_a above the original load L_o.
+#pragma once
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace pabr::traffic {
+
+struct RetryConfig {
+  bool enabled = false;
+  sim::Duration wait_s = 5.0;
+  /// Per-attempt decrement of the retry probability (0.1 in the paper).
+  double giveup_step = 0.1;
+};
+
+class RetryPolicy {
+ public:
+  RetryPolicy(RetryConfig config, sim::Rng rng)
+      : config_(config), rng_(rng) {}
+
+  /// Decides whether a request blocked on its `attempt`-th try (1-based)
+  /// is re-issued. Draws from this policy's RNG stream.
+  bool should_retry(int attempt);
+
+  /// Probability that the `attempt`-th blocked try is re-issued.
+  double retry_probability(int attempt) const;
+
+  sim::Duration wait() const { return config_.wait_s; }
+  bool enabled() const { return config_.enabled; }
+
+ private:
+  RetryConfig config_;
+  sim::Rng rng_;
+};
+
+}  // namespace pabr::traffic

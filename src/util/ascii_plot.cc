@@ -1,0 +1,118 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pabr::plot {
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range x_range(const std::vector<Point>& pts) {
+  Range r{pts.front().x, pts.front().x};
+  for (const auto& p : pts) {
+    r.lo = std::min(r.lo, p.x);
+    r.hi = std::max(r.hi, p.x);
+  }
+  if (r.hi == r.lo) r.hi = r.lo + 1.0;
+  return r;
+}
+
+Range y_range(const std::vector<Point>& pts) {
+  Range r{pts.front().y, pts.front().y};
+  for (const auto& p : pts) {
+    r.lo = std::min(r.lo, p.y);
+    r.hi = std::max(r.hi, p.y);
+  }
+  if (r.hi == r.lo) r.hi = r.lo + 1.0;
+  return r;
+}
+
+std::string render(const std::vector<Point>& pts, const Canvas& canvas) {
+  PABR_CHECK(canvas.width >= 8 && canvas.height >= 4, "canvas too small");
+  if (pts.empty()) return "(no data)\n";
+
+  const Range xr = x_range(pts);
+  const Range yr = y_range(pts);
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(canvas.height),
+      std::string(static_cast<std::size_t>(canvas.width), ' '));
+
+  for (const auto& p : pts) {
+    const double fx = (p.x - xr.lo) / (xr.hi - xr.lo);
+    const double fy = (p.y - yr.lo) / (yr.hi - yr.lo);
+    auto col = static_cast<long>(std::lround(fx * (canvas.width - 1)));
+    auto row = static_cast<long>(
+        std::lround((1.0 - fy) * (canvas.height - 1)));
+    col = std::clamp(col, 0L, static_cast<long>(canvas.width) - 1);
+    row = std::clamp(row, 0L, static_cast<long>(canvas.height) - 1);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        p.glyph;
+  }
+
+  std::ostringstream os;
+  char buf[32];
+  if (!canvas.y_label.empty()) os << canvas.y_label << "\n";
+  for (int row = 0; row < canvas.height; ++row) {
+    if (row == 0) {
+      std::snprintf(buf, sizeof(buf), "%9.3g", yr.hi);
+      os << buf << " |";
+    } else if (row == canvas.height - 1) {
+      std::snprintf(buf, sizeof(buf), "%9.3g", yr.lo);
+      os << buf << " |";
+    } else {
+      os << "          |";
+    }
+    os << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << "          +" << std::string(static_cast<std::size_t>(canvas.width),
+                                     '-')
+     << "\n";
+  std::snprintf(buf, sizeof(buf), "%-.3g", xr.lo);
+  std::string footer = "          ";
+  footer += buf;
+  std::snprintf(buf, sizeof(buf), "%.3g", xr.hi);
+  const std::string hi_str = buf;
+  const std::size_t pad_to =
+      10 + static_cast<std::size_t>(canvas.width) - hi_str.size();
+  if (footer.size() < pad_to) footer += std::string(pad_to - footer.size(), ' ');
+  footer += hi_str;
+  os << footer;
+  if (!canvas.x_label.empty()) os << "  (" << canvas.x_label << ")";
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string scatter(const std::vector<Point>& points, const Canvas& canvas) {
+  return render(points, canvas);
+}
+
+std::string staircase(const std::vector<std::vector<Point>>& series,
+                      const Canvas& canvas) {
+  std::vector<Point> expanded;
+  for (const auto& s : series) {
+    if (s.empty()) continue;
+    // Densify each step so held values draw as horizontal runs.
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      const int steps = 8;
+      for (int k = 0; k < steps; ++k) {
+        const double f = static_cast<double>(k) / steps;
+        expanded.push_back(Point{
+            s[i].x + f * (s[i + 1].x - s[i].x), s[i].y, s[i].glyph});
+      }
+    }
+    expanded.push_back(s.back());
+  }
+  return render(expanded, canvas);
+}
+
+}  // namespace pabr::plot

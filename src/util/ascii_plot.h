@@ -1,0 +1,34 @@
+// Tiny ASCII scatter/staircase renderer so the trace benches (Figs. 4,
+// 10, 11, 14) can show shapes directly in the terminal, not just tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pabr::plot {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  char glyph = '*';
+};
+
+struct Canvas {
+  int width = 72;   ///< plot columns (excluding the axis gutter)
+  int height = 16;  ///< plot rows
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders points into a framed ASCII plot. Axis ranges come from the
+/// data (with optional overrides); y rows are labelled with min/max.
+/// Returns the plot as one newline-joined string.
+std::string scatter(const std::vector<Point>& points, const Canvas& canvas);
+
+/// Like scatter, but each series' points are connected as a staircase
+/// (previous value held until the next sample) before rendering — the
+/// natural rendering for T_est / B_r traces.
+std::string staircase(const std::vector<std::vector<Point>>& series,
+                      const Canvas& canvas);
+
+}  // namespace pabr::plot

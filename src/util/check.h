@@ -1,0 +1,40 @@
+// Assertion helpers used throughout the pabr library.
+//
+// PABR_CHECK(cond, msg) raises std::logic_error on violation; it is active
+// in all build types because the simulator's correctness (event ordering,
+// bandwidth accounting) must never silently degrade in release runs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pabr {
+
+/// Thrown when an internal invariant of the library is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PABR_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pabr
+
+#define PABR_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pabr::detail::check_failed(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                      \
+  } while (false)
+
+#define PABR_CHECK_OK(cond) PABR_CHECK(cond, std::string{})

@@ -1,0 +1,54 @@
+// CSV emission for experiment results. Bench binaries print tables on
+// stdout; optionally they also mirror rows into a CSV file so that plots
+// can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pabr::csv {
+
+/// Escapes a single field per RFC 4180 (quotes fields containing commas,
+/// quotes or newlines; doubles embedded quotes).
+std::string escape(const std::string& field);
+
+/// Joins pre-escaped or raw fields into one CSV line (no trailing newline).
+std::string join(const std::vector<std::string>& fields);
+
+/// Buffered CSV writer bound to a file. Writing is best-effort: a writer
+/// constructed with an empty path becomes a no-op sink so callers can
+/// unconditionally stream rows.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(const std::string& path);
+
+  /// True when rows are actually being persisted.
+  bool active() const { return out_.is_open(); }
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    (fields.push_back(format(values)), ...);
+    row(fields);
+  }
+
+  static std::string format(double v);
+  static std::string format(int v) { return std::to_string(v); }
+  static std::string format(long v) { return std::to_string(v); }
+  static std::string format(unsigned long v) { return std::to_string(v); }
+  static std::string format(unsigned long long v) { return std::to_string(v); }
+  static std::string format(const std::string& v) { return v; }
+  static std::string format(const char* v) { return v; }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace pabr::csv

@@ -1,0 +1,63 @@
+#include "util/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+namespace pabr::log {
+namespace {
+
+Level g_level = Level::kWarn;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+
+Level level() { return g_level; }
+
+bool set_level_by_name(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") {
+    g_level = Level::kTrace;
+  } else if (lower == "debug") {
+    g_level = Level::kDebug;
+  } else if (lower == "info") {
+    g_level = Level::kInfo;
+  } else if (lower == "warn") {
+    g_level = Level::kWarn;
+  } else if (lower == "error") {
+    g_level = Level::kError;
+  } else if (lower == "off") {
+    g_level = Level::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < g_level || g_level == Level::kOff) return;
+  std::cerr << '[' << level_name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace pabr::log

@@ -1,0 +1,56 @@
+// Minimal leveled logger. The simulator is deterministic and single
+// threaded, so the logger keeps no locks; output goes to stderr so that
+// bench binaries can print machine-readable tables on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pabr::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive).
+/// Returns false and leaves the level untouched on unknown names.
+bool set_level_by_name(const std::string& name);
+
+/// Emits one line "[LEVEL] message" to stderr if `level` passes the
+/// threshold.
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pabr::log
+
+#define PABR_LOG(lvl)                                      \
+  if (::pabr::log::level() <= ::pabr::log::Level::lvl)     \
+  ::pabr::log::detail::LineBuilder(::pabr::log::Level::lvl)
+
+#define PABR_TRACE PABR_LOG(kTrace)
+#define PABR_DEBUG PABR_LOG(kDebug)
+#define PABR_INFO PABR_LOG(kInfo)
+#define PABR_WARN PABR_LOG(kWarn)
+#define PABR_ERROR PABR_LOG(kError)

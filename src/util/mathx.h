@@ -1,0 +1,43 @@
+// Small numeric helpers shared by the statistics and estimation code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pabr::mathx {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]. Input need not be sorted
+/// (a sorted copy is made); 0 for an empty range.
+double percentile(std::span<const double> xs, double p);
+
+/// Half-width of the 95% normal-approximation confidence interval of the
+/// mean. 0 for fewer than 2 samples.
+double ci95_halfwidth(std::span<const double> xs);
+
+/// True when |a-b| <= tol, with tol interpreted absolutely.
+bool near(double a, double b, double tol);
+
+/// Clamps v into [lo, hi].
+double clamp(double v, double lo, double hi);
+
+/// x mod m with the result always in [0, m) even for negative x.
+double positive_fmod(double x, double m);
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (quantile function), p in (0, 1).
+/// Acklam's rational approximation, |relative error| < 1.2e-9.
+double inverse_normal_cdf(double p);
+
+}  // namespace pabr::mathx

@@ -1,0 +1,82 @@
+#include "wired/backbone.h"
+
+#include "util/check.h"
+
+namespace pabr::wired {
+
+Backbone::Backbone(int num_cells, BackboneConfig config)
+    : uplink_(-1, "msc-uplink", config.uplink_capacity_bu) {
+  PABR_CHECK(num_cells >= 1, "Backbone: no cells");
+  access_.reserve(static_cast<std::size_t>(num_cells));
+  reservation_.assign(static_cast<std::size_t>(num_cells), 0.0);
+  for (int c = 0; c < num_cells; ++c) {
+    access_.emplace_back(c, "access-" + std::to_string(c + 1),
+                         config.access_capacity_bu);
+  }
+}
+
+void Backbone::check_cell(geom::CellId cell) const {
+  PABR_CHECK(cell >= 0 &&
+                 cell < static_cast<geom::CellId>(access_.size()),
+             "Backbone: cell out of range");
+}
+
+bool Backbone::can_admit(geom::CellId cell, traffic::Bandwidth b) const {
+  check_cell(cell);
+  const Link& acc = access_[static_cast<std::size_t>(cell)];
+  const double br = reservation_[static_cast<std::size_t>(cell)];
+  // Eq. (1) on the wired access leg + plain fit on the shared uplink.
+  return acc.used() + static_cast<double>(b) <= acc.capacity() - br &&
+         uplink_.can_fit(b);
+}
+
+bool Backbone::can_handoff_into(geom::CellId cell,
+                                traffic::Bandwidth b) const {
+  check_cell(cell);
+  // Hand-offs may use the reserved wired bandwidth; the uplink leg is
+  // already held by the connection.
+  return access_[static_cast<std::size_t>(cell)].can_fit(b);
+}
+
+void Backbone::admit(geom::CellId cell, traffic::ConnectionId id,
+                     traffic::Bandwidth b) {
+  check_cell(cell);
+  access_[static_cast<std::size_t>(cell)].attach(id, b);
+  uplink_.attach(id, b);
+}
+
+void Backbone::reroute(geom::CellId from, geom::CellId to,
+                       traffic::ConnectionId id, traffic::Bandwidth b) {
+  check_cell(from);
+  check_cell(to);
+  access_[static_cast<std::size_t>(from)].detach(id);
+  access_[static_cast<std::size_t>(to)].attach(id, b);
+  // The uplink leg persists across the hand-off, but the held bandwidth
+  // may change under adaptive QoS.
+  uplink_.detach(id);
+  uplink_.attach(id, b);
+}
+
+void Backbone::release(geom::CellId cell, traffic::ConnectionId id) {
+  check_cell(cell);
+  access_[static_cast<std::size_t>(cell)].detach(id);
+  uplink_.detach(id);
+}
+
+void Backbone::set_reservation(geom::CellId cell, double br) {
+  check_cell(cell);
+  PABR_CHECK(br >= 0.0, "Backbone: negative reservation");
+  reservation_[static_cast<std::size_t>(cell)] = br;
+}
+
+double Backbone::reservation(geom::CellId cell) const {
+  check_cell(cell);
+  return reservation_[static_cast<std::size_t>(cell)];
+}
+
+const Link& Backbone::access(geom::CellId cell) const {
+  check_cell(cell);
+  return access_[static_cast<std::size_t>(cell)];
+}
+
+}  // namespace pabr::wired

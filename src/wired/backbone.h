@@ -1,0 +1,66 @@
+// The wired backbone of the star-MSC deployment (paper Fig. 1(a)): one
+// access link per base station up to the MSC, plus a shared MSC uplink to
+// the wide-area gateway. A connection served by cell c occupies the route
+// [access_c, uplink]; a hand-off from c to c' is re-routed by swapping
+// the access leg (the uplink leg is unchanged).
+//
+// The §7 integration point: "bandwidth reservation in the wired links
+// along the routes of hand-off connections" — the backbone accepts a
+// reservation target per access link (mirroring the cell's B_r, since the
+// same expected hand-ins will need wired capacity) which constrains NEW
+// admissions only, exactly like Eq. (1) on the air interface.
+#pragma once
+
+#include <vector>
+
+#include "geom/topology.h"
+#include "wired/link.h"
+
+namespace pabr::wired {
+
+struct BackboneConfig {
+  /// Capacity of each BS-to-MSC access link (BUs).
+  double access_capacity_bu = 100.0;
+  /// Capacity of the shared MSC uplink. Large by default: the paper's
+  /// bottleneck of interest is the access leg.
+  double uplink_capacity_bu = 1e9;
+};
+
+class Backbone {
+ public:
+  Backbone(int num_cells, BackboneConfig config);
+
+  /// Admission test for a NEW connection in cell c: both route legs must
+  /// fit after setting aside the access link's reservation target.
+  bool can_admit(geom::CellId cell, traffic::Bandwidth b) const;
+
+  /// Fit test for a HAND-OFF into cell c (reservation does not apply).
+  bool can_handoff_into(geom::CellId cell, traffic::Bandwidth b) const;
+
+  /// Occupies the route for a newly admitted connection.
+  void admit(geom::CellId cell, traffic::ConnectionId id,
+             traffic::Bandwidth b);
+
+  /// Re-routes a hand-off from `from` to `to` (access-leg swap).
+  void reroute(geom::CellId from, geom::CellId to, traffic::ConnectionId id,
+               traffic::Bandwidth b);
+
+  /// Releases the route of a departing/dropped/completed connection.
+  void release(geom::CellId cell, traffic::ConnectionId id);
+
+  /// Updates the wired reservation target of cell c's access link.
+  void set_reservation(geom::CellId cell, double br);
+  double reservation(geom::CellId cell) const;
+
+  const Link& access(geom::CellId cell) const;
+  const Link& uplink() const { return uplink_; }
+
+ private:
+  void check_cell(geom::CellId cell) const;
+
+  std::vector<Link> access_;
+  std::vector<double> reservation_;
+  Link uplink_;
+};
+
+}  // namespace pabr::wired

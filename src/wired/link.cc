@@ -1,0 +1,30 @@
+#include "wired/link.h"
+
+#include "util/check.h"
+
+namespace pabr::wired {
+
+Link::Link(LinkId id, std::string name, double capacity_bu)
+    : id_(id), name_(std::move(name)), capacity_(capacity_bu) {
+  PABR_CHECK(capacity_bu > 0.0, "Link: non-positive capacity");
+}
+
+void Link::attach(traffic::ConnectionId id, traffic::Bandwidth b) {
+  PABR_CHECK(b > 0, "Link: non-positive bandwidth");
+  PABR_CHECK(can_fit(b), "Link: attach exceeds capacity");
+  const auto [it, inserted] = by_id_.emplace(id, b);
+  PABR_CHECK(inserted, "Link: connection already attached");
+  (void)it;
+  used_ += static_cast<double>(b);
+}
+
+void Link::detach(traffic::ConnectionId id) {
+  const auto it = by_id_.find(id);
+  PABR_CHECK(it != by_id_.end(), "Link: detaching unknown connection");
+  used_ -= static_cast<double>(it->second);
+  PABR_CHECK(used_ >= -1e-9, "Link: negative used bandwidth");
+  if (used_ < 0.0) used_ = 0.0;
+  by_id_.erase(it);
+}
+
+}  // namespace pabr::wired

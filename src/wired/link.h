@@ -1,0 +1,47 @@
+// A wired backbone link with per-connection bandwidth accounting —
+// the wired-side counterpart of core::Cell. §2: "A connection runs
+// through multiple wired and wireless links, and hence, we need to
+// consider bandwidth reservation on both wireless and wired links for
+// hand-offs"; the paper confines its evaluation to the wireless link and
+// plans the wired part as future work (§7) — this module implements it.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "traffic/connection.h"
+
+namespace pabr::wired {
+
+using LinkId = int;
+
+class Link {
+ public:
+  Link(LinkId id, std::string name, double capacity_bu);
+
+  LinkId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+  double used() const { return used_; }
+  double free() const { return capacity_ - used_; }
+
+  bool can_fit(traffic::Bandwidth b) const {
+    return used_ + static_cast<double>(b) <= capacity_;
+  }
+
+  void attach(traffic::ConnectionId id, traffic::Bandwidth b);
+  void detach(traffic::ConnectionId id);
+  bool carries(traffic::ConnectionId id) const {
+    return by_id_.count(id) != 0;
+  }
+  int connection_count() const { return static_cast<int>(by_id_.size()); }
+
+ private:
+  LinkId id_;
+  std::string name_;
+  double capacity_;
+  double used_ = 0.0;
+  std::map<traffic::ConnectionId, traffic::Bandwidth> by_id_;
+};
+
+}  // namespace pabr::wired

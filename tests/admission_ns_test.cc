@@ -1,0 +1,151 @@
+// The Naghshineh-Schwartz distributed admission baseline (ref. [10]).
+#include "admission/ns_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace pabr::admission {
+namespace {
+
+/// 3-cell line 0 - 1 - 2 with scripted occupancy.
+class FakeContext final : public AdmissionContext {
+ public:
+  FakeContext() {
+    neighbors_[0] = {1};
+    neighbors_[1] = {0, 2};
+    neighbors_[2] = {1};
+    for (geom::CellId c : {0, 1, 2}) {
+      capacity_[c] = 100.0;
+      used_[c] = 0.0;
+    }
+  }
+  double capacity(geom::CellId c) const override { return capacity_.at(c); }
+  double used_bandwidth(geom::CellId c) const override {
+    return used_.at(c);
+  }
+  const std::vector<geom::CellId>& adjacent(geom::CellId c) const override {
+    return neighbors_.at(c);
+  }
+  double recompute_reservation(geom::CellId) override { return 0.0; }
+  double current_reservation(geom::CellId) const override { return 0.0; }
+
+  std::map<geom::CellId, double> capacity_;
+  std::map<geom::CellId, double> used_;
+  std::map<geom::CellId, std::vector<geom::CellId>> neighbors_;
+};
+
+NsConfig test_config() {
+  NsConfig cfg;
+  cfg.estimation_interval_s = 10.0;
+  cfg.overload_target = 0.01;
+  cfg.mean_sojourn_s = 36.0;
+  cfg.mean_lifetime_s = 120.0;
+  return cfg;
+}
+
+TEST(NsPolicyTest, ProbabilitiesFollowExponentialModel) {
+  NsPolicy p(test_config());
+  // p_stay = exp(-10/36) * exp(-10/120), p_move = (1 - exp(-10/36)) *
+  // exp(-10/120).
+  const double survive = std::exp(-10.0 / 120.0);
+  EXPECT_NEAR(p.p_stay(), std::exp(-10.0 / 36.0) * survive, 1e-12);
+  EXPECT_NEAR(p.p_move(), (1.0 - std::exp(-10.0 / 36.0)) * survive, 1e-12);
+  EXPECT_NEAR(p.p_stay() + p.p_move(), survive, 1e-12);
+  EXPECT_NEAR(p.z_score(), mathx::inverse_normal_cdf(0.99), 1e-12);
+}
+
+TEST(NsPolicyTest, EmptySystemAdmits) {
+  NsPolicy p(test_config());
+  FakeContext ctx;
+  EXPECT_TRUE(p.admit(ctx, 1, 4));
+}
+
+TEST(NsPolicyTest, EstimateCountsResidentsAndNeighbors) {
+  NsPolicy p(test_config());
+  FakeContext ctx;
+  ctx.used_[1] = 50.0;
+  ctx.used_[0] = 40.0;
+  ctx.used_[2] = 20.0;
+  const auto e = p.estimate(ctx, 1);
+  // Cells 0 and 2 have one neighbour each (cell 1), so their full p_move
+  // flows toward cell 1.
+  const double expected_mean =
+      50.0 * p.p_stay() + (40.0 + 20.0) * p.p_move();
+  EXPECT_NEAR(e.mean, expected_mean, 1e-9);
+  EXPECT_GT(e.variance, 0.0);
+}
+
+TEST(NsPolicyTest, RejectsWhenNeighborhoodSaturated) {
+  NsPolicy p(test_config());
+  FakeContext ctx;
+  ctx.used_[0] = 100.0;
+  ctx.used_[1] = 98.0;
+  ctx.used_[2] = 100.0;
+  EXPECT_FALSE(p.admit(ctx, 1, 4));
+}
+
+TEST(NsPolicyTest, RejectsWhenAdmissionWouldSwampNeighbor) {
+  NsPolicy p(test_config());
+  FakeContext ctx;
+  // Cell 0 is fine on its own, but its only neighbour cell 1 is loaded
+  // and fed by a loaded cell 2.
+  ctx.used_[0] = 10.0;
+  ctx.used_[1] = 96.0;
+  ctx.used_[2] = 100.0;
+  EXPECT_FALSE(p.admit(ctx, 0, 4));
+}
+
+TEST(NsPolicyTest, SafetyMarginScalesWithTarget) {
+  NsConfig strict = test_config();
+  strict.overload_target = 1e-4;
+  NsConfig loose = test_config();
+  loose.overload_target = 0.1;
+  NsPolicy p_strict(strict);
+  NsPolicy p_loose(loose);
+  EXPECT_GT(p_strict.z_score(), p_loose.z_score());
+
+  // A mid-loaded system: the strict policy rejects first.
+  FakeContext ctx;
+  ctx.used_[0] = 75.0;
+  ctx.used_[1] = 75.0;
+  ctx.used_[2] = 75.0;
+  const bool loose_admits = p_loose.admit(ctx, 1, 4);
+  const bool strict_admits = p_strict.admit(ctx, 1, 4);
+  EXPECT_TRUE(loose_admits || !strict_admits);
+  EXPECT_TRUE(loose_admits);
+  EXPECT_FALSE(strict_admits);
+}
+
+TEST(NsPolicyTest, LongerIntervalIsMoreConservative) {
+  NsConfig short_t = test_config();
+  short_t.estimation_interval_s = 2.0;
+  NsConfig long_t = test_config();
+  long_t.estimation_interval_s = 30.0;
+  // More of the neighbours' mass is expected to arrive over a longer T.
+  EXPECT_GT(NsPolicy(long_t).p_move(), NsPolicy(short_t).p_move());
+}
+
+TEST(NsPolicyTest, ConfigValidation) {
+  NsConfig bad = test_config();
+  bad.estimation_interval_s = 0.0;
+  EXPECT_THROW(NsPolicy{bad}, InvariantError);
+  NsConfig bad2 = test_config();
+  bad2.overload_target = 1.0;
+  EXPECT_THROW(NsPolicy{bad2}, InvariantError);
+}
+
+TEST(NsPolicyTest, FactoryIntegration) {
+  NsConfig cfg = test_config();
+  auto p = make_policy(PolicyKind::kNsDca, 0.0, &cfg);
+  EXPECT_EQ(p->name(), "NS-DCA");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kNsDca), "NS-DCA");
+}
+
+}  // namespace
+}  // namespace pabr::admission

@@ -1,0 +1,220 @@
+// Admission policies exercised against a scripted fake AdmissionContext,
+// verifying both the accept/reject decisions (Table 1) and exactly which
+// cells are asked to recompute B_r (the N_calc cost model of Fig. 13).
+#include "admission/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "admission/static_policy.h"
+#include "util/check.h"
+
+namespace pabr::admission {
+namespace {
+
+/// A 3-cell line: 0 - 1 - 2 with cell 1 in the middle; capacities and
+/// occupancies are scripted, and recompute_reservation returns a scripted
+/// fresh value while current_reservation returns a scripted stale value.
+class FakeContext final : public AdmissionContext {
+ public:
+  FakeContext() {
+    neighbors_[0] = {1};
+    neighbors_[1] = {0, 2};
+    neighbors_[2] = {1};
+  }
+
+  double capacity(geom::CellId cell) const override {
+    return capacity_.at(cell);
+  }
+  double used_bandwidth(geom::CellId cell) const override {
+    return used_.at(cell);
+  }
+  const std::vector<geom::CellId>& adjacent(
+      geom::CellId cell) const override {
+    return neighbors_.at(cell);
+  }
+  double recompute_reservation(geom::CellId cell) override {
+    recomputed.push_back(cell);
+    stale_[cell] = fresh_.at(cell);
+    return fresh_.at(cell);
+  }
+  double current_reservation(geom::CellId cell) const override {
+    return stale_.at(cell);
+  }
+
+  void set(geom::CellId cell, double cap, double used, double fresh_br,
+           double stale_br) {
+    capacity_[cell] = cap;
+    used_[cell] = used;
+    fresh_[cell] = fresh_br;
+    stale_[cell] = stale_br;
+  }
+
+  std::vector<geom::CellId> recomputed;
+
+ private:
+  std::map<geom::CellId, double> capacity_;
+  std::map<geom::CellId, double> used_;
+  std::map<geom::CellId, double> fresh_;
+  std::map<geom::CellId, double> stale_;
+  std::map<geom::CellId, std::vector<geom::CellId>> neighbors_;
+};
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest() {
+    // Default: plenty of room everywhere, B_r = 10 fresh and stale.
+    ctx_.set(0, 100, 50, 10, 10);
+    ctx_.set(1, 100, 50, 10, 10);
+    ctx_.set(2, 100, 50, 10, 10);
+  }
+  FakeContext ctx_;
+};
+
+// ---- AC1 --------------------------------------------------------------
+
+TEST_F(AdmissionTest, Ac1AdmitsWhenEq1Holds) {
+  auto p = make_policy(PolicyKind::kAc1);
+  // 50 + 4 <= 100 - 10.
+  EXPECT_TRUE(p->admit(ctx_, 1, 4));
+  EXPECT_EQ(ctx_.recomputed, (std::vector<geom::CellId>{1}));
+}
+
+TEST_F(AdmissionTest, Ac1RejectsWhenReservationSqueezes) {
+  ctx_.set(1, 100, 88, 10, 0);
+  auto p = make_policy(PolicyKind::kAc1);
+  // 88 + 4 > 100 - 10.
+  EXPECT_FALSE(p->admit(ctx_, 1, 4));
+}
+
+TEST_F(AdmissionTest, Ac1BoundaryExactFitAdmits) {
+  ctx_.set(1, 100, 86, 10, 10);
+  auto p = make_policy(PolicyKind::kAc1);
+  // 86 + 4 == 100 - 10: Eq. (1) is <=, so admit.
+  EXPECT_TRUE(p->admit(ctx_, 1, 4));
+}
+
+TEST_F(AdmissionTest, Ac1IgnoresNeighborsEntirely) {
+  ctx_.set(0, 100, 100, 50, 50);  // neighbour saturated
+  ctx_.set(2, 100, 100, 50, 50);
+  auto p = make_policy(PolicyKind::kAc1);
+  EXPECT_TRUE(p->admit(ctx_, 1, 1));
+  EXPECT_EQ(ctx_.recomputed, (std::vector<geom::CellId>{1}));
+}
+
+// ---- AC2 --------------------------------------------------------------
+
+TEST_F(AdmissionTest, Ac2RecomputesAllNeighborsAlways) {
+  auto p = make_policy(PolicyKind::kAc2);
+  EXPECT_TRUE(p->admit(ctx_, 1, 4));
+  EXPECT_EQ(ctx_.recomputed, (std::vector<geom::CellId>{0, 2, 1}));
+}
+
+TEST_F(AdmissionTest, Ac2RejectsWhenNeighborCannotReserve) {
+  // Neighbour 0 cannot hold its fresh target: used 95 > 100 - 10.
+  ctx_.set(0, 100, 95, 10, 10);
+  auto p = make_policy(PolicyKind::kAc2);
+  EXPECT_FALSE(p->admit(ctx_, 1, 1));
+  // Still recomputed everything (messaging happens upfront).
+  EXPECT_EQ(ctx_.recomputed.size(), 3u);
+}
+
+TEST_F(AdmissionTest, Ac2RejectsOnOwnCellToo) {
+  ctx_.set(1, 100, 96, 10, 10);
+  auto p = make_policy(PolicyKind::kAc2);
+  EXPECT_FALSE(p->admit(ctx_, 1, 4));
+}
+
+TEST_F(AdmissionTest, Ac2NeighborExactFitPasses) {
+  ctx_.set(0, 100, 90, 10, 10);  // 90 <= 100 - 10 exactly
+  auto p = make_policy(PolicyKind::kAc2);
+  EXPECT_TRUE(p->admit(ctx_, 1, 1));
+}
+
+// ---- AC3 --------------------------------------------------------------
+
+TEST_F(AdmissionTest, Ac3SkipsHealthyNeighbors) {
+  auto p = make_policy(PolicyKind::kAc3);
+  // Stale targets fit: used 50 + stale 10 <= 100 in both neighbours, so
+  // only the current cell recomputes (N_calc = 1).
+  EXPECT_TRUE(p->admit(ctx_, 1, 4));
+  EXPECT_EQ(ctx_.recomputed, (std::vector<geom::CellId>{1}));
+}
+
+TEST_F(AdmissionTest, Ac3RecomputesOnlySuspectNeighbors) {
+  // Neighbour 0 appears over-committed: used 95 + stale 10 > 100. Fresh
+  // recomputation says B_r = 3, and 95 <= 100 - 3 fails -> reject? 95 >
+  // 97 is false, so it passes.
+  ctx_.set(0, 100, 95, 3.0, 10.0);
+  auto p = make_policy(PolicyKind::kAc3);
+  EXPECT_TRUE(p->admit(ctx_, 1, 4));
+  EXPECT_EQ(ctx_.recomputed, (std::vector<geom::CellId>{0, 1}));
+}
+
+TEST_F(AdmissionTest, Ac3RejectsWhenSuspectNeighborConfirmedOverloaded) {
+  // Neighbour 0: used 95 + stale 10 > 100, fresh B_r = 8 -> 95 > 92.
+  ctx_.set(0, 100, 95, 8.0, 10.0);
+  auto p = make_policy(PolicyKind::kAc3);
+  EXPECT_FALSE(p->admit(ctx_, 1, 4));
+}
+
+TEST_F(AdmissionTest, Ac3ParticipationUsesStaleNotFresh) {
+  // Stale B_r = 0 hides neighbour 0's pressure (used 99, fresh 20): the
+  // participation test (99 + 0 <= 100) passes, so it is NOT recomputed.
+  ctx_.set(0, 100, 99, 20.0, 0.0);
+  auto p = make_policy(PolicyKind::kAc3);
+  EXPECT_TRUE(p->admit(ctx_, 1, 1));
+  EXPECT_EQ(ctx_.recomputed, (std::vector<geom::CellId>{1}));
+}
+
+TEST_F(AdmissionTest, Ac3UpdatesStaleTargetWhenRecomputing) {
+  ctx_.set(0, 100, 95, 3.0, 10.0);
+  auto p = make_policy(PolicyKind::kAc3);
+  EXPECT_TRUE(p->admit(ctx_, 1, 1));
+  // B_r^curr of neighbour 0 was refreshed to 3 by the recomputation.
+  EXPECT_DOUBLE_EQ(ctx_.current_reservation(0), 3.0);
+}
+
+TEST_F(AdmissionTest, Ac3OwnCellTestStillApplies) {
+  ctx_.set(1, 100, 96, 10, 10);
+  auto p = make_policy(PolicyKind::kAc3);
+  EXPECT_FALSE(p->admit(ctx_, 1, 4));
+}
+
+// ---- Static -------------------------------------------------------------
+
+TEST_F(AdmissionTest, StaticUsesFixedG) {
+  auto p = make_policy(PolicyKind::kStatic, 10.0);
+  ctx_.set(1, 100, 86, 0, 0);
+  EXPECT_TRUE(p->admit(ctx_, 1, 4));   // 86 + 4 <= 90
+  ctx_.set(1, 100, 87, 0, 0);
+  EXPECT_FALSE(p->admit(ctx_, 1, 4));  // 87 + 4 > 90
+  EXPECT_TRUE(ctx_.recomputed.empty());
+}
+
+TEST_F(AdmissionTest, StaticZeroGReservesNothing) {
+  auto p = make_policy(PolicyKind::kStatic, 0.0);
+  ctx_.set(1, 100, 99, 0, 0);
+  EXPECT_TRUE(p->admit(ctx_, 1, 1));
+}
+
+TEST(StaticPolicyTest, NameIncludesG) {
+  StaticPolicy p(10.0);
+  EXPECT_NE(p.name().find("10"), std::string::npos);
+  EXPECT_THROW(StaticPolicy(-1.0), InvariantError);
+}
+
+// ---- Factory --------------------------------------------------------------
+
+TEST(PolicyFactoryTest, NamesAndKinds) {
+  EXPECT_EQ(make_policy(PolicyKind::kAc1)->name(), "AC1");
+  EXPECT_EQ(make_policy(PolicyKind::kAc2)->name(), "AC2");
+  EXPECT_EQ(make_policy(PolicyKind::kAc3)->name(), "AC3");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kAc3), "AC3");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kStatic), "Static");
+}
+
+}  // namespace
+}  // namespace pabr::admission

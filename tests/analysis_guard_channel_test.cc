@@ -1,0 +1,138 @@
+#include "analysis/guard_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace pabr::analysis {
+namespace {
+
+TEST(ErlangBTest, KnownTableValues) {
+  // Classic Erlang-B table entries.
+  EXPECT_NEAR(erlang_b(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2, 1.0), 0.2, 1e-12);
+  EXPECT_NEAR(erlang_b(5, 3.0), 0.11005, 1e-4);
+  EXPECT_NEAR(erlang_b(10, 5.0), 0.018385, 1e-5);
+}
+
+TEST(ErlangBTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(erlang_b(0, 5.0), 1.0);   // no servers: always blocked
+  EXPECT_DOUBLE_EQ(erlang_b(10, 0.0), 0.0);  // no traffic: never blocked
+  EXPECT_THROW(erlang_b(-1, 1.0), InvariantError);
+}
+
+TEST(ErlangBTest, MonotoneInLoadAndServers) {
+  double last = 0.0;
+  for (double a : {1.0, 5.0, 20.0, 50.0, 100.0}) {
+    const double b = erlang_b(20, a);
+    EXPECT_GE(b, last);
+    last = b;
+  }
+  EXPECT_LT(erlang_b(30, 20.0), erlang_b(20, 20.0));
+}
+
+TEST(BirthDeathTest, DistributionSumsToOne) {
+  const auto pi = birth_death_distribution(100, 90, 2.0, 0.5, 0.04);
+  EXPECT_EQ(pi.size(), 101u);
+  const double sum = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (double x : pi) EXPECT_GE(x, 0.0);
+}
+
+TEST(BirthDeathTest, ZeroHandoffRateTruncatesAtThreshold) {
+  const auto pi = birth_death_distribution(10, 5, 1.0, 0.0, 1.0);
+  for (int n = 6; n <= 10; ++n) {
+    EXPECT_DOUBLE_EQ(pi[static_cast<std::size_t>(n)], 0.0);
+  }
+  EXPECT_GT(pi[5], 0.0);
+}
+
+TEST(BirthDeathTest, NoThresholdReducesToErlangDistribution) {
+  // threshold == servers: a plain M/M/C/C chain; blocking state mass
+  // equals Erlang-B.
+  const int c = 20;
+  const double lambda = 0.8;
+  const double mu = 0.05;
+  const auto pi = birth_death_distribution(c, c, lambda, lambda, mu);
+  EXPECT_NEAR(pi[static_cast<std::size_t>(c)], erlang_b(c, lambda / mu),
+              1e-10);
+}
+
+TEST(ResidenceTest, HandoffResidenceIsTwiceNewResidence) {
+  GuardChannelParams p;
+  EXPECT_NEAR(mean_residence_handoff_s(p), 2.0 * mean_residence_new_s(p),
+              1e-12);
+}
+
+TEST(ResidenceTest, PaperHighMobilityNumbers) {
+  GuardChannelParams p;  // [80,120] km/h, 1 km cell
+  // E[1/V] = ln(120/80)/40 h/km = 36.486 s/km -> full cell ~36.5 s.
+  EXPECT_NEAR(mean_residence_handoff_s(p), 36.486, 0.01);
+}
+
+TEST(GuardChannelTest, FixedPointConverges) {
+  GuardChannelParams p;
+  p.lambda_new = 100.0 / 120.0;  // offered load 100 (voice-only)
+  const auto r = evaluate(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.lambda_h, 0.0);
+  EXPECT_GE(r.pcb, 0.0);
+  EXPECT_LE(r.pcb, 1.0);
+  EXPECT_LE(r.phd, r.pcb);  // guard channels prioritize hand-offs
+}
+
+TEST(GuardChannelTest, GuardChannelsTradeBlockingForDrops) {
+  GuardChannelParams base;
+  base.lambda_new = 150.0 / 120.0;
+  base.guard_bu = 0.0;
+  const auto no_guard = evaluate(base);
+  base.guard_bu = 10.0;
+  const auto guarded = evaluate(base);
+  EXPECT_LT(guarded.phd, no_guard.phd);  // fewer hand-off drops
+  EXPECT_GT(guarded.pcb, no_guard.pcb);  // more new-call blocking
+}
+
+TEST(GuardChannelTest, ZeroGuardEqualizesBlockingAndDropping) {
+  GuardChannelParams p;
+  p.guard_bu = 0.0;
+  p.lambda_new = 120.0 / 120.0;
+  const auto r = evaluate(p);
+  EXPECT_NEAR(r.pcb, r.phd, 1e-9);
+}
+
+TEST(GuardChannelTest, BlockingGrowsWithLoad) {
+  GuardChannelParams p;
+  double last_pcb = -1.0;
+  for (double load : {60.0, 100.0, 150.0, 200.0, 300.0}) {
+    p.lambda_new = load / 120.0;
+    const auto r = evaluate(p);
+    EXPECT_GT(r.pcb, last_pcb) << "load " << load;
+    last_pcb = r.pcb;
+  }
+}
+
+TEST(GuardChannelTest, LowMobilityDropsLessThanHighMobility) {
+  GuardChannelParams p;
+  p.lambda_new = 200.0 / 120.0;
+  const auto high = evaluate(p);
+  p.speed_min_kmh = 40.0;
+  p.speed_max_kmh = 60.0;
+  const auto low = evaluate(p);
+  // Slower mobiles hand off less often -> lower hand-off pressure.
+  EXPECT_LT(low.lambda_h, high.lambda_h);
+  EXPECT_LT(low.phd, high.phd);
+}
+
+TEST(GuardChannelTest, ParameterValidation) {
+  GuardChannelParams p;
+  p.guard_bu = 200.0;
+  EXPECT_THROW(evaluate(p), InvariantError);
+  GuardChannelParams p2;
+  p2.lambda_new = -1.0;
+  EXPECT_THROW(evaluate(p2), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::analysis

@@ -1,0 +1,128 @@
+#include "backhaul/network.h"
+#include "backhaul/signaling.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/linear_topology.h"
+#include "util/check.h"
+
+namespace pabr::backhaul {
+namespace {
+
+TEST(InterconnectTest, StarRoutesViaMscTwoHops) {
+  InterconnectModel m(InterconnectKind::kStarMsc);
+  EXPECT_EQ(m.hops_between(0, 1), 2);
+  EXPECT_EQ(m.hops_between(3, 9), 2);
+  EXPECT_EQ(m.hops_between(4, 4), 0);
+}
+
+TEST(InterconnectTest, FullMeshIsOneHop) {
+  InterconnectModel m(InterconnectKind::kFullyConnected);
+  EXPECT_EQ(m.hops_between(0, 1), 1);
+  EXPECT_EQ(m.hops_between(4, 4), 0);
+}
+
+TEST(InterconnectTest, LatencyScalesWithHops) {
+  InterconnectModel star(InterconnectKind::kStarMsc, 0.005);
+  InterconnectModel mesh(InterconnectKind::kFullyConnected, 0.005);
+  EXPECT_DOUBLE_EQ(star.latency_between(0, 1), 0.010);
+  EXPECT_DOUBLE_EQ(mesh.latency_between(0, 1), 0.005);
+}
+
+TEST(InterconnectTest, RecordAccumulatesByType) {
+  InterconnectModel m(InterconnectKind::kStarMsc);
+  m.record(0, 1, MessageType::kBandwidthQuery);
+  m.record(1, 0, MessageType::kBandwidthReply);
+  m.record(0, 1, MessageType::kBandwidthQuery);
+  EXPECT_EQ(m.messages(MessageType::kBandwidthQuery), 2u);
+  EXPECT_EQ(m.messages(MessageType::kBandwidthReply), 1u);
+  EXPECT_EQ(m.messages(MessageType::kHandoffSignal), 0u);
+  EXPECT_EQ(m.total_messages(), 3u);
+  EXPECT_EQ(m.total_hops(), 6u);  // 3 messages x 2 hops
+}
+
+TEST(InterconnectTest, ResetClearsCounters) {
+  InterconnectModel m(InterconnectKind::kFullyConnected);
+  m.record(0, 1, MessageType::kHandoffSignal);
+  m.reset();
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_EQ(m.total_hops(), 0u);
+}
+
+TEST(InterconnectTest, DescribeAndNames) {
+  EXPECT_NE(InterconnectModel(InterconnectKind::kStarMsc).describe().find(
+                "MSC"),
+            std::string::npos);
+  EXPECT_STREQ(message_type_name(MessageType::kBandwidthQuery),
+               "bandwidth_query");
+}
+
+class SignalingTest : public ::testing::Test {
+ protected:
+  geom::LinearTopology road_{10, 1.0, true};
+  InterconnectModel net_{InterconnectKind::kFullyConnected};
+  SignalingAccountant acc_{road_, &net_};
+};
+
+TEST_F(SignalingTest, NCalcAveragesPerAdmission) {
+  acc_.begin_admission();
+  acc_.record_br_calculation(0);
+  acc_.end_admission();
+
+  acc_.begin_admission();
+  acc_.record_br_calculation(0);
+  acc_.record_br_calculation(1);
+  acc_.record_br_calculation(9);
+  acc_.end_admission();
+
+  EXPECT_DOUBLE_EQ(acc_.n_calc(), 2.0);  // (1 + 3) / 2
+  EXPECT_EQ(acc_.admissions_observed(), 2u);
+  EXPECT_EQ(acc_.total_br_calculations(), 4u);
+}
+
+TEST_F(SignalingTest, EachCalculationSignalsAllNeighbors) {
+  acc_.begin_admission();
+  acc_.record_br_calculation(5);
+  acc_.end_admission();
+  // 2 neighbours x (announce + query + reply).
+  EXPECT_EQ(net_.total_messages(), 6u);
+  EXPECT_EQ(net_.messages(MessageType::kTestWindowAnnounce), 2u);
+  EXPECT_EQ(net_.messages(MessageType::kBandwidthQuery), 2u);
+  EXPECT_EQ(net_.messages(MessageType::kBandwidthReply), 2u);
+}
+
+TEST_F(SignalingTest, CalculationOutsideAdmissionCountsTotalOnly) {
+  acc_.record_br_calculation(3);
+  EXPECT_EQ(acc_.total_br_calculations(), 1u);
+  EXPECT_EQ(acc_.admissions_observed(), 0u);
+  EXPECT_DOUBLE_EQ(acc_.n_calc(), 0.0);
+}
+
+TEST_F(SignalingTest, NestedBeginThrows) {
+  acc_.begin_admission();
+  EXPECT_THROW(acc_.begin_admission(), InvariantError);
+}
+
+TEST_F(SignalingTest, EndWithoutBeginThrows) {
+  EXPECT_THROW(acc_.end_admission(), InvariantError);
+}
+
+TEST_F(SignalingTest, NullInterconnectIsAllowed) {
+  SignalingAccountant acc(road_, nullptr);
+  acc.begin_admission();
+  acc.record_br_calculation(0);
+  acc.end_admission();
+  EXPECT_DOUBLE_EQ(acc.n_calc(), 1.0);
+}
+
+TEST_F(SignalingTest, ResetZeroesEverything) {
+  acc_.begin_admission();
+  acc_.record_br_calculation(0);
+  acc_.end_admission();
+  acc_.reset();
+  EXPECT_DOUBLE_EQ(acc_.n_calc(), 0.0);
+  EXPECT_EQ(acc_.total_br_calculations(), 0u);
+}
+
+}  // namespace
+}  // namespace pabr::backhaul

@@ -1,0 +1,191 @@
+// Adaptive-QoS (§1) and CDMA soft-capacity (§7) extension behaviour.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+SystemConfig quiet_config() {
+  SystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kStatic;
+  cfg.static_g = 0.0;
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  return cfg;
+}
+
+traffic::ConnectionRequest make_request(
+    traffic::ConnectionId id, geom::CellId cell, double pos, int dir,
+    double speed,
+    traffic::ServiceClass svc = traffic::ServiceClass::kVideo,
+    double lifetime = 1e6) {
+  traffic::ConnectionRequest r;
+  r.id = id;
+  r.cell = cell;
+  r.position_km = pos;
+  r.direction = dir;
+  r.speed_kmh = speed;
+  r.service = svc;
+  r.lifetime_s = lifetime;
+  return r;
+}
+
+void fill_cell(CellularSystem& sys, geom::CellId cell, int voice_count,
+               traffic::ConnectionId base_id = 1000) {
+  for (int i = 0; i < voice_count; ++i) {
+    ASSERT_TRUE(sys.submit_request(make_request(
+        base_id + static_cast<traffic::ConnectionId>(i), cell,
+        static_cast<double>(cell) + 0.5, +1, 0.0,
+        traffic::ServiceClass::kVoice)));
+  }
+}
+
+// ---- Adaptive QoS -----------------------------------------------------
+
+TEST(AdaptiveQosTest, VideoHandoffDegradesInsteadOfDropping) {
+  SystemConfig cfg = quiet_config();
+  cfg.adaptive_qos = true;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 97);  // 3 BU free: a 4-BU video cannot fit, 2 BU can
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));
+  sys.run_for(10.0);
+  // Not dropped: degraded to the 2-BU minimum.
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 0u);
+  EXPECT_EQ(sys.cell_metrics(4).degrades.count(), 1u);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 99.0);  // 97 + 2
+  EXPECT_EQ(sys.active_connections(), 98u);
+}
+
+TEST(AdaptiveQosTest, WithoutAdaptiveQosSameHandoffDrops) {
+  SystemConfig cfg = quiet_config();
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 97);
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));
+  sys.run_for(10.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).degrades.count(), 0u);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 97.0);
+}
+
+TEST(AdaptiveQosTest, DegradedVideoUpgradesInRoomyCell) {
+  SystemConfig cfg = quiet_config();
+  cfg.adaptive_qos = true;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 97);
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));
+  sys.run_for(10.0);  // degraded into cell 4 (2 BU)
+  ASSERT_EQ(sys.cell_metrics(4).degrades.count(), 1u);
+  // Cell 5 is empty: the next hand-off restores full QoS.
+  sys.run_for(40.0);
+  EXPECT_EQ(sys.cell_metrics(5).upgrades.count(), 1u);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(5), 4.0);
+}
+
+TEST(AdaptiveQosTest, VoiceCannotDegrade) {
+  SystemConfig cfg = quiet_config();
+  cfg.adaptive_qos = true;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 100);  // completely full
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0,
+                                  traffic::ServiceClass::kVoice));
+  sys.run_for(10.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);  // dropped
+  EXPECT_EQ(sys.cell_metrics(4).degrades.count(), 0u);
+}
+
+TEST(AdaptiveQosTest, FullCellStillDropsEvenWithAdaptiveQos) {
+  SystemConfig cfg = quiet_config();
+  cfg.adaptive_qos = true;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 99);  // 1 BU free < video minimum of 2
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));
+  sys.run_for(10.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+}
+
+TEST(AdaptiveQosTest, ReservationUsesMinimumQos) {
+  SystemConfig cfg = quiet_config();
+  cfg.policy = admission::PolicyKind::kAc1;
+  cfg.adaptive_qos = true;
+  cfg.t_start = 100.0;
+  CellularSystem sys(cfg);
+  // A full-QoS video connection in cell 1 with certain hand-off history.
+  sys.submit_request(make_request(1, 1, 1.5, +1, 0.0));
+  sys.run_for(1.0);
+  sys.base_station(1).estimator().record({sys.now(), 1, 0, 30.0});
+  // §1: reserve based on the minimum QoS (2 BU), not the granted 4 BU.
+  EXPECT_NEAR(sys.recompute_reservation(0), 2.0, 1e-9);
+}
+
+TEST(AdaptiveQosTest, SystemStatusAggregatesDegrades) {
+  SystemConfig cfg = quiet_config();
+  cfg.adaptive_qos = true;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 97);
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));
+  sys.run_for(50.0);
+  const auto s = sys.system_status();
+  EXPECT_EQ(s.degrades, 1u);
+  EXPECT_EQ(s.upgrades, 1u);  // restored when entering empty cell 5
+}
+
+// ---- Soft capacity ------------------------------------------------------
+
+TEST(SoftCapacityTest, HandoffMayStretchPastHardCapacity) {
+  SystemConfig cfg = quiet_config();
+  cfg.soft_capacity_margin = 0.05;  // hand-offs may reach 105 BU
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 100);
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));
+  sys.run_for(10.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 0u);  // absorbed, not dropped
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 104.0);
+  EXPECT_TRUE(sys.cell(4).overloaded());
+}
+
+TEST(SoftCapacityTest, MarginExhaustedStillDrops) {
+  SystemConfig cfg = quiet_config();
+  cfg.soft_capacity_margin = 0.02;  // ceiling 102 BU
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 100);
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0));  // needs 4 > 2
+  sys.run_for(10.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+}
+
+TEST(SoftCapacityTest, NewCallsNeverUseTheMargin) {
+  SystemConfig cfg = quiet_config();
+  cfg.soft_capacity_margin = 0.10;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 100);
+  // New request in the full cell: blocked despite the soft margin.
+  EXPECT_FALSE(sys.submit_request(make_request(1, 4, 4.5, +1, 0.0,
+                                               traffic::ServiceClass::kVoice)));
+}
+
+TEST(SoftCapacityTest, OverloadFractionTracked) {
+  SystemConfig cfg = quiet_config();
+  cfg.soft_capacity_margin = 0.05;
+  CellularSystem sys(cfg);
+  fill_cell(sys, 4, 100);
+  // Hand a video in (overload), then let everything sit.
+  sys.submit_request(make_request(1, 3, 3.9, +1, 100.0,
+                                  traffic::ServiceClass::kVideo, 1e6));
+  sys.run_for(100.0);
+  EXPECT_GT(sys.system_status().overload_frac, 0.0);
+  // The video sits in cell 4 for its ~36 s transit out of the first 100 s.
+  EXPECT_NEAR(sys.cell_metrics(4).overload.mean(sys.now()), 0.36, 0.05);
+}
+
+TEST(SoftCapacityTest, ZeroMarginMatchesBaseline) {
+  SystemConfig a = quiet_config();
+  SystemConfig b = quiet_config();
+  b.soft_capacity_margin = 0.0;
+  CellularSystem sa(a);
+  CellularSystem sb(b);
+  EXPECT_DOUBLE_EQ(sa.cell(0).soft_capacity(), sb.cell(0).soft_capacity());
+}
+
+}  // namespace
+}  // namespace pabr::core

@@ -1,0 +1,80 @@
+#include "core/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+TEST(CellTest, StartsEmpty) {
+  Cell c(0, 100.0);
+  EXPECT_EQ(c.id(), 0);
+  EXPECT_DOUBLE_EQ(c.capacity(), 100.0);
+  EXPECT_DOUBLE_EQ(c.used(), 0.0);
+  EXPECT_DOUBLE_EQ(c.free(), 100.0);
+  EXPECT_EQ(c.connection_count(), 0);
+}
+
+TEST(CellTest, AttachDetachTracksBandwidth) {
+  Cell c(0, 100.0);
+  c.attach(1, 4);
+  c.attach(2, 1);
+  EXPECT_DOUBLE_EQ(c.used(), 5.0);
+  EXPECT_EQ(c.connection_count(), 2);
+  c.detach(1);
+  EXPECT_DOUBLE_EQ(c.used(), 1.0);
+  c.detach(2);
+  EXPECT_DOUBLE_EQ(c.used(), 0.0);
+}
+
+TEST(CellTest, CanFitRespectsCapacityOnly) {
+  Cell c(0, 10.0);
+  c.attach(1, 6);
+  EXPECT_TRUE(c.can_fit(4));
+  EXPECT_FALSE(c.can_fit(5));
+}
+
+TEST(CellTest, FillToExactCapacity) {
+  Cell c(0, 8.0);
+  c.attach(1, 4);
+  c.attach(2, 4);
+  EXPECT_DOUBLE_EQ(c.free(), 0.0);
+  EXPECT_FALSE(c.can_fit(1));
+}
+
+TEST(CellTest, OverfillThrows) {
+  Cell c(0, 4.0);
+  c.attach(1, 4);
+  EXPECT_THROW(c.attach(2, 1), InvariantError);
+}
+
+TEST(CellTest, DuplicateAttachThrows) {
+  Cell c(0, 100.0);
+  c.attach(1, 4);
+  EXPECT_THROW(c.attach(1, 4), InvariantError);
+}
+
+TEST(CellTest, DetachUnknownThrows) {
+  Cell c(0, 100.0);
+  EXPECT_THROW(c.detach(42), InvariantError);
+}
+
+TEST(CellTest, ConnectionsIterateInIdOrder) {
+  Cell c(0, 100.0);
+  c.attach(5, 1);
+  c.attach(2, 4);
+  c.attach(9, 1);
+  std::vector<traffic::ConnectionId> ids;
+  for (const auto& [id, bw] : c.connections()) ids.push_back(id);
+  EXPECT_EQ(ids, (std::vector<traffic::ConnectionId>{2, 5, 9}));
+}
+
+TEST(CellTest, NonPositiveValuesRejected) {
+  EXPECT_THROW(Cell(0, 0.0), InvariantError);
+  Cell c(0, 10.0);
+  EXPECT_THROW(c.attach(1, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::core

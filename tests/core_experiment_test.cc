@@ -1,0 +1,131 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+TEST(ExperimentTest, RunSystemProducesConsistentSnapshot) {
+  StationaryParams p;
+  p.offered_load = 100.0;
+  RunPlan plan;
+  plan.warmup_s = 100.0;
+  plan.measure_s = 300.0;
+  const auto r = run_system(stationary_config(p), plan);
+  EXPECT_EQ(r.cells.size(), 10u);
+  EXPECT_GT(r.status.requests, 0u);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  // Aggregate request count equals the per-cell sum.
+  std::uint64_t sum = 0;
+  for (const auto& c : r.cells) sum += c.requests;
+  EXPECT_EQ(sum, r.status.requests);
+  // Cells are numbered 1..10 in paper style.
+  EXPECT_EQ(r.cells.front().cell, 1);
+  EXPECT_EQ(r.cells.back().cell, 10);
+}
+
+TEST(ExperimentTest, NoResetKeepsWarmupSamples) {
+  StationaryParams p;
+  p.offered_load = 100.0;
+  RunPlan with_reset;
+  with_reset.warmup_s = 200.0;
+  with_reset.measure_s = 200.0;
+  RunPlan no_reset = with_reset;
+  no_reset.reset_after_warmup = false;
+  const auto a = run_system(stationary_config(p), with_reset);
+  const auto b = run_system(stationary_config(p), no_reset);
+  EXPECT_LT(a.status.requests, b.status.requests);
+}
+
+TEST(ExperimentTest, SweepRunsEveryLoad) {
+  RunPlan plan;
+  plan.warmup_s = 50.0;
+  plan.measure_s = 100.0;
+  const std::vector<double> loads{60.0, 120.0};
+  const auto points = sweep_loads(
+      loads,
+      [](double load) {
+        StationaryParams p;
+        p.offered_load = load;
+        return stationary_config(p);
+      },
+      plan);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].offered_load, 60.0);
+  EXPECT_DOUBLE_EQ(points[1].offered_load, 120.0);
+  EXPECT_GT(points[1].result.status.requests,
+            points[0].result.status.requests);
+}
+
+TEST(ExperimentTest, PaperLoadGridCoversPaperRange) {
+  const auto grid = paper_load_grid();
+  EXPECT_DOUBLE_EQ(grid.front(), 60.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 300.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(ExperimentTest, ReplicatedRunsAggregateSeeds) {
+  StationaryParams p;
+  p.offered_load = 150.0;
+  p.seed = 10;
+  RunPlan plan;
+  plan.warmup_s = 100.0;
+  plan.measure_s = 300.0;
+  const auto rep = run_replicated(stationary_config(p), plan, 3);
+  ASSERT_EQ(rep.runs.size(), 3u);
+  ASSERT_EQ(rep.pcb.samples.size(), 3u);
+  // Seeds differ, so the replications are not identical...
+  EXPECT_NE(rep.runs[0].status.requests, rep.runs[1].status.requests);
+  // ...and the mean matches the samples.
+  const double manual = (rep.pcb.samples[0] + rep.pcb.samples[1] +
+                         rep.pcb.samples[2]) /
+                        3.0;
+  EXPECT_NEAR(rep.pcb.mean, manual, 1e-12);
+  EXPECT_GT(rep.pcb.ci95, 0.0);
+  EXPECT_GE(rep.phd.mean, 0.0);
+}
+
+TEST(ExperimentTest, ReplicatedSingleSeedHasZeroCi) {
+  StationaryParams p;
+  p.offered_load = 100.0;
+  RunPlan plan;
+  plan.warmup_s = 50.0;
+  plan.measure_s = 100.0;
+  const auto rep = run_replicated(stationary_config(p), plan, 1);
+  EXPECT_DOUBLE_EQ(rep.pcb.ci95, 0.0);
+  EXPECT_THROW(run_replicated(stationary_config(p), plan, 0),
+               InvariantError);
+}
+
+TEST(TablePrinterTest, ProbabilityFormat) {
+  EXPECT_EQ(TablePrinter::prob(0.0), "0");
+  EXPECT_EQ(TablePrinter::prob(6.53e-3), "6.53e-03");
+  EXPECT_EQ(TablePrinter::prob(0.806), "8.06e-01");
+}
+
+TEST(TablePrinterTest, FixedAndInteger) {
+  EXPECT_EQ(TablePrinter::fixed(5.626, 2), "5.63");
+  EXPECT_EQ(TablePrinter::fixed(5.0, 0), "5");
+  EXPECT_EQ(TablePrinter::integer(42), "42");
+}
+
+TEST(TablePrinterTest, MismatchedColumnsThrow) {
+  TablePrinter t({"a", "b"}, {5, 5});
+  EXPECT_THROW(t.print_row({"only-one"}), InvariantError);
+  EXPECT_THROW(TablePrinter({"a"}, {5, 5}), InvariantError);
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter t({"cell", "pcb"}, {6, 10});
+  t.print_header();
+  t.print_row({"1", TablePrinter::prob(0.123)});
+  t.print_rule();
+}
+
+}  // namespace
+}  // namespace pabr::core

@@ -1,0 +1,59 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+TEST(OfferedLoadTrackerTest, EmptyTrackerHasNoSamples) {
+  OfferedLoadTracker t(10, 120.0);
+  EXPECT_TRUE(t.hourly().empty());
+}
+
+TEST(OfferedLoadTrackerTest, SingleHourLoadMatchesEq7) {
+  OfferedLoadTracker t(10, 120.0);
+  // 9000 one-BU requests in hour 0 over 10 cells: lambda_a = 0.25 /s/cell,
+  // L_a = 0.25 * 1 * 120 = 30.
+  for (int i = 0; i < 9000; ++i) {
+    t.on_request(static_cast<double>(i % 3600), 1.0);
+  }
+  const auto hours = t.hourly();
+  ASSERT_EQ(hours.size(), 1u);
+  EXPECT_DOUBLE_EQ(hours[0].hour_start, 0.0);
+  EXPECT_NEAR(hours[0].load, 30.0, 1e-9);
+}
+
+TEST(OfferedLoadTrackerTest, BandwidthWeighted) {
+  OfferedLoadTracker t(1, 120.0);
+  // One 4-BU request per second for an hour in a 1-cell system:
+  // L_a = 4 * 120 = 480... rate 1/s * 4 BU * 120 s = 480.
+  for (int i = 0; i < 3600; ++i) {
+    t.on_request(static_cast<double>(i), 4.0);
+  }
+  EXPECT_NEAR(t.hourly()[0].load, 480.0, 1e-9);
+}
+
+TEST(OfferedLoadTrackerTest, RequestsLandInTheirHourBuckets) {
+  OfferedLoadTracker t(10, 120.0);
+  t.on_request(100.0, 1.0);            // hour 0
+  t.on_request(3 * 3600.0 + 5.0, 1.0);  // hour 3
+  const auto hours = t.hourly();
+  ASSERT_EQ(hours.size(), 4u);
+  EXPECT_GT(hours[0].load, 0.0);
+  EXPECT_DOUBLE_EQ(hours[1].load, 0.0);
+  EXPECT_DOUBLE_EQ(hours[2].load, 0.0);
+  EXPECT_GT(hours[3].load, 0.0);
+  EXPECT_DOUBLE_EQ(hours[3].hour_start, 3.0);
+}
+
+TEST(OfferedLoadTrackerTest, Validation) {
+  EXPECT_THROW(OfferedLoadTracker(0, 120.0), InvariantError);
+  EXPECT_THROW(OfferedLoadTracker(10, 0.0), InvariantError);
+  OfferedLoadTracker t(10, 120.0);
+  EXPECT_THROW(t.on_request(-1.0, 1.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::core

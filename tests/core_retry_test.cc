@@ -1,0 +1,125 @@
+// The §5.3 blocked-call retry path through CellularSystem: re-requests
+// after 5 s, the waiting user keeps moving, and giving up past the road
+// edge or by the 1 - 0.1*N_ret coin.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+SystemConfig blocking_config() {
+  SystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kStatic;
+  cfg.static_g = 99.5;  // only 0.5 BU admissible: every request blocks
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  cfg.retry.enabled = true;
+  cfg.retry.giveup_step = 0.0;  // retry with probability 1, forever
+  return cfg;
+}
+
+traffic::ConnectionRequest request_at(double pos_km, int dir,
+                                      double speed_kmh) {
+  traffic::ConnectionRequest r;
+  r.id = 1;
+  r.cell = static_cast<geom::CellId>(pos_km);  // 1 km cells
+  r.position_km = pos_km;
+  r.direction = dir;
+  r.speed_kmh = speed_kmh;
+  r.service = traffic::ServiceClass::kVoice;
+  r.lifetime_s = 1e6;
+  return r;
+}
+
+TEST(RetryTest, BlockedRequestRetriesEveryFiveSeconds) {
+  CellularSystem sys(blocking_config());
+  sys.submit_request(request_at(5.5, +1, 0.0));
+  EXPECT_EQ(sys.cell_metrics(5).pcb.trials(), 1u);
+  // Each retry is itself a counted (and blocked) request.
+  sys.run_for(26.0);  // retries at t = 5, 10, 15, 20, 25
+  SystemStatus s = sys.system_status();
+  EXPECT_EQ(s.requests, 6u);
+  EXPECT_EQ(s.blocks, 6u);
+}
+
+TEST(RetryTest, WaitingUserKeepsMovingAcrossCells) {
+  CellularSystem sys(blocking_config());
+  // 72 km/h = 0.02 km/s: after the 5 s wait the user advanced 0.1 km.
+  // Start 0.06 km before the cell <6>/<7> boundary: the retry lands in
+  // cell index 6.
+  sys.submit_request(request_at(5.95, +1, 72.0));
+  sys.run_for(6.0);
+  EXPECT_EQ(sys.cell_metrics(5).pcb.trials(), 1u);
+  EXPECT_EQ(sys.cell_metrics(6).pcb.trials(), 1u);
+}
+
+TEST(RetryTest, GivesUpPastTheOpenRoadEdge) {
+  SystemConfig cfg = blocking_config();
+  cfg.ring = false;
+  CellularSystem sys(cfg);
+  // Moving backwards at 72 km/h from 0.05 km: off the road within 5 s.
+  sys.submit_request(request_at(0.05, -1, 72.0));
+  sys.run_for(30.0);
+  EXPECT_EQ(sys.system_status().requests, 1u);  // no retry ever lands
+}
+
+TEST(RetryTest, RingWrapsTheWaitingUser) {
+  CellularSystem sys(blocking_config());
+  sys.submit_request(request_at(9.98, +1, 72.0));  // wraps to cell 0
+  sys.run_for(6.0);
+  EXPECT_EQ(sys.cell_metrics(9).pcb.trials(), 1u);
+  EXPECT_EQ(sys.cell_metrics(0).pcb.trials(), 1u);
+}
+
+TEST(RetryTest, DisabledRetryStopsAfterFirstBlock) {
+  SystemConfig cfg = blocking_config();
+  cfg.retry.enabled = false;
+  CellularSystem sys(cfg);
+  sys.submit_request(request_at(5.5, +1, 0.0));
+  sys.run_for(60.0);
+  EXPECT_EQ(sys.system_status().requests, 1u);
+}
+
+TEST(RetryTest, AdmittedRetryStopsTheChain) {
+  SystemConfig cfg = blocking_config();
+  cfg.static_g = 99.0;  // exactly 1 BU admissible
+  CellularSystem sys(cfg);
+  // First take the single BU with another connection that ends at t = 7.
+  traffic::ConnectionRequest holder = request_at(5.2, +1, 0.0);
+  holder.id = 99;
+  holder.lifetime_s = 7.0;
+  ASSERT_TRUE(sys.submit_request(holder));
+  // The probe is blocked at t = 0, retries at t = 5 (still blocked), and
+  // succeeds at t = 10 after the holder expired.
+  sys.submit_request(request_at(5.5, +1, 0.0));
+  sys.run_for(30.0);
+  const auto s = sys.system_status();
+  EXPECT_EQ(s.requests, 4u);  // holder + probe + 2 retries
+  EXPECT_EQ(s.blocks, 2u);
+  EXPECT_EQ(sys.active_connections(), 1u);
+  // No further retries after the success.
+  sys.run_for(60.0);
+  EXPECT_EQ(sys.system_status().requests, 4u);
+}
+
+TEST(BackhaulWiringTest, StarTopologyDoublesHops) {
+  SystemConfig mesh_cfg;
+  mesh_cfg.policy = admission::PolicyKind::kAc2;
+  mesh_cfg.workload.arrival_rate_per_cell = 0.0;
+  SystemConfig star_cfg = mesh_cfg;
+  star_cfg.interconnect = backhaul::InterconnectKind::kStarMsc;
+
+  CellularSystem mesh(mesh_cfg);
+  CellularSystem star(star_cfg);
+  traffic::ConnectionRequest r = request_at(5.5, +1, 0.0);
+  mesh.submit_request(r);
+  star.submit_request(r);
+  EXPECT_EQ(mesh.interconnect().total_messages(),
+            star.interconnect().total_messages());
+  EXPECT_EQ(star.interconnect().total_hops(),
+            2 * mesh.interconnect().total_hops());
+}
+
+}  // namespace
+}  // namespace pabr::core

@@ -1,0 +1,83 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+TEST(ScenarioTest, StationaryDefaultsMatchPaperParameters) {
+  StationaryParams p;
+  const SystemConfig cfg = stationary_config(p);
+  EXPECT_EQ(cfg.num_cells, 10);
+  EXPECT_DOUBLE_EQ(cfg.cell_diameter_km, 1.0);
+  EXPECT_TRUE(cfg.ring);
+  EXPECT_DOUBLE_EQ(cfg.capacity_bu, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.phd_target, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.t_start, 1.0);
+  EXPECT_EQ(cfg.hoef.n_quad, 100);
+  EXPECT_GE(cfg.hoef.t_int, sim::kInfiniteDuration);  // T_int = inf
+  EXPECT_FALSE(cfg.retry.enabled);
+  EXPECT_FALSE(cfg.load_profile.has_value());
+}
+
+TEST(ScenarioTest, StationaryLoadSetsArrivalRate) {
+  StationaryParams p;
+  p.offered_load = 300.0;
+  p.voice_ratio = 1.0;
+  const SystemConfig cfg = stationary_config(p);
+  EXPECT_NEAR(cfg.workload.offered_load(), 300.0, 1e-9);
+  EXPECT_NEAR(cfg.workload.arrival_rate_per_cell, 2.5, 1e-12);
+}
+
+TEST(ScenarioTest, MobilityPresets) {
+  StationaryParams p;
+  p.mobility = Mobility::kHigh;
+  EXPECT_DOUBLE_EQ(stationary_config(p).workload.speed_min_kmh, 80.0);
+  EXPECT_DOUBLE_EQ(stationary_config(p).workload.speed_max_kmh, 120.0);
+  p.mobility = Mobility::kLow;
+  EXPECT_DOUBLE_EQ(stationary_config(p).workload.speed_min_kmh, 40.0);
+  EXPECT_DOUBLE_EQ(stationary_config(p).workload.speed_max_kmh, 60.0);
+  EXPECT_STREQ(mobility_name(Mobility::kHigh), "high");
+  EXPECT_STREQ(mobility_name(Mobility::kLow), "low");
+}
+
+TEST(ScenarioTest, TimeVaryingEnablesProfilesAndRetries) {
+  TimeVaryingParams p;
+  const SystemConfig cfg = time_varying_config(p);
+  EXPECT_TRUE(cfg.load_profile.has_value());
+  EXPECT_TRUE(cfg.speed_profile.has_value());
+  EXPECT_TRUE(cfg.retry.enabled);
+  EXPECT_DOUBLE_EQ(cfg.hoef.t_int, sim::kHour);
+  EXPECT_EQ(cfg.hoef.n_win_periods, 1);
+  ASSERT_EQ(cfg.hoef.weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.hoef.weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(cfg.hoef.weights[1], 1.0);
+}
+
+TEST(ScenarioTest, DirectionalIsOpenRoadOneWay) {
+  DirectionalParams p;
+  const SystemConfig cfg = directional_config(p);
+  EXPECT_FALSE(cfg.ring);
+  EXPECT_FALSE(cfg.workload.bidirectional);
+  EXPECT_NEAR(cfg.workload.offered_load(), 300.0, 1e-9);
+}
+
+TEST(ScenarioTest, NegativeLoadRejected) {
+  StationaryParams p;
+  p.offered_load = -1.0;
+  EXPECT_THROW(stationary_config(p), InvariantError);
+}
+
+TEST(ScenarioTest, PolicyAndSeedPropagate) {
+  StationaryParams p;
+  p.policy = admission::PolicyKind::kAc2;
+  p.seed = 99;
+  const SystemConfig cfg = stationary_config(p);
+  EXPECT_EQ(cfg.policy, admission::PolicyKind::kAc2);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+}  // namespace
+}  // namespace pabr::core

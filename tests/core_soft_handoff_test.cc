@@ -1,0 +1,135 @@
+// CDMA soft hand-off (§7): make-before-break second legs near the cell
+// boundary.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+SystemConfig soft_config(double zone_km = 0.2) {
+  SystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kStatic;
+  cfg.static_g = 0.0;
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  cfg.soft_handoff_zone_km = zone_km;
+  return cfg;
+}
+
+traffic::ConnectionRequest voice_at(traffic::ConnectionId id,
+                                    geom::CellId cell, double pos,
+                                    double speed, double lifetime = 1e6) {
+  traffic::ConnectionRequest r;
+  r.id = id;
+  r.cell = cell;
+  r.position_km = pos;
+  r.direction = +1;
+  r.speed_kmh = speed;
+  r.service = traffic::ServiceClass::kVoice;
+  r.lifetime_s = lifetime;
+  return r;
+}
+
+TEST(SoftHandoffTest, SecondLegAllocatedInsideZone) {
+  CellularSystem sys(soft_config(0.2));
+  // 100 km/h, start at 3.5: boundary at t = 18 s, zone entry (0.2 km
+  // before) at t = 10.8 s.
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(10.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 0.0);
+  sys.run_for(1.0);  // t = 11 > 10.8
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);  // second leg live
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 1.0);  // original leg still live
+  EXPECT_EQ(sys.cell_metrics(4).soft_alloc.count(), 1u);
+  // After the crossing only the new cell holds bandwidth.
+  sys.run_for(8.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.trials(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 0u);
+}
+
+TEST(SoftHandoffTest, PreAllocatedHandoffCannotDrop) {
+  CellularSystem sys(soft_config(0.2));
+  // The probe gets its second leg in cell 4 while there is still room...
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(12.0);
+  ASSERT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+  // ...then cell 4 fills completely behind it.
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_TRUE(sys.submit_request(voice_at(
+        static_cast<traffic::ConnectionId>(100 + i), 4, 4.5, 0.0)));
+  }
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 100.0);
+  // The crossing still succeeds: the leg was reserved.
+  sys.run_for(8.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 0u);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 100.0);
+}
+
+TEST(SoftHandoffTest, FullDestinationFallsBackToHardAttempt) {
+  CellularSystem sys(soft_config(0.2));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sys.submit_request(voice_at(
+        static_cast<traffic::ConnectionId>(100 + i), 4, 4.5, 0.0)));
+  }
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(12.0);
+  EXPECT_EQ(sys.cell_metrics(4).soft_fallback.count(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).soft_alloc.count(), 0u);
+  // Boundary attempt against the still-full cell: dropped.
+  sys.run_for(8.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+}
+
+TEST(SoftHandoffTest, FallbackCanStillSucceedIfRoomAppears) {
+  CellularSystem sys(soft_config(0.2));
+  // Blocker occupies the whole cell but expires between the probe's zone
+  // entry (t ~ 10.8) and its crossing (t = 18).
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sys.submit_request(voice_at(
+        static_cast<traffic::ConnectionId>(100 + i), 4, 4.5, 0.0, 14.0)));
+  }
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(20.0);
+  EXPECT_EQ(sys.cell_metrics(4).soft_fallback.count(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 0u);  // hard attempt succeeded
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+}
+
+TEST(SoftHandoffTest, ExpiryInsideZoneReleasesBothLegs) {
+  CellularSystem sys(soft_config(0.2));
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0, /*lifetime=*/14.0));
+  sys.run_for(12.0);  // second leg live
+  ASSERT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+  sys.run_for(3.0);  // expires at t = 14, before the crossing at 18
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 0.0);
+  EXPECT_EQ(sys.active_connections(), 0u);
+}
+
+TEST(SoftHandoffTest, ZoneWiderThanCellAllocatesImmediately) {
+  CellularSystem sys(soft_config(5.0));
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(0.1);  // zone entry clamped to "now"
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+}
+
+TEST(SoftHandoffTest, DisabledZoneNeverDoubleBooks) {
+  CellularSystem sys(soft_config(0.0));
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(17.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 0.0);
+  EXPECT_EQ(sys.system_status().soft_allocations, 0u);
+}
+
+TEST(SoftHandoffTest, SystemStatusAggregates) {
+  CellularSystem sys(soft_config(0.2));
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(60.0);  // several cells crossed
+  EXPECT_GE(sys.system_status().soft_allocations, 2u);
+}
+
+}  // namespace
+}  // namespace pabr::core

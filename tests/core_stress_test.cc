@@ -1,0 +1,103 @@
+// Randomized stress sweeps: full-stack runs across a grid of scenario
+// shapes, checking the invariants that must hold for ANY configuration.
+// (The library's internal PABR_CHECKs are active in release too, so just
+// surviving a run already asserts bandwidth conservation and event-order
+// sanity; the assertions here cover the cross-module contracts.)
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "core/system.h"
+
+namespace pabr::core {
+namespace {
+
+struct StressCase {
+  std::uint64_t seed;
+  double load;
+  double voice_ratio;
+  admission::PolicyKind policy;
+  bool ring;
+  bool adaptive_qos;
+  double soft_margin;
+  double soft_zone_km;
+};
+
+class StressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(StressTest, InvariantsSurviveChaos) {
+  const auto& c = GetParam();
+  StationaryParams p;
+  p.offered_load = c.load;
+  p.voice_ratio = c.voice_ratio;
+  p.policy = c.policy;
+  p.seed = c.seed;
+  SystemConfig cfg = stationary_config(p);
+  cfg.ring = c.ring;
+  cfg.adaptive_qos = c.adaptive_qos;
+  cfg.soft_capacity_margin = c.soft_margin;
+  cfg.soft_handoff_zone_km = c.soft_zone_km;
+  cfg.retry.enabled = (c.seed % 2) == 0;
+
+  CellularSystem sys(cfg);
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    sys.run_for(250.0);
+
+    double attached_total = 0.0;
+    for (geom::CellId cell = 0; cell < cfg.num_cells; ++cell) {
+      const Cell& cc = sys.cell(cell);
+      // Occupancy never exceeds the soft ceiling; without a margin, the
+      // hard capacity.
+      EXPECT_LE(cc.used(), cc.soft_capacity() + 1e-9);
+      // Per-cell accounting: stored connections sum to used().
+      double sum = 0.0;
+      for (const auto& [id, bw] : cc.connections()) {
+        sum += static_cast<double>(bw);
+      }
+      EXPECT_NEAR(sum, cc.used(), 1e-9);
+      attached_total += sum;
+
+      // Probability estimates are probabilities.
+      const auto& m = sys.cell_metrics(cell);
+      EXPECT_LE(m.phd.hits(), m.phd.trials());
+      EXPECT_LE(m.pcb.hits(), m.pcb.trials());
+      // T_est within its configured clamps.
+      EXPECT_GE(sys.base_station(cell).window().t_est(), 1.0);
+    }
+    // Every active mobile is attached somewhere: total attachments are at
+    // least the number of active connections (soft hand-off mobiles hold
+    // a second leg, so attachments can exceed actives).
+    EXPECT_GE(attached_total,
+              static_cast<double>(sys.active_connections()));
+
+    const auto s = sys.system_status();
+    EXPECT_EQ(s.blocks, s.requests - (s.requests - s.blocks));
+    EXPECT_LE(s.drops, s.handoffs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StressTest,
+    ::testing::Values(
+        StressCase{1, 300.0, 1.0, admission::PolicyKind::kAc3, true, false,
+                   0.0, 0.0},
+        StressCase{2, 300.0, 0.5, admission::PolicyKind::kAc1, true, false,
+                   0.0, 0.0},
+        StressCase{3, 250.0, 0.8, admission::PolicyKind::kAc2, false, false,
+                   0.0, 0.0},
+        StressCase{4, 300.0, 0.5, admission::PolicyKind::kAc3, true, true,
+                   0.0, 0.0},
+        StressCase{5, 300.0, 0.5, admission::PolicyKind::kAc3, true, false,
+                   0.05, 0.0},
+        StressCase{6, 300.0, 0.8, admission::PolicyKind::kAc3, true, false,
+                   0.0, 0.15},
+        StressCase{7, 280.0, 0.5, admission::PolicyKind::kAc3, false, true,
+                   0.05, 0.2},
+        StressCase{8, 200.0, 0.8, admission::PolicyKind::kNsDca, true,
+                   false, 0.0, 0.0},
+        StressCase{9, 300.0, 1.0, admission::PolicyKind::kStatic, true,
+                   false, 0.0, 0.1},
+        StressCase{10, 120.0, 0.5, admission::PolicyKind::kAc3, false,
+                   true, 0.1, 0.3}));
+
+}  // namespace
+}  // namespace pabr::core

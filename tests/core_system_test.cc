@@ -1,0 +1,291 @@
+// Deterministic unit-level tests of CellularSystem: single scripted
+// mobiles injected via submit_request (the Poisson workload is disabled by
+// a zero arrival rate), so every hand-off, drop, expiry and reservation
+// value can be checked exactly.
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+SystemConfig quiet_config(admission::PolicyKind policy =
+                              admission::PolicyKind::kStatic) {
+  SystemConfig cfg;
+  cfg.policy = policy;
+  cfg.static_g = 0.0;  // static with G=0: admit while capacity remains
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  return cfg;
+}
+
+traffic::ConnectionRequest make_request(traffic::ConnectionId id,
+                                        geom::CellId cell, double pos_km,
+                                        int dir, double speed_kmh,
+                                        double lifetime_s,
+                                        traffic::ServiceClass svc =
+                                            traffic::ServiceClass::kVoice) {
+  traffic::ConnectionRequest r;
+  r.id = id;
+  r.cell = cell;
+  r.position_km = pos_km;
+  r.direction = dir;
+  r.speed_kmh = speed_kmh;
+  r.service = svc;
+  r.lifetime_s = lifetime_s;
+  return r;
+}
+
+TEST(SystemTest, AdmittedConnectionConsumesBandwidth) {
+  CellularSystem sys(quiet_config());
+  EXPECT_TRUE(sys.submit_request(make_request(1, 3, 3.5, +1, 0.0, 1000.0,
+                                              traffic::ServiceClass::kVideo)));
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 4.0);
+  EXPECT_EQ(sys.active_connections(), 1u);
+  EXPECT_EQ(sys.cell(3).connection_count(), 1);
+}
+
+TEST(SystemTest, BlockedRequestLeavesNoState) {
+  SystemConfig cfg = quiet_config();
+  cfg.static_g = 99.5;  // only half a BU usable: everything blocks
+  CellularSystem sys(cfg);
+  EXPECT_FALSE(sys.submit_request(make_request(1, 3, 3.5, +1, 0.0, 10.0)));
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);
+  EXPECT_EQ(sys.active_connections(), 0u);
+  EXPECT_EQ(sys.cell_metrics(3).pcb.hits(), 1u);
+  EXPECT_EQ(sys.cell_metrics(3).pcb.trials(), 1u);
+}
+
+TEST(SystemTest, LifetimeExpiryReleasesBandwidth) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 3, 3.5, +1, 0.0, 50.0));
+  sys.run_for(49.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 1.0);
+  sys.run_for(2.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);
+  EXPECT_EQ(sys.active_connections(), 0u);
+}
+
+TEST(SystemTest, HandoffMovesConnectionAndRecordsQuadruplet) {
+  CellularSystem sys(quiet_config());
+  // At 3.5 km moving +1 at 100 km/h: boundary 4.0 km reached after 18 s.
+  sys.submit_request(make_request(1, 3, 3.5, +1, 100.0, 1000.0));
+  sys.run_for(17.9);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 1.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 0.0);
+  sys.run_for(0.2);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+  // The departed cell cached (T_event=18, prev=3 (started here), next=4,
+  // T_soj=18).
+  EXPECT_EQ(sys.base_station(3).estimator().cached_events(), 1u);
+  const auto fp = sys.base_station(3).estimator().footprint(20.0, 3);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp[0].next, 4);
+  EXPECT_NEAR(fp[0].sojourn, 18.0, 1e-9);
+  // Destination metrics observed a successful hand-off.
+  EXPECT_EQ(sys.cell_metrics(4).phd.trials(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 0u);
+}
+
+TEST(SystemTest, ChainedHandoffsTrackPrevCell) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 3, 3.5, +1, 100.0, 10000.0));
+  // After 18 s: in cell 4; after 54 s: in cell 5 (36 s per cell).
+  sys.run_for(55.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(5), 1.0);
+  // Cell 4's history: prev = 3 (mobile had come from cell 3), next = 5.
+  const auto fp = sys.base_station(4).estimator().footprint(55.0, 3);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp[0].next, 5);
+  EXPECT_NEAR(fp[0].sojourn, 36.0, 1e-9);
+}
+
+TEST(SystemTest, HandoffDropWhenDestinationFull) {
+  CellularSystem sys(quiet_config());
+  // Fill cell 4 with 100 stationary voice connections.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sys.submit_request(make_request(
+        static_cast<traffic::ConnectionId>(100 + i), 4, 4.5, +1, 0.0,
+        1e6)));
+  }
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 100.0);
+  // A mobile hands off from cell 3 into the full cell 4 and is dropped.
+  sys.submit_request(make_request(1, 3, 3.5, +1, 100.0, 1e6));
+  sys.run_for(20.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.trials(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);  // dropped, released
+  EXPECT_EQ(sys.active_connections(), 100u);
+  // The quadruplet is still recorded (the mobile physically moved).
+  EXPECT_EQ(sys.base_station(3).estimator().cached_events(), 1u);
+}
+
+TEST(SystemTest, RingWrapHandoffWorks) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 9, 9.5, +1, 100.0, 1000.0));
+  sys.run_for(20.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(9), 0.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(0), 1.0);
+}
+
+TEST(SystemTest, OpenRoadExitEndsConnectionSilently) {
+  SystemConfig cfg = quiet_config();
+  cfg.ring = false;
+  CellularSystem sys(cfg);
+  sys.submit_request(make_request(1, 9, 9.5, +1, 100.0, 1000.0));
+  sys.run_for(20.0);
+  EXPECT_EQ(sys.active_connections(), 0u);
+  // No hand-off was attempted anywhere and no quadruplet cached.
+  for (geom::CellId c = 0; c < 10; ++c) {
+    EXPECT_EQ(sys.cell_metrics(c).phd.trials(), 0u);
+    EXPECT_EQ(sys.base_station(c).estimator().cached_events(), 0u);
+  }
+}
+
+TEST(SystemTest, ReservationFollowsEq5Eq6) {
+  SystemConfig cfg = quiet_config(admission::PolicyKind::kAc1);
+  cfg.t_start = 100.0;  // T_est = 100 s, wide enough to catch everything
+  CellularSystem sys(cfg);
+  // A 4-BU video connection camped in cell 1 (started there, stationary).
+  sys.submit_request(make_request(1, 1, 1.5, +1, 0.0, 1e6,
+                                  traffic::ServiceClass::kVideo));
+  // Teach cell 1's estimator: started-here mobiles depart to cell 0 after
+  // 30 s (longer than the connection's current extant sojourn).
+  sys.run_for(1.0);
+  sys.base_station(1).estimator().record(
+      {sys.now(), 1, 0, 30.0});
+  const double br = sys.recompute_reservation(0);
+  // p_h = 1 (the single event falls inside (extant, extant+100]), so
+  // B_r,0 = 4 * 1 = 4.
+  EXPECT_NEAR(br, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sys.current_reservation(0), br);
+}
+
+TEST(SystemTest, ReservationZeroWithoutHistory) {
+  SystemConfig cfg = quiet_config(admission::PolicyKind::kAc1);
+  CellularSystem sys(cfg);
+  sys.submit_request(make_request(1, 1, 1.5, +1, 0.0, 1e6));
+  EXPECT_DOUBLE_EQ(sys.recompute_reservation(0), 0.0);
+}
+
+TEST(SystemTest, StationaryMobileNeverLeavesReservationDenominator) {
+  SystemConfig cfg = quiet_config(admission::PolicyKind::kAc1);
+  cfg.t_start = 100.0;
+  CellularSystem sys(cfg);
+  sys.submit_request(make_request(1, 1, 1.5, +1, 0.0, 1e6,
+                                  traffic::ServiceClass::kVideo));
+  sys.run_for(1.0);
+  sys.base_station(1).estimator().record({sys.now(), 1, 0, 30.0});
+  // Let the connection's extant sojourn exceed every cached sojourn: it
+  // is then estimated stationary and contributes nothing.
+  sys.run_for(60.0);
+  EXPECT_DOUBLE_EQ(sys.recompute_reservation(0), 0.0);
+}
+
+TEST(SystemTest, TracedCellRecordsSeries) {
+  SystemConfig cfg = quiet_config();
+  cfg.traced_cells = {4};
+  CellularSystem sys(cfg);
+  EXPECT_EQ(sys.trace(3), nullptr);
+  ASSERT_NE(sys.trace(4), nullptr);
+  sys.submit_request(make_request(1, 3, 3.5, +1, 100.0, 1000.0));
+  sys.run_for(20.0);
+  const CellTrace* tr = sys.trace(4);
+  ASSERT_EQ(tr->t_est.points().size(), 1u);
+  ASSERT_EQ(tr->phd.points().size(), 1u);
+  EXPECT_NEAR(tr->t_est.points()[0].t, 18.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tr->phd.points()[0].v, 0.0);
+}
+
+TEST(SystemTest, ResetMetricsKeepsLearnedState) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 3, 3.5, +1, 100.0, 1000.0));
+  sys.run_for(20.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.trials(), 1u);
+  sys.reset_metrics();
+  EXPECT_EQ(sys.cell_metrics(4).phd.trials(), 0u);
+  EXPECT_EQ(sys.cell_metrics(3).pcb.trials(), 0u);
+  // Learned history survives.
+  EXPECT_EQ(sys.base_station(3).estimator().cached_events(), 1u);
+  // Radio state survives.
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 1.0);
+}
+
+TEST(SystemTest, CellStatusSnapshotFields) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 3, 3.5, +1, 0.0, 1e6,
+                                  traffic::ServiceClass::kVideo));
+  sys.run_for(10.0);
+  const CellStatus s = sys.cell_status(3);
+  EXPECT_EQ(s.cell, 4);  // 1-based in the paper's tables
+  EXPECT_DOUBLE_EQ(s.bu, 4.0);
+  EXPECT_EQ(s.requests, 1u);
+  EXPECT_EQ(s.blocks, 0u);
+  EXPECT_DOUBLE_EQ(s.t_est, 1.0);
+}
+
+TEST(SystemTest, SystemStatusAggregatesCells) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 2, 2.5, +1, 0.0, 1e6));
+  sys.submit_request(make_request(2, 7, 7.5, +1, 0.0, 1e6));
+  sys.run_for(1.0);
+  const SystemStatus s = sys.system_status();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.blocks, 0u);
+  EXPECT_DOUBLE_EQ(s.pcb, 0.0);
+}
+
+TEST(SystemTest, HandoffSignalledOverBackhaul) {
+  CellularSystem sys(quiet_config());
+  sys.submit_request(make_request(1, 3, 3.5, +1, 100.0, 1000.0));
+  sys.run_for(20.0);
+  EXPECT_EQ(sys.interconnect().messages(
+                backhaul::MessageType::kHandoffSignal),
+            1u);
+}
+
+TEST(SystemTest, Ac1CountsOneCalculationPerAdmission) {
+  SystemConfig cfg = quiet_config(admission::PolicyKind::kAc1);
+  CellularSystem sys(cfg);
+  sys.submit_request(make_request(1, 3, 3.5, +1, 0.0, 1e6));
+  sys.submit_request(make_request(2, 3, 3.5, +1, 0.0, 1e6));
+  EXPECT_DOUBLE_EQ(sys.accountant().n_calc(), 1.0);
+  EXPECT_EQ(sys.accountant().total_br_calculations(), 2u);
+}
+
+TEST(SystemTest, Ac2CountsThreeCalculationsOnRing) {
+  SystemConfig cfg = quiet_config(admission::PolicyKind::kAc2);
+  CellularSystem sys(cfg);
+  sys.submit_request(make_request(1, 3, 3.5, +1, 0.0, 1e6));
+  EXPECT_DOUBLE_EQ(sys.accountant().n_calc(), 3.0);
+}
+
+TEST(SystemTest, InvalidCellIdsRejected) {
+  CellularSystem sys(quiet_config());
+  EXPECT_THROW(sys.capacity(-1), InvariantError);
+  EXPECT_THROW(sys.capacity(10), InvariantError);
+  EXPECT_THROW(sys.cell_status(10), InvariantError);
+  EXPECT_THROW(sys.submit_request(make_request(1, 11, 0.5, 1, 0.0, 1.0)),
+               InvariantError);
+}
+
+TEST(SystemTest, VideoDropFreesAllFourUnits) {
+  CellularSystem sys(quiet_config());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(sys.submit_request(make_request(
+        static_cast<traffic::ConnectionId>(100 + i), 4, 4.5, +1, 0.0, 1e6,
+        traffic::ServiceClass::kVideo)));
+  }
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(4), 100.0);
+  sys.submit_request(make_request(
+      1, 3, 3.9, +1, 100.0, 1e6, traffic::ServiceClass::kVideo));
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 4.0);
+  sys.run_for(10.0);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 0.0);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace pabr::core

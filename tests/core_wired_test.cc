@@ -1,0 +1,122 @@
+// The wired backbone wired into CellularSystem (§2/§7): blocking at the
+// backbone, drops at under-provisioned access links, and the mirrored
+// wired reservation.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+SystemConfig wired_config(double access_bu, double uplink_bu = 1e9) {
+  SystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kStatic;
+  cfg.static_g = 0.0;
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  cfg.wired = wired::BackboneConfig{access_bu, uplink_bu};
+  return cfg;
+}
+
+traffic::ConnectionRequest voice_at(traffic::ConnectionId id,
+                                    geom::CellId cell, double pos,
+                                    double speed = 0.0) {
+  traffic::ConnectionRequest r;
+  r.id = id;
+  r.cell = cell;
+  r.position_km = pos;
+  r.direction = +1;
+  r.speed_kmh = speed;
+  r.service = traffic::ServiceClass::kVoice;
+  r.lifetime_s = 1e6;
+  return r;
+}
+
+TEST(CoreWiredTest, AdmissionOccupiesTheRoute) {
+  CellularSystem sys(wired_config(50.0));
+  ASSERT_TRUE(sys.submit_request(voice_at(1, 3, 3.5)));
+  ASSERT_NE(sys.backbone(), nullptr);
+  EXPECT_DOUBLE_EQ(sys.backbone()->access(3).used(), 1.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->uplink().used(), 1.0);
+}
+
+TEST(CoreWiredTest, UndersizedAccessLinkBlocksNewCalls) {
+  // Radio capacity 100 but wired access only 10: the 11th call blocks at
+  // the backbone even though the air interface has room.
+  CellularSystem sys(wired_config(10.0));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sys.submit_request(voice_at(
+        static_cast<traffic::ConnectionId>(1 + i), 3, 3.5)));
+  }
+  EXPECT_FALSE(sys.submit_request(voice_at(99, 3, 3.5)));
+  EXPECT_EQ(sys.wired_blocks(), 1u);
+  EXPECT_DOUBLE_EQ(sys.used_bandwidth(3), 10.0);
+}
+
+TEST(CoreWiredTest, HandoffDropsWhenNewAccessLinkFull) {
+  CellularSystem sys(wired_config(10.0));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sys.submit_request(voice_at(
+        static_cast<traffic::ConnectionId>(100 + i), 4, 4.5)));
+  }
+  // Radio cell 4 has 90 BU free, but access-4 is saturated.
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(20.0);
+  EXPECT_EQ(sys.wired_drops(), 1u);
+  EXPECT_EQ(sys.cell_metrics(4).phd.hits(), 1u);
+  // The dropped call's wired legs were fully released.
+  EXPECT_DOUBLE_EQ(sys.backbone()->access(3).used(), 0.0);
+}
+
+TEST(CoreWiredTest, HandoffReroutesAccessLeg) {
+  CellularSystem sys(wired_config(50.0));
+  sys.submit_request(voice_at(1, 3, 3.5, 100.0));
+  sys.run_for(20.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->access(3).used(), 0.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->access(4).used(), 1.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->uplink().used(), 1.0);
+}
+
+TEST(CoreWiredTest, ExpiryReleasesWiredLegs) {
+  CellularSystem sys(wired_config(50.0));
+  traffic::ConnectionRequest r = voice_at(1, 3, 3.5);
+  r.lifetime_s = 30.0;
+  sys.submit_request(r);
+  sys.run_for(40.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->access(3).used(), 0.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->uplink().used(), 0.0);
+}
+
+TEST(CoreWiredTest, WiredReservationMirrorsBr) {
+  SystemConfig cfg = wired_config(50.0);
+  cfg.policy = admission::PolicyKind::kAc1;
+  cfg.t_start = 100.0;
+  CellularSystem sys(cfg);
+  sys.submit_request(voice_at(1, 1, 1.5));
+  sys.run_for(1.0);
+  sys.base_station(1).estimator().record({sys.now(), 1, 0, 30.0});
+  const double br = sys.recompute_reservation(0);
+  EXPECT_GT(br, 0.0);
+  EXPECT_DOUBLE_EQ(sys.backbone()->reservation(0), br);
+}
+
+TEST(CoreWiredTest, SharedUplinkBottleneckBlocksEverywhere) {
+  CellularSystem sys(wired_config(100.0, /*uplink=*/3.0));
+  ASSERT_TRUE(sys.submit_request(voice_at(1, 0, 0.5)));
+  ASSERT_TRUE(sys.submit_request(voice_at(2, 5, 5.5)));
+  ASSERT_TRUE(sys.submit_request(voice_at(3, 9, 9.5)));
+  // Any fourth call, in any cell, blocks on the uplink pool.
+  EXPECT_FALSE(sys.submit_request(voice_at(4, 7, 7.5)));
+  EXPECT_EQ(sys.wired_blocks(), 1u);
+}
+
+TEST(CoreWiredTest, NoBackboneByDefault) {
+  SystemConfig cfg;
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  CellularSystem sys(cfg);
+  EXPECT_EQ(sys.backbone(), nullptr);
+  EXPECT_EQ(sys.wired_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pabr::core

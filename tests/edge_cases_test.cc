@@ -1,0 +1,163 @@
+// Cross-module edge cases collected during development review.
+#include <gtest/gtest.h>
+
+#include "admission/policy.h"
+#include "core/scenario.h"
+#include "core/system.h"
+#include "hoef/estimator.h"
+#include "util/check.h"
+
+namespace pabr {
+namespace {
+
+// ---- HOEF ---------------------------------------------------------------
+
+TEST(HoefEdgeTest, PruneIsIdempotent) {
+  hoef::EstimatorConfig cfg;
+  cfg.t_int = sim::kHour;
+  hoef::HandoffEstimator e(0, cfg);
+  e.record({100.0, 1, 2, 5.0});
+  e.prune(100.0 + 3.0 * sim::kDay);
+  const std::size_t after_first = e.cached_events();
+  e.prune(100.0 + 3.0 * sim::kDay);
+  EXPECT_EQ(e.cached_events(), after_first);
+  EXPECT_EQ(after_first, 0u);
+}
+
+TEST(HoefEdgeTest, WeightsShorterThanWindowsTreatedAsZero) {
+  hoef::EstimatorConfig cfg;
+  cfg.t_int = sim::kHour;
+  cfg.n_win_periods = 3;
+  cfg.weights = {1.0};  // w_1..w_3 implicitly 0
+  hoef::HandoffEstimator e(0, cfg);
+  e.record({9.0 * sim::kHour, 1, 2, 5.0});
+  // Same time tomorrow: the n = 1 window exists but has zero weight.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(9.0 * sim::kHour + sim::kDay, 1, 2, 0.0, 10.0),
+      0.0);
+  // Today it is visible.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(9.5 * sim::kHour, 1, 2, 0.0, 10.0), 1.0);
+}
+
+TEST(HoefEdgeTest, ZeroTEstWindowReservesNothing) {
+  hoef::EstimatorConfig cfg;
+  hoef::HandoffEstimator e(0, cfg);
+  e.record({10.0, 1, 2, 5.0});
+  // T_est = 0: numerator interval (ext, ext] is empty.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(20.0, 1, 2, 0.0, 0.0), 0.0);
+}
+
+TEST(HoefEdgeTest, SojournZeroEventHandled) {
+  hoef::EstimatorConfig cfg;
+  hoef::HandoffEstimator e(0, cfg);
+  e.record({10.0, 1, 2, 0.0});  // instantaneous transit
+  // A fresh mobile (extant 0): the 0-sojourn event does NOT outlast it
+  // (strict denominator), so the estimator sees a stationary mobile.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(20.0, 1, 2, 0.0, 10.0), 0.0);
+}
+
+// ---- Admission ------------------------------------------------------------
+
+class SaturatedContext final : public admission::AdmissionContext {
+ public:
+  double capacity(geom::CellId) const override { return 100.0; }
+  double used_bandwidth(geom::CellId) const override { return 100.0; }
+  const std::vector<geom::CellId>& adjacent(geom::CellId) const override {
+    return neighbors_;
+  }
+  double recompute_reservation(geom::CellId cell) override {
+    recomputes.push_back(cell);
+    return 5.0;
+  }
+  double current_reservation(geom::CellId) const override { return 5.0; }
+  std::vector<geom::CellId> recomputes;
+
+ private:
+  std::vector<geom::CellId> neighbors_{1, 2};
+};
+
+TEST(AdmissionEdgeTest, Ac3RecomputesAllSuspectsEvenWhenDoomed) {
+  // All neighbours appear over-committed: AC3's step 1 runs for each of
+  // them (no short-circuit — the messaging goes out in parallel), then
+  // the cell's own recompute. N_calc = 3 here.
+  SaturatedContext ctx;
+  auto p = admission::make_policy(admission::PolicyKind::kAc3);
+  EXPECT_FALSE(p->admit(ctx, 0, 1));
+  EXPECT_EQ(ctx.recomputes.size(), 3u);
+}
+
+TEST(AdmissionEdgeTest, StaticGreaterThanCapacityBlocksAll) {
+  SaturatedContext ctx;
+  auto p = admission::make_policy(admission::PolicyKind::kStatic, 1000.0);
+  EXPECT_FALSE(p->admit(ctx, 0, 1));
+}
+
+// ---- System ---------------------------------------------------------------
+
+TEST(SystemEdgeTest, ZeroLoadRunsToCompletion) {
+  core::StationaryParams p;
+  p.offered_load = 0.0;
+  core::CellularSystem sys(core::stationary_config(p));
+  sys.run_for(1000.0);
+  const auto s = sys.system_status();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.handoffs, 0u);
+  EXPECT_EQ(sys.events_executed(), 0u);
+}
+
+TEST(SystemEdgeTest, TraceBrRecordsOnEveryRecompute) {
+  core::SystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kAc1;
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  cfg.traced_cells = {0};
+  core::CellularSystem sys(cfg);
+  sys.recompute_reservation(0);
+  sys.run_for(1.0);
+  sys.recompute_reservation(0);
+  ASSERT_NE(sys.trace(0), nullptr);
+  EXPECT_EQ(sys.trace(0)->br.points().size(), 2u);
+}
+
+TEST(SystemEdgeTest, TimeVaryingArrivalsFollowTheDailyProfile) {
+  core::TimeVaryingParams p;
+  p.policy = admission::PolicyKind::kAc1;
+  core::CellularSystem sys(core::time_varying_config(p));
+  // Hours 2-4 (night) vs 8-10 (morning rush): the rush window must see
+  // several times the requests.
+  sys.run_for(2.0 * sim::kHour);
+  const auto r0 = sys.system_status().requests;
+  sys.run_for(2.0 * sim::kHour);
+  const auto night = sys.system_status().requests - r0;
+  sys.run_for(4.0 * sim::kHour);  // now at hour 8
+  const auto r1 = sys.system_status().requests;
+  sys.run_for(2.0 * sim::kHour);
+  const auto rush = sys.system_status().requests - r1;
+  EXPECT_GT(rush, 3 * night);
+}
+
+TEST(SystemEdgeTest, VideoOnlyWorkloadWorks) {
+  core::StationaryParams p;
+  p.offered_load = 200.0;
+  p.voice_ratio = 0.0;  // all 4-BU video
+  core::CellularSystem sys(core::stationary_config(p));
+  sys.run_for(600.0);
+  const auto s = sys.system_status();
+  EXPECT_GT(s.requests, 100u);
+  for (geom::CellId c = 0; c < 10; ++c) {
+    EXPECT_LE(sys.used_bandwidth(c), 100.0);
+  }
+}
+
+TEST(SystemEdgeTest, TwoCellRingWorks) {
+  core::SystemConfig cfg;
+  cfg.num_cells = 2;
+  cfg.workload.arrival_rate_per_cell =
+      traffic::arrival_rate_for_load(150.0, 1.0);
+  core::CellularSystem sys(cfg);
+  EXPECT_NO_THROW(sys.run_for(600.0));
+  EXPECT_GT(sys.system_status().handoffs, 100u);
+}
+
+}  // namespace
+}  // namespace pabr

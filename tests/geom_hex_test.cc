@@ -1,0 +1,138 @@
+#include "geom/hex_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.h"
+
+namespace pabr::geom {
+namespace {
+
+using Direction = HexTopology::Direction;
+
+TEST(HexTopologyTest, TorusEveryCellHasSixNeighbors) {
+  HexTopology t(4, 6, /*wrap=*/true);
+  EXPECT_EQ(t.num_cells(), 24);
+  for (CellId c = 0; c < t.num_cells(); ++c) {
+    EXPECT_EQ(t.neighbors(c).size(), 6u) << "cell " << c;
+  }
+}
+
+TEST(HexTopologyTest, BoundedInteriorHasSixNeighbors) {
+  HexTopology t(5, 5, /*wrap=*/false);
+  // (2,2) is interior.
+  EXPECT_EQ(t.neighbors(t.cell_of(2, 2)).size(), 6u);
+}
+
+TEST(HexTopologyTest, BoundedCornersHaveFewerNeighbors) {
+  HexTopology t(5, 5, /*wrap=*/false);
+  EXPECT_LT(t.neighbors(t.cell_of(0, 0)).size(), 6u);
+  EXPECT_LT(t.neighbors(t.cell_of(4, 4)).size(), 6u);
+}
+
+TEST(HexTopologyTest, NeighborsAreDistinctAndNotSelf) {
+  for (bool wrap : {false, true}) {
+    HexTopology t(4, 6, wrap);
+    for (CellId c = 0; c < t.num_cells(); ++c) {
+      std::set<CellId> seen;
+      for (CellId n : t.neighbors(c)) {
+        EXPECT_NE(n, c);
+        EXPECT_TRUE(seen.insert(n).second) << "duplicate neighbor of " << c;
+      }
+    }
+  }
+}
+
+TEST(HexTopologyTest, AdjacencyIsSymmetric) {
+  HexTopology t(4, 6, true);
+  for (CellId a = 0; a < t.num_cells(); ++a) {
+    for (CellId b : t.neighbors(a)) {
+      EXPECT_TRUE(t.adjacent(b, a));
+    }
+  }
+}
+
+TEST(HexTopologyTest, RowColRoundTrip) {
+  HexTopology t(4, 6, false);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      const CellId id = t.cell_of(r, c);
+      EXPECT_EQ(t.row_of(id), r);
+      EXPECT_EQ(t.col_of(id), c);
+    }
+  }
+}
+
+TEST(HexTopologyTest, OppositeDirectionsPairUp) {
+  EXPECT_EQ(HexTopology::opposite(Direction::kN), Direction::kS);
+  EXPECT_EQ(HexTopology::opposite(Direction::kS), Direction::kN);
+  EXPECT_EQ(HexTopology::opposite(Direction::kNE), Direction::kSW);
+  EXPECT_EQ(HexTopology::opposite(Direction::kSE), Direction::kNW);
+  EXPECT_EQ(HexTopology::opposite(Direction::kNW), Direction::kSE);
+  EXPECT_EQ(HexTopology::opposite(Direction::kSW), Direction::kNE);
+}
+
+TEST(HexTopologyTest, NeighborInAndDirectionBetweenAgree) {
+  HexTopology t(4, 6, true);
+  for (CellId c = 0; c < t.num_cells(); ++c) {
+    for (int d = 0; d < HexTopology::kNumDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      const CellId n = t.neighbor_in(c, dir);
+      ASSERT_NE(n, kNoCell);
+      const auto back = t.direction_between(c, n);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, dir);
+    }
+  }
+}
+
+TEST(HexTopologyTest, MovingOppositeReturnsHome) {
+  HexTopology t(4, 6, true);
+  for (CellId c = 0; c < t.num_cells(); ++c) {
+    for (int d = 0; d < HexTopology::kNumDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      const CellId n = t.neighbor_in(c, dir);
+      EXPECT_EQ(t.neighbor_in(n, HexTopology::opposite(dir)), c)
+          << "cell " << c << " dir " << d;
+    }
+  }
+}
+
+TEST(HexTopologyTest, DirectionBetweenNonAdjacentIsEmpty) {
+  HexTopology t(5, 5, false);
+  EXPECT_FALSE(t.direction_between(t.cell_of(0, 0), t.cell_of(4, 4))
+                   .has_value());
+}
+
+TEST(HexTopologyTest, BorderNeighborInReturnsNoCell) {
+  HexTopology t(5, 5, false);
+  EXPECT_EQ(t.neighbor_in(t.cell_of(0, 0), Direction::kN), kNoCell);
+}
+
+TEST(HexTopologyTest, StraightLineOnTorusComesBackAround) {
+  HexTopology t(4, 6, true);
+  // Going North `rows` times returns to start.
+  CellId c = t.cell_of(2, 3);
+  CellId walk = c;
+  for (int i = 0; i < 4; ++i) walk = t.neighbor_in(walk, Direction::kN);
+  EXPECT_EQ(walk, c);
+}
+
+TEST(HexTopologyTest, TorusRequiresEvenColumns) {
+  EXPECT_THROW(HexTopology(4, 5, true), InvariantError);
+  EXPECT_NO_THROW(HexTopology(4, 5, false));
+}
+
+TEST(HexTopologyTest, TooSmallGridRejected) {
+  EXPECT_THROW(HexTopology(1, 6, false), InvariantError);
+  EXPECT_THROW(HexTopology(6, 1, false), InvariantError);
+}
+
+TEST(HexTopologyTest, DescribeMentionsShape) {
+  EXPECT_NE(HexTopology(4, 6, true).describe().find("torus"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pabr::geom

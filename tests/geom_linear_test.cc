@@ -1,0 +1,193 @@
+#include "geom/linear_topology.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::geom {
+namespace {
+
+TEST(LinearTopologyTest, RingNeighborsWrap) {
+  LinearTopology t(10, 1.0, /*wrap=*/true);
+  EXPECT_EQ(t.num_cells(), 10);
+  EXPECT_EQ(t.neighbors(0), (std::vector<CellId>{9, 1}));
+  EXPECT_EQ(t.neighbors(9), (std::vector<CellId>{8, 0}));
+  EXPECT_EQ(t.neighbors(5), (std::vector<CellId>{4, 6}));
+}
+
+TEST(LinearTopologyTest, OpenRoadBordersHaveOneNeighbor) {
+  LinearTopology t(10, 1.0, /*wrap=*/false);
+  EXPECT_EQ(t.neighbors(0), (std::vector<CellId>{1}));
+  EXPECT_EQ(t.neighbors(9), (std::vector<CellId>{8}));
+  EXPECT_EQ(t.neighbors(4), (std::vector<CellId>{3, 5}));
+}
+
+TEST(LinearTopologyTest, AdjacencyIsSymmetric) {
+  for (bool wrap : {false, true}) {
+    LinearTopology t(6, 1.0, wrap);
+    for (CellId a = 0; a < t.num_cells(); ++a) {
+      for (CellId b : t.neighbors(a)) {
+        EXPECT_TRUE(t.adjacent(b, a)) << "wrap=" << wrap << " " << a << "-"
+                                      << b;
+      }
+      EXPECT_FALSE(t.adjacent(a, a));
+    }
+  }
+}
+
+TEST(LinearTopologyTest, CellAtMapsPositions) {
+  LinearTopology t(10, 1.0, true);
+  EXPECT_EQ(t.cell_at(0.0), 0);
+  EXPECT_EQ(t.cell_at(0.999), 0);
+  EXPECT_EQ(t.cell_at(1.0), 1);
+  EXPECT_EQ(t.cell_at(9.5), 9);
+}
+
+TEST(LinearTopologyTest, CellAtWrapsOnRing) {
+  LinearTopology t(10, 1.0, true);
+  EXPECT_EQ(t.cell_at(10.5), 0);
+  EXPECT_EQ(t.cell_at(-0.5), 9);
+  EXPECT_EQ(t.cell_at(25.5), 5);
+}
+
+TEST(LinearTopologyTest, CellAtOutsideOpenRoadThrows) {
+  LinearTopology t(10, 1.0, false);
+  EXPECT_THROW(t.cell_at(-0.1), InvariantError);
+  EXPECT_THROW(t.cell_at(10.0), InvariantError);
+}
+
+TEST(LinearTopologyTest, CanonicalPosition) {
+  LinearTopology ring(10, 1.0, true);
+  EXPECT_DOUBLE_EQ(*ring.canonical_position(12.5), 2.5);
+  EXPECT_DOUBLE_EQ(*ring.canonical_position(-1.5), 8.5);
+
+  LinearTopology open(10, 1.0, false);
+  EXPECT_DOUBLE_EQ(*open.canonical_position(2.5), 2.5);
+  EXPECT_FALSE(open.canonical_position(-0.1).has_value());
+  EXPECT_FALSE(open.canonical_position(10.0).has_value());
+}
+
+TEST(LinearTopologyTest, NextBoundaryForward) {
+  LinearTopology t(10, 1.0, true);
+  const auto b = t.next_boundary(2.3, +1);
+  EXPECT_DOUBLE_EQ(b.position_km, 3.0);
+  EXPECT_EQ(b.current_cell, 2);
+  EXPECT_EQ(b.next_cell, 3);
+}
+
+TEST(LinearTopologyTest, NextBoundaryBackward) {
+  LinearTopology t(10, 1.0, true);
+  const auto b = t.next_boundary(2.3, -1);
+  EXPECT_DOUBLE_EQ(b.position_km, 2.0);
+  EXPECT_EQ(b.current_cell, 2);
+  EXPECT_EQ(b.next_cell, 1);
+}
+
+TEST(LinearTopologyTest, ExactlyOnBoundaryMovingForward) {
+  LinearTopology t(10, 1.0, true);
+  // At x = 3.0 moving forward, the mobile is in cell 3 heading to 4.
+  const auto b = t.next_boundary(3.0, +1);
+  EXPECT_DOUBLE_EQ(b.position_km, 4.0);
+  EXPECT_EQ(b.current_cell, 3);
+  EXPECT_EQ(b.next_cell, 4);
+}
+
+TEST(LinearTopologyTest, ExactlyOnBoundaryMovingBackward) {
+  LinearTopology t(10, 1.0, true);
+  // At x = 3.0 moving backward, the mobile is in cell 2 heading to 1.
+  const auto b = t.next_boundary(3.0, -1);
+  EXPECT_DOUBLE_EQ(b.position_km, 2.0);
+  EXPECT_EQ(b.current_cell, 2);
+  EXPECT_EQ(b.next_cell, 1);
+}
+
+TEST(LinearTopologyTest, RingWrapAtOrigin) {
+  LinearTopology t(10, 1.0, true);
+  const auto fwd = t.next_boundary(9.5, +1);
+  EXPECT_DOUBLE_EQ(fwd.position_km, 10.0);
+  EXPECT_EQ(fwd.next_cell, 0);
+
+  const auto back = t.next_boundary(0.0, -1);
+  EXPECT_DOUBLE_EQ(back.position_km, -1.0);
+  EXPECT_EQ(back.current_cell, 9);
+  EXPECT_EQ(back.next_cell, 8);
+}
+
+TEST(LinearTopologyTest, OpenRoadEndsReturnNoCell) {
+  LinearTopology t(10, 1.0, false);
+  const auto out_high = t.next_boundary(9.5, +1);
+  EXPECT_EQ(out_high.next_cell, kNoCell);
+  EXPECT_DOUBLE_EQ(out_high.position_km, 10.0);
+
+  const auto out_low = t.next_boundary(0.5, -1);
+  EXPECT_EQ(out_low.next_cell, kNoCell);
+  EXPECT_DOUBLE_EQ(out_low.position_km, 0.0);
+}
+
+TEST(LinearTopologyTest, BadDirectionRejected) {
+  LinearTopology t(10, 1.0, true);
+  EXPECT_THROW(t.next_boundary(1.5, 0), InvariantError);
+  EXPECT_THROW(t.next_boundary(1.5, 2), InvariantError);
+}
+
+TEST(LinearTopologyTest, DescribeMentionsShape) {
+  EXPECT_NE(LinearTopology(10, 1.0, true).describe().find("ring"),
+            std::string::npos);
+  EXPECT_NE(LinearTopology(10, 1.0, false).describe().find("open"),
+            std::string::npos);
+}
+
+TEST(LinearTopologyTest, ConstructionValidation) {
+  EXPECT_THROW(LinearTopology(1, 1.0, true), InvariantError);
+  EXPECT_THROW(LinearTopology(10, 0.0, true), InvariantError);
+}
+
+TEST(LinearTopologyTest, NonUnitDiameter) {
+  LinearTopology t(4, 2.5, true);
+  EXPECT_DOUBLE_EQ(t.road_length_km(), 10.0);
+  EXPECT_EQ(t.cell_at(4.9), 1);
+  EXPECT_EQ(t.cell_at(5.0), 2);
+  const auto b = t.next_boundary(6.0, +1);
+  EXPECT_DOUBLE_EQ(b.position_km, 7.5);
+  EXPECT_EQ(b.next_cell, 3);
+}
+
+// Property sweep: from every sampled position and both directions, the
+// boundary lies strictly ahead and maps to an adjacent (or border) cell.
+struct BoundaryCase {
+  double x;
+  int direction;
+  bool wrap;
+};
+
+class NextBoundaryProperty : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(NextBoundaryProperty, BoundaryIsAheadAndAdjacent) {
+  const auto& c = GetParam();
+  LinearTopology t(10, 1.0, c.wrap);
+  const auto b = t.next_boundary(c.x, c.direction);
+  if (c.direction > 0) {
+    EXPECT_GT(b.position_km, c.x);
+  } else {
+    EXPECT_LT(b.position_km, c.x);
+  }
+  EXPECT_LE(std::abs(b.position_km - c.x), 1.0 + 1e-12);
+  if (b.next_cell != kNoCell) {
+    EXPECT_TRUE(t.adjacent(b.current_cell, b.next_cell));
+  } else {
+    EXPECT_FALSE(c.wrap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NextBoundaryProperty,
+    ::testing::Values(
+        BoundaryCase{0.25, +1, true}, BoundaryCase{0.25, -1, true},
+        BoundaryCase{0.25, +1, false}, BoundaryCase{0.25, -1, false},
+        BoundaryCase{4.999, +1, true}, BoundaryCase{5.0, -1, true},
+        BoundaryCase{5.0, +1, true}, BoundaryCase{9.75, +1, true},
+        BoundaryCase{9.75, -1, false}, BoundaryCase{9.75, +1, false},
+        BoundaryCase{0.0, +1, true}, BoundaryCase{0.0, -1, true}));
+
+}  // namespace
+}  // namespace pabr::geom

@@ -1,0 +1,120 @@
+#include "hoef/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::hoef {
+namespace {
+
+constexpr geom::CellId kSelf = 0;
+constexpr geom::CellId kLeft = 1;
+constexpr geom::CellId kRight = 2;
+
+CalendarConfig wide_config() {
+  CalendarConfig cfg;
+  cfg.t_int = 2.0 * sim::kHour;
+  return cfg;
+}
+
+sim::Time day_at(int day, double hour) {
+  return day * sim::kDay + hour * sim::kHour;
+}
+
+TEST(CalendarTest, WeekendDetectionFromMondayStart) {
+  CalendarEstimator e(kSelf, wide_config());
+  EXPECT_FALSE(e.is_weekend(day_at(0, 12.0)));  // Monday
+  EXPECT_FALSE(e.is_weekend(day_at(4, 12.0)));  // Friday
+  EXPECT_TRUE(e.is_weekend(day_at(5, 12.0)));   // Saturday
+  EXPECT_TRUE(e.is_weekend(day_at(6, 12.0)));   // Sunday
+  EXPECT_FALSE(e.is_weekend(day_at(7, 12.0)));  // next Monday
+  EXPECT_TRUE(e.is_weekend(day_at(12, 0.5)));   // next Saturday
+}
+
+TEST(CalendarTest, StartDayOffsetShiftsWeekend) {
+  CalendarConfig cfg = wide_config();
+  cfg.start_day_of_week = 5;  // simulation starts on a Saturday
+  CalendarEstimator e(kSelf, cfg);
+  EXPECT_TRUE(e.is_weekend(day_at(0, 12.0)));
+  EXPECT_TRUE(e.is_weekend(day_at(1, 12.0)));
+  EXPECT_FALSE(e.is_weekend(day_at(2, 12.0)));  // Monday
+}
+
+TEST(CalendarTest, RecordsRouteToTheMatchingSet) {
+  CalendarEstimator e(kSelf, wide_config());
+  e.record({day_at(0, 9.0), kLeft, kRight, 30.0});  // Monday
+  e.record({day_at(5, 9.0), kLeft, kRight, 90.0});  // Saturday
+  EXPECT_EQ(e.weekday_set().cached_events(), 1u);
+  EXPECT_EQ(e.weekend_set().cached_events(), 1u);
+  EXPECT_EQ(e.cached_events(), 2u);
+}
+
+TEST(CalendarTest, WeekdayQueryIgnoresWeekendBehavior) {
+  CalendarEstimator e(kSelf, wide_config());
+  // Weekday commuters cross fast (30 s), weekend strollers slowly (90 s).
+  e.record({day_at(0, 9.0), kLeft, kRight, 30.0});
+  e.record({day_at(5, 9.0), kLeft, kRight, 90.0});
+  // Tuesday 9 am: only the weekday set answers -> 30 s events reachable
+  // with T_est = 40.
+  const sim::Time tue = day_at(1, 9.0);
+  EXPECT_DOUBLE_EQ(e.handoff_probability(tue, kLeft, kRight, 0.0, 40.0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(e.max_sojourn(tue), 30.0);
+}
+
+TEST(CalendarTest, WeekendQueryUsesWeeklyPeriod) {
+  CalendarEstimator e(kSelf, wide_config());
+  e.record({day_at(5, 9.0), kLeft, kRight, 90.0});  // Saturday week 0
+  // Saturday of week 1, same time of day: the weekend set's T_week window
+  // (n = 1) picks it up.
+  const sim::Time next_sat = day_at(12, 9.0);
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(next_sat, kLeft, kRight, 0.0, 90.0), 1.0);
+  // But a weekday between them sees nothing.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(day_at(9, 9.0), kLeft, kRight, 0.0, 90.0), 0.0);
+}
+
+TEST(CalendarTest, SundayEventNotVisibleOnSaturdayOfNextWeekAtOtherHour) {
+  CalendarEstimator e(kSelf, wide_config());
+  e.record({day_at(6, 9.0), kLeft, kRight, 50.0});  // Sunday 9 am
+  // Next Sunday 9 am: visible (T_week period).
+  EXPECT_GT(
+      e.handoff_probability(day_at(13, 9.0), kLeft, kRight, 0.0, 50.0),
+      0.0);
+  // Next Sunday 3 pm: outside the +/- 2 h window.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(day_at(13, 15.0), kLeft, kRight, 0.0, 50.0),
+      0.0);
+}
+
+TEST(CalendarTest, AnyHandoffAndMaxSojournRouteByDayClass) {
+  CalendarEstimator e(kSelf, wide_config());
+  e.record({day_at(0, 9.0), kLeft, kRight, 30.0});
+  e.record({day_at(5, 9.0), kLeft, kRight, 90.0});
+  EXPECT_DOUBLE_EQ(e.max_sojourn(day_at(1, 9.0)), 30.0);   // weekday view
+  EXPECT_DOUBLE_EQ(e.max_sojourn(day_at(12, 9.0)), 90.0);  // weekend view
+  EXPECT_DOUBLE_EQ(
+      e.any_handoff_probability(day_at(1, 9.0), kLeft, 0.0, 30.0), 1.0);
+}
+
+TEST(CalendarTest, PruneAgesBothSets) {
+  CalendarEstimator e(kSelf, wide_config());
+  e.record({day_at(0, 9.0), kLeft, kRight, 30.0});
+  e.record({day_at(5, 9.0), kLeft, kRight, 90.0});
+  // Far beyond both horizons (weekday: 1 day + T_int; weekend: 1 week +
+  // T_int).
+  e.prune(day_at(30, 0.0));
+  EXPECT_EQ(e.cached_events(), 0u);
+}
+
+TEST(CalendarTest, Validation) {
+  CalendarConfig bad = wide_config();
+  bad.start_day_of_week = 7;
+  EXPECT_THROW(CalendarEstimator(kSelf, bad), InvariantError);
+  CalendarEstimator e(kSelf, wide_config());
+  EXPECT_THROW(e.is_weekend(-1.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::hoef

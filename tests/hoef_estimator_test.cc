@@ -1,0 +1,337 @@
+// Hand-constructed checks of the hand-off estimation function (§3.1) and
+// the Bayes hand-off probability (Eq. 4).
+#include "hoef/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::hoef {
+namespace {
+
+EstimatorConfig infinite_window() {
+  EstimatorConfig cfg;
+  cfg.t_int = sim::kInfiniteDuration;
+  return cfg;
+}
+
+// Cell 0 with neighbours 1 and 2 (1-D style); prev == 0 means "started in
+// cell 0".
+constexpr geom::CellId kSelf = 0;
+constexpr geom::CellId kLeft = 1;
+constexpr geom::CellId kRight = 2;
+
+TEST(HoefTest, EmptyEstimatorPredictsStationary) {
+  HandoffEstimator e(kSelf, infinite_window());
+  EXPECT_DOUBLE_EQ(e.handoff_probability(100.0, kLeft, kRight, 0.0, 10.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(e.max_sojourn(100.0), 0.0);
+  EXPECT_TRUE(e.footprint(100.0, kLeft).empty());
+  EXPECT_EQ(e.cached_events(), 0u);
+}
+
+TEST(HoefTest, SingleEventGivesCertainPrediction) {
+  HandoffEstimator e(kSelf, infinite_window());
+  // One mobile from cell 1 crossed to cell 2 after 30 s.
+  e.record({100.0, kLeft, kRight, 30.0});
+  // A fresh mobile from cell 1 (extant 0): within 30 s it should hand off
+  // to cell 2 with probability 1.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(200.0, kLeft, kRight, 0.0, 30.0),
+                   1.0);
+  // Window too small to reach the observed sojourn: probability 0.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(200.0, kLeft, kRight, 0.0, 29.0),
+                   0.0);
+}
+
+TEST(HoefTest, Eq4NumeratorDenominatorArithmetic) {
+  HandoffEstimator e(kSelf, infinite_window());
+  // Four observations from prev = 1: sojourns 10, 20 (to right), 30, 40
+  // (to left... actually to kLeft and kRight mixed).
+  e.record({10.0, kLeft, kRight, 10.0});
+  e.record({11.0, kLeft, kRight, 20.0});
+  e.record({12.0, kLeft, kLeft, 30.0});  // turned around
+  e.record({13.0, kLeft, kRight, 40.0});
+
+  // Extant sojourn 15 s: denominator = events with T_soj > 15 -> {20,30,40}
+  // (weight 3). Numerator for next = kRight within T_est = 10:
+  // 15 < T_soj <= 25 -> {20} (weight 1). p = 1/3.
+  EXPECT_NEAR(e.handoff_probability(50.0, kLeft, kRight, 15.0, 10.0),
+              1.0 / 3.0, 1e-12);
+  // For next = kLeft within T_est = 20: 15 < T_soj <= 35 -> {30}. p = 1/3.
+  EXPECT_NEAR(e.handoff_probability(50.0, kLeft, kLeft, 15.0, 20.0),
+              1.0 / 3.0, 1e-12);
+  // Wide window captures everything remaining: p(right) = 2/3.
+  EXPECT_NEAR(e.handoff_probability(50.0, kLeft, kRight, 15.0, 1000.0),
+              2.0 / 3.0, 1e-12);
+}
+
+TEST(HoefTest, DenominatorConditionIsStrict) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 30.0});
+  // Extant sojourn exactly 30: the only event does NOT outlast it
+  // (T_soj > T_ext-soj is strict) -> stationary.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(50.0, kLeft, kRight, 30.0, 100.0),
+                   0.0);
+  // Just below 30 it is alive.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(50.0, kLeft, kRight, 29.999, 100.0), 1.0);
+}
+
+TEST(HoefTest, NumeratorUpperBoundIsInclusive) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 30.0});
+  // extant 20, T_est 10: 20 < 30 <= 30 -> included.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(50.0, kLeft, kRight, 20.0, 10.0),
+                   1.0);
+}
+
+TEST(HoefTest, PrevHistoriesAreSeparate) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 10.0});
+  e.record({11.0, kSelf, kLeft, 200.0});  // started-here behaves differently
+  // Query for prev = self must not see the prev = kLeft event.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(50.0, kSelf, kRight, 0.0, 50.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(e.handoff_probability(50.0, kSelf, kLeft, 0.0, 200.0),
+                   1.0);
+}
+
+TEST(HoefTest, AnyHandoffSumsOverNextCells) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 10.0});
+  e.record({11.0, kLeft, kLeft, 20.0});
+  e.record({12.0, kLeft, kRight, 120.0});
+  // extant 0, T_est 25: events {10, 20} of 3 -> 2/3; equals the sum of the
+  // per-next probabilities.
+  const double any = e.any_handoff_probability(50.0, kLeft, 0.0, 25.0);
+  const double sum =
+      e.handoff_probability(50.0, kLeft, kRight, 0.0, 25.0) +
+      e.handoff_probability(50.0, kLeft, kLeft, 0.0, 25.0);
+  EXPECT_NEAR(any, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(any, sum, 1e-12);
+}
+
+TEST(HoefTest, MaxSojournTracksUsableEvents) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 33.0});
+  e.record({12.0, kSelf, kRight, 95.0});
+  EXPECT_DOUBLE_EQ(e.max_sojourn(50.0), 95.0);
+}
+
+TEST(HoefTest, NQuadKeepsNewestUnderInfiniteWindow) {
+  EstimatorConfig cfg = infinite_window();
+  cfg.n_quad = 3;
+  HandoffEstimator e(kSelf, cfg);
+  // Five events to the same (prev, next); only the newest three (sojourns
+  // 30, 40, 50) may be used.
+  for (int i = 0; i < 5; ++i) {
+    e.record({static_cast<double>(10 + i), kLeft, kRight,
+              10.0 * (i + 1)});
+  }
+  EXPECT_EQ(e.cached_events(), 3u);
+  // An extant sojourn of 15 would have been outlasted by the evicted
+  // sojourn-20 event; with only {30,40,50} alive, p within T_est=15 is
+  // 1/3 (only the 30 s event falls in (15, 30]).
+  EXPECT_NEAR(e.handoff_probability(100.0, kLeft, kRight, 15.0, 15.0),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(HoefTest, NQuadIsPerPrevNextPair) {
+  EstimatorConfig cfg = infinite_window();
+  cfg.n_quad = 2;
+  HandoffEstimator e(kSelf, cfg);
+  for (int i = 0; i < 4; ++i) {
+    e.record({static_cast<double>(i), kLeft, kRight, 10.0});
+    e.record({static_cast<double>(i), kLeft, kLeft, 10.0});
+  }
+  EXPECT_EQ(e.cached_events(), 4u);  // 2 per (prev,next) pair
+}
+
+TEST(HoefTest, FootprintExposesSelectedQuadruplets) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 12.0});
+  e.record({11.0, kLeft, kLeft, 34.0});
+  const auto fp = e.footprint(50.0, kLeft);
+  ASSERT_EQ(fp.size(), 2u);
+  double total_weight = 0.0;
+  for (const auto& p : fp) {
+    EXPECT_TRUE(p.next == kLeft || p.next == kRight);
+    EXPECT_EQ(p.window, 0);
+    total_weight += p.weight;
+  }
+  EXPECT_DOUBLE_EQ(total_weight, 2.0);
+}
+
+TEST(HoefTest, RecordValidation) {
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({10.0, kLeft, kRight, 5.0});
+  // Event times must be non-decreasing.
+  EXPECT_THROW(e.record({9.0, kLeft, kRight, 5.0}), InvariantError);
+  // next must be a real, different cell.
+  EXPECT_THROW(e.record({11.0, kLeft, kSelf, 5.0}), InvariantError);
+  EXPECT_THROW(e.record({11.0, kLeft, geom::kNoCell, 5.0}), InvariantError);
+  EXPECT_THROW(e.record({11.0, kLeft, kRight, -1.0}), InvariantError);
+}
+
+TEST(HoefTest, ConfigValidation) {
+  EstimatorConfig bad;
+  bad.n_quad = 0;
+  EXPECT_THROW(HandoffEstimator(0, bad), InvariantError);
+  EstimatorConfig inc;
+  inc.weights = {0.5, 1.0};  // increasing — violates Eq. (3)
+  EXPECT_THROW(HandoffEstimator(0, inc), InvariantError);
+  EstimatorConfig empty;
+  empty.weights = {};
+  EXPECT_THROW(HandoffEstimator(0, empty), InvariantError);
+}
+
+// ---- Finite T_int (periodic daily windows) --------------------------------
+
+EstimatorConfig daily_window() {
+  EstimatorConfig cfg;
+  cfg.t_int = sim::kHour;      // +/- 1 h around the same time of day
+  cfg.n_win_periods = 1;       // today and yesterday
+  cfg.weights = {1.0, 1.0};    // w_0 = w_1 = 1 (paper §5.1)
+  cfg.snapshot_tolerance = 1.0;
+  return cfg;
+}
+
+TEST(HoefFiniteWindowTest, EventOutsideWindowIsIgnored) {
+  HandoffEstimator e(kSelf, daily_window());
+  // Event at t = 1000 s; query at t = 1000 + 2 h: outside [t0-1h, t0].
+  e.record({1000.0, kLeft, kRight, 30.0});
+  const sim::Time t0 = 1000.0 + 2.0 * sim::kHour;
+  EXPECT_DOUBLE_EQ(e.handoff_probability(t0, kLeft, kRight, 0.0, 30.0), 0.0);
+  // Within the window it is used.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(1000.0 + 0.5 * sim::kHour, kLeft, kRight, 0.0,
+                            30.0),
+      1.0);
+}
+
+TEST(HoefFiniteWindowTest, YesterdaySameTimeOfDayIsUsed) {
+  HandoffEstimator e(kSelf, daily_window());
+  const sim::Time yesterday_9am = 9.0 * sim::kHour;
+  e.record({yesterday_9am, kLeft, kRight, 30.0});
+  // Today 9 am (one period later): the n = 1 window picks it up.
+  const sim::Time today_9am = yesterday_9am + sim::kDay;
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(today_9am, kLeft, kRight, 0.0, 30.0), 1.0);
+  // Today 3 pm: neither window covers the event.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(today_9am + 6 * sim::kHour, kLeft,
+                                         kRight, 0.0, 30.0),
+                   0.0);
+}
+
+TEST(HoefFiniteWindowTest, EventsOlderThanNWinPeriodsExpire) {
+  HandoffEstimator e(kSelf, daily_window());  // N_win = 1
+  const sim::Time t_event = 9.0 * sim::kHour;
+  e.record({t_event, kLeft, kRight, 30.0});
+  // Two days later at the same time of day: n = 2 > N_win, weight 0.
+  const sim::Time t0 = t_event + 2.0 * sim::kDay;
+  EXPECT_DOUBLE_EQ(e.handoff_probability(t0, kLeft, kRight, 0.0, 30.0), 0.0);
+}
+
+TEST(HoefFiniteWindowTest, WeightsBiasRecentDays) {
+  EstimatorConfig cfg = daily_window();
+  cfg.weights = {1.0, 0.5};
+  HandoffEstimator e(kSelf, cfg);
+  const sim::Time nine_am = 9.0 * sim::kHour;
+  // Yesterday 9 am: goes right after 10 s (weight 0.5 today).
+  e.record({nine_am, kLeft, kRight, 10.0});
+  // Today 8:30 am: goes left after 10 s (weight 1.0 at 9 am).
+  e.record({nine_am + sim::kDay - 0.5 * sim::kHour, kLeft, kLeft, 10.0});
+  const sim::Time t0 = nine_am + sim::kDay;
+  // p(right) = 0.5 / 1.5, p(left) = 1.0 / 1.5.
+  EXPECT_NEAR(e.handoff_probability(t0, kLeft, kRight, 0.0, 10.0),
+              0.5 / 1.5, 1e-12);
+  EXPECT_NEAR(e.handoff_probability(t0, kLeft, kLeft, 0.0, 10.0), 1.0 / 1.5,
+              1e-12);
+}
+
+TEST(HoefFiniteWindowTest, PruneDropsOutOfDateEvents) {
+  HandoffEstimator e(kSelf, daily_window());
+  e.record({1000.0, kLeft, kRight, 30.0});
+  EXPECT_EQ(e.cached_events(), 1u);
+  // Pruning at a time when even the n = N_win window has passed.
+  e.prune(1000.0 + 2.0 * sim::kDay);
+  EXPECT_EQ(e.cached_events(), 0u);
+}
+
+TEST(HoefFiniteWindowTest, RecordAutoPrunesStaleEventsInSameSeries) {
+  HandoffEstimator e(kSelf, daily_window());
+  e.record({0.0, kLeft, kRight, 5.0});
+  // Recording far in the future drops the stale event from that deque.
+  e.record({3.0 * sim::kDay, kLeft, kRight, 7.0});
+  EXPECT_EQ(e.cached_events(), 1u);
+}
+
+TEST(HoefFiniteWindowTest, PriorityPrefersTodayOverYesterday) {
+  EstimatorConfig cfg = daily_window();
+  cfg.n_quad = 1;  // only one quadruplet survives per (prev, next)
+  HandoffEstimator e(kSelf, cfg);
+  const sim::Time nine_am = 9.0 * sim::kHour;
+  // Yesterday 9:00 sharp (distance 0 from the n = 1 window centre) with a
+  // distinctive sojourn...
+  e.record({nine_am, kLeft, kRight, 99.0});
+  // ...and today 8:30 (n = 0 window, 30 min off-centre) with another.
+  e.record({nine_am + sim::kDay - 0.5 * sim::kHour, kLeft, kRight, 10.0});
+  // §3.1 priority: smaller n wins BEFORE centre distance, so today's
+  // event is kept: a sojourn-99 query finds nothing.
+  const sim::Time t0 = nine_am + sim::kDay;
+  EXPECT_DOUBLE_EQ(e.handoff_probability(t0, kLeft, kRight, 50.0, 100.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(e.handoff_probability(t0, kLeft, kRight, 0.0, 10.0),
+                   1.0);
+}
+
+TEST(HoefFiniteWindowTest, PriorityWithinWindowPrefersCentre) {
+  EstimatorConfig cfg = daily_window();
+  cfg.n_quad = 1;
+  HandoffEstimator e(kSelf, cfg);
+  const sim::Time nine_am = 9.0 * sim::kHour;
+  // Two events in today's window: 8:10 (50 min off-centre, sojourn 99)
+  // and 8:50 (10 min off-centre, sojourn 10).
+  e.record({nine_am - 50.0 * sim::kMinute, kLeft, kRight, 99.0});
+  e.record({nine_am - 10.0 * sim::kMinute, kLeft, kRight, 10.0});
+  // The event closer to the window centre (t0 itself) survives.
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(nine_am, kLeft, kRight, 50.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      e.handoff_probability(nine_am, kLeft, kRight, 0.0, 10.0), 1.0);
+}
+
+TEST(HoefFiniteWindowTest, OverlappingWindowsCountEventOnce) {
+  // 2*T_int > period: the same event falls into both the n = 0 and n = 1
+  // windows; the smaller n must win (it is counted once, with w_0).
+  EstimatorConfig cfg;
+  cfg.t_int = 0.75 * sim::kDay;  // windows are 1.5 days wide
+  cfg.period = sim::kDay;
+  cfg.n_win_periods = 1;
+  cfg.weights = {1.0, 0.5};
+  cfg.snapshot_tolerance = 1.0;
+  HandoffEstimator e(kSelf, cfg);
+  e.record({0.5 * sim::kDay, kLeft, kRight, 30.0});
+  // Query at t0 = 1.0 day: the event is inside [t0-T_int, t0] (n = 0) and
+  // also inside the n = 1 window [t0-T_int-P, t0+T_int-P).
+  const auto fp = e.footprint(1.0 * sim::kDay, kLeft);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp[0].window, 0);
+  EXPECT_DOUBLE_EQ(fp[0].weight, 1.0);  // w_0, not w_0 + w_1
+}
+
+TEST(HoefFiniteWindowTest, SnapshotRefreshesAsTimeDrifts) {
+  HandoffEstimator e(kSelf, daily_window());
+  e.record({1000.0, kLeft, kRight, 30.0});
+  // Query inside the window first (snapshot built at t0 = 1000 + 600 s).
+  EXPECT_GT(
+      e.handoff_probability(1600.0, kLeft, kRight, 0.0, 30.0), 0.0);
+  // Much later the same snapshot would be stale: the estimator must
+  // rebuild and report 0.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(1000.0 + 3 * sim::kHour, kLeft,
+                                         kRight, 0.0, 30.0),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace pabr::hoef

@@ -1,0 +1,125 @@
+// Property-style sweeps over randomly generated hand-off histories:
+// invariants of the Bayes estimator that must hold for ANY history.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hoef/estimator.h"
+#include "sim/random.h"
+
+namespace pabr::hoef {
+namespace {
+
+constexpr geom::CellId kSelf = 0;
+constexpr geom::CellId kNexts[] = {1, 2};
+constexpr geom::CellId kPrevs[] = {0, 1, 2};
+
+struct HistoryParams {
+  std::uint64_t seed;
+  int events;
+  int n_quad;
+};
+
+class HoefPropertyTest : public ::testing::TestWithParam<HistoryParams> {
+ protected:
+  HandoffEstimator make_estimator() {
+    const auto& p = GetParam();
+    EstimatorConfig cfg;
+    cfg.t_int = sim::kInfiniteDuration;
+    cfg.n_quad = p.n_quad;
+    HandoffEstimator e(kSelf, cfg);
+    sim::Rng rng(p.seed);
+    sim::Time t = 0.0;
+    for (int i = 0; i < p.events; ++i) {
+      t += rng.exponential(5.0);
+      Quadruplet q;
+      q.event_time = t;
+      q.prev = kPrevs[rng.uniform_int(0, 2)];
+      q.next = kNexts[rng.uniform_int(0, 1)];
+      q.sojourn = rng.uniform(1.0, 120.0);
+      e.record(q);
+    }
+    last_event_time_ = t;
+    return e;
+  }
+  sim::Time last_event_time_ = 0.0;
+};
+
+TEST_P(HoefPropertyTest, ProbabilitiesAreProbabilities) {
+  auto e = make_estimator();
+  const sim::Time t0 = last_event_time_ + 1.0;
+  sim::Rng rng(GetParam().seed ^ 0xABCDEF);
+  for (int i = 0; i < 200; ++i) {
+    const geom::CellId prev = kPrevs[rng.uniform_int(0, 2)];
+    const double ext = rng.uniform(0.0, 150.0);
+    const double t_est = rng.uniform(0.0, 150.0);
+    double sum = 0.0;
+    for (geom::CellId next : kNexts) {
+      const double p = e.handoff_probability(t0, prev, next, ext, t_est);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    EXPECT_NEAR(sum, e.any_handoff_probability(t0, prev, ext, t_est), 1e-9);
+  }
+}
+
+TEST_P(HoefPropertyTest, MonotoneInEstimationWindow) {
+  auto e = make_estimator();
+  const sim::Time t0 = last_event_time_ + 1.0;
+  sim::Rng rng(GetParam().seed ^ 0x1234);
+  for (int i = 0; i < 100; ++i) {
+    const geom::CellId prev = kPrevs[rng.uniform_int(0, 2)];
+    const geom::CellId next = kNexts[rng.uniform_int(0, 1)];
+    const double ext = rng.uniform(0.0, 100.0);
+    double last = 0.0;
+    for (double t_est : {1.0, 5.0, 20.0, 60.0, 200.0}) {
+      const double p = e.handoff_probability(t0, prev, next, ext, t_est);
+      EXPECT_GE(p, last - 1e-12)
+          << "p_h must be non-decreasing in T_est (paper §4.1)";
+      last = p;
+    }
+  }
+}
+
+TEST_P(HoefPropertyTest, StationaryBeyondMaxSojourn) {
+  auto e = make_estimator();
+  const sim::Time t0 = last_event_time_ + 1.0;
+  const double max_soj = e.max_sojourn(t0);
+  for (geom::CellId prev : kPrevs) {
+    for (geom::CellId next : kNexts) {
+      EXPECT_DOUBLE_EQ(
+          e.handoff_probability(t0, prev, next, max_soj + 1.0, 1000.0), 0.0);
+    }
+  }
+}
+
+TEST_P(HoefPropertyTest, CacheBoundedByNQuadPerPair) {
+  auto e = make_estimator();
+  // 3 prevs x 2 nexts pairs at most.
+  EXPECT_LE(e.cached_events(),
+            static_cast<std::size_t>(6 * GetParam().n_quad));
+}
+
+TEST_P(HoefPropertyTest, FootprintWeightsArePositiveAndSorted) {
+  auto e = make_estimator();
+  const sim::Time t0 = last_event_time_ + 1.0;
+  for (geom::CellId prev : kPrevs) {
+    for (const auto& p : e.footprint(t0, prev)) {
+      EXPECT_GT(p.weight, 0.0);
+      EXPECT_GE(p.sojourn, 0.0);
+      EXPECT_EQ(p.window, 0);  // infinite T_int -> single window
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomHistories, HoefPropertyTest,
+    ::testing::Values(HistoryParams{1, 50, 100}, HistoryParams{2, 500, 100},
+                      HistoryParams{3, 500, 10}, HistoryParams{4, 2000, 100},
+                      HistoryParams{5, 2000, 25}, HistoryParams{6, 10, 3},
+                      HistoryParams{7, 1000, 1}));
+
+}  // namespace
+}  // namespace pabr::hoef

@@ -1,0 +1,120 @@
+#include "mobility/hex_motion.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/check.h"
+
+namespace pabr::mobility {
+namespace {
+
+class HexMotionTest : public ::testing::Test {
+ protected:
+  geom::HexTopology grid_{6, 6, /*wrap=*/true};
+};
+
+TEST_F(HexMotionTest, NextCellIsAlwaysAdjacent) {
+  HexMotion motion(grid_, {});
+  sim::Rng rng(3);
+  for (geom::CellId c = 0; c < grid_.num_cells(); ++c) {
+    for (int i = 0; i < 20; ++i) {
+      const geom::CellId prev =
+          grid_.neighbors(c)[static_cast<std::size_t>(i % 6)];
+      const geom::CellId next = motion.next_cell(prev, c, rng);
+      EXPECT_TRUE(grid_.adjacent(c, next));
+    }
+  }
+}
+
+TEST_F(HexMotionTest, HighPersistenceMostlyGoesStraight) {
+  HexMotionConfig cfg;
+  cfg.persistence = 0.9;
+  HexMotion motion(grid_, cfg);
+  sim::Rng rng(7);
+
+  // Entering cell c from its southern neighbour: straight-through is the
+  // northern neighbour.
+  const geom::CellId c = grid_.cell_of(3, 2);
+  const geom::CellId south =
+      grid_.neighbor_in(c, geom::HexTopology::Direction::kS);
+  const geom::CellId north =
+      grid_.neighbor_in(c, geom::HexTopology::Direction::kN);
+
+  int straight = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (motion.next_cell(south, c, rng) == north) ++straight;
+  }
+  EXPECT_NEAR(static_cast<double>(straight) / n, 0.9, 0.03);
+}
+
+TEST_F(HexMotionTest, ZeroPersistenceNeverGoesStraight) {
+  HexMotionConfig cfg;
+  cfg.persistence = 0.0;
+  HexMotion motion(grid_, cfg);
+  sim::Rng rng(7);
+  const geom::CellId c = grid_.cell_of(3, 2);
+  const geom::CellId south =
+      grid_.neighbor_in(c, geom::HexTopology::Direction::kS);
+  const geom::CellId north =
+      grid_.neighbor_in(c, geom::HexTopology::Direction::kN);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(motion.next_cell(south, c, rng), north);
+  }
+}
+
+TEST_F(HexMotionTest, FreshConnectionUsesAllNeighbors) {
+  HexMotion motion(grid_, {});
+  sim::Rng rng(9);
+  const geom::CellId c = grid_.cell_of(2, 2);
+  std::map<geom::CellId, int> seen;
+  for (int i = 0; i < 6000; ++i) {
+    // prev == current encodes "connection started here".
+    ++seen[motion.next_cell(c, c, rng)];
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST_F(HexMotionTest, SojournScalesInverselyWithSpeed) {
+  HexMotionConfig cfg;
+  cfg.jitter = 0.0;
+  HexMotion motion(grid_, cfg);
+  sim::Rng rng(1);
+  // 1 km cell at 100 km/h: 36 s.
+  EXPECT_NEAR(motion.sojourn(100.0, rng), 36.0, 1e-9);
+  EXPECT_NEAR(motion.sojourn(50.0, rng), 72.0, 1e-9);
+}
+
+TEST_F(HexMotionTest, SojournJitterBounded) {
+  HexMotionConfig cfg;
+  cfg.jitter = 0.2;
+  HexMotion motion(grid_, cfg);
+  sim::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double s = motion.sojourn(100.0, rng);
+    EXPECT_GE(s, 36.0 * 0.8 - 1e-9);
+    EXPECT_LE(s, 36.0 * 1.2 + 1e-9);
+  }
+}
+
+TEST_F(HexMotionTest, ConfigValidation) {
+  HexMotionConfig bad;
+  bad.persistence = 1.5;
+  EXPECT_THROW(HexMotion(grid_, bad), InvariantError);
+  HexMotionConfig bad2;
+  bad2.jitter = 1.0;
+  EXPECT_THROW(HexMotion(grid_, bad2), InvariantError);
+  HexMotionConfig bad3;
+  bad3.cell_diameter_km = 0.0;
+  EXPECT_THROW(HexMotion(grid_, bad3), InvariantError);
+}
+
+TEST_F(HexMotionTest, ZeroSpeedRejected) {
+  HexMotion motion(grid_, {});
+  sim::Rng rng(1);
+  EXPECT_THROW(motion.sojourn(0.0, rng), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::mobility

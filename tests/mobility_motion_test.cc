@@ -1,0 +1,137 @@
+#include "mobility/linear_motion.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::mobility {
+namespace {
+
+Mobile make_mobile(double pos, int dir, double speed_kmh,
+                   sim::Time at = 0.0) {
+  Mobile m;
+  m.id = 1;
+  m.position_km = pos;
+  m.position_at = at;
+  m.direction = dir;
+  m.speed_kmh = speed_kmh;
+  return m;
+}
+
+TEST(LinearMotionTest, PositionAdvancesLinearly) {
+  const Mobile m = make_mobile(2.0, +1, 72.0);  // 72 km/h = 0.02 km/s
+  EXPECT_DOUBLE_EQ(position_at(m, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(position_at(m, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(position_at(m, 100.0), 4.0);
+}
+
+TEST(LinearMotionTest, BackwardMotion) {
+  const Mobile m = make_mobile(2.0, -1, 36.0);  // 0.01 km/s
+  EXPECT_DOUBLE_EQ(position_at(m, 100.0), 1.0);
+}
+
+TEST(LinearMotionTest, PositionBeforeCacheThrows) {
+  const Mobile m = make_mobile(2.0, +1, 72.0, /*at=*/10.0);
+  EXPECT_THROW(position_at(m, 5.0), InvariantError);
+}
+
+TEST(LinearMotionTest, NextCrossingForward) {
+  geom::LinearTopology road(10, 1.0, true);
+  const Mobile m = make_mobile(2.5, +1, 90.0);  // 0.025 km/s
+  const auto c = next_crossing(road, m, 0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->when, 20.0);  // 0.5 km at 0.025 km/s
+  EXPECT_DOUBLE_EQ(c->boundary_km, 3.0);
+  EXPECT_EQ(c->from, 2);
+  EXPECT_EQ(c->to, 3);
+}
+
+TEST(LinearMotionTest, NextCrossingBackwardWrapsRing) {
+  geom::LinearTopology road(10, 1.0, true);
+  const Mobile m = make_mobile(0.25, -1, 90.0);
+  const auto c = next_crossing(road, m, 0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->when, 10.0);
+  EXPECT_DOUBLE_EQ(c->boundary_km, 0.0);
+  EXPECT_EQ(c->from, 0);
+  EXPECT_EQ(c->to, 9);
+}
+
+TEST(LinearMotionTest, CrossingOffOpenRoadHasNoCell) {
+  geom::LinearTopology road(10, 1.0, false);
+  const Mobile m = make_mobile(9.5, +1, 90.0);
+  const auto c = next_crossing(road, m, 0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->to, geom::kNoCell);
+  EXPECT_DOUBLE_EQ(c->boundary_km, 10.0);
+}
+
+TEST(LinearMotionTest, StationaryMobileNeverCrosses) {
+  geom::LinearTopology road(10, 1.0, true);
+  const Mobile m = make_mobile(5.5, +1, 0.0);
+  EXPECT_FALSE(next_crossing(road, m, 0.0).has_value());
+}
+
+TEST(LinearMotionTest, CrossingEvaluatedAtLaterTime) {
+  geom::LinearTopology road(10, 1.0, true);
+  const Mobile m = make_mobile(2.0, +1, 36.0);  // 0.01 km/s
+  // At t = 50 the mobile sits at 2.5; boundary 3.0 is 50 s away.
+  const auto c = next_crossing(road, m, 50.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->when, 100.0);
+}
+
+TEST(LinearMotionTest, AdvanceToWrapsOnRing) {
+  geom::LinearTopology road(10, 1.0, true);
+  Mobile m = make_mobile(9.5, +1, 36.0);  // 0.01 km/s
+  advance_to(road, m, 100.0);             // raw position 10.5 -> wrapped 0.5
+  EXPECT_DOUBLE_EQ(m.position_km, 0.5);
+  EXPECT_DOUBLE_EQ(m.position_at, 100.0);
+}
+
+TEST(LinearMotionTest, AdvanceOffOpenRoadThrows) {
+  geom::LinearTopology road(10, 1.0, false);
+  Mobile m = make_mobile(9.5, +1, 36.0);
+  EXPECT_THROW(advance_to(road, m, 100.0), InvariantError);
+}
+
+TEST(LinearMotionTest, ChainedCrossingsCoverWholeRing) {
+  geom::LinearTopology road(10, 1.0, true);
+  Mobile m = make_mobile(0.5, +1, 100.0);
+  sim::Time t = 0.0;
+  geom::CellId expected_from = 0;
+  for (int i = 0; i < 25; ++i) {  // 2.5 laps
+    const auto c = next_crossing(road, m, t);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->from, expected_from);
+    EXPECT_EQ(c->to, (expected_from + 1) % 10);
+    advance_to(road, m, c->when);
+    // Pin to boundary like the simulator does (numerical hygiene).
+    m.position_km = c->boundary_km;
+    t = c->when;
+    expected_from = c->to;
+  }
+}
+
+TEST(MobileTest, ExtantSojournAndHelpers) {
+  Mobile m = make_mobile(1.0, +1, 90.0);
+  m.cell = 3;
+  m.prev_cell = 3;
+  m.entered_cell_at = 10.0;
+  EXPECT_TRUE(m.started_here());
+  EXPECT_DOUBLE_EQ(m.extant_sojourn(25.0), 15.0);
+  m.prev_cell = 2;
+  EXPECT_FALSE(m.started_here());
+  EXPECT_DOUBLE_EQ(m.speed_km_per_s(), 0.025);
+}
+
+TEST(MobileTest, BandwidthFollowsService) {
+  Mobile m;
+  m.service = traffic::ServiceClass::kVoice;
+  EXPECT_EQ(m.bandwidth(), 1);
+  m.service = traffic::ServiceClass::kVideo;
+  EXPECT_EQ(m.bandwidth(), 4);
+}
+
+}  // namespace
+}  // namespace pabr::mobility

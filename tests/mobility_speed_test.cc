@@ -1,0 +1,58 @@
+#include "mobility/speed_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::mobility {
+namespace {
+
+TEST(SpeedModelTest, UniformRangeFixedOverTime) {
+  UniformSpeedModel m(80.0, 120.0);
+  EXPECT_EQ(m.range(0.0), (std::pair<double, double>{80.0, 120.0}));
+  EXPECT_EQ(m.range(1e6), (std::pair<double, double>{80.0, 120.0}));
+}
+
+TEST(SpeedModelTest, SampleWithinRange) {
+  UniformSpeedModel m(40.0, 60.0);
+  sim::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double s = m.sample(rng, 0.0);
+    EXPECT_GE(s, 40.0);
+    EXPECT_LT(s, 60.0);
+  }
+}
+
+TEST(SpeedModelTest, PresetsMatchPaper) {
+  auto high = high_mobility();
+  auto low = low_mobility();
+  EXPECT_EQ(high->range(0.0), (std::pair<double, double>{80.0, 120.0}));
+  EXPECT_EQ(low->range(0.0), (std::pair<double, double>{40.0, 60.0}));
+}
+
+TEST(SpeedModelTest, UniformValidation) {
+  EXPECT_THROW(UniformSpeedModel(0.0, 10.0), InvariantError);
+  EXPECT_THROW(UniformSpeedModel(50.0, 40.0), InvariantError);
+}
+
+TEST(SpeedModelTest, ProfileModelTracksDailyCurve) {
+  traffic::DailyProfile profile({{0.0, 100.0}, {9.0, 40.0}, {18.0, 100.0}});
+  ProfileSpeedModel m(profile, 20.0);
+  const auto midnight = m.range(0.0);
+  EXPECT_DOUBLE_EQ(midnight.first, 80.0);
+  EXPECT_DOUBLE_EQ(midnight.second, 120.0);
+  const auto rush = m.range(9.0 * sim::kHour);
+  EXPECT_DOUBLE_EQ(rush.first, 20.0);
+  EXPECT_DOUBLE_EQ(rush.second, 60.0);
+}
+
+TEST(SpeedModelTest, ProfileModelFloorsAtPositiveSpeed) {
+  traffic::DailyProfile slow({{0.0, 5.0}});
+  ProfileSpeedModel m(slow, 20.0);
+  const auto r = m.range(0.0);
+  EXPECT_GE(r.first, 1.0);
+  EXPECT_GE(r.second, r.first);
+}
+
+}  // namespace
+}  // namespace pabr::mobility

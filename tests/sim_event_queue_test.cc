@@ -1,0 +1,143 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(7.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { fired += 10; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventQueue q;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, CancelledHeadSkippedByNextTime) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  auto [t, cb] = q.pop();
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), InvariantError);
+  EXPECT_THROW(q.next_time(), InvariantError);
+}
+
+TEST(EventQueueTest, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Callback{}), InvariantError);
+}
+
+TEST(EventQueueTest, SizeTracksCancellations) {
+  EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  auto b = q.schedule(2.0, [] {});
+  (void)b;
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ManyInterleavedOperationsStayConsistent) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(q.schedule(static_cast<double>(i % 10), [] {}));
+  }
+  for (int i = 0; i < 100; i += 3) {
+    q.cancel(handles[static_cast<std::size_t>(i)]);
+  }
+  std::size_t popped = 0;
+  double last = -1.0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 100u - 34u);  // 34 cancelled (i = 0,3,...,99)
+}
+
+}  // namespace
+}  // namespace pabr::sim

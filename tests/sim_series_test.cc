@@ -1,0 +1,91 @@
+#include "sim/series.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+namespace {
+
+TEST(SeriesTest, AppendsAndExposesPoints) {
+  Series s("t_est");
+  EXPECT_TRUE(s.empty());
+  s.add(1.0, 10.0);
+  s.add(2.0, 20.0);
+  EXPECT_EQ(s.name(), "t_est");
+  ASSERT_EQ(s.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points()[1].v, 20.0);
+}
+
+TEST(SeriesTest, RejectsTimeGoingBackwards) {
+  Series s("x");
+  s.add(5.0, 1.0);
+  EXPECT_THROW(s.add(4.0, 2.0), InvariantError);
+  EXPECT_NO_THROW(s.add(5.0, 2.0));  // equal timestamps are fine
+}
+
+TEST(SeriesTest, ValueAtReturnsLastAtOrBefore) {
+  Series s("x");
+  s.add(1.0, 10.0);
+  s.add(3.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.5, -1.0), -1.0);  // before first
+  EXPECT_DOUBLE_EQ(s.value_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.value_at(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.value_at(3.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.value_at(99.0), 30.0);
+}
+
+TEST(SeriesTest, ValueAtOnEmptyUsesFallback) {
+  Series s("x");
+  EXPECT_DOUBLE_EQ(s.value_at(1.0, 7.0), 7.0);
+}
+
+TEST(SeriesTest, ThinnedKeepsEndpointsAndBound) {
+  Series s("x");
+  for (int i = 0; i < 1000; ++i) {
+    s.add(static_cast<double>(i), static_cast<double>(i * i));
+  }
+  const auto thin = s.thinned(50);
+  EXPECT_LE(thin.size(), 52u);
+  EXPECT_DOUBLE_EQ(thin.front().t, 0.0);
+  EXPECT_DOUBLE_EQ(thin.back().t, 999.0);
+}
+
+TEST(SeriesTest, ThinnedShortSeriesUnchanged) {
+  Series s("x");
+  s.add(0.0, 1.0);
+  s.add(1.0, 2.0);
+  EXPECT_EQ(s.thinned(100).size(), 2u);
+}
+
+TEST(BucketedSeriesTest, HourlyMeans) {
+  BucketedSeries b("phd", 3600.0);
+  b.add(100.0, 0.0);
+  b.add(200.0, 1.0);
+  b.add(4000.0, 0.5);
+  const auto buckets = b.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 0.5);
+  EXPECT_EQ(buckets[0].samples, 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].start, 3600.0);
+  EXPECT_DOUBLE_EQ(buckets[1].mean, 0.5);
+}
+
+TEST(BucketedSeriesTest, EmptyBucketsOmitted) {
+  BucketedSeries b("x", 10.0);
+  b.add(5.0, 1.0);
+  b.add(95.0, 3.0);
+  const auto buckets = b.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].start, 90.0);
+}
+
+TEST(BucketedSeriesTest, RejectsBadInput) {
+  EXPECT_THROW(BucketedSeries("x", 0.0), InvariantError);
+  BucketedSeries b("x", 1.0);
+  EXPECT_THROW(b.add(-1.0, 0.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::sim

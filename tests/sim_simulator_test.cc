@@ -1,0 +1,128 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToTarget) {
+  Simulator s;
+  s.run_until(10.0);
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(SimulatorTest, EventsSeeTheirOwnTimestamp) {
+  Simulator s;
+  std::vector<double> seen;
+  s.schedule_in(3.0, [&] { seen.push_back(s.now()); });
+  s.schedule_in(7.0, [&] { seen.push_back(s.now()); });
+  s.run_until(10.0);
+  EXPECT_EQ(seen, (std::vector<double>{3.0, 7.0}));
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, EventsAfterHorizonStayPending) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(5.0, [&] { ++fired; });
+  s.run_until(4.9);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(5.0);  // boundary-inclusive
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator s;
+  std::vector<double> seen;
+  s.schedule_in(1.0, [&] {
+    seen.push_back(s.now());
+    s.schedule_in(1.0, [&] { seen.push_back(s.now()); });
+  });
+  s.run_until(10.0);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  double when = -1.0;
+  s.schedule_at(4.5, [&] { when = s.now(); });
+  s.run_until(5.0);
+  EXPECT_DOUBLE_EQ(when, 4.5);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastThrows) {
+  Simulator s;
+  s.run_until(5.0);
+  EXPECT_THROW(s.schedule_at(4.0, [] {}), InvariantError);
+  EXPECT_THROW(s.schedule_in(-1.0, [] {}), InvariantError);
+}
+
+TEST(SimulatorTest, RunUntilBackwardsThrows) {
+  Simulator s;
+  s.run_until(5.0);
+  EXPECT_THROW(s.run_until(4.0), InvariantError);
+}
+
+TEST(SimulatorTest, CancelledEventNeverFires) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_in(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, StepExecutesSingleEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(1.0, [&] { ++fired; });
+  s.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepRespectsLimit) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_in(5.0, [&] { ++fired; });
+  EXPECT_FALSE(s.step(4.0));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ResetClearsClockAndQueue) {
+  Simulator s;
+  s.schedule_in(1.0, [] {});
+  s.run_until(0.5);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, SameTimeEventsFireInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    s.schedule_in(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pabr::sim

@@ -1,0 +1,137 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+namespace {
+
+TEST(CounterTest, CountsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.count(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.count(), 5u);
+  c.reset();
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(RatioEstimatorTest, ValueIsHitsOverTrials) {
+  RatioEstimator r;
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);  // no trials yet
+  r.trial(true);
+  r.trial(false);
+  r.trial(false);
+  r.trial(true);
+  EXPECT_DOUBLE_EQ(r.value(), 0.5);
+  EXPECT_EQ(r.hits(), 2u);
+  EXPECT_EQ(r.trials(), 4u);
+}
+
+TEST(RatioEstimatorTest, BulkAddAndReset) {
+  RatioEstimator r;
+  r.add(3, 100);
+  EXPECT_DOUBLE_EQ(r.value(), 0.03);
+  r.reset();
+  EXPECT_EQ(r.trials(), 0u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(MeanAccumulatorTest, MeanOfSamples) {
+  MeanAccumulator m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  m.add(1.0);
+  m.add(2.0);
+  m.add(6.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_EQ(m.samples(), 3u);
+}
+
+TEST(TimeWeightedMeanTest, PiecewiseConstantIntegration) {
+  TimeWeightedMean tw;
+  tw.update(0.0, 10.0);  // 10 over [0, 4]
+  tw.update(4.0, 20.0);  // 20 over [4, 10]
+  // mean over [0,10] = (10*4 + 20*6) / 10 = 16
+  EXPECT_DOUBLE_EQ(tw.mean(10.0), 16.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 20.0);
+}
+
+TEST(TimeWeightedMeanTest, StartsAtFirstUpdate) {
+  TimeWeightedMean tw;
+  tw.update(5.0, 8.0);  // signal undefined before t = 5
+  EXPECT_DOUBLE_EQ(tw.mean(10.0), 8.0);
+}
+
+TEST(TimeWeightedMeanTest, MeanBeforeAnyUpdateIsZero) {
+  TimeWeightedMean tw;
+  EXPECT_DOUBLE_EQ(tw.mean(5.0), 0.0);
+}
+
+TEST(TimeWeightedMeanTest, RepeatedSameTimeUpdatesKeepLast) {
+  TimeWeightedMean tw;
+  tw.update(0.0, 1.0);
+  tw.update(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.mean(2.0), 3.0);
+}
+
+TEST(TimeWeightedMeanTest, TimeBackwardsThrows) {
+  TimeWeightedMean tw;
+  tw.update(5.0, 1.0);
+  EXPECT_THROW(tw.update(4.0, 2.0), InvariantError);
+}
+
+TEST(TimeWeightedMeanTest, ResetRestartsIntegration) {
+  TimeWeightedMean tw;
+  tw.update(0.0, 100.0);
+  tw.reset(10.0);
+  tw.update(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(tw.mean(20.0), 2.0);
+}
+
+TEST(HistogramTest, BinningAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.6);
+  h.add(9.99);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[5], 2u);
+  EXPECT_EQ(h.bins()[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[9], 1u);
+}
+
+TEST(HistogramTest, CdfInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+  EXPECT_NEAR(h.cdf(5.0), 0.5, 1e-12);
+}
+
+TEST(HistogramTest, EmptyCdfIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(HistogramTest, DegenerateConstructionRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvariantError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::sim

@@ -1,0 +1,106 @@
+// The §4.2 step-size ablation machinery: additive/multiplicative step
+// growth for consecutive same-direction T_est moves (the paper found
+// these over-react and kept fixed 1-s steps).
+#include <gtest/gtest.h>
+
+#include "reservation/test_window.h"
+
+namespace pabr::reservation {
+namespace {
+
+constexpr double kBigSojMax = 1e6;
+
+TestWindowConfig config_with(StepPolicy policy, double t_start = 1.0) {
+  TestWindowConfig cfg;
+  cfg.phd_target = 0.01;
+  cfg.t_start = t_start;
+  cfg.step_policy = policy;
+  return cfg;
+}
+
+// Feeds `n` consecutive quota-exceeding drops (each drop after the first
+// grows T_est under every policy).
+void feed_drops(TestWindowController& c, int n) {
+  for (int i = 0; i < n; ++i) c.on_handoff(true, kBigSojMax);
+}
+
+// Runs `windows` full quiet windows, each of which shrinks T_est once.
+void feed_quiet_windows(TestWindowController& c, int windows) {
+  for (int w = 0; w < windows; ++w) {
+    const auto span = c.window_size() + 1;
+    for (std::uint64_t i = 0; i < span; ++i) c.on_handoff(false, kBigSojMax);
+  }
+}
+
+TEST(StepPolicyTest, FixedGrowsLinearly) {
+  TestWindowController c(config_with(StepPolicy::kFixed));
+  feed_drops(c, 5);  // drops 2..5 trigger growth
+  EXPECT_DOUBLE_EQ(c.t_est(), 5.0);
+}
+
+TEST(StepPolicyTest, AdditiveGrowsTriangularly) {
+  TestWindowController c(config_with(StepPolicy::kAdditive));
+  feed_drops(c, 5);
+  // Steps 1, 2, 3, 4 for the four growth events: 1 + (1+2+3+4) = 11.
+  EXPECT_DOUBLE_EQ(c.t_est(), 11.0);
+}
+
+TEST(StepPolicyTest, MultiplicativeGrowsGeometrically) {
+  TestWindowController c(config_with(StepPolicy::kMultiplicative));
+  feed_drops(c, 5);
+  // Steps 1, 2, 4, 8: 1 + 15 = 16.
+  EXPECT_DOUBLE_EQ(c.t_est(), 16.0);
+}
+
+TEST(StepPolicyTest, DirectionChangeResetsStreak) {
+  TestWindowController c(config_with(StepPolicy::kAdditive, 20.0));
+  feed_drops(c, 3);  // growth events with steps 1, 2 -> 23
+  EXPECT_DOUBLE_EQ(c.t_est(), 23.0);
+  // The first window still contains the 3 drops (= quota): it closes
+  // without shrinking and resets the counters.
+  feed_quiet_windows(c, 1);
+  EXPECT_DOUBLE_EQ(c.t_est(), 23.0);
+  // A genuinely quiet window shrinks with a fresh streak: step 1 -> 22.
+  feed_quiet_windows(c, 1);
+  EXPECT_DOUBLE_EQ(c.t_est(), 22.0);
+  // A second consecutive quiet window shrinks by 2 -> 20.
+  feed_quiet_windows(c, 1);
+  EXPECT_DOUBLE_EQ(c.t_est(), 20.0);
+  // Now a growth run starts again at step 1 (streak reset): drops 1 and 2,
+  // only the 2nd exceeds quota -> 21.
+  feed_drops(c, 2);
+  EXPECT_DOUBLE_EQ(c.t_est(), 21.0);
+}
+
+TEST(StepPolicyTest, MultiplicativeStillClampedByTSojMax) {
+  TestWindowController c(config_with(StepPolicy::kMultiplicative));
+  for (int i = 0; i < 20; ++i) c.on_handoff(true, 10.0);
+  EXPECT_DOUBLE_EQ(c.t_est(), 10.0);  // clamped, not 2^k
+}
+
+TEST(StepPolicyTest, LargeStepsNeverUndershootTMin) {
+  TestWindowConfig cfg = config_with(StepPolicy::kMultiplicative, 6.0);
+  TestWindowController c(cfg);
+  feed_quiet_windows(c, 4);  // shrink steps 1, 2, 4, 8 -> would go negative
+  EXPECT_GE(c.t_est(), cfg.t_min);
+  EXPECT_DOUBLE_EQ(c.t_est(), 1.0);
+}
+
+TEST(StepPolicyTest, Names) {
+  EXPECT_STREQ(step_policy_name(StepPolicy::kFixed), "fixed");
+  EXPECT_STREQ(step_policy_name(StepPolicy::kAdditive), "additive");
+  EXPECT_STREQ(step_policy_name(StepPolicy::kMultiplicative),
+               "multiplicative");
+}
+
+TEST(StepPolicyTest, FixedMatchesPaperPseudocodeExactly) {
+  // Regression guard: with kFixed the controller must behave identically
+  // to the verbatim Fig. 6 transcription used across the test suite.
+  TestWindowController c(config_with(StepPolicy::kFixed, 5.0));
+  c.on_handoff(true, kBigSojMax);
+  for (int i = 0; i < 100; ++i) c.on_handoff(false, kBigSojMax);
+  EXPECT_DOUBLE_EQ(c.t_est(), 5.0);  // exact quota: hold
+}
+
+}  // namespace
+}  // namespace pabr::reservation

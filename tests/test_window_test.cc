@@ -1,0 +1,173 @@
+// Line-level checks of the Fig. 6 estimation-time-window controller.
+#include "reservation/test_window.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::reservation {
+namespace {
+
+TestWindowConfig paper_config() {
+  TestWindowConfig cfg;
+  cfg.phd_target = 0.01;  // W = 100
+  cfg.t_start = 1.0;
+  return cfg;
+}
+
+constexpr double kBigSojMax = 1000.0;
+
+TEST(TestWindowTest, InitialState) {
+  TestWindowController c(paper_config());
+  EXPECT_DOUBLE_EQ(c.t_est(), 1.0);
+  EXPECT_EQ(c.base_window(), 100u);
+  EXPECT_EQ(c.window_size(), 100u);
+  EXPECT_EQ(c.handoffs_in_window(), 0u);
+  EXPECT_EQ(c.drops_in_window(), 0u);
+}
+
+TEST(TestWindowTest, WCeilingOfInverseTarget) {
+  TestWindowConfig cfg;
+  cfg.phd_target = 0.03;
+  TestWindowController c(cfg);
+  EXPECT_EQ(c.base_window(), 34u);  // ceil(1/0.03)
+}
+
+TEST(TestWindowTest, FirstDropGrowsTestAndWindow) {
+  TestWindowController c(paper_config());
+  // Quota in the first window is W_obs/W = 1: the first drop does NOT
+  // exceed it (1 > 1 is false)... it must, per line 08, only react when
+  // n_HD > quota. With n_HD = 1 and quota = 1, nothing happens.
+  c.on_handoff(true, kBigSojMax);
+  EXPECT_DOUBLE_EQ(c.t_est(), 1.0);
+  EXPECT_EQ(c.window_size(), 100u);
+  // The second drop exceeds the quota: T_est += 1, W_obs += W.
+  c.on_handoff(true, kBigSojMax);
+  EXPECT_DOUBLE_EQ(c.t_est(), 2.0);
+  EXPECT_EQ(c.window_size(), 200u);
+}
+
+TEST(TestWindowTest, RepeatedDropsKeepPushing) {
+  TestWindowController c(paper_config());
+  for (int i = 0; i < 5; ++i) c.on_handoff(true, kBigSojMax);
+  // Drops 2..5 each exceeded the growing quota (1, 2, 3, 4).
+  EXPECT_DOUBLE_EQ(c.t_est(), 5.0);
+  EXPECT_EQ(c.window_size(), 500u);
+}
+
+TEST(TestWindowTest, QuietWindowShrinksTest) {
+  TestWindowConfig cfg = paper_config();
+  cfg.t_start = 5.0;
+  TestWindowController c(cfg);
+  // 101 clean hand-offs: at the 101st, n_H > W_obs (100) and n_HD = 0 <
+  // quota 1 -> T_est -= 1 and counters reset.
+  for (int i = 0; i < 101; ++i) c.on_handoff(false, kBigSojMax);
+  EXPECT_DOUBLE_EQ(c.t_est(), 4.0);
+  EXPECT_EQ(c.window_size(), 100u);
+  EXPECT_EQ(c.handoffs_in_window(), 0u);
+  EXPECT_EQ(c.drops_in_window(), 0u);
+}
+
+TEST(TestWindowTest, ExactQuotaHoldsSteady) {
+  TestWindowConfig cfg = paper_config();
+  cfg.t_start = 5.0;
+  TestWindowController c(cfg);
+  // Exactly 1 drop in the 100-hand-off window: neither grows (1 > 1 is
+  // false) nor shrinks (1 < 1 is false) -> T_est unchanged.
+  c.on_handoff(true, kBigSojMax);
+  for (int i = 0; i < 100; ++i) c.on_handoff(false, kBigSojMax);
+  EXPECT_DOUBLE_EQ(c.t_est(), 5.0);
+  // Counters were reset at window end.
+  EXPECT_EQ(c.handoffs_in_window(), 0u);
+}
+
+TEST(TestWindowTest, TestNeverBelowMinimum) {
+  TestWindowController c(paper_config());  // starts at the minimum, 1 s
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 101; ++i) c.on_handoff(false, kBigSojMax);
+  }
+  EXPECT_DOUBLE_EQ(c.t_est(), 1.0);
+}
+
+TEST(TestWindowTest, TestClampedByTSojMax) {
+  TestWindowController c(paper_config());
+  // T_soj,max = 3: T_est can reach 3 but not exceed it ("any value larger
+  // than that is meaningless", §4.2).
+  for (int i = 0; i < 50; ++i) c.on_handoff(true, 3.0);
+  EXPECT_DOUBLE_EQ(c.t_est(), 3.0);
+  // The window still grows (bookkeeping continues) even when clamped.
+  EXPECT_GT(c.window_size(), 100u);
+}
+
+TEST(TestWindowTest, GrowingWindowRaisesDropQuota) {
+  TestWindowController c(paper_config());
+  // Push W_obs to 300 via two quota-exceeding drops.
+  c.on_handoff(true, kBigSojMax);   // 1: quota 1, no change
+  c.on_handoff(true, kBigSojMax);   // 2 > 1: W_obs = 200, T_est = 2
+  c.on_handoff(true, kBigSojMax);   // 3 > 2: W_obs = 300, T_est = 3
+  EXPECT_EQ(c.window_size(), 300u);
+  // Now a 4th drop does not exceed quota 3 until n_HD reaches 4.
+  c.on_handoff(true, kBigSojMax);   // n_HD = 4 > 3: grows again
+  EXPECT_EQ(c.window_size(), 400u);
+  EXPECT_DOUBLE_EQ(c.t_est(), 4.0);
+}
+
+TEST(TestWindowTest, WindowEndWithManyDropsStillResets) {
+  TestWindowConfig cfg = paper_config();
+  cfg.t_start = 10.0;
+  TestWindowController c(cfg);
+  // 2 drops -> W_obs = 200, T_est = 11. Then 199 clean hand-offs to pass
+  // n_H = 201 > 200.
+  c.on_handoff(true, kBigSojMax);
+  c.on_handoff(true, kBigSojMax);
+  EXPECT_DOUBLE_EQ(c.t_est(), 11.0);
+  for (int i = 0; i < 199; ++i) c.on_handoff(false, kBigSojMax);
+  // At window end n_HD = 2 == quota 2: not < quota, so no decrease; but
+  // counters reset and W_obs returns to W.
+  EXPECT_DOUBLE_EQ(c.t_est(), 11.0);
+  EXPECT_EQ(c.window_size(), 100u);
+  EXPECT_EQ(c.handoffs_in_window(), 0u);
+}
+
+TEST(TestWindowTest, ConfigValidation) {
+  TestWindowConfig bad;
+  bad.phd_target = 0.0;
+  EXPECT_THROW(TestWindowController{bad}, InvariantError);
+  TestWindowConfig bad2;
+  bad2.phd_target = 1.5;
+  EXPECT_THROW(TestWindowController{bad2}, InvariantError);
+  TestWindowConfig bad3;
+  bad3.t_start = 0.5;
+  bad3.t_min = 1.0;
+  EXPECT_THROW(TestWindowController{bad3}, InvariantError);
+}
+
+// Property sweep: under any mixed drop pattern, T_est stays within
+// [t_min, max(t_start, T_soj,max rounded up)] and the counters never go
+// negative (they are unsigned; the invariant is n_HD <= n_H <= W_obs).
+class TestWindowPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TestWindowPropertyTest, InvariantsUnderRandomPatterns) {
+  TestWindowController c(paper_config());
+  unsigned seed = static_cast<unsigned>(GetParam());
+  auto next = [&seed]() {
+    seed = seed * 1664525u + 1013904223u;
+    return seed;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const bool dropped = (next() % 100) < 7;
+    const double soj_max = 1.0 + static_cast<double>(next() % 80);
+    c.on_handoff(dropped, soj_max);
+    EXPECT_GE(c.t_est(), 1.0);
+    EXPECT_LE(c.t_est(), 81.0);
+    EXPECT_LE(c.drops_in_window(), c.handoffs_in_window());
+    EXPECT_GE(c.window_size(), c.base_window());
+    EXPECT_EQ(c.window_size() % c.base_window(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TestWindowPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+}  // namespace
+}  // namespace pabr::reservation

@@ -1,0 +1,70 @@
+#include "traffic/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::traffic {
+namespace {
+
+RetryPolicy enabled_policy(std::uint64_t seed = 1) {
+  RetryConfig cfg;
+  cfg.enabled = true;
+  return RetryPolicy(cfg, sim::Rng(seed));
+}
+
+TEST(RetryTest, PaperProbabilityLadder) {
+  auto p = enabled_policy();
+  // 1 - 0.1 * N_ret with N_ret = attempts made so far.
+  EXPECT_DOUBLE_EQ(p.retry_probability(1), 0.9);
+  EXPECT_DOUBLE_EQ(p.retry_probability(2), 0.8);
+  EXPECT_DOUBLE_EQ(p.retry_probability(5), 0.5);
+  EXPECT_DOUBLE_EQ(p.retry_probability(9), 0.1);
+  EXPECT_DOUBLE_EQ(p.retry_probability(10), 0.0);
+  EXPECT_DOUBLE_EQ(p.retry_probability(15), 0.0);
+}
+
+TEST(RetryTest, DisabledNeverRetries) {
+  RetryConfig cfg;  // enabled = false
+  RetryPolicy p(cfg, sim::Rng(1));
+  EXPECT_FALSE(p.enabled());
+  EXPECT_DOUBLE_EQ(p.retry_probability(1), 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p.should_retry(1));
+}
+
+TEST(RetryTest, WaitIsFiveSecondsByDefault) {
+  auto p = enabled_policy();
+  EXPECT_DOUBLE_EQ(p.wait(), 5.0);
+}
+
+TEST(RetryTest, TenthAttemptAlwaysGivesUp) {
+  auto p = enabled_policy();
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p.should_retry(10));
+}
+
+TEST(RetryTest, FirstAttemptRetriesAboutNinetyPercent) {
+  auto p = enabled_policy(7);
+  int retried = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (p.should_retry(1)) ++retried;
+  }
+  EXPECT_NEAR(static_cast<double>(retried) / n, 0.9, 0.01);
+}
+
+TEST(RetryTest, AttemptCounterIsOneBased) {
+  auto p = enabled_policy();
+  EXPECT_THROW(p.retry_probability(0), InvariantError);
+}
+
+TEST(RetryTest, CustomGiveupStep) {
+  RetryConfig cfg;
+  cfg.enabled = true;
+  cfg.giveup_step = 0.5;
+  RetryPolicy p(cfg, sim::Rng(1));
+  EXPECT_DOUBLE_EQ(p.retry_probability(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.retry_probability(2), 0.0);
+}
+
+}  // namespace
+}  // namespace pabr::traffic

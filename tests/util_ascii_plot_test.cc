@@ -1,0 +1,107 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pabr::plot {
+namespace {
+
+TEST(AsciiPlotTest, EmptyDataSaysSo) {
+  Canvas c;
+  EXPECT_EQ(scatter({}, c), "(no data)\n");
+}
+
+TEST(AsciiPlotTest, SinglePointRenders) {
+  Canvas c;
+  const std::string out = scatter({{1.0, 2.0, '*'}}, c);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ExtremePointsLandOnCorners) {
+  Canvas c;
+  c.width = 20;
+  c.height = 5;
+  const std::string out =
+      scatter({{0.0, 0.0, 'a'}, {10.0, 10.0, 'b'}}, c);
+  // 'b' (max x, max y) must be in the first plot row at the right edge;
+  // 'a' in the last plot row at the left edge.
+  std::vector<std::string> lines;
+  std::string line;
+  for (char ch : out) {
+    if (ch == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += ch;
+    }
+  }
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_NE(lines[0].find('b'), std::string::npos);
+  // Row with 'a' is the last grid row (height-1 = index 4).
+  EXPECT_NE(lines[4].find('a'), std::string::npos);
+  EXPECT_LT(lines[4].find('a'), lines[0].find('b'));
+}
+
+TEST(AsciiPlotTest, AxisLabelsAppear) {
+  Canvas c;
+  c.x_label = "time (s)";
+  c.y_label = "T_est";
+  const std::string out = scatter({{0.0, 1.0, '*'}, {1.0, 2.0, '*'}}, c);
+  EXPECT_NE(out.find("time (s)"), std::string::npos);
+  EXPECT_NE(out.find("T_est"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, RangeNumbersPrinted) {
+  Canvas c;
+  const std::string out =
+      scatter({{5.0, 10.0, '*'}, {15.0, 30.0, '*'}}, c);
+  EXPECT_NE(out.find("30"), std::string::npos);  // y max
+  EXPECT_NE(out.find("10"), std::string::npos);  // y min
+  EXPECT_NE(out.find("15"), std::string::npos);  // x max
+}
+
+TEST(AsciiPlotTest, DegenerateRangesHandled) {
+  Canvas c;
+  // All points identical: ranges are synthetically widened, no crash.
+  const std::string out =
+      scatter({{3.0, 7.0, '*'}, {3.0, 7.0, '*'}}, c);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, TooSmallCanvasRejected) {
+  Canvas c;
+  c.width = 2;
+  EXPECT_THROW(scatter({{0, 0, '*'}}, c), InvariantError);
+}
+
+TEST(AsciiPlotTest, StaircaseHoldsValuesBetweenSamples) {
+  Canvas c;
+  c.width = 40;
+  c.height = 8;
+  // One series stepping 1 -> 5 halfway.
+  const std::string out = staircase(
+      {{{0.0, 1.0, '#'}, {5.0, 1.0, '#'}, {5.0, 5.0, '#'}, {10.0, 5.0, '#'}}},
+      c);
+  // The held run must paint many '#' (densified), not just 4.
+  const auto count =
+      static_cast<std::size_t>(std::count(out.begin(), out.end(), '#'));
+  EXPECT_GT(count, 10u);
+}
+
+TEST(AsciiPlotTest, MultipleSeriesKeepGlyphs) {
+  Canvas c;
+  const std::string out = staircase(
+      {{{0.0, 1.0, 'x'}, {10.0, 1.0, 'x'}},
+       {{0.0, 2.0, 'o'}, {10.0, 2.0, 'o'}}},
+      c);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pabr::plot

@@ -1,0 +1,46 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace pabr {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(PABR_CHECK(1 + 1 == 2, "math works"));
+  EXPECT_NO_THROW(PABR_CHECK_OK(true));
+}
+
+TEST(CheckTest, FailingConditionThrowsInvariantError) {
+  EXPECT_THROW(PABR_CHECK(false, "boom"), InvariantError);
+  EXPECT_THROW(PABR_CHECK_OK(false), InvariantError);
+}
+
+TEST(CheckTest, MessageContainsExpressionFileAndText) {
+  try {
+    PABR_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected a throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_check_test"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckTest, InvariantErrorIsLogicError) {
+  EXPECT_THROW(PABR_CHECK(false, ""), std::logic_error);
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto counted = [&calls]() {
+    ++calls;
+    return true;
+  };
+  PABR_CHECK(counted(), "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pabr

@@ -1,0 +1,69 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pabr::csv {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUntouched) {
+  EXPECT_EQ(escape("hello"), "hello");
+  EXPECT_EQ(escape(""), "");
+  EXPECT_EQ(escape("1.5e-3"), "1.5e-3");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, EmbeddedQuoteDoubled) {
+  EXPECT_EQ(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvJoinTest, JoinsAndEscapes) {
+  EXPECT_EQ(join({"a", "b,c", "d"}), "a,\"b,c\",d");
+  EXPECT_EQ(join({}), "");
+  EXPECT_EQ(join({"only"}), "only");
+}
+
+TEST(CsvWriterTest, InactiveWriterIsSafeNoOp) {
+  Writer w;
+  EXPECT_FALSE(w.active());
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  w.row_values(1, 2.5, "x");
+}
+
+TEST(CsvWriterTest, WritesRowsToFile) {
+  const std::string path = testing::TempDir() + "/pabr_csv_test.csv";
+  {
+    Writer w(path);
+    ASSERT_TRUE(w.active());
+    w.header({"load", "pcb", "label"});
+    w.row_values(100, 0.25, "ac3");
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "load,pcb,label\n100,0.25,ac3\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, DoubleFormatKeepsPrecision) {
+  EXPECT_EQ(Writer::format(0.5), "0.5");
+  EXPECT_EQ(Writer::format(std::string("s")), "s");
+  // 10 significant digits survive the round trip.
+  const double v = 0.0123456789;
+  EXPECT_NEAR(std::stod(Writer::format(v)), v, 1e-12);
+}
+
+}  // namespace
+}  // namespace pabr::csv

@@ -1,0 +1,137 @@
+#include "util/mathx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pabr::mathx {
+namespace {
+
+TEST(MathxTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(MathxTest, MeanBasic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(MathxTest, VarianceUnbiased) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known data set: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MathxTest, VarianceNeedsTwoSamples) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(MathxTest, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);  // interpolated
+}
+
+TEST(MathxTest, PercentileUnsortedInput) {
+  const std::vector<double> xs{30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+}
+
+TEST(MathxTest, PercentileRangeChecked) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1.0), InvariantError);
+  EXPECT_THROW(percentile(xs, 101.0), InvariantError);
+}
+
+TEST(MathxTest, Ci95ShrinksWithSamples) {
+  std::vector<double> small(10, 0.0);
+  std::vector<double> large(1000, 0.0);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    small[i] = static_cast<double>(i % 2);
+  }
+  for (std::size_t i = 0; i < large.size(); ++i) {
+    large[i] = static_cast<double>(i % 2);
+  }
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+  EXPECT_DOUBLE_EQ(ci95_halfwidth({}), 0.0);
+}
+
+TEST(MathxTest, NearAbsoluteTolerance) {
+  EXPECT_TRUE(near(1.0, 1.05, 0.1));
+  EXPECT_FALSE(near(1.0, 1.2, 0.1));
+  EXPECT_TRUE(near(-1.0, -1.0, 0.0));
+}
+
+TEST(MathxTest, ClampBasics) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(15.0, 0.0, 10.0), 10.0);
+  EXPECT_THROW(clamp(0.0, 1.0, -1.0), InvariantError);
+}
+
+struct FmodCase {
+  double x;
+  double m;
+  double expected;
+};
+
+class PositiveFmodTest : public ::testing::TestWithParam<FmodCase> {};
+
+TEST_P(PositiveFmodTest, ResultInRangeAndCongruent) {
+  const auto& c = GetParam();
+  const double r = positive_fmod(c.x, c.m);
+  EXPECT_NEAR(r, c.expected, 1e-12);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, c.m);
+  // Congruence: (x - r) is an integer multiple of m.
+  const double k = (c.x - r) / c.m;
+  EXPECT_NEAR(k, std::round(k), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PositiveFmodTest,
+    ::testing::Values(FmodCase{5.0, 10.0, 5.0}, FmodCase{15.0, 10.0, 5.0},
+                      FmodCase{-5.0, 10.0, 5.0}, FmodCase{-15.0, 10.0, 5.0},
+                      FmodCase{0.0, 10.0, 0.0}, FmodCase{-0.25, 1.0, 0.75},
+                      FmodCase{10.0, 10.0, 0.0},
+                      FmodCase{-10.0, 10.0, 0.0}));
+
+TEST(MathxTest, PositiveFmodRejectsBadModulus) {
+  EXPECT_THROW(positive_fmod(1.0, 0.0), InvariantError);
+  EXPECT_THROW(positive_fmod(1.0, -1.0), InvariantError);
+}
+
+TEST(MathxTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(normal_cdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(MathxTest, InverseNormalCdfKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.99), 2.326348, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.01), -2.326348, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(1e-6), -4.753424, 1e-4);
+}
+
+TEST(MathxTest, InverseNormalRoundTrips) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(MathxTest, InverseNormalDomainChecked) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), InvariantError);
+  EXPECT_THROW(inverse_normal_cdf(1.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::mathx

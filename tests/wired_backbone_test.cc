@@ -1,0 +1,100 @@
+// Wired backbone substrate (§2/§7) — link accounting and route logic.
+#include "wired/backbone.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::wired {
+namespace {
+
+TEST(WiredLinkTest, AttachDetachAccounting) {
+  Link l(0, "access-1", 10.0);
+  EXPECT_EQ(l.name(), "access-1");
+  l.attach(1, 4);
+  l.attach(2, 1);
+  EXPECT_DOUBLE_EQ(l.used(), 5.0);
+  EXPECT_TRUE(l.carries(1));
+  EXPECT_EQ(l.connection_count(), 2);
+  l.detach(1);
+  EXPECT_FALSE(l.carries(1));
+  EXPECT_DOUBLE_EQ(l.used(), 1.0);
+}
+
+TEST(WiredLinkTest, CapacityEnforced) {
+  Link l(0, "x", 4.0);
+  l.attach(1, 4);
+  EXPECT_FALSE(l.can_fit(1));
+  EXPECT_THROW(l.attach(2, 1), InvariantError);
+  EXPECT_THROW(l.detach(99), InvariantError);
+  EXPECT_THROW(Link(0, "bad", 0.0), InvariantError);
+}
+
+class BackboneTest : public ::testing::Test {
+ protected:
+  BackboneTest() : bb_(10, BackboneConfig{20.0, 100.0}) {}
+  Backbone bb_;
+};
+
+TEST_F(BackboneTest, AdmitOccupiesBothLegs) {
+  bb_.admit(3, 1, 4);
+  EXPECT_DOUBLE_EQ(bb_.access(3).used(), 4.0);
+  EXPECT_DOUBLE_EQ(bb_.uplink().used(), 4.0);
+  EXPECT_DOUBLE_EQ(bb_.access(4).used(), 0.0);
+}
+
+TEST_F(BackboneTest, RerouteSwapsAccessLeg) {
+  bb_.admit(3, 1, 4);
+  bb_.reroute(3, 4, 1, 4);
+  EXPECT_DOUBLE_EQ(bb_.access(3).used(), 0.0);
+  EXPECT_DOUBLE_EQ(bb_.access(4).used(), 4.0);
+  EXPECT_DOUBLE_EQ(bb_.uplink().used(), 4.0);
+}
+
+TEST_F(BackboneTest, RerouteMayResizeForAdaptiveQos) {
+  bb_.admit(3, 1, 4);
+  bb_.reroute(3, 4, 1, 2);  // degraded video
+  EXPECT_DOUBLE_EQ(bb_.access(4).used(), 2.0);
+  EXPECT_DOUBLE_EQ(bb_.uplink().used(), 2.0);
+}
+
+TEST_F(BackboneTest, ReleaseFreesBothLegs) {
+  bb_.admit(3, 1, 4);
+  bb_.release(3, 1);
+  EXPECT_DOUBLE_EQ(bb_.access(3).used(), 0.0);
+  EXPECT_DOUBLE_EQ(bb_.uplink().used(), 0.0);
+}
+
+TEST_F(BackboneTest, ReservationConstrainsNewAdmissionsOnly) {
+  bb_.set_reservation(3, 18.0);  // only 2 BU left for new calls
+  EXPECT_TRUE(bb_.can_admit(3, 2));
+  EXPECT_FALSE(bb_.can_admit(3, 4));
+  // Hand-offs ignore the reservation: the full 20 BU are available.
+  EXPECT_TRUE(bb_.can_handoff_into(3, 4));
+  EXPECT_DOUBLE_EQ(bb_.reservation(3), 18.0);
+}
+
+TEST_F(BackboneTest, HandoffBlockedByPhysicalAccessCapacity) {
+  for (traffic::ConnectionId id = 1; id <= 5; ++id) {
+    bb_.admit(3, id, 4);  // access-3 full at 20
+  }
+  EXPECT_FALSE(bb_.can_handoff_into(3, 1));
+  EXPECT_TRUE(bb_.can_handoff_into(4, 4));
+}
+
+TEST_F(BackboneTest, SharedUplinkIsACommonPool) {
+  Backbone bb(10, BackboneConfig{100.0, 6.0});
+  bb.admit(0, 1, 4);
+  EXPECT_TRUE(bb.can_admit(1, 2));
+  EXPECT_FALSE(bb.can_admit(1, 4));  // uplink has only 2 BU left
+}
+
+TEST_F(BackboneTest, Validation) {
+  EXPECT_THROW(Backbone(0, BackboneConfig{}), InvariantError);
+  EXPECT_THROW(bb_.set_reservation(3, -1.0), InvariantError);
+  EXPECT_THROW(bb_.access(10), InvariantError);
+  EXPECT_THROW(bb_.can_admit(-1, 1), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::wired
