@@ -5,10 +5,18 @@
 //                 but shorter so the whole suite finishes in minutes)
 //   --seed N      simulation seed
 //   --csv PATH    mirror the printed rows into a CSV file
+//   --json PATH   mirror rows + run counters into a JSON report
+//
+// Benches whose runs are independent (replications / sweep points) also
+// take --threads N (see sim/parallel.h: results are byte-identical to
+// --threads 1).
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
@@ -22,6 +30,8 @@ struct CommonOptions {
   bool full = false;
   unsigned long long seed = 1;
   std::string csv_path;
+  std::string json_path;
+  int threads = 1;
 
   core::RunPlan plan() const {
     core::RunPlan p;
@@ -41,7 +51,109 @@ inline void add_common_flags(cli::Parser& cli, CommonOptions& opts) {
   cli.add_bool("full", &opts.full, "paper-scale run lengths");
   cli.add_uint64("seed", &opts.seed, "simulation seed");
   cli.add_string("csv", &opts.csv_path, "also write rows to this CSV file");
+  cli.add_string("json", &opts.json_path,
+                 "also write rows and run counters to this JSON file");
 }
+
+/// Registers --threads (only for benches whose runs fan out in parallel).
+inline void add_threads_flag(cli::Parser& cli, CommonOptions& opts) {
+  cli.add_int("threads", &opts.threads,
+              "worker threads for independent runs (results are identical "
+              "to --threads 1)");
+}
+
+/// Machine-readable mirror of a bench's output: the printed table rows
+/// plus named run counters (wall-clock seconds, B_r calculations, ...).
+/// Construct with the path from --json (empty = inert) and call write()
+/// once at the end:
+///
+///   {"bench": "...", "seed": 3, "full": false,
+///    "columns": [...], "rows": [[...], ...],
+///    "counters": {"wall_seconds": 12.3, ...}}
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const CommonOptions& opts)
+      : bench_(std::move(bench)),
+        path_(opts.json_path),
+        seed_(opts.seed),
+        full_(opts.full) {}
+
+  bool active() const { return !path_.empty(); }
+
+  void columns(std::vector<std::string> names) { columns_ = std::move(names); }
+  void row(std::vector<std::string> fields) {
+    rows_.push_back(std::move(fields));
+  }
+  void counter(const std::string& name, double value) {
+    counters_.emplace_back(name, value);
+  }
+
+  /// Serializes the report; best-effort like csv::Writer (an unwritable
+  /// path only prints a warning).
+  void write() const {
+    if (!active()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "warning: cannot write JSON report to " << path_ << '\n';
+      return;
+    }
+    out << "{\n  \"bench\": " << quote(bench_) << ",\n  \"seed\": " << seed_
+        << ",\n  \"full\": " << (full_ ? "true" : "false")
+        << ",\n  \"columns\": ";
+    string_array(out, columns_);
+    out << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ");
+      string_array(out, rows_[i]);
+    }
+    out << (rows_.empty() ? "]" : "\n  ]") << ",\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ") << quote(counters_[i].first)
+          << ": " << number(counters_[i].second);
+    }
+    out << (counters_.empty() ? "}" : "\n  }") << "\n}\n";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string number(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  static void string_array(std::ofstream& out,
+                           const std::vector<std::string>& xs) {
+    out << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << quote(xs[i]);
+    }
+    out << ']';
+  }
+
+  std::string bench_;
+  std::string path_;
+  unsigned long long seed_;
+  bool full_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::pair<std::string, double>> counters_;
+};
 
 inline void print_banner(const std::string& what) {
   std::cout << "==============================================================="

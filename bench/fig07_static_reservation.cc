@@ -6,6 +6,11 @@
 //   * G = 10 suffices (P_HD < 0.01) for R_vo = 1.0 but NOT for R_vo = 0.5;
 //   * for R_vo = 0.8 it suffices only under low mobility / low load;
 //   * for R_vo = 1.0 at light load it over-reserves (P_HD << target).
+//
+// Each load point is an independent run; --threads N fans each sweep
+// over a pool with byte-identical output (core::sweep_loads).
+#include <chrono>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -15,6 +20,7 @@ int main(int argc, char** argv) {
   cli::Parser cli("fig07_static_reservation",
                   "P_CB/P_HD vs load, static reservation (paper Fig. 7)");
   bench::add_common_flags(cli, opts);
+  bench::add_threads_flag(cli, opts);
   cli.add_double("g", &g, "statically reserved BUs per cell");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -22,6 +28,11 @@ int main(int argc, char** argv) {
                       core::TablePrinter::fixed(g, 0) + " BU");
   csv::Writer csv(opts.csv_path);
   csv.header({"mobility", "voice_ratio", "load", "pcb", "phd"});
+  bench::JsonReport json("fig07_static_reservation", opts);
+  json.columns({"mobility", "voice_ratio", "load", "pcb", "phd"});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t br_calculations = 0;
 
   core::TablePrinter table({"mobility", "R_vo", "load", "P_CB", "P_HD"},
                            {8, 6, 6, 10, 10});
@@ -32,26 +43,43 @@ int main(int argc, char** argv) {
               << " km/h) --\n";
     table.print_header();
     for (const double rvo : {1.0, 0.8, 0.5}) {
-      for (const double load : core::paper_load_grid()) {
-        core::StationaryParams p;
-        p.offered_load = load;
-        p.voice_ratio = rvo;
-        p.mobility = mob;
-        p.policy = admission::PolicyKind::kStatic;
-        p.static_g = g;
-        p.seed = opts.seed;
-        const auto r = core::run_system(core::stationary_config(p),
-                                        opts.plan());
+      const auto points = core::sweep_loads(
+          core::paper_load_grid(),
+          [&](double load) {
+            core::StationaryParams p;
+            p.offered_load = load;
+            p.voice_ratio = rvo;
+            p.mobility = mob;
+            p.policy = admission::PolicyKind::kStatic;
+            p.static_g = g;
+            p.seed = opts.seed;
+            return core::stationary_config(p);
+          },
+          opts.plan(), opts.threads);
+      for (const auto& pt : points) {
+        const auto& s = pt.result.status;
         table.print_row({core::mobility_name(mob),
                          core::TablePrinter::fixed(rvo, 1),
-                         core::TablePrinter::fixed(load, 0),
-                         core::TablePrinter::prob(r.status.pcb),
-                         core::TablePrinter::prob(r.status.phd)});
-        csv.row_values(core::mobility_name(mob), rvo, load, r.status.pcb,
-                       r.status.phd);
+                         core::TablePrinter::fixed(pt.offered_load, 0),
+                         core::TablePrinter::prob(s.pcb),
+                         core::TablePrinter::prob(s.phd)});
+        csv.row_values(core::mobility_name(mob), rvo, pt.offered_load,
+                       s.pcb, s.phd);
+        json.row({core::mobility_name(mob), csv::Writer::format(rvo),
+                  csv::Writer::format(pt.offered_load),
+                  csv::Writer::format(s.pcb), csv::Writer::format(s.phd)});
+        br_calculations += s.br_calculations;
       }
       table.print_rule();
     }
   }
+
+  json.counter("wall_seconds",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
+  json.counter("br_calculations", static_cast<double>(br_calculations));
+  json.counter("threads", opts.threads);
+  json.write();
   return 0;
 }

@@ -4,6 +4,11 @@
 // Paper's headline result: P_HD <= P_HD,target (= 0.01) across the ENTIRE
 // load range 60..300 irrespective of voice ratio and mobility, with the
 // P_CB/P_HD gap narrowing as load decreases (less bandwidth reserved).
+//
+// Each load point is an independent run; --threads N fans each sweep
+// over a pool with byte-identical output (core::sweep_loads).
+#include <chrono>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -12,11 +17,17 @@ int main(int argc, char** argv) {
   cli::Parser cli("fig08_ac3_load_sweep",
                   "P_CB/P_HD vs load under AC3 (paper Fig. 8)");
   bench::add_common_flags(cli, opts);
+  bench::add_threads_flag(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
 
   bench::print_banner("Figure 8 — predictive/adaptive reservation, AC3");
   csv::Writer csv(opts.csv_path);
   csv.header({"mobility", "voice_ratio", "load", "pcb", "phd"});
+  bench::JsonReport json("fig08_ac3_load_sweep", opts);
+  json.columns({"mobility", "voice_ratio", "load", "pcb", "phd"});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t br_calculations = 0;
 
   core::TablePrinter table(
       {"mobility", "R_vo", "load", "P_CB", "P_HD", "target met"},
@@ -27,26 +38,43 @@ int main(int argc, char** argv) {
               << " user mobility --\n";
     table.print_header();
     for (const double rvo : {1.0, 0.8, 0.5}) {
-      for (const double load : core::paper_load_grid()) {
-        core::StationaryParams p;
-        p.offered_load = load;
-        p.voice_ratio = rvo;
-        p.mobility = mob;
-        p.policy = admission::PolicyKind::kAc3;
-        p.seed = opts.seed;
-        const auto r = core::run_system(core::stationary_config(p),
-                                        opts.plan());
+      const auto points = core::sweep_loads(
+          core::paper_load_grid(),
+          [&](double load) {
+            core::StationaryParams p;
+            p.offered_load = load;
+            p.voice_ratio = rvo;
+            p.mobility = mob;
+            p.policy = admission::PolicyKind::kAc3;
+            p.seed = opts.seed;
+            return core::stationary_config(p);
+          },
+          opts.plan(), opts.threads);
+      for (const auto& pt : points) {
+        const auto& s = pt.result.status;
         table.print_row({core::mobility_name(mob),
                          core::TablePrinter::fixed(rvo, 1),
-                         core::TablePrinter::fixed(load, 0),
-                         core::TablePrinter::prob(r.status.pcb),
-                         core::TablePrinter::prob(r.status.phd),
-                         r.status.phd <= 0.0125 ? "yes" : "NO"});
-        csv.row_values(core::mobility_name(mob), rvo, load, r.status.pcb,
-                       r.status.phd);
+                         core::TablePrinter::fixed(pt.offered_load, 0),
+                         core::TablePrinter::prob(s.pcb),
+                         core::TablePrinter::prob(s.phd),
+                         s.phd <= 0.0125 ? "yes" : "NO"});
+        csv.row_values(core::mobility_name(mob), rvo, pt.offered_load,
+                       s.pcb, s.phd);
+        json.row({core::mobility_name(mob), csv::Writer::format(rvo),
+                  csv::Writer::format(pt.offered_load),
+                  csv::Writer::format(s.pcb), csv::Writer::format(s.phd)});
+        br_calculations += s.br_calculations;
       }
       table.print_rule();
     }
   }
+
+  json.counter("wall_seconds",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
+  json.counter("br_calculations", static_cast<double>(br_calculations));
+  json.counter("threads", opts.threads);
+  json.write();
   return 0;
 }

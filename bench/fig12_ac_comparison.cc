@@ -5,6 +5,11 @@
 //   * the three schemes have nearly identical P_CB (AC1 slightly lowest);
 //   * AC2 and AC3 bound P_HD at the target; AC1 exceeds it when
 //     over-loaded (L > ~150) but stays below ~0.02 even at L = 300.
+//
+// Each load point is an independent run; --threads N fans each sweep
+// over a pool with byte-identical output (core::sweep_loads).
+#include <chrono>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -13,12 +18,18 @@ int main(int argc, char** argv) {
   cli::Parser cli("fig12_ac_comparison",
                   "P_CB/P_HD vs load for AC1/AC2/AC3 (paper Fig. 12)");
   bench::add_common_flags(cli, opts);
+  bench::add_threads_flag(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
 
   bench::print_banner("Figure 12 — admission-control comparison "
                       "(high mobility)");
   csv::Writer csv(opts.csv_path);
   csv.header({"voice_ratio", "policy", "load", "pcb", "phd"});
+  bench::JsonReport json("fig12_ac_comparison", opts);
+  json.columns({"voice_ratio", "policy", "load", "pcb", "phd"});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t br_calculations = 0;
 
   const admission::PolicyKind kinds[] = {admission::PolicyKind::kAc1,
                                          admission::PolicyKind::kAc2,
@@ -30,24 +41,42 @@ int main(int argc, char** argv) {
                              {7, 6, 10, 10});
     table.print_header();
     for (const auto kind : kinds) {
-      for (const double load : core::paper_load_grid()) {
-        core::StationaryParams p;
-        p.offered_load = load;
-        p.voice_ratio = rvo;
-        p.mobility = core::Mobility::kHigh;
-        p.policy = kind;
-        p.seed = opts.seed;
-        const auto r = core::run_system(core::stationary_config(p),
-                                        opts.plan());
+      const auto points = core::sweep_loads(
+          core::paper_load_grid(),
+          [&](double load) {
+            core::StationaryParams p;
+            p.offered_load = load;
+            p.voice_ratio = rvo;
+            p.mobility = core::Mobility::kHigh;
+            p.policy = kind;
+            p.seed = opts.seed;
+            return core::stationary_config(p);
+          },
+          opts.plan(), opts.threads);
+      for (const auto& pt : points) {
+        const auto& s = pt.result.status;
         table.print_row({admission::policy_kind_name(kind),
-                         core::TablePrinter::fixed(load, 0),
-                         core::TablePrinter::prob(r.status.pcb),
-                         core::TablePrinter::prob(r.status.phd)});
-        csv.row_values(rvo, admission::policy_kind_name(kind), load,
-                       r.status.pcb, r.status.phd);
+                         core::TablePrinter::fixed(pt.offered_load, 0),
+                         core::TablePrinter::prob(s.pcb),
+                         core::TablePrinter::prob(s.phd)});
+        csv.row_values(rvo, admission::policy_kind_name(kind),
+                       pt.offered_load, s.pcb, s.phd);
+        json.row({csv::Writer::format(rvo),
+                  admission::policy_kind_name(kind),
+                  csv::Writer::format(pt.offered_load),
+                  csv::Writer::format(s.pcb), csv::Writer::format(s.phd)});
+        br_calculations += s.br_calculations;
       }
       table.print_rule();
     }
   }
+
+  json.counter("wall_seconds",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
+  json.counter("br_calculations", static_cast<double>(br_calculations));
+  json.counter("threads", opts.threads);
+  json.write();
   return 0;
 }

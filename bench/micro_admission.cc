@@ -1,0 +1,140 @@
+// Micro-benchmark of the admission hot path: how many nanoseconds one
+// AC1/AC2/AC3 admission test costs with the incremental reservation
+// engine (reservation/engine.h) vs the from-scratch rescan, on the
+// stationary L = 300 high-mobility scenario (the paper's worst case:
+// every cell is crowded, so Eq. 6 sums hundreds of terms).
+//
+// Both modes run the SAME simulation trajectory — the engine is bitwise
+// exact, so admissions decide identically — and the bench cross-checks
+// recompute_reservation against scratch_reservation on every cell after
+// each measured round (max |diff| is printed and must be 0).
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.h"
+#include "traffic/connection.h"
+
+namespace {
+
+struct ModeResult {
+  double ns_per_admission = 0.0;
+  std::uint64_t admissions = 0;
+  std::uint64_t br_calculations = 0;
+  double max_abs_diff = 0.0;
+};
+
+ModeResult run_mode(pabr::admission::PolicyKind kind, bool incremental,
+                    double load, unsigned long long seed, bool full) {
+  using namespace pabr;
+  core::StationaryParams p;
+  p.offered_load = load;
+  p.voice_ratio = 1.0;
+  p.mobility = core::Mobility::kHigh;
+  p.policy = kind;
+  p.seed = seed;
+  core::SystemConfig cfg = core::stationary_config(p);
+  cfg.incremental_reservation = incremental;
+
+  core::CellularSystem sys(cfg);
+  sys.run_for(full ? 2000.0 : 800.0);
+
+  const auto probe_policy = admission::make_policy(kind, cfg.static_g);
+  const int rounds = full ? 50 : 20;
+  const int reps = 10;
+
+  ModeResult out;
+  std::chrono::steady_clock::duration busy{0};
+  for (int round = 0; round < rounds; ++round) {
+    // Let the simulation mutate state (hand-offs, arrivals, departures)
+    // between measured bursts so the engine's caches face real churn.
+    sys.run_for(5.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (geom::CellId c = 0; c < cfg.num_cells; ++c) {
+        probe_policy->admit(sys, c, traffic::kVoiceBandwidth);
+        ++out.admissions;
+      }
+    }
+    busy += std::chrono::steady_clock::now() - t0;
+    for (geom::CellId c = 0; c < cfg.num_cells; ++c) {
+      const double fast = sys.recompute_reservation(c);
+      const double reference = sys.scratch_reservation(c);
+      out.max_abs_diff =
+          std::max(out.max_abs_diff, std::abs(fast - reference));
+    }
+  }
+  out.ns_per_admission =
+      std::chrono::duration<double, std::nano>(busy).count() /
+      static_cast<double>(out.admissions);
+  out.br_calculations = sys.system_status().br_calculations;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  double load = 300.0;
+  cli::Parser cli("micro_admission",
+                  "ns per admission test: incremental engine vs scratch "
+                  "rescan");
+  bench::add_common_flags(cli, opts);
+  cli.add_double("load", &load, "offered load per cell");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner("Micro — admission cost, incremental vs scratch "
+                      "(L = " + core::TablePrinter::fixed(load, 0) +
+                      ", R_vo = 1.0, high mobility)");
+  csv::Writer csv(opts.csv_path);
+  csv.header({"policy", "incremental_ns", "scratch_ns", "speedup",
+              "max_abs_diff"});
+  bench::JsonReport json("micro_admission", opts);
+  json.columns({"policy", "incremental_ns", "scratch_ns", "speedup",
+                "max_abs_diff"});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t br_calculations = 0;
+
+  core::TablePrinter table(
+      {"policy", "incr ns/adm", "scratch ns/adm", "speedup", "max|diff|"},
+      {7, 12, 15, 8, 10});
+  table.print_header();
+  for (const auto kind :
+       {admission::PolicyKind::kAc1, admission::PolicyKind::kAc2,
+        admission::PolicyKind::kAc3}) {
+    const ModeResult fast = run_mode(kind, true, load, opts.seed, opts.full);
+    const ModeResult slow = run_mode(kind, false, load, opts.seed, opts.full);
+    const double speedup = fast.ns_per_admission > 0.0
+                               ? slow.ns_per_admission / fast.ns_per_admission
+                               : 0.0;
+    const double diff = std::max(fast.max_abs_diff, slow.max_abs_diff);
+    br_calculations += fast.br_calculations + slow.br_calculations;
+    table.print_row({admission::policy_kind_name(kind),
+                     core::TablePrinter::fixed(fast.ns_per_admission, 1),
+                     core::TablePrinter::fixed(slow.ns_per_admission, 1),
+                     core::TablePrinter::fixed(speedup, 2) + "x",
+                     core::TablePrinter::prob(diff)});
+    csv.row_values(admission::policy_kind_name(kind), fast.ns_per_admission,
+                   slow.ns_per_admission, speedup, diff);
+    json.row({admission::policy_kind_name(kind),
+              csv::Writer::format(fast.ns_per_admission),
+              csv::Writer::format(slow.ns_per_admission),
+              csv::Writer::format(speedup), csv::Writer::format(diff)});
+  }
+  table.print_rule();
+
+  json.counter("wall_seconds",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
+  json.counter("br_calculations", static_cast<double>(br_calculations));
+  json.write();
+
+  std::cout << "\nReading: between admissions only a handful of connections "
+               "change state, so\nthe engine reuses almost every cached "
+               "term; AC2 — which recomputes B_r in\nthe cell AND all its "
+               "neighbours per admission — gains the most. max|diff|\nmust "
+               "be 0: the fast path is bitwise-identical, not approximate.\n";
+  return 0;
+}

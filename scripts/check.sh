@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitized tier-1 check: configure a separate build tree with
+# AddressSanitizer + UBSan (-DPABR_SANITIZE=ON), build everything, and
+# run the full test suite. Any sanitizer report fails the ctest run.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . -DPABR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error makes ASan reports fail the owning test instead of only
+# printing; detect_leaks catches forgotten event handles.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "check.sh: sanitized build + full test suite passed"

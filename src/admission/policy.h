@@ -43,6 +43,17 @@ class AdmissionContext {
   /// The cell's most recently computed target B_r^curr (possibly stale;
   /// 0 before any computation). AC3's participation test uses this.
   virtual double current_reservation(geom::CellId cell) const = 0;
+
+  /// Reference implementation of recompute_reservation: a full from-
+  /// scratch rescan of all adjacent cells' connections with NO contribution
+  /// caching, no stored side effects and no N_calc accounting. Systems with
+  /// an incremental fast path override this so equivalence tests and the
+  /// micro benchmarks can compare the two; the default forwards to
+  /// recompute_reservation (for contexts with no cache there is nothing to
+  /// compare against).
+  virtual double scratch_reservation(geom::CellId cell) {
+    return recompute_reservation(cell);
+  }
 };
 
 class AdmissionPolicy {

@@ -1,5 +1,7 @@
 #include "core/cell.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace pabr::core {
@@ -10,34 +12,61 @@ Cell::Cell(geom::CellId id, double capacity_bu, double soft_margin)
   PABR_CHECK(soft_margin >= 0.0, "Cell: negative soft margin");
 }
 
+std::vector<traffic::ConnectionEntry>::iterator Cell::find_slot(
+    traffic::ConnectionId id) {
+  return std::lower_bound(entries_.begin(), entries_.end(), id,
+                          [](const traffic::ConnectionEntry& e,
+                             traffic::ConnectionId v) { return e.id < v; });
+}
+
 void Cell::attach(traffic::ConnectionId id, traffic::Bandwidth b) {
+  traffic::ReservationView view;
+  view.reserve_bandwidth = b;
+  view.prev_cell = id_;  // started here (the paper's prev = 0 convention)
+  view.entered_cell_at = 0.0;
+  attach(id, b, view);
+}
+
+void Cell::attach(traffic::ConnectionId id, traffic::Bandwidth b,
+                  const traffic::ReservationView& view) {
   PABR_CHECK(b > 0, "Cell: non-positive bandwidth");
   PABR_CHECK(used_ + static_cast<double>(b) <= soft_capacity() + 1e-9,
              "Cell: attach exceeds soft capacity");
-  const auto [it, inserted] = by_id_.emplace(id, b);
-  PABR_CHECK(inserted, "Cell: connection already attached");
-  (void)it;
+  const auto it = find_slot(id);
+  PABR_CHECK(it == entries_.end() || it->id != id,
+             "Cell: connection already attached");
+  entries_.insert(it, traffic::ConnectionEntry{id, b, view});
   used_ += static_cast<double>(b);
 }
 
 void Cell::detach(traffic::ConnectionId id) {
-  const auto it = by_id_.find(id);
-  PABR_CHECK(it != by_id_.end(), "Cell: detaching unknown connection");
-  used_ -= static_cast<double>(it->second);
+  const auto it = find_slot(id);
+  PABR_CHECK(it != entries_.end() && it->id == id,
+             "Cell: detaching unknown connection");
+  used_ -= static_cast<double>(it->bandwidth);
   PABR_CHECK(used_ >= -1e-9, "Cell: negative used bandwidth");
   if (used_ < 0.0) used_ = 0.0;
-  by_id_.erase(it);
+  entries_.erase(it);
+}
+
+void Cell::set_view(traffic::ConnectionId id,
+                    const traffic::ReservationView& view) {
+  const auto it = find_slot(id);
+  PABR_CHECK(it != entries_.end() && it->id == id,
+             "Cell: setting view of unknown connection");
+  it->view = view;
 }
 
 void Cell::reassign(traffic::ConnectionId id, traffic::Bandwidth new_b) {
   PABR_CHECK(new_b > 0, "Cell: non-positive bandwidth");
-  const auto it = by_id_.find(id);
-  PABR_CHECK(it != by_id_.end(), "Cell: reassigning unknown connection");
-  const double delta = static_cast<double>(new_b - it->second);
+  const auto it = find_slot(id);
+  PABR_CHECK(it != entries_.end() && it->id == id,
+             "Cell: reassigning unknown connection");
+  const double delta = static_cast<double>(new_b - it->bandwidth);
   PABR_CHECK(used_ + delta <= soft_capacity() + 1e-9,
              "Cell: reassign exceeds soft capacity");
   used_ += delta;
-  it->second = new_b;
+  it->bandwidth = new_b;
 }
 
 }  // namespace pabr::core

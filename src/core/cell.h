@@ -4,9 +4,15 @@
 // Reserved bandwidth is *not* subtracted here: hand-offs may consume any
 // free capacity (Eq. 1 constrains new admissions only), so the cell keeps
 // only physical accounting and leaves policy to the admission layer.
+//
+// Connections are held in a dense vector sorted by connection id — the
+// reservation hot loop (Eqs. 4-6) walks it linearly for every adjacent
+// cell on every B_r computation, so each entry carries the mobility
+// fields the loop needs (traffic::ReservationView) instead of forcing a
+// per-connection hash lookup into the simulator's mobile table.
 #pragma once
 
-#include <map>
+#include <vector>
 
 #include "geom/topology.h"
 #include "traffic/connection.h"
@@ -38,27 +44,45 @@ class Cell {
   bool overloaded() const { return used_ > capacity_ + 1e-9; }
 
   void attach(traffic::ConnectionId id, traffic::Bandwidth b);
+  /// Attach with the reservation-visible mobility state filled in (the
+  /// plain overload leaves a neutral view: prev = this cell, sojourn from
+  /// t = 0, route unknown).
+  void attach(traffic::ConnectionId id, traffic::Bandwidth b,
+              const traffic::ReservationView& view);
   void detach(traffic::ConnectionId id);
 
-  int connection_count() const { return static_cast<int>(by_id_.size()); }
+  int connection_count() const {
+    return static_cast<int>(entries_.size());
+  }
 
-  /// Connections camped in this cell (id -> bandwidth), in id order so
-  /// that reservation sums are reproducible.
-  const std::map<traffic::ConnectionId, traffic::Bandwidth>& connections()
-      const {
-    return by_id_;
+  /// Connections camped in this cell, in id order so that reservation
+  /// sums are reproducible.
+  const std::vector<traffic::ConnectionEntry>& connections() const {
+    return entries_;
   }
 
   /// Changes the bandwidth held by an attached connection (adaptive-QoS
-  /// degrade/upgrade, §1). The new total must fit the soft capacity.
+  /// degrade/upgrade, §1). The new total must fit the soft capacity; the
+  /// reservation view (min-QoS bandwidth) is unchanged.
   void reassign(traffic::ConnectionId id, traffic::Bandwidth new_b);
 
+  /// Refreshes the reservation-visible mobility state of an attached
+  /// connection without touching occupancy (used when a soft hand-off's
+  /// pre-allocated second leg becomes the primary: the mobile's cell-entry
+  /// state changes but the attachment persists).
+  void set_view(traffic::ConnectionId id,
+                const traffic::ReservationView& view);
+
  private:
+  /// First entry with entry.id >= id (lower bound in the sorted table).
+  std::vector<traffic::ConnectionEntry>::iterator find_slot(
+      traffic::ConnectionId id);
+
   geom::CellId id_;
   double capacity_;
   double soft_margin_;
   double used_ = 0.0;
-  std::map<traffic::ConnectionId, traffic::Bandwidth> by_id_;
+  std::vector<traffic::ConnectionEntry> entries_;  // sorted by id
 };
 
 }  // namespace pabr::core

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "sim/parallel.h"
 #include "util/check.h"
 #include "util/mathx.h"
 
@@ -33,15 +34,12 @@ RunResult run_system(const SystemConfig& config, const RunPlan& plan) {
 std::vector<SweepPoint> sweep_loads(
     const std::vector<double>& loads,
     const std::function<SystemConfig(double)>& config_for_load,
-    const RunPlan& plan) {
-  std::vector<SweepPoint> out;
-  out.reserve(loads.size());
-  for (double load : loads) {
-    SweepPoint p;
-    p.offered_load = load;
-    p.result = run_system(config_for_load(load), plan);
-    out.push_back(std::move(p));
-  }
+    const RunPlan& plan, int threads) {
+  std::vector<SweepPoint> out(loads.size());
+  sim::parallel_for(threads, loads.size(), [&](std::size_t i) {
+    out[i].offered_load = loads[i];
+    out[i].result = run_system(config_for_load(loads[i]), plan);
+  });
   return out;
 }
 
@@ -58,19 +56,25 @@ Replicated replicate(const std::vector<double>& xs) {
 }  // namespace
 
 ReplicatedResult run_replicated(const SystemConfig& config,
-                                const RunPlan& plan, int n_seeds) {
+                                const RunPlan& plan, int n_seeds,
+                                int threads) {
   PABR_CHECK(n_seeds >= 1, "run_replicated: need at least one seed");
   ReplicatedResult out;
+  // Each replication owns its own CellularSystem; results land in their
+  // seed-index slot, so the aggregation below sees the sequential order
+  // regardless of which thread ran which seed.
+  out.runs = sim::parallel_map<RunResult>(
+      threads, static_cast<std::size_t>(n_seeds), [&](std::size_t i) {
+        SystemConfig cfg = config;
+        cfg.seed = config.seed + static_cast<std::uint64_t>(i);
+        return run_system(cfg, plan);
+      });
   std::vector<double> pcb, phd, br, ncalc;
-  for (int i = 0; i < n_seeds; ++i) {
-    SystemConfig cfg = config;
-    cfg.seed = config.seed + static_cast<std::uint64_t>(i);
-    RunResult r = run_system(cfg, plan);
+  for (const RunResult& r : out.runs) {
     pcb.push_back(r.status.pcb);
     phd.push_back(r.status.phd);
     br.push_back(r.status.br_avg);
     ncalc.push_back(r.status.n_calc);
-    out.runs.push_back(std::move(r));
   }
   out.pcb = replicate(pcb);
   out.phd = replicate(phd);

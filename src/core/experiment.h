@@ -32,7 +32,10 @@ struct RunResult {
 /// metrics.
 RunResult run_system(const SystemConfig& config, const RunPlan& plan);
 
-/// Convenience sweep: one run per offered load value.
+/// Convenience sweep: one run per offered load value. `threads > 1` fans
+/// the points over a thread pool (each run owns its own CellularSystem);
+/// results are collected by point index, so the sweep is byte-identical
+/// to the sequential one whatever the thread count (sim/parallel.h).
 struct SweepPoint {
   double offered_load = 0.0;
   RunResult result;
@@ -40,7 +43,7 @@ struct SweepPoint {
 std::vector<SweepPoint> sweep_loads(
     const std::vector<double>& loads,
     const std::function<SystemConfig(double)>& config_for_load,
-    const RunPlan& plan);
+    const RunPlan& plan, int threads = 1);
 
 /// A metric replicated over independent seeds: mean and the 95% normal-
 /// approximation confidence half-width.
@@ -62,9 +65,12 @@ struct ReplicatedResult {
 /// Runs the scenario under `n_seeds` different seeds (config.seed + i)
 /// and aggregates the headline metrics — use when a single sample is too
 /// noisy to compare schemes (the paper reports single runs; CIs make the
-/// reproduction's comparisons defensible).
+/// reproduction's comparisons defensible). `threads > 1` fans the
+/// replications over a thread pool; per-seed samples and aggregates are
+/// byte-identical to the sequential run (index-ordered collection).
 ReplicatedResult run_replicated(const SystemConfig& config,
-                                const RunPlan& plan, int n_seeds);
+                                const RunPlan& plan, int n_seeds,
+                                int threads = 1);
 
 /// Fixed-width console table writer used by the bench binaries.
 class TablePrinter {

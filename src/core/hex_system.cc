@@ -16,13 +16,14 @@ void HexSystemConfig::set_offered_load(double load) {
 
 HexCellularSystem::HexCellularSystem(HexSystemConfig config)
     : config_(std::move(config)),
+      rng_factory_(config_.seed),
       grid_(config_.rows, config_.cols, config_.wrap),
       motion_(grid_, config_.motion),
       accountant_(grid_, nullptr),
       policy_(admission::make_policy(config_.policy, config_.static_g,
                                      &config_.ns)),
-      arrival_rng_(sim::RngFactory(config_.seed).make("hex-arrivals")),
-      movement_rng_(sim::RngFactory(config_.seed).make("hex-movement")) {
+      arrival_rng_(rng_factory_.make("hex-arrivals")),
+      movement_rng_(rng_factory_.make("hex-movement")) {
   PABR_CHECK(config_.capacity_bu > 0.0, "non-positive capacity");
   PABR_CHECK(config_.arrival_rate_per_cell >= 0.0, "negative arrival rate");
   PABR_CHECK(
@@ -99,20 +100,49 @@ double HexCellularSystem::recompute_reservation(geom::CellId cell) {
       stations_[static_cast<std::size_t>(cell)].window().t_est();
 
   double br = 0.0;
-  for (geom::CellId i : grid_.neighbors(cell)) {
-    const auto& estimator =
-        stations_[static_cast<std::size_t>(i)].estimator();
-    for (const auto& [conn_id, bw] :
-         cells_[static_cast<std::size_t>(i)].connections()) {
-      const auto& m = mobiles_.at(conn_id);
-      br += static_cast<double>(bw) *
-            estimator.handoff_probability(t, m.prev, cell,
-                                          t - m.entered_at, t_est);
+  if (config_.incremental_reservation) {
+    for (geom::CellId i : grid_.neighbors(cell)) {
+      br = reservation_engine_.accumulate(
+          i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+          stations_[static_cast<std::size_t>(i)].estimator(), t, t_est, br);
     }
+  } else {
+    br = reservation_rescan(cell, t, t_est);
   }
   stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
   metrics_[static_cast<std::size_t>(cell)].br_mean.update(t, br);
   return br;
+}
+
+double HexCellularSystem::reservation_rescan(geom::CellId cell, sim::Time t,
+                                             sim::Duration t_est) const {
+  double br = 0.0;
+  for (geom::CellId i : grid_.neighbors(cell)) {
+    const auto& estimator =
+        stations_[static_cast<std::size_t>(i)].estimator();
+    for (const auto& e : cells_[static_cast<std::size_t>(i)].connections()) {
+      br += static_cast<double>(e.view.reserve_bandwidth) *
+            estimator.handoff_probability(t, e.view.prev_cell, cell,
+                                          t - e.view.entered_cell_at, t_est);
+    }
+  }
+  return br;
+}
+
+double HexCellularSystem::scratch_reservation(geom::CellId cell) {
+  check_cell_id(cell);
+  return reservation_rescan(
+      cell, simulator_.now(),
+      stations_[static_cast<std::size_t>(cell)].window().t_est());
+}
+
+traffic::ReservationView HexCellularSystem::reservation_view(
+    const HexMobile& m) const {
+  traffic::ReservationView v;
+  v.reserve_bandwidth = m.bandwidth();
+  v.prev_cell = m.prev;
+  v.entered_cell_at = m.entered_at;
+  return v;
 }
 
 double HexCellularSystem::current_reservation(geom::CellId cell) const {
@@ -173,7 +203,8 @@ bool HexCellularSystem::handle_request(geom::CellId cell,
   m.entered_at = simulator_.now();
   m.speed_kmh = speed_kmh;
 
-  cells_[static_cast<std::size_t>(cell)].attach(id, bw);
+  cells_[static_cast<std::size_t>(cell)].attach(id, bw,
+                                                reservation_view(m));
   record_bu(cell);
 
   const auto [it, inserted] = mobiles_.emplace(id, std::move(m));
@@ -218,11 +249,11 @@ void HexCellularSystem::handle_crossing(traffic::ConnectionId id) {
     mobiles_.erase(it);
     return;
   }
-  dst.attach(id, m.bandwidth());
-  record_bu(to);
   m.prev = from;
   m.cell = to;
   m.entered_at = t;
+  dst.attach(id, m.bandwidth(), reservation_view(m));
+  record_bu(to);
   schedule_crossing(m);
 }
 

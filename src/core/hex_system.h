@@ -28,6 +28,8 @@
 #include "geom/hex_topology.h"
 #include "hoef/estimator.h"
 #include "mobility/hex_motion.h"
+#include "reservation/engine.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "traffic/workload.h"
 
@@ -61,6 +63,10 @@ struct HexSystemConfig {
   // Mobility over the grid.
   mobility::HexMotionConfig motion;
 
+  /// Serve recompute_reservation from the incremental contribution caches
+  /// (bit-identical to the from-scratch rescan; see reservation/engine.h).
+  bool incremental_reservation = true;
+
   std::uint64_t seed = 1;
 
   /// Offered load per cell, Eq. (7).
@@ -87,6 +93,9 @@ class HexCellularSystem final : public admission::AdmissionContext {
   const std::vector<geom::CellId>& adjacent(geom::CellId cell) const override;
   double recompute_reservation(geom::CellId cell) override;
   double current_reservation(geom::CellId cell) const override;
+  /// Reference from-scratch rescan (no caches, no side effects, not
+  /// counted in N_calc) — must always equal recompute_reservation.
+  double scratch_reservation(geom::CellId cell) override;
 
   // ---- Metrics --------------------------------------------------------------
   const CellMetrics& cell_metrics(geom::CellId cell) const;
@@ -129,13 +138,21 @@ class HexCellularSystem final : public admission::AdmissionContext {
   sim::Duration t_soj_max_for(geom::CellId cell) const;
   void record_bu(geom::CellId cell);
   void check_cell_id(geom::CellId cell) const;
+  /// The dense per-connection record the reservation hot loop reads.
+  traffic::ReservationView reservation_view(const HexMobile& m) const;
+  /// Eq. (6) summed term-by-term from scratch over the dense connection
+  /// tables (shared by the scratch path and the engine-off mode).
+  double reservation_rescan(geom::CellId cell, sim::Time t,
+                            sim::Duration t_est) const;
 
   HexSystemConfig config_;
+  sim::RngFactory rng_factory_;  ///< one factory, shared by all streams
   sim::Simulator simulator_;
   geom::HexTopology grid_;
   mobility::HexMotion motion_;
   backhaul::SignalingAccountant accountant_;
   std::unique_ptr<admission::AdmissionPolicy> policy_;
+  reservation::IncrementalEngine reservation_engine_;
   sim::Rng arrival_rng_;
   sim::Rng movement_rng_;
 

@@ -25,15 +25,19 @@ traffic::WorkloadConfig effective_workload(const SystemConfig& cfg) {
 
 CellularSystem::CellularSystem(SystemConfig config)
     : config_(std::move(config)),
+      rng_factory_(config_.seed),
       road_(config_.num_cells, config_.cell_diameter_km, config_.ring),
       interconnect_(config_.interconnect),
       accountant_(road_, &interconnect_),
       workload_(road_, effective_workload(config_),
-                sim::RngFactory(config_.seed).make("workload")),
-      retry_(config_.retry, sim::RngFactory(config_.seed).make("retry")),
-      route_rng_(sim::RngFactory(config_.seed).make("route")),
+                rng_factory_.make("workload")),
+      retry_(config_.retry, rng_factory_.make("retry")),
+      route_rng_(rng_factory_.make("route")),
       policy_(admission::make_policy(config_.policy, config_.static_g,
                                      &config_.ns)),
+      reservation_engine_([this](geom::CellId cell, int direction) {
+        return next_cell_in_direction(cell, direction);
+      }),
       load_tracker_(config_.num_cells, config_.workload.mean_lifetime_s) {
   PABR_CHECK(config_.capacity_bu > 0.0, "non-positive capacity");
 
@@ -151,30 +155,14 @@ double CellularSystem::recompute_reservation(geom::CellId cell) {
       stations_[static_cast<std::size_t>(cell)].window().t_est();
 
   double br = 0.0;
-  for (geom::CellId i : road_.neighbors(cell)) {
-    const Cell& neighbor = cells_[static_cast<std::size_t>(i)];
-    const auto& estimator =
-        stations_[static_cast<std::size_t>(i)].estimator();
-    // Eq. (5): expected fractional hand-in bandwidth from cell i. Under
-    // adaptive QoS, "bandwidth reservation is made on the basis of the
-    // minimum QoS of each connection" (§1).
-    for (const auto& [conn_id, attached_bw] : neighbor.connections()) {
-      const auto& m = mobiles_.at(conn_id).m;
-      const traffic::Bandwidth bw =
-          config_.adaptive_qos ? min_bandwidth(m) : attached_bw;
-      double ph;
-      if (m.route_known) {
-        // §7 ITS/GPS extension: the next cell is known, so the estimation
-        // function only estimates the hand-off (sojourn) time.
-        if (next_cell_in_direction(i, m.direction) != cell) continue;
-        ph = estimator.any_handoff_probability(t, m.prev_cell,
-                                               m.extant_sojourn(t), t_est);
-      } else {
-        ph = estimator.handoff_probability(t, m.prev_cell, cell,
-                                           m.extant_sojourn(t), t_est);
-      }
-      br += static_cast<double>(bw) * ph;
+  if (config_.incremental_reservation) {
+    for (geom::CellId i : road_.neighbors(cell)) {
+      br = reservation_engine_.accumulate(
+          i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+          stations_[static_cast<std::size_t>(i)].estimator(), t, t_est, br);
     }
+  } else {
+    br = reservation_rescan(cell, t, t_est);
   }
 
   stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
@@ -186,6 +174,43 @@ double CellularSystem::recompute_reservation(geom::CellId cell) {
     it->second.br.add(t, br);
   }
   return br;
+}
+
+double CellularSystem::reservation_rescan(geom::CellId cell, sim::Time t,
+                                          sim::Duration t_est) const {
+  double br = 0.0;
+  for (geom::CellId i : road_.neighbors(cell)) {
+    const Cell& neighbor = cells_[static_cast<std::size_t>(i)];
+    const auto& estimator =
+        stations_[static_cast<std::size_t>(i)].estimator();
+    // Eq. (5): expected fractional hand-in bandwidth from cell i. Under
+    // adaptive QoS, "bandwidth reservation is made on the basis of the
+    // minimum QoS of each connection" (§1) — reserve_bandwidth carries the
+    // minimum-QoS value in that mode.
+    for (const traffic::ConnectionEntry& e : neighbor.connections()) {
+      const sim::Duration extant = t - e.view.entered_cell_at;
+      double ph;
+      if (e.view.route_known) {
+        // §7 ITS/GPS extension: the next cell is known, so the estimation
+        // function only estimates the hand-off (sojourn) time.
+        if (next_cell_in_direction(i, e.view.direction) != cell) continue;
+        ph = estimator.any_handoff_probability(t, e.view.prev_cell, extant,
+                                               t_est);
+      } else {
+        ph = estimator.handoff_probability(t, e.view.prev_cell, cell, extant,
+                                           t_est);
+      }
+      br += static_cast<double>(e.view.reserve_bandwidth) * ph;
+    }
+  }
+  return br;
+}
+
+double CellularSystem::scratch_reservation(geom::CellId cell) {
+  check_cell_id(cell);
+  return reservation_rescan(
+      cell, simulator_.now(),
+      stations_[static_cast<std::size_t>(cell)].window().t_est());
 }
 
 double CellularSystem::current_reservation(geom::CellId cell) const {
@@ -281,8 +306,9 @@ void CellularSystem::start_connection(
 
   rec.m.current_bandwidth = request.bandwidth();  // new calls get full QoS
 
-  cells_[static_cast<std::size_t>(request.cell)].attach(request.id,
-                                                        request.bandwidth());
+  cells_[static_cast<std::size_t>(request.cell)].attach(
+      request.id, request.bandwidth(),
+      reservation_view(rec.m, request.bandwidth()));
   if (backbone_ != nullptr) {
     backbone_->admit(request.cell, request.id, request.bandwidth());
   }
@@ -336,7 +362,7 @@ void CellularSystem::handle_zone_entry(traffic::ConnectionId id) {
     metrics_[static_cast<std::size_t>(to)].soft_fallback.add();
     return;
   }
-  dst.attach(id, granted);
+  dst.attach(id, granted, reservation_view(rec.m, granted));
   rec.dual_cell = to;
   rec.dual_bw = granted;
   metrics_[static_cast<std::size_t>(to)].soft_alloc.add();
@@ -414,20 +440,22 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
 
   cells_[static_cast<std::size_t>(from)].detach(id);
   record_bu(from);
-  if (via_dual) {
-    // The second leg becomes the primary; nothing to allocate.
-    rec.dual_cell = geom::kNoCell;
-    rec.dual_bw = 0;
-  } else {
-    dst.attach(id, granted);
-  }
   if (backbone_ != nullptr) backbone_->reroute(from, to, id, granted);
   rec.m.current_bandwidth = granted;
-  record_bu(to);
 
   rec.m.prev_cell = from;
   rec.m.cell = to;
   rec.m.entered_cell_at = t;
+  if (via_dual) {
+    // The second leg becomes the primary; nothing to allocate, but the
+    // reservation-visible entry state must track the crossing.
+    rec.dual_cell = geom::kNoCell;
+    rec.dual_bw = 0;
+    dst.set_view(id, reservation_view(rec.m, granted));
+  } else {
+    dst.attach(id, granted, reservation_view(rec.m, granted));
+  }
+  record_bu(to);
   schedule_crossing(rec);
 }
 
@@ -479,6 +507,18 @@ traffic::Bandwidth CellularSystem::min_bandwidth(
     return std::min(config_.video_min_bu, m.bandwidth());
   }
   return m.bandwidth();
+}
+
+traffic::ReservationView CellularSystem::reservation_view(
+    const mobility::Mobile& m, traffic::Bandwidth attached_bw) const {
+  traffic::ReservationView v;
+  v.reserve_bandwidth =
+      config_.adaptive_qos ? min_bandwidth(m) : attached_bw;
+  v.prev_cell = m.prev_cell;
+  v.entered_cell_at = m.entered_cell_at;
+  v.direction = static_cast<std::int8_t>(m.direction);
+  v.route_known = m.route_known;
+  return v;
 }
 
 geom::CellId CellularSystem::next_cell_in_direction(geom::CellId cell,

@@ -23,6 +23,7 @@
 #include "geom/linear_topology.h"
 #include "hoef/estimator.h"
 #include "mobility/mobile.h"
+#include "reservation/engine.h"
 #include "reservation/test_window.h"
 #include "sim/series.h"
 #include "sim/simulator.h"
@@ -95,6 +96,13 @@ struct SystemConfig {
   std::optional<traffic::DailyProfile> speed_profile;
   double speed_half_range_kmh = traffic::kPaperSpeedHalfRange;
 
+  /// Serve recompute_reservation from the incremental per-(neighbor ->
+  /// target) contribution caches (bit-identical to the from-scratch
+  /// rescan; see reservation/engine.h). Off forces the scratch path on
+  /// every call — only useful for the equivalence tests and the
+  /// bench/micro_admission comparison.
+  bool incremental_reservation = true;
+
   // Backhaul model.
   backhaul::InterconnectKind interconnect =
       backhaul::InterconnectKind::kFullyConnected;
@@ -132,6 +140,9 @@ class CellularSystem final : public admission::AdmissionContext {
   const std::vector<geom::CellId>& adjacent(geom::CellId cell) const override;
   double recompute_reservation(geom::CellId cell) override;
   double current_reservation(geom::CellId cell) const override;
+  /// Reference from-scratch rescan (no caches, no side effects, not
+  /// counted in N_calc) — must always equal recompute_reservation.
+  double scratch_reservation(geom::CellId cell) override;
 
   // ---- Metrics ------------------------------------------------------------
   const CellMetrics& cell_metrics(geom::CellId cell) const;
@@ -197,6 +208,16 @@ class CellularSystem final : public admission::AdmissionContext {
   void record_bu(geom::CellId cell);
   /// Minimum-QoS bandwidth of a connection (adaptive QoS, §1).
   traffic::Bandwidth min_bandwidth(const mobility::Mobile& m) const;
+  /// The dense per-connection record the reservation hot loop reads,
+  /// snapshotting the mobile's current cell-entry state. `attached_bw` is
+  /// the bandwidth being attached (reservation uses the min-QoS bandwidth
+  /// instead when adaptive QoS is on, §1).
+  traffic::ReservationView reservation_view(
+      const mobility::Mobile& m, traffic::Bandwidth attached_bw) const;
+  /// Eq. (6) summed term-by-term from scratch over the dense connection
+  /// tables (shared by the scratch path and the engine-off mode).
+  double reservation_rescan(geom::CellId cell, sim::Time t,
+                            sim::Duration t_est) const;
   sim::Duration t_soj_max_for(geom::CellId cell) const;
   /// The cell a mobile in `cell` moving in `direction` will enter next
   /// (kNoCell past an open border).
@@ -204,6 +225,7 @@ class CellularSystem final : public admission::AdmissionContext {
   void check_cell_id(geom::CellId cell) const;
 
   SystemConfig config_;
+  sim::RngFactory rng_factory_;  ///< one factory, shared by all streams
   sim::Simulator simulator_;
   geom::LinearTopology road_;
   backhaul::InterconnectModel interconnect_;
@@ -212,6 +234,7 @@ class CellularSystem final : public admission::AdmissionContext {
   traffic::RetryPolicy retry_;
   sim::Rng route_rng_;  ///< decides which mobiles have known routes (§7)
   std::unique_ptr<admission::AdmissionPolicy> policy_;
+  reservation::IncrementalEngine reservation_engine_;
 
   std::vector<Cell> cells_;
   std::vector<BaseStation> stations_;

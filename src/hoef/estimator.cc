@@ -19,6 +19,13 @@ double prefix_weight_at(const std::vector<double>& sojourns,
   return idx == 0 ? 0.0 : prefix[idx - 1];
 }
 
+/// Smallest sojourn value strictly greater than x (the next step
+/// breakpoint of the prefix-weight function), or infinity when none.
+double next_breakpoint_after(const std::vector<double>& sojourns, double x) {
+  const auto it = std::upper_bound(sojourns.begin(), sojourns.end(), x);
+  return it == sojourns.end() ? sim::kInfiniteDuration : *it;
+}
+
 }  // namespace
 
 HandoffEstimator::HandoffEstimator(geom::CellId self, EstimatorConfig config)
@@ -69,6 +76,7 @@ void HandoffEstimator::record(const Quadruplet& q) {
     while (!dq.empty() && dq.front().event_time < horizon) dq.pop_front();
   }
   ++h.revision;
+  ++state_version_;
 }
 
 std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
@@ -80,6 +88,7 @@ std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
     // Single window (n = 0) covering all of history; the deque is already
     // capped at N_quad newest events in record().
     const double w = window_weight(0);
+    picked.reserve(events.size());
     for (const Quadruplet& q : events) {
       if (q.event_time > t0) continue;  // future events are meaningless
       picked.push_back(Selected{q.sojourn, w, 0, t0 - q.event_time});
@@ -90,8 +99,13 @@ std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
   // When 2*T_int > period, consecutive windows overlap and an event can
   // satisfy Eq. (2) for several n; the priority rule assigns it the
   // smallest n only, so windows are scanned in ascending n and indices
-  // already claimed by an earlier window are skipped.
-  std::vector<std::pair<std::ptrdiff_t, std::ptrdiff_t>> claimed;
+  // already claimed by an earlier window are skipped. Because each
+  // window's index range shifts monotonically toward older events as n
+  // grows, the union of already-claimed ranges that can overlap the
+  // current one is just [claimed_lo, end) — a single comparison per
+  // event instead of a scan over all earlier windows.
+  picked.reserve(static_cast<std::size_t>(config_.n_quad));
+  std::ptrdiff_t claimed_lo = static_cast<std::ptrdiff_t>(events.size());
   for (int n = 0; n <= config_.n_win_periods; ++n) {
     const double w = window_weight(n);
     if (w <= 0.0) continue;
@@ -107,19 +121,11 @@ std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
         [](const Quadruplet& q, sim::Time v) { return q.event_time < v; });
     for (auto it = first; it != last; ++it) {
       if (it->event_time > t0) break;  // the [t0, t0+T_int) part is future
-      const std::ptrdiff_t idx = it - events.begin();
-      bool taken = false;
-      for (const auto& [clo, chi] : claimed) {
-        if (idx >= clo && idx < chi) {
-          taken = true;
-          break;
-        }
-      }
-      if (taken) continue;
+      if (it - events.begin() >= claimed_lo) continue;  // earlier window's
       picked.push_back(
           Selected{it->sojourn, w, n, std::fabs(it->event_time - center)});
     }
-    claimed.emplace_back(first - events.begin(), last - events.begin());
+    claimed_lo = std::min(claimed_lo, first - events.begin());
   }
 
   // §3.1 priority rule: smaller n first, then closest to the window
@@ -238,6 +244,78 @@ double HandoffEstimator::any_handoff_probability(
   return std::clamp(numer / denom, 0.0, 1.0);
 }
 
+bool HandoffEstimator::supports_caching() const {
+  return !is_finite_duration(config_.t_int);
+}
+
+ProbeResult HandoffEstimator::handoff_probability_probe(
+    sim::Time t0, geom::CellId prev, geom::CellId next,
+    sim::Duration extant_sojourn, sim::Duration t_est) const {
+  PABR_CHECK(extant_sojourn >= 0.0, "negative extant sojourn");
+  PABR_CHECK(t_est >= 0.0, "negative T_est");
+  ProbeResult r;
+  const Snapshot* s = snapshot_for(prev, t0);
+  if (s == nullptr) return r;  // stays 0 until a record() bumps the version
+
+  const double below_all =
+      prefix_weight_at(s->all_sojourn, s->all_prefix, extant_sojourn);
+  const double denom = s->all_total - below_all;
+  if (denom <= 0.0) return r;  // estimated stationary — and stays so: the
+                               // denominator only shrinks as time passes
+
+  const auto it = s->by_next.find(next);
+  if (it == s->by_next.end()) return r;  // no events toward `next` yet
+  const auto& [sojourns, prefix] = it->second;
+  const double numer =
+      prefix_weight_at(sojourns, prefix, extant_sojourn + t_est) -
+      prefix_weight_at(sojourns, prefix, extant_sojourn);
+  r.probability = std::clamp(numer / denom, 0.0, 1.0);
+
+  // The value is a pure function of the step-function indices selected
+  // above; it can only change when the extant sojourn (or sojourn + T_est)
+  // crosses the next sample point of one of the three lookups.
+  const double d1 =
+      next_breakpoint_after(s->all_sojourn, extant_sojourn) - extant_sojourn;
+  const double d2 =
+      next_breakpoint_after(sojourns, extant_sojourn) - extant_sojourn;
+  const double d3 =
+      next_breakpoint_after(sojourns, extant_sojourn + t_est) -
+      (extant_sojourn + t_est);
+  const double delta = std::min({d1, d2, d3});
+  r.valid_until =
+      delta >= sim::kInfiniteDuration ? sim::kInfiniteDuration : t0 + delta;
+  return r;
+}
+
+ProbeResult HandoffEstimator::any_handoff_probability_probe(
+    sim::Time t0, geom::CellId prev, sim::Duration extant_sojourn,
+    sim::Duration t_est) const {
+  PABR_CHECK(extant_sojourn >= 0.0, "negative extant sojourn");
+  PABR_CHECK(t_est >= 0.0, "negative T_est");
+  ProbeResult r;
+  const Snapshot* s = snapshot_for(prev, t0);
+  if (s == nullptr) return r;
+  const double below =
+      prefix_weight_at(s->all_sojourn, s->all_prefix, extant_sojourn);
+  const double denom = s->all_total - below;
+  if (denom <= 0.0) return r;
+  const double numer =
+      prefix_weight_at(s->all_sojourn, s->all_prefix,
+                       extant_sojourn + t_est) -
+      below;
+  r.probability = std::clamp(numer / denom, 0.0, 1.0);
+
+  const double d1 =
+      next_breakpoint_after(s->all_sojourn, extant_sojourn) - extant_sojourn;
+  const double d2 =
+      next_breakpoint_after(s->all_sojourn, extant_sojourn + t_est) -
+      (extant_sojourn + t_est);
+  const double delta = std::min(d1, d2);
+  r.valid_until =
+      delta >= sim::kInfiniteDuration ? sim::kInfiniteDuration : t0 + delta;
+  return r;
+}
+
 sim::Duration HandoffEstimator::max_sojourn(sim::Time t0) const {
   sim::Duration m = 0.0;
   for (const auto& [prev, h] : by_prev_) {
@@ -252,6 +330,7 @@ std::vector<FootprintPoint> HandoffEstimator::footprint(
   std::vector<FootprintPoint> out;
   const Snapshot* s = snapshot_for(prev, t0);
   if (s == nullptr) return out;
+  out.reserve(s->all_sojourn.size());
   for (const auto& [next, sel] : s->raw_selected) {
     for (const Selected& x : sel) {
       out.push_back(FootprintPoint{next, x.sojourn, x.weight, x.window});
@@ -273,7 +352,10 @@ void HandoffEstimator::prune(sim::Time t0) {
         changed = true;
       }
     }
-    if (changed) ++h.revision;
+    if (changed) {
+      ++h.revision;
+      ++state_version_;
+    }
   }
 }
 

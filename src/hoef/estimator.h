@@ -58,6 +58,18 @@ struct FootprintPoint {
   int window = 0;  ///< the n of the periodic window the event fell into
 };
 
+/// A probability sample bundled with its validity horizon: because the
+/// estimation function is a step function of the extant sojourn, p_h as a
+/// function of wall-clock time is piecewise constant. `valid_until` is the
+/// earliest simulation time at which the value may change (the next step
+/// breakpoint); until then — and as long as the estimator's state_version
+/// is unchanged — the exact same double would be recomputed. This is what
+/// makes the incremental reservation engine exact, not approximate.
+struct ProbeResult {
+  double probability = 0.0;
+  sim::Time valid_until = sim::kInfiniteDuration;
+};
+
 class HandoffEstimator {
  public:
   /// `self` is the id of the owning cell (the paper's cell "0"-centric
@@ -81,6 +93,30 @@ class HandoffEstimator {
   double any_handoff_probability(sim::Time t0, geom::CellId prev,
                                  sim::Duration extant_sojourn,
                                  sim::Duration t_est) const;
+
+  /// handoff_probability plus the time horizon the returned value stays
+  /// bitwise valid for (see ProbeResult). Only meaningful while
+  /// state_version() is unchanged and supports_caching() holds.
+  ProbeResult handoff_probability_probe(sim::Time t0, geom::CellId prev,
+                                        geom::CellId next,
+                                        sim::Duration extant_sojourn,
+                                        sim::Duration t_est) const;
+
+  /// any_handoff_probability with a validity horizon.
+  ProbeResult any_handoff_probability_probe(sim::Time t0, geom::CellId prev,
+                                            sim::Duration extant_sojourn,
+                                            sim::Duration t_est) const;
+
+  /// Monotonic counter bumped whenever a lookup after this moment could
+  /// return a different value than before at the same (t0, sojourn)
+  /// arguments: new quadruplets recorded and prunes that dropped events.
+  std::uint64_t state_version() const { return state_version_; }
+
+  /// True when probe results can be cached across time: with an infinite
+  /// T_int, snapshots depend only on the recorded events (covered by
+  /// state_version); with a finite T_int they also drift with t0, so
+  /// callers must fall back to recomputation.
+  bool supports_caching() const;
 
   /// Largest sojourn among currently-usable quadruplets, across all prev
   /// (feeds T_soj,max of the Fig. 6 controller). 0 when empty.
@@ -139,6 +175,7 @@ class HandoffEstimator {
   EstimatorConfig config_;
   std::map<geom::CellId, PrevHistory> by_prev_;
   sim::Time last_event_time_ = 0.0;
+  std::uint64_t state_version_ = 0;
 };
 
 }  // namespace pabr::hoef

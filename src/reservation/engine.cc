@@ -1,0 +1,96 @@
+#include "reservation/engine.h"
+
+#include "util/check.h"
+
+namespace pabr::reservation {
+namespace {
+
+std::uint64_t pair_key(geom::CellId source, geom::CellId target) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(target));
+}
+
+}  // namespace
+
+IncrementalEngine::TermEntry IncrementalEngine::make_term(
+    geom::CellId source, geom::CellId target,
+    const traffic::ConnectionEntry& entry,
+    const hoef::HandoffEstimator& estimator, sim::Time now,
+    sim::Duration t_est) const {
+  TermEntry term;
+  term.id = entry.id;
+  term.reserve_bw = entry.view.reserve_bandwidth;
+  term.prev = entry.view.prev_cell;
+  term.entered_at = entry.view.entered_cell_at;
+
+  const sim::Duration extant = now - entry.view.entered_cell_at;
+  hoef::ProbeResult probe;
+  if (entry.view.route_known) {
+    // §7 ITS/GPS extension: the next cell is deterministic, the estimation
+    // function only estimates the hand-off time. A mobile not headed for
+    // `target` contributes 0 for as long as it stays camped in `source`.
+    if (route_next_ != nullptr &&
+        route_next_(source, entry.view.direction) == target) {
+      probe = estimator.any_handoff_probability_probe(now, entry.view.prev_cell,
+                                                      extant, t_est);
+    } else {
+      probe.probability = 0.0;
+      probe.valid_until = sim::kInfiniteDuration;
+    }
+  } else {
+    probe = estimator.handoff_probability_probe(
+        now, entry.view.prev_cell, target, extant, t_est);
+  }
+  term.value =
+      static_cast<double>(entry.view.reserve_bandwidth) * probe.probability;
+  term.valid_until = probe.valid_until;
+  return term;
+}
+
+double IncrementalEngine::accumulate(
+    geom::CellId source, geom::CellId target,
+    const std::vector<traffic::ConnectionEntry>& table,
+    const hoef::HandoffEstimator& estimator, sim::Time now,
+    sim::Duration t_est, double running) {
+  PairCache& pair = pairs_[pair_key(source, target)];
+
+  // A changed estimation function or a stepped T_est invalidates every
+  // term of the pair; estimators with finite T_int drift with wall-clock
+  // time and are never cached (see header).
+  const std::uint64_t version = estimator.state_version();
+  const bool reusable = estimator.supports_caching() &&
+                        pair.estimator_version == version &&
+                        pair.t_est == t_est;
+
+  scratch_.clear();
+  scratch_.reserve(table.size());
+  auto cached = pair.terms.cbegin();
+  const auto cached_end = pair.terms.cend();
+  for (const traffic::ConnectionEntry& entry : table) {
+    while (cached != cached_end && cached->id < entry.id) ++cached;
+    const bool hit = reusable && cached != cached_end &&
+                     cached->id == entry.id && now < cached->valid_until &&
+                     cached->reserve_bw == entry.view.reserve_bandwidth &&
+                     cached->prev == entry.view.prev_cell &&
+                     cached->entered_at == entry.view.entered_cell_at;
+    if (hit) {
+      scratch_.push_back(*cached);
+      ++terms_reused_;
+    } else {
+      scratch_.push_back(
+          make_term(source, target, entry, estimator, now, t_est));
+      ++terms_recomputed_;
+    }
+    // Accumulate in table order onto the caller's running sum — the exact
+    // association order of the scratch rescan, so the cached path is
+    // bit-identical, not approximately equal.
+    running += scratch_.back().value;
+  }
+  pair.terms.swap(scratch_);
+  pair.estimator_version = version;
+  pair.t_est = t_est;
+  return running;
+}
+
+}  // namespace pabr::reservation

@@ -1,0 +1,108 @@
+// Incremental target-reservation engine — the fast path behind
+// AdmissionContext::recompute_reservation.
+//
+// Every AC1/AC2/AC3 admission test evaluates Eq. (6): for the target cell,
+// each adjacent cell contributes Eq. (5), a sum of b * p_h over ALL of its
+// active connections. Done from scratch (the paper's §6.2 complexity
+// concern, bench/fig13_ncalc_complexity), each term costs a per-connection
+// record fetch plus two or three binary searches into the estimation
+// function — O(adjacent x connections x log N_quad) per admission test.
+//
+// The engine exploits two facts:
+//
+//   1. p_h is a ratio of step-function lookups, so each term b * p_h is
+//      piecewise CONSTANT in simulation time: it can only change when the
+//      connection's extant sojourn (or sojourn + T_est) crosses the next
+//      sample point of the estimation function
+//      (hoef::ProbeResult::valid_until), when the estimation function
+//      itself changes (hoef::HandoffEstimator::state_version), when the
+//      target's T_est steps, or when the connection moves or changes QoS.
+//
+//   2. Between admissions only a handful of connections change state, so
+//      almost every cached term is still bitwise-exact.
+//
+// Each (source cell -> target cell) pair keeps a term cache mirroring the
+// source cell's id-sorted connection table. A recomputation merge-walks
+// table and cache: unchanged, unexpired terms are reused verbatim;
+// new/expired/changed ones are recomputed via the estimator probes. The
+// returned B_r accumulates term-by-term in table order into the caller's
+// running sum — the exact association order of the scratch rescan — so the
+// fast path is bit-identical to recomputing from scratch, not merely close
+// (tests/reservation_incremental_test.cc asserts this).
+//
+// Estimators with a finite T_int drift with wall-clock time (their
+// snapshots are rebuilt as t0 advances), so their terms are never cached
+// (supports_caching() == false) — the walk then degrades gracefully to a
+// dense-table rescan, still avoiding the per-connection hash lookups the
+// scratch path of old performed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/topology.h"
+#include "hoef/estimator.h"
+#include "sim/time.h"
+#include "traffic/connection.h"
+
+namespace pabr::reservation {
+
+class IncrementalEngine {
+ public:
+  /// Next cell a route-known mobile camped in `cell` and moving in
+  /// `direction` will enter (the §7 ITS/GPS extension); may be null when
+  /// the deployment has no route-known mobiles (e.g. the hex grid).
+  using RouteNextFn = std::function<geom::CellId(geom::CellId cell,
+                                                 int direction)>;
+
+  explicit IncrementalEngine(RouteNextFn route_next = nullptr)
+      : route_next_(std::move(route_next)) {}
+
+  /// Adds Eq. (5) — the expected hand-in bandwidth from `source` into
+  /// `target` within the target's `t_est` — onto `running`, term by term
+  /// in connection-id order, and returns the new running sum. `table` and
+  /// `estimator` belong to the source cell. Served from the pair's term
+  /// cache; bitwise-identical to a from-scratch rescan.
+  double accumulate(geom::CellId source, geom::CellId target,
+                    const std::vector<traffic::ConnectionEntry>& table,
+                    const hoef::HandoffEstimator& estimator, sim::Time now,
+                    sim::Duration t_est, double running);
+
+  // Diagnostics: how many per-connection terms were recomputed vs served
+  // from cache since construction.
+  std::uint64_t terms_recomputed() const { return terms_recomputed_; }
+  std::uint64_t terms_reused() const { return terms_reused_; }
+
+ private:
+  struct TermEntry {
+    traffic::ConnectionId id = 0;
+    double value = 0.0;  ///< b * p_h, bitwise what the scratch path yields
+    sim::Time valid_until = 0.0;  ///< first time the value may change
+    // Change fingerprint: any difference means the connection moved,
+    // re-entered, or changed its reservation bandwidth since caching.
+    traffic::Bandwidth reserve_bw = 0;
+    geom::CellId prev = geom::kNoCell;
+    sim::Time entered_at = 0.0;
+  };
+
+  struct PairCache {
+    std::uint64_t estimator_version = ~std::uint64_t{0};
+    sim::Duration t_est = -1.0;
+    std::vector<TermEntry> terms;  // id-sorted, mirrors the source table
+  };
+
+  TermEntry make_term(geom::CellId source, geom::CellId target,
+                      const traffic::ConnectionEntry& entry,
+                      const hoef::HandoffEstimator& estimator, sim::Time now,
+                      sim::Duration t_est) const;
+
+  std::unordered_map<std::uint64_t, PairCache> pairs_;
+  std::vector<TermEntry> scratch_;  // reused merge buffer
+  RouteNextFn route_next_;
+  std::uint64_t terms_recomputed_ = 0;
+  std::uint64_t terms_reused_ = 0;
+};
+
+}  // namespace pabr::reservation

@@ -1,0 +1,49 @@
+// Deterministic fork-join parallelism for the experiment drivers.
+//
+// Replications and sweep points are embarrassingly parallel — each one
+// owns its own CellularSystem seeded independently — but the paper's
+// tables must stay byte-identical whatever the thread count. The helpers
+// here guarantee that by construction:
+//
+//   * every task index runs exactly once, against its own slot of the
+//     result vector (no shared accumulator, no reduction ordering);
+//   * tasks are handed out by a single atomic counter — no work stealing,
+//     no per-thread queues — so which *thread* runs a task is the only
+//     nondeterminism, and it is unobservable;
+//   * callers aggregate the slotted results in index order afterwards,
+//     which is exactly the sequential order.
+//
+// `threads <= 1` (or n <= 1) runs inline on the calling thread with no
+// pool at all, keeping the sequential path allocation-identical to the
+// pre-parallel code. Exceptions thrown by tasks are captured and the
+// first (lowest-index) one is rethrown on the calling thread after join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace pabr::sim {
+
+/// Number of hardware threads, at least 1 (0 from the runtime maps to 1).
+int hardware_threads();
+
+/// Runs fn(i) for every i in [0, n) using up to `threads` OS threads
+/// (including the calling thread). fn must be safe to call concurrently
+/// for distinct i. Blocks until all n calls finished; rethrows the
+/// lowest-index exception if any task threw.
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// parallel_for that collects fn(i) into a vector indexed by i — the
+/// result is independent of the thread count and equals the sequential
+/// {fn(0), fn(1), ...}.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(int threads, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(threads, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace pabr::sim

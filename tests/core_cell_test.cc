@@ -66,7 +66,7 @@ TEST(CellTest, ConnectionsIterateInIdOrder) {
   c.attach(2, 4);
   c.attach(9, 1);
   std::vector<traffic::ConnectionId> ids;
-  for (const auto& [id, bw] : c.connections()) ids.push_back(id);
+  for (const auto& entry : c.connections()) ids.push_back(entry.id);
   EXPECT_EQ(ids, (std::vector<traffic::ConnectionId>{2, 5, 9}));
 }
 

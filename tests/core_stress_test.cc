@@ -50,8 +50,8 @@ TEST_P(StressTest, InvariantsSurviveChaos) {
       EXPECT_LE(cc.used(), cc.soft_capacity() + 1e-9);
       // Per-cell accounting: stored connections sum to used().
       double sum = 0.0;
-      for (const auto& [id, bw] : cc.connections()) {
-        sum += static_cast<double>(bw);
+      for (const auto& entry : cc.connections()) {
+        sum += static_cast<double>(entry.bandwidth);
       }
       EXPECT_NEAR(sum, cc.used(), 1e-9);
       attached_total += sum;

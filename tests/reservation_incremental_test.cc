@@ -1,0 +1,111 @@
+// Randomized equivalence: the incremental reservation engine must agree
+// with the from-scratch rescan (scratch_reservation) on every cell after
+// thousands of mixed events — arrivals, expiries, hand-offs, drops,
+// adaptive-QoS degrades, soft hand-off legs, known-route mobiles — on
+// both the 1-D road and the hexagonal grid.
+//
+// The engine is designed to be bitwise-exact (reservation/engine.h), but
+// the contract asserted here is the documented 1e-9 tolerance.
+#include <gtest/gtest.h>
+
+#include "core/hex_system.h"
+#include "core/scenario.h"
+#include "core/system.h"
+
+namespace pabr {
+namespace {
+
+/// Runs `sys` in chunks, comparing the cached fast path against the
+/// reference rescan on every cell after each chunk.
+template <typename System>
+void expect_equivalence(System& sys, int num_cells, int chunks,
+                        sim::Duration chunk_s) {
+  for (int k = 0; k < chunks; ++k) {
+    sys.run_for(chunk_s);
+    for (geom::CellId c = 0; c < num_cells; ++c) {
+      const double fast = sys.recompute_reservation(c);
+      const double reference = sys.scratch_reservation(c);
+      EXPECT_NEAR(fast, reference, 1e-9)
+          << "cell " << c << " at t = " << sys.now() << " (chunk " << k
+          << ")";
+    }
+  }
+}
+
+core::SystemConfig loaded_config(std::uint64_t seed) {
+  core::StationaryParams p;
+  p.offered_load = 300.0;
+  p.voice_ratio = 1.0;
+  p.mobility = core::Mobility::kHigh;
+  p.policy = admission::PolicyKind::kAc3;
+  p.seed = seed;
+  return core::stationary_config(p);
+}
+
+TEST(ReservationIncrementalTest, MatchesScratchUnderHighLoadAc3) {
+  core::CellularSystem sys(loaded_config(7));
+  expect_equivalence(sys, sys.config().num_cells, 25, 40.0);
+  // "Thousands of mixed events" is literal, not aspirational.
+  EXPECT_GT(sys.events_executed(), 5000u);
+}
+
+TEST(ReservationIncrementalTest, MatchesScratchUnderAc2) {
+  core::SystemConfig cfg = loaded_config(11);
+  cfg.policy = admission::PolicyKind::kAc2;
+  core::CellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.num_cells, 15, 40.0);
+}
+
+TEST(ReservationIncrementalTest, MatchesScratchWithAdaptiveQosVideoMix) {
+  core::StationaryParams p;
+  p.offered_load = 260.0;
+  p.voice_ratio = 0.5;  // half video: degrades/upgrades exercise reassign
+  p.seed = 13;
+  core::SystemConfig cfg = core::stationary_config(p);
+  cfg.adaptive_qos = true;
+  core::CellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.num_cells, 15, 40.0);
+}
+
+TEST(ReservationIncrementalTest, MatchesScratchWithKnownRoutes) {
+  core::SystemConfig cfg = loaded_config(17);
+  cfg.known_route_fraction = 0.5;  // §7 ITS/GPS extension terms
+  core::CellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.num_cells, 15, 40.0);
+}
+
+TEST(ReservationIncrementalTest, MatchesScratchWithSoftHandoff) {
+  core::SystemConfig cfg = loaded_config(19);
+  cfg.soft_handoff_zone_km = 0.2;  // dual legs + view promotion
+  cfg.soft_capacity_margin = 0.05;
+  core::CellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.num_cells, 15, 40.0);
+}
+
+TEST(ReservationIncrementalTest, EngineOffModeAlsoMatchesScratch) {
+  core::SystemConfig cfg = loaded_config(23);
+  cfg.incremental_reservation = false;
+  core::CellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.num_cells, 5, 40.0);
+}
+
+TEST(ReservationIncrementalTest, HexGridMatchesScratch) {
+  core::HexSystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kAc3;
+  cfg.set_offered_load(260.0);
+  cfg.seed = 29;
+  core::HexCellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.rows * cfg.cols, 15, 40.0);
+}
+
+TEST(ReservationIncrementalTest, HexGridAc2MatchesScratch) {
+  core::HexSystemConfig cfg;
+  cfg.policy = admission::PolicyKind::kAc2;
+  cfg.set_offered_load(200.0);
+  cfg.seed = 31;
+  core::HexCellularSystem sys(cfg);
+  expect_equivalence(sys, cfg.rows * cfg.cols, 10, 40.0);
+}
+
+}  // namespace
+}  // namespace pabr

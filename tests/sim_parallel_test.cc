@@ -1,0 +1,122 @@
+// sim/parallel.h: the deterministic fork-join helpers behind the
+// --threads experiment drivers, plus the end-to-end guarantee that
+// run_replicated / sweep_loads produce byte-identical results at any
+// thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "sim/parallel.h"
+
+namespace pabr {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<std::atomic<int>> hits(97);
+    sim::parallel_for(threads, hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroAndSingleItemEdgeCases) {
+  int calls = 0;
+  sim::parallel_for(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  sim::parallel_for(4, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, RethrowsLowestIndexException) {
+  for (int threads : {1, 4}) {
+    try {
+      sim::parallel_for(threads, 20, [](std::size_t i) {
+        if (i == 3 || i == 17) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+  }
+}
+
+TEST(ParallelMapTest, ResultsIndexedLikeSequential) {
+  const auto seq = sim::parallel_map<int>(
+      1, 50, [](std::size_t i) { return static_cast<int>(i * i); });
+  const auto par = sim::parallel_map<int>(
+      4, 50, [](std::size_t i) { return static_cast<int>(i * i); });
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ParallelTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(sim::hardware_threads(), 1);
+}
+
+core::RunPlan short_plan() {
+  core::RunPlan plan;
+  plan.warmup_s = 100.0;
+  plan.measure_s = 300.0;
+  return plan;
+}
+
+core::SystemConfig small_config() {
+  core::StationaryParams p;
+  p.offered_load = 120.0;
+  p.policy = admission::PolicyKind::kAc3;
+  p.seed = 5;
+  return core::stationary_config(p);
+}
+
+TEST(ParallelDriverTest, RunReplicatedIsThreadCountInvariant) {
+  const auto seq = core::run_replicated(small_config(), short_plan(), 4, 1);
+  const auto par = core::run_replicated(small_config(), short_plan(), 4, 4);
+  ASSERT_EQ(seq.runs.size(), par.runs.size());
+  // Byte-identical per-seed samples, not merely close.
+  EXPECT_EQ(seq.pcb.samples, par.pcb.samples);
+  EXPECT_EQ(seq.phd.samples, par.phd.samples);
+  EXPECT_EQ(seq.br_avg.samples, par.br_avg.samples);
+  EXPECT_EQ(seq.n_calc.samples, par.n_calc.samples);
+  EXPECT_EQ(seq.pcb.mean, par.pcb.mean);
+  EXPECT_EQ(seq.phd.ci95, par.phd.ci95);
+  for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+    EXPECT_EQ(seq.runs[i].events, par.runs[i].events);
+    EXPECT_EQ(seq.runs[i].status.br_calculations,
+              par.runs[i].status.br_calculations);
+    EXPECT_EQ(seq.runs[i].status.br_avg, par.runs[i].status.br_avg);
+  }
+}
+
+TEST(ParallelDriverTest, SweepLoadsIsThreadCountInvariant) {
+  const std::vector<double> loads = {60.0, 140.0, 220.0};
+  const auto config_for = [](double load) {
+    core::StationaryParams p;
+    p.offered_load = load;
+    p.seed = 9;
+    return core::stationary_config(p);
+  };
+  const auto seq = core::sweep_loads(loads, config_for, short_plan(), 1);
+  const auto par = core::sweep_loads(loads, config_for, short_plan(), 3);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].offered_load, par[i].offered_load);
+    EXPECT_EQ(seq[i].result.status.pcb, par[i].result.status.pcb);
+    EXPECT_EQ(seq[i].result.status.phd, par[i].result.status.phd);
+    EXPECT_EQ(seq[i].result.status.br_avg, par[i].result.status.br_avg);
+    EXPECT_EQ(seq[i].result.events, par[i].result.events);
+  }
+}
+
+}  // namespace
+}  // namespace pabr
