@@ -1,0 +1,128 @@
+// Differential scenario fuzzer — the hundreds-of-seeds version of
+// tests/fuzz_scenario_test.cc.
+//
+// Each seed expands deterministically into a randomized short simulation
+// (core/random_scenario.h) which is run twice, with the reservation
+// served incrementally and recomputed from scratch; the two trajectory
+// digests must match bitwise. The whole batch is then re-run across the
+// thread pool (--threads N) and every digest must match the sequential
+// batch byte for byte. Every run carries the per-event invariant audit
+// (PABR_AUDIT builds honor --audit-every; every build gets the explicit
+// end-of-run sweep).
+//
+// Exit status: 0 = all seeds clean, 1 = at least one divergence or
+// invariant violation (the offending seeds and scenario summaries are
+// printed — the seed alone reproduces the failure).
+#include <chrono>
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "audit/differential.h"
+#include "bench_common.h"
+#include "core/random_scenario.h"
+#include "sim/parallel.h"
+
+namespace {
+
+struct SeedResult {
+  std::uint64_t incremental = 0;
+  std::uint64_t scratch = 0;
+  bool failed = false;
+  std::string error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pabr;
+  bench::CommonOptions opts;
+  int seeds = 100;
+  unsigned long long base_seed = 1;
+  int audit_every = 8;
+  cli::Parser cli("fuzz_driver",
+                  "differential scenario fuzzer (incremental vs scratch "
+                  "reservation, 1 vs N threads, invariant audits)");
+  bench::add_common_flags(cli, opts);
+  bench::add_threads_flag(cli, opts);
+  cli.add_int("seeds", &seeds, "number of scenarios to fuzz");
+  cli.add_uint64("base-seed", &base_seed, "first scenario seed");
+  cli.add_int("audit-every", &audit_every,
+              "run the invariant sweep every Nth event (0 = end-of-run "
+              "checkpoint only; needs a PABR_AUDIT build to matter)");
+  if (!cli.parse(argc, argv)) return 1;
+  if (opts.full) seeds = std::max(seeds, 500);
+  if (opts.threads <= 0) opts.threads = sim::hardware_threads();
+
+  bench::print_banner("Differential scenario fuzzer — " +
+                      std::to_string(seeds) + " seeds from " +
+                      std::to_string(base_seed) + ", audit every " +
+                      std::to_string(audit_every) + " events");
+
+  const auto n = static_cast<std::size_t>(seeds);
+  const auto run_seed = [&](std::size_t i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const core::ScenarioSpec spec = core::random_scenario(seed);
+    SeedResult r;
+    try {
+      r.incremental = audit::run_scenario_digest(spec, true, audit_every);
+      r.scratch = audit::run_scenario_digest(spec, false, audit_every);
+    } catch (const std::exception& e) {
+      r.failed = true;
+      r.error = e.what();
+    }
+    return r;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Phase 1: sequential reference batch.
+  const std::vector<SeedResult> sequential =
+      sim::parallel_map<SeedResult>(1, n, run_seed);
+  // Phase 2: the same batch across the pool — digests must be identical.
+  const std::vector<SeedResult> threaded =
+      sim::parallel_map<SeedResult>(opts.threads, n, run_seed);
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  int violations = 0;
+  csv::Writer csv(opts.csv_path);
+  csv.header({"seed", "digest", "status"});
+  bench::JsonReport json("fuzz_driver", opts);
+  json.columns({"seed", "digest", "status"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const core::ScenarioSpec spec = core::random_scenario(seed);
+    std::string status = "ok";
+    if (sequential[i].failed) {
+      status = "audit: " + sequential[i].error;
+    } else if (threaded[i].failed) {
+      status = "audit (threaded): " + threaded[i].error;
+    } else if (sequential[i].incremental != sequential[i].scratch) {
+      status = "incremental != scratch";
+    } else if (sequential[i].incremental != threaded[i].incremental ||
+               sequential[i].scratch != threaded[i].scratch) {
+      status = "threads=1 != threads=N";
+    }
+    if (status != "ok") {
+      ++violations;
+      std::cout << "FAIL " << spec.summary() << "\n     " << status << '\n';
+    }
+    const std::string digest =
+        sequential[i].failed ? "-"
+                             : std::to_string(sequential[i].incremental);
+    csv.row({std::to_string(seed), digest, status});
+    json.row({std::to_string(seed), digest, status});
+  }
+
+  std::cout << seeds << " seeds, " << violations << " violation"
+            << (violations == 1 ? "" : "s") << ", " << opts.threads
+            << " threads, " << wall << " s\n";
+  json.counter("seeds", static_cast<double>(seeds));
+  json.counter("violations", static_cast<double>(violations));
+  json.counter("wall_seconds", wall);
+  json.write();
+  return violations == 0 ? 0 : 1;
+}

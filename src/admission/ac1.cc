@@ -5,8 +5,8 @@ namespace pabr::admission {
 bool Ac1Policy::admit(AdmissionContext& sys, geom::CellId cell,
                       traffic::Bandwidth b_new) {
   const double br = sys.recompute_reservation(cell);
-  return sys.used_bandwidth(cell) + static_cast<double>(b_new) <=
-         sys.capacity(cell) - br;
+  return fits_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
+                     sys.capacity(cell), br);
 }
 
 }  // namespace pabr::admission

@@ -7,11 +7,13 @@ bool Ac2Policy::admit(AdmissionContext& sys, geom::CellId cell,
   bool ok = true;
   for (geom::CellId i : sys.adjacent(cell)) {
     const double br_i = sys.recompute_reservation(i);
-    if (sys.used_bandwidth(i) > sys.capacity(i) - br_i) ok = false;
+    if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i), br_i)) {
+      ok = false;
+    }
   }
   const double br = sys.recompute_reservation(cell);
-  if (sys.used_bandwidth(cell) + static_cast<double>(b_new) >
-      sys.capacity(cell) - br) {
+  if (exceeds_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
+                     sys.capacity(cell), br)) {
     ok = false;
   }
   return ok;

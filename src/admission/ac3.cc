@@ -8,16 +8,21 @@ bool Ac3Policy::admit(AdmissionContext& sys, geom::CellId cell,
   for (geom::CellId i : sys.adjacent(cell)) {
     // Participation test uses the *stale* target B_r^curr (paper: "which
     // was calculated for a previous admission test, is not reserved
-    // fully").
-    if (sys.used_bandwidth(i) + sys.current_reservation(i) >
-        sys.capacity(i)) {
+    // fully"). It is phrased through the same budget form as the AC2
+    // reserve check below, so a recomputed B_r that equals the cached one
+    // bitwise reaches the identical verdict.
+    if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i),
+                       sys.current_reservation(i))) {
       const double br_i = sys.recompute_reservation(i);
-      if (sys.used_bandwidth(i) > sys.capacity(i) - br_i) ok = false;
+      if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i),
+                         br_i)) {
+        ok = false;
+      }
     }
   }
   const double br = sys.recompute_reservation(cell);
-  if (sys.used_bandwidth(cell) + static_cast<double>(b_new) >
-      sys.capacity(cell) - br) {
+  if (exceeds_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
+                     sys.capacity(cell), br)) {
     ok = false;
   }
   return ok;

@@ -46,16 +46,16 @@ NsPolicy::OccupancyEstimate NsPolicy::estimate(const AdmissionContext& sys,
 bool NsPolicy::admit(AdmissionContext& sys, geom::CellId cell,
                      traffic::Bandwidth b_new) {
   // Hard FCA constraint first: a channel must physically exist right now.
-  if (sys.used_bandwidth(cell) + static_cast<double>(b_new) >
-      sys.capacity(cell)) {
+  if (exceeds_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
+                     sys.capacity(cell), 0.0)) {
     return false;
   }
   // The scheme checks the target cell and every adjacent cell: admitting
   // here must not overload the neighbourhood once mobiles redistribute.
   const auto check = [&](geom::CellId j, double extra) {
     const OccupancyEstimate e = estimate(sys, j);
-    const double bound = e.mean + z_ * std::sqrt(e.variance) + extra;
-    return bound <= sys.capacity(j);
+    const double bound = e.mean + z_ * std::sqrt(e.variance);
+    return fits_budget(bound, extra, sys.capacity(j), 0.0);
   };
 
   // The new call contributes to its own cell now and may hand into each

@@ -23,6 +23,33 @@
 
 namespace pabr::admission {
 
+/// Absolute slack of every admission-boundary comparison. Occupancy and
+/// demands are integer-valued BUs (exactly representable), but B_r is a
+/// sum of b * p_h products, so `capacity - B_r` carries rounding noise in
+/// its last bits; the tolerance keeps a request sitting exactly on the
+/// boundary from being decided by that noise.
+inline constexpr double kAdmissionTolerance = 1e-9;
+
+/// The single boundary test behind Eq. (1) and all of its relatives:
+/// true when `demand` more BUs on top of `used` still fit `capacity` net
+/// of `reserved`. Every threshold comparison — AC1/AC2/AC3's admit and
+/// participation tests, the static scheme's guard bandwidth, NS-DCA's
+/// hard FCA check, and the wired access/uplink fit tests — is phrased
+/// through this one helper with one associativity and one tolerance, so
+/// two B_r values that agree bitwise (incremental vs scratch, cached vs
+/// recomputed) can never flip an admit/reject decision by being combined
+/// in algebraically different ways.
+inline bool fits_budget(double used, double demand, double capacity,
+                        double reserved) {
+  return used + demand <= (capacity - reserved) + kAdmissionTolerance;
+}
+
+/// Negated form for "cannot (fully) reserve its target" style tests.
+inline bool exceeds_budget(double used, double demand, double capacity,
+                           double reserved) {
+  return !fits_budget(used, demand, capacity, reserved);
+}
+
 /// The system facade a policy needs: capacities, occupancy, neighbour
 /// lists, and on-demand target-reservation computation.
 class AdmissionContext {

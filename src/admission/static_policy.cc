@@ -18,8 +18,8 @@ std::string StaticPolicy::name() const {
 
 bool StaticPolicy::admit(AdmissionContext& sys, geom::CellId cell,
                          traffic::Bandwidth b_new) {
-  return sys.used_bandwidth(cell) + static_cast<double>(b_new) <=
-         sys.capacity(cell) - g_;
+  return fits_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
+                     sys.capacity(cell), g_);
 }
 
 }  // namespace pabr::admission

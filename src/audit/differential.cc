@@ -1,0 +1,93 @@
+#include "audit/differential.h"
+
+#include <bit>
+
+namespace pabr::audit {
+namespace {
+
+void add_system_status(DigestBuilder& d, const core::SystemStatus& s) {
+  d.add_u64(s.requests);
+  d.add_u64(s.blocks);
+  d.add_u64(s.handoffs);
+  d.add_u64(s.drops);
+  d.add_u64(s.br_calculations);
+  d.add_u64(s.backhaul_messages);
+  d.add_u64(s.degrades);
+  d.add_u64(s.upgrades);
+  d.add_u64(s.soft_allocations);
+  d.add_u64(s.soft_fallbacks);
+  d.add_double(s.pcb);
+  d.add_double(s.phd);
+  d.add_double(s.n_calc);
+  d.add_double(s.br_avg);
+  d.add_double(s.bu_avg);
+  d.add_double(s.overload_frac);
+}
+
+}  // namespace
+
+void DigestBuilder::add_double(double v) {
+  add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t trajectory_digest(const core::CellularSystem& sys) {
+  DigestBuilder d;
+  for (geom::CellId c = 0; c < sys.config().num_cells; ++c) {
+    const core::CellStatus s = sys.cell_status(c);
+    d.add_u64(s.requests);
+    d.add_u64(s.blocks);
+    d.add_u64(s.handoffs);
+    d.add_u64(s.drops);
+    d.add_double(s.pcb);
+    d.add_double(s.phd);
+    d.add_double(s.t_est);
+    d.add_double(s.br);
+    d.add_double(s.bu);
+    d.add_double(s.br_avg);
+    d.add_double(s.bu_avg);
+  }
+  add_system_status(d, sys.system_status());
+  d.add_u64(sys.events_executed());
+  d.add_u64(sys.active_connections());
+  d.add_u64(sys.wired_blocks());
+  d.add_u64(sys.wired_drops());
+  return d.value();
+}
+
+std::uint64_t trajectory_digest(const core::HexCellularSystem& sys) {
+  DigestBuilder d;
+  for (geom::CellId c = 0; c < sys.grid().num_cells(); ++c) {
+    const core::CellMetrics& m = sys.cell_metrics(c);
+    d.add_u64(m.pcb.trials());
+    d.add_u64(m.pcb.hits());
+    d.add_u64(m.phd.trials());
+    d.add_u64(m.phd.hits());
+    d.add_double(sys.used_bandwidth(c));
+    d.add_double(sys.current_reservation(c));
+  }
+  add_system_status(d, sys.system_status());
+  d.add_u64(sys.active_connections());
+  return d.value();
+}
+
+std::uint64_t run_scenario_digest(const core::ScenarioSpec& spec,
+                                  bool incremental, int audit_every) {
+  if (spec.hex) {
+    core::HexSystemConfig cfg = spec.grid;
+    cfg.incremental_reservation = incremental;
+    cfg.audit_every = audit_every;
+    core::HexCellularSystem sys(cfg);
+    sys.run_for(spec.duration);
+    sys.audit_invariants();
+    return trajectory_digest(sys);
+  }
+  core::SystemConfig cfg = spec.linear;
+  cfg.incremental_reservation = incremental;
+  cfg.audit_every = audit_every;
+  core::CellularSystem sys(cfg);
+  sys.run_for(spec.duration);
+  sys.audit_invariants();
+  return trajectory_digest(sys);
+}
+
+}  // namespace pabr::audit

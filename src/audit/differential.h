@@ -1,0 +1,47 @@
+// Trajectory digests and differential scenario runners for the fuzzer.
+//
+// A digest folds every end-of-run observable of a simulation — per-cell
+// counters, occupancy and reservation bit patterns, system totals — into
+// one 64-bit value, hashing doubles by bit pattern. Two runs digest equal
+// only if their trajectories are bitwise identical, which is exactly the
+// repo's determinism contract: incremental vs from-scratch reservation
+// and --threads 1 vs N must all produce the same bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/random_scenario.h"
+
+namespace pabr::audit {
+
+/// Order-sensitive FNV-1a over 64-bit words.
+class DigestBuilder {
+ public:
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void add_double(double v);
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+/// Digest of a finished linear-road simulation.
+std::uint64_t trajectory_digest(const core::CellularSystem& sys);
+
+/// Digest of a finished hex-grid simulation.
+std::uint64_t trajectory_digest(const core::HexCellularSystem& sys);
+
+/// Builds the system described by `spec` (with the reservation mode
+/// overridden to `incremental` and the per-event audit cadence set to
+/// `audit_every`), runs it to completion, runs one final explicit
+/// audit_invariants() checkpoint — which works in every build, audited or
+/// not — and returns the trajectory digest.
+std::uint64_t run_scenario_digest(const core::ScenarioSpec& spec,
+                                  bool incremental, int audit_every);
+
+}  // namespace pabr::audit

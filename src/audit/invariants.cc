@@ -1,0 +1,50 @@
+#include "audit/invariants.h"
+
+#include <algorithm>
+
+#include "admission/policy.h"
+#include "util/check.h"
+
+namespace pabr::audit {
+
+void audit_cell(const core::Cell& cell) {
+  const auto& entries = cell.connections();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const traffic::ConnectionEntry& e = entries[i];
+    PABR_CHECK(i == 0 || entries[i - 1].id < e.id,
+               "cell audit: table not strictly id-sorted");
+    PABR_CHECK(e.bandwidth > 0, "cell audit: non-positive bandwidth");
+    PABR_CHECK(e.view.reserve_bandwidth > 0,
+               "cell audit: non-positive reserve bandwidth");
+    sum += static_cast<double>(e.bandwidth);
+  }
+  // Bandwidths are integral BUs, so both sides are exactly representable:
+  // any difference at all means an attach/detach/reassign lost track.
+  PABR_CHECK(sum == cell.used(),
+             "cell audit: B_u != sum of resident connection bandwidths");
+  PABR_CHECK(cell.used() <=
+                 cell.soft_capacity() + admission::kAdmissionTolerance,
+             "cell audit: occupancy exceeds soft capacity");
+}
+
+void audit_link(const wired::Link& link) {
+  PABR_CHECK(link.attached_sum() == link.used(),
+             "link audit: used() != sum of attached bandwidths");
+  PABR_CHECK(link.used() <= link.capacity() + admission::kAdmissionTolerance,
+             "link audit: occupancy exceeds capacity");
+}
+
+traffic::Bandwidth held_bandwidth(const core::Cell& cell,
+                                  traffic::ConnectionId id) {
+  const auto& entries = cell.connections();
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const traffic::ConnectionEntry& e, traffic::ConnectionId key) {
+        return e.id < key;
+      });
+  if (it == entries.end() || it->id != id) return -1;
+  return it->bandwidth;
+}
+
+}  // namespace pabr::audit

@@ -1,0 +1,46 @@
+// Invariant-audit primitives shared by the system-level sweeps
+// (audit/system_audit.cc): structural checks over the data structures the
+// simulators mutate on every event. Each check throws InvariantError with
+// a message naming the violated invariant.
+//
+// The full catalogue audited at event boundaries (see DESIGN.md §8):
+//
+//   I1  Cell tables are strictly id-sorted with positive bandwidths.
+//   I2  Per-cell B_u equals the sum of resident connection bandwidths
+//       exactly (bandwidths are integral BUs, so double sums are exact).
+//   I3  B_u never exceeds the soft capacity C * (1 + margin) beyond the
+//       admission tolerance.
+//   I4  Every mobile's cell-entry (and soft hand-off dual leg) exists and
+//       carries exactly the mobile's current bandwidth; per-cell resident
+//       counts match the mobile table.
+//   I5  The incremental reservation engine reproduces the from-scratch
+//       Eq. (6) rescan bitwise (0 ULPs) for every cell.
+//   I6  The signaling accountant is closed at event boundaries (every
+//       begin_admission was balanced by end_admission).
+//   I7  Wired link occupancy equals the sum of attached per-connection
+//       bandwidths, and matches the resident mobiles' wireless occupancy
+//       (access link per cell; shared uplink over all mobiles).
+//   I8  Estimator event stores are event-time-sorted, hold nothing newer
+//       than the last recorded event, and respect the N_quad cap
+//       (hoef::HandoffEstimator::audit).
+#pragma once
+
+#include "core/cell.h"
+#include "traffic/connection.h"
+#include "wired/link.h"
+
+namespace pabr::audit {
+
+/// I1-I3 for one radio cell.
+void audit_cell(const core::Cell& cell);
+
+/// I7's conservation half for one wired link: used() == the sum of the
+/// attached per-connection bandwidths, within capacity.
+void audit_link(const wired::Link& link);
+
+/// Bandwidth the cell's table holds for connection `id`, or -1 when the
+/// connection is not attached (binary search over the sorted table).
+traffic::Bandwidth held_bandwidth(const core::Cell& cell,
+                                  traffic::ConnectionId id);
+
+}  // namespace pabr::audit

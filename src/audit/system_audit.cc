@@ -1,0 +1,147 @@
+// The system-level invariant sweeps (catalogue in audit/invariants.h).
+//
+// Defined as members of the two simulators so the audit can see private
+// state (the mobile tables, the reservation engine) without widening the
+// public API; kept in src/audit/ because the sweeps ARE the audit
+// subsystem — the systems only own the per-event trigger.
+//
+// Every check here is trajectory-transparent: the sweep reads occupancy
+// and metrics, replays reservation maths through paths that are bitwise
+// equal to the production ones (the incremental engine's caches may warm
+// up, which by construction never changes a returned value), and draws
+// from no RNG stream. Running with audit_every = 1 therefore produces the
+// exact same simulation as running with the audit off.
+#include <vector>
+
+#include "audit/invariants.h"
+#include "core/hex_system.h"
+#include "core/system.h"
+#include "util/check.h"
+
+namespace pabr::core {
+
+void CellularSystem::audit_invariants() {
+  const sim::Time t = simulator_.now();
+
+  // I1-I3: per-cell table ordering, B_u conservation, capacity ceiling.
+  for (const Cell& c : cells_) audit::audit_cell(c);
+
+  // I6: no admission bracket may leak past an event boundary.
+  PABR_CHECK(!accountant_.admission_open(),
+             "audit: admission left open at event boundary");
+
+  // I4: mobile table <-> cell entries (primary + soft hand-off dual leg).
+  std::vector<int> residents(cells_.size(), 0);
+  std::vector<double> access_bu(cells_.size(), 0.0);
+  double uplink_bu = 0.0;
+  for (const auto& [id, rec] : mobiles_) {
+    PABR_CHECK(rec.m.cell >= 0 &&
+                   rec.m.cell < static_cast<geom::CellId>(cells_.size()),
+               "audit: mobile resides in invalid cell");
+    const auto cell = static_cast<std::size_t>(rec.m.cell);
+    PABR_CHECK(rec.m.current_bandwidth > 0,
+               "audit: mobile with non-positive bandwidth");
+    PABR_CHECK(audit::held_bandwidth(cells_[cell], id) ==
+                   rec.m.current_bandwidth,
+               "audit: cell entry bandwidth != mobile's current bandwidth");
+    ++residents[cell];
+    access_bu[cell] += static_cast<double>(rec.m.current_bandwidth);
+    uplink_bu += static_cast<double>(rec.m.current_bandwidth);
+    if (rec.dual()) {
+      PABR_CHECK(rec.dual_cell >= 0 &&
+                     rec.dual_cell < static_cast<geom::CellId>(cells_.size()),
+                 "audit: dual leg in invalid cell");
+      PABR_CHECK(rec.dual_cell != rec.m.cell,
+                 "audit: dual leg in the mobile's own cell");
+      PABR_CHECK(rec.dual_bw > 0, "audit: dual leg without bandwidth");
+      const auto dual = static_cast<std::size_t>(rec.dual_cell);
+      PABR_CHECK(audit::held_bandwidth(cells_[dual], id) == rec.dual_bw,
+                 "audit: dual-leg entry bandwidth != pre-allocated grant");
+      ++residents[dual];
+    }
+  }
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    PABR_CHECK(residents[c] == cells_[c].connection_count(),
+               "audit: resident count != cell connection count");
+  }
+
+  // I7: wired occupancy mirrors the wireless side. Soft hand-off dual
+  // legs are radio-only — the wired re-route happens at the crossing —
+  // so only primary residency is charged.
+  if (backbone_ != nullptr) {
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      const wired::Link& acc = backbone_->access(static_cast<geom::CellId>(c));
+      audit::audit_link(acc);
+      PABR_CHECK(acc.used() == access_bu[c],
+                 "audit: access link != resident wireless occupancy");
+    }
+    audit::audit_link(backbone_->uplink());
+    PABR_CHECK(backbone_->uplink().used() == uplink_bu,
+               "audit: MSC uplink != total wireless occupancy");
+  }
+
+  // I5: the incremental engine must reproduce the from-scratch Eq. (6)
+  // rescan bitwise. Accumulating here only warms the engine's caches —
+  // never changes a value it will return — so the check is silent.
+  if (config_.incremental_reservation) {
+    for (geom::CellId cell = 0; cell < config_.num_cells; ++cell) {
+      const sim::Duration t_est =
+          stations_[static_cast<std::size_t>(cell)].window().t_est();
+      double incremental = 0.0;
+      for (geom::CellId i : road_.neighbors(cell)) {
+        incremental = reservation_engine_.accumulate(
+            i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+            stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+            incremental);
+      }
+      PABR_CHECK(incremental == reservation_rescan(cell, t, t_est),
+                 "audit: incremental B_r diverged from scratch rescan");
+    }
+  }
+
+  // I8: estimator event stores.
+  for (const BaseStation& s : stations_) s.estimator().audit();
+}
+
+void HexCellularSystem::audit_invariants() {
+  const sim::Time t = simulator_.now();
+
+  for (const Cell& c : cells_) audit::audit_cell(c);
+
+  PABR_CHECK(!accountant_.admission_open(),
+             "audit: admission left open at event boundary");
+
+  std::vector<int> residents(cells_.size(), 0);
+  for (const auto& [id, m] : mobiles_) {
+    PABR_CHECK(m.cell >= 0 && m.cell < grid_.num_cells(),
+               "audit: mobile resides in invalid cell");
+    PABR_CHECK(audit::held_bandwidth(cells_[static_cast<std::size_t>(m.cell)],
+                                     id) == m.bandwidth(),
+               "audit: cell entry bandwidth != mobile's bandwidth");
+    ++residents[static_cast<std::size_t>(m.cell)];
+  }
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    PABR_CHECK(residents[c] == cells_[c].connection_count(),
+               "audit: resident count != cell connection count");
+  }
+
+  if (config_.incremental_reservation) {
+    for (geom::CellId cell = 0; cell < grid_.num_cells(); ++cell) {
+      const sim::Duration t_est =
+          stations_[static_cast<std::size_t>(cell)].window().t_est();
+      double incremental = 0.0;
+      for (geom::CellId i : grid_.neighbors(cell)) {
+        incremental = reservation_engine_.accumulate(
+            i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+            stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+            incremental);
+      }
+      PABR_CHECK(incremental == reservation_rescan(cell, t, t_est),
+                 "audit: incremental B_r diverged from scratch rescan");
+    }
+  }
+
+  for (const BaseStation& s : stations_) s.estimator().audit();
+}
+
+}  // namespace pabr::core

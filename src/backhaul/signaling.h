@@ -15,6 +15,10 @@ namespace pabr::backhaul {
 ///   accountant.begin_admission();
 ///   ... policy runs, calling record_br_calculation(cell) ...
 ///   accountant.end_admission();
+///
+/// Admissions must not nest: begin while open and end while closed are
+/// invariant violations (PABR_CHECK). Prefer AdmissionScope below, which
+/// also closes the admission when the policy throws.
 class SignalingAccountant {
  public:
   SignalingAccountant(const geom::Topology& topology,
@@ -29,6 +33,13 @@ class SignalingAccountant {
   void record_br_calculation(geom::CellId cell);
 
   void end_admission();
+
+  /// True between begin_admission and end_admission. Event handlers are
+  /// never inside an admission at event boundaries — the audit layer
+  /// checks this.
+  bool admission_open() const { return open_; }
+  /// B_r calculations recorded in the currently open admission.
+  int in_flight() const { return in_flight_; }
 
   /// Mean B_r calculations per admission test (the paper's N_calc).
   double n_calc() const { return per_admission_.mean(); }
@@ -46,6 +57,25 @@ class SignalingAccountant {
   sim::Counter total_;
   int in_flight_ = 0;
   bool open_ = false;
+};
+
+/// RAII admission bracket: begin on construction, end on destruction —
+/// so the accountant is balanced even when the admission policy throws
+/// (a leaked open admission would silently swallow every later
+/// record_br_calculation into one giant N_calc sample).
+class AdmissionScope {
+ public:
+  explicit AdmissionScope(SignalingAccountant& accountant)
+      : accountant_(accountant) {
+    accountant_.begin_admission();
+  }
+  ~AdmissionScope() { accountant_.end_admission(); }
+
+  AdmissionScope(const AdmissionScope&) = delete;
+  AdmissionScope& operator=(const AdmissionScope&) = delete;
+
+ private:
+  SignalingAccountant& accountant_;
 };
 
 }  // namespace pabr::backhaul

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "admission/policy.h"
 #include "geom/topology.h"
 #include "traffic/connection.h"
 
@@ -34,9 +35,12 @@ class Cell {
   double free() const { return capacity_ - used_; }
 
   /// Fit test for a hand-off: reservation does not apply, and the soft
-  /// margin (if any) is available.
+  /// margin (if any) is available. Phrased through the shared admission
+  /// boundary helper so hand-off grants use the same comparison form and
+  /// tolerance as new-call admission (admission/policy.h).
   bool can_fit(traffic::Bandwidth b) const {
-    return used_ + static_cast<double>(b) <= soft_capacity();
+    return admission::fits_budget(used_, static_cast<double>(b),
+                                  soft_capacity(), 0.0);
   }
 
   /// True while occupancy exceeds the hard capacity (soft-capacity

@@ -170,6 +170,7 @@ void HexCellularSystem::schedule_next_arrival() {
                            const double lifetime = arrival_rng_.exponential(
                                config_.mean_lifetime_s);
                            handle_request(cell, service, speed, lifetime);
+                           maybe_audit();
                          });
 }
 
@@ -178,7 +179,9 @@ bool HexCellularSystem::submit_request(geom::CellId cell,
                                        double speed_kmh,
                                        sim::Duration lifetime_s) {
   check_cell_id(cell);
-  return handle_request(cell, service, speed_kmh, lifetime_s);
+  const bool admitted = handle_request(cell, service, speed_kmh, lifetime_s);
+  maybe_audit();
+  return admitted;
 }
 
 bool HexCellularSystem::handle_request(geom::CellId cell,
@@ -186,9 +189,11 @@ bool HexCellularSystem::handle_request(geom::CellId cell,
                                        double speed_kmh,
                                        sim::Duration lifetime_s) {
   const traffic::Bandwidth bw = traffic::bandwidth_of(service);
-  accountant_.begin_admission();
-  bool admitted = policy_->admit(*this, cell, bw);
-  accountant_.end_admission();
+  bool admitted;
+  {
+    backhaul::AdmissionScope scope(accountant_);
+    admitted = policy_->admit(*this, cell, bw);
+  }
   // The policies' probabilistic tests do not replace the hard FCA check.
   admitted = admitted && cells_[static_cast<std::size_t>(cell)].can_fit(bw);
   metrics_[static_cast<std::size_t>(cell)].pcb.trial(!admitted);
@@ -209,8 +214,10 @@ bool HexCellularSystem::handle_request(geom::CellId cell,
 
   const auto [it, inserted] = mobiles_.emplace(id, std::move(m));
   PABR_CHECK(inserted, "duplicate connection id");
-  it->second.expiry = simulator_.schedule_in(
-      lifetime_s, [this, id] { handle_expiry(id); });
+  it->second.expiry = simulator_.schedule_in(lifetime_s, [this, id] {
+    handle_expiry(id);
+    maybe_audit();
+  });
   schedule_crossing(it->second);
   return true;
 }
@@ -219,8 +226,10 @@ bool HexCellularSystem::handle_request(geom::CellId cell,
 
 void HexCellularSystem::schedule_crossing(HexMobile& m) {
   const sim::Duration stay = motion_.sojourn(m.speed_kmh, movement_rng_);
-  m.crossing = simulator_.schedule_in(
-      stay, [this, id = m.id] { handle_crossing(id); });
+  m.crossing = simulator_.schedule_in(stay, [this, id = m.id] {
+    handle_crossing(id);
+    maybe_audit();
+  });
 }
 
 void HexCellularSystem::handle_crossing(traffic::ConnectionId id) {

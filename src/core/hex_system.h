@@ -67,6 +67,11 @@ struct HexSystemConfig {
   /// (bit-identical to the from-scratch rescan; see reservation/engine.h).
   bool incremental_reservation = true;
 
+  /// Audit cadence: in builds with PABR_AUDIT on, run the full invariant
+  /// sweep (audit_invariants) after every Nth handled simulation event.
+  /// 0 disables the hook (see SystemConfig::audit_every).
+  int audit_every = 0;
+
   std::uint64_t seed = 1;
 
   /// Offered load per cell, Eq. (7).
@@ -113,6 +118,12 @@ class HexCellularSystem final : public admission::AdmissionContext {
   bool submit_request(geom::CellId cell, traffic::ServiceClass service,
                       double speed_kmh, sim::Duration lifetime_s);
 
+  // ---- Invariant audit (src/audit/system_audit.cc) ------------------------
+  /// Full structural invariant sweep (see CellularSystem::audit_invariants
+  /// — same I1-I8 catalogue minus the wired/soft-hand-off invariants the
+  /// hex system has no state for). Throws InvariantError on violation.
+  void audit_invariants();
+
  private:
   struct HexMobile {
     traffic::ConnectionId id = 0;
@@ -145,6 +156,18 @@ class HexCellularSystem final : public admission::AdmissionContext {
   double reservation_rescan(geom::CellId cell, sim::Time t,
                             sim::Duration t_est) const;
 
+  /// Per-event audit hook (no-op unless built with PABR_AUDIT and enabled
+  /// via config_.audit_every).
+  void maybe_audit() {
+#ifdef PABR_AUDIT_ENABLED
+    if (config_.audit_every > 0 &&
+        ++events_since_audit_ >= config_.audit_every) {
+      events_since_audit_ = 0;
+      audit_invariants();
+    }
+#endif
+  }
+
   HexSystemConfig config_;
   sim::RngFactory rng_factory_;  ///< one factory, shared by all streams
   sim::Simulator simulator_;
@@ -161,6 +184,7 @@ class HexCellularSystem final : public admission::AdmissionContext {
   std::vector<CellMetrics> metrics_;
   std::unordered_map<traffic::ConnectionId, HexMobile> mobiles_;
   traffic::ConnectionId next_id_ = 1;
+  int events_since_audit_ = 0;
 };
 
 }  // namespace pabr::core

@@ -1,0 +1,146 @@
+#include "core/random_scenario.h"
+
+#include <sstream>
+
+#include "traffic/workload.h"
+
+namespace pabr::core {
+namespace {
+
+admission::PolicyKind pick_policy(sim::Rng& rng) {
+  // The reservation-driven policies get most of the weight — they are the
+  // ones whose incremental/scratch and threading behavior the fuzzer
+  // differentially checks — but the baselines ride along so their
+  // comparison paths stay covered too.
+  const int roll = rng.uniform_int(0, 9);
+  switch (roll) {
+    case 0: return admission::PolicyKind::kStatic;
+    case 1: return admission::PolicyKind::kNsDca;
+    case 2:
+    case 3: return admission::PolicyKind::kAc1;
+    case 4:
+    case 5: return admission::PolicyKind::kAc2;
+    default: return admission::PolicyKind::kAc3;
+  }
+}
+
+hoef::EstimatorConfig pick_estimator(sim::Rng& rng) {
+  hoef::EstimatorConfig hoef;
+  // A finite T_int disables probe caching (supports_caching() == false),
+  // which is exactly the regime where the incremental engine must fall
+  // back to recomputation — keep it in the mix.
+  if (rng.bernoulli(0.25)) hoef.t_int = 3600.0;
+  hoef.n_quad = rng.uniform_int(20, 100);
+  return hoef;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (hex) {
+    os << " hex " << grid.rows << 'x' << grid.cols
+       << (grid.wrap ? " torus" : " open")
+       << " policy=" << admission::policy_kind_name(grid.policy)
+       << " C=" << grid.capacity_bu << " load=" << grid.offered_load()
+       << " rvo=" << grid.voice_ratio
+       << (grid.incremental_reservation ? "" : " scratch");
+  } else {
+    os << " linear cells=" << linear.num_cells
+       << (linear.ring ? " ring" : " open")
+       << " policy=" << admission::policy_kind_name(linear.policy)
+       << " C=" << linear.capacity_bu
+       << " load=" << linear.workload.offered_load()
+       << " rvo=" << linear.workload.voice_ratio;
+    if (linear.adaptive_qos) os << " adaptive";
+    if (linear.wired.has_value()) os << " wired";
+    if (linear.soft_capacity_margin > 0.0) os << " softcap";
+    if (linear.soft_handoff_zone_km > 0.0) os << " softho";
+    if (linear.known_route_fraction > 0.0) os << " gps";
+    if (linear.retry.enabled) os << " retry";
+    if (!linear.incremental_reservation) os << " scratch";
+  }
+  os << " dur=" << duration;
+  return os.str();
+}
+
+ScenarioSpec random_scenario(std::uint64_t seed) {
+  // Decorrelate the generator stream from the systems' own streams (which
+  // derive from the same seed value via named-stream hashing).
+  sim::Rng rng(sim::derive_seed(seed, "scenario-generator"));
+
+  ScenarioSpec s;
+  s.seed = seed;
+  s.duration = rng.uniform(100.0, 250.0);
+  s.hex = rng.bernoulli(0.25);
+
+  const double load = rng.uniform(40.0, 150.0);
+  const double voice_ratio = rng.uniform(0.3, 1.0);
+  const double capacity = static_cast<double>(rng.uniform_int(20, 60));
+  // Short lifetimes relative to the ~35 s cell sojourn at highway speeds:
+  // most connections cross at least once, many expire mid-cell.
+  const double lifetime = rng.uniform(40.0, 120.0);
+  const double speed_min = rng.uniform(60.0, 100.0);
+  const double speed_max = speed_min + rng.uniform(10.0, 60.0);
+
+  if (s.hex) {
+    HexSystemConfig& g = s.grid;
+    g.rows = rng.uniform_int(2, 4);
+    g.cols = rng.uniform_int(2, 4);
+    g.wrap = rng.bernoulli(0.5);
+    // The brick-wall torus embedding only closes with an even number of
+    // columns (geom::HexTopology).
+    if (g.wrap && g.cols % 2 != 0) ++g.cols;
+    g.capacity_bu = capacity;
+    g.policy = pick_policy(rng);
+    g.static_g = rng.uniform(2.0, capacity * 0.4);
+    g.phd_target = rng.uniform(0.005, 0.05);
+    // TestWindowConfig enforces t_start >= t_min (default 1 s).
+    g.t_start = rng.uniform(1.0, 2.0);
+    g.hoef = pick_estimator(rng);
+    g.voice_ratio = voice_ratio;
+    g.mean_lifetime_s = lifetime;
+    g.speed_min_kmh = speed_min;
+    g.speed_max_kmh = speed_max;
+    g.set_offered_load(load);
+    g.seed = seed;
+    return s;
+  }
+
+  SystemConfig& c = s.linear;
+  c.num_cells = rng.uniform_int(3, 8);
+  c.ring = rng.bernoulli(0.7);
+  c.capacity_bu = capacity;
+  c.soft_capacity_margin = rng.bernoulli(0.3) ? rng.uniform(0.05, 0.2) : 0.0;
+  c.adaptive_qos = rng.bernoulli(0.5);
+  if (rng.bernoulli(0.4)) {
+    wired::BackboneConfig wb;
+    wb.access_capacity_bu = rng.uniform(capacity * 0.8, capacity * 1.5);
+    wb.uplink_capacity_bu =
+        rng.uniform(capacity, capacity * static_cast<double>(c.num_cells));
+    c.wired = wb;
+  }
+  c.soft_handoff_zone_km = rng.bernoulli(0.3) ? rng.uniform(0.05, 0.3) : 0.0;
+  c.policy = pick_policy(rng);
+  c.static_g = rng.uniform(2.0, capacity * 0.4);
+  c.phd_target = rng.uniform(0.005, 0.05);
+  c.t_start = rng.uniform(1.0, 2.0);  // TestWindowConfig: t_start >= t_min
+
+  c.hoef = pick_estimator(rng);
+  c.known_route_fraction = rng.bernoulli(0.3) ? rng.uniform01() : 0.0;
+
+  c.workload.voice_ratio = voice_ratio;
+  c.workload.mean_lifetime_s = lifetime;
+  c.workload.speed_min_kmh = speed_min;
+  c.workload.speed_max_kmh = speed_max;
+  c.workload.bidirectional = rng.bernoulli(0.8);
+  c.workload.arrival_rate_per_cell =
+      traffic::arrival_rate_for_load(load, voice_ratio, lifetime);
+
+  c.retry.enabled = rng.bernoulli(0.3);
+  c.seed = seed;
+  return s;
+}
+
+}  // namespace pabr::core

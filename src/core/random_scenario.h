@@ -1,0 +1,38 @@
+// Seeded random-scenario generation for the differential fuzzer
+// (tests/fuzz_scenario_test.cc, bench/fuzz_driver.cc): one seed
+// deterministically expands into a short simulation — topology shape and
+// size, admission policy, R_vo, offered load, mobility, and the feature
+// toggles (adaptive QoS, wired backbone, soft capacity, soft hand-off,
+// known routes, retries, finite T_int) are all drawn from it. The same
+// seed always yields the same scenario, so a failing seed IS the repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/hex_system.h"
+#include "core/system.h"
+
+namespace pabr::core {
+
+/// One randomized short simulation: either a linear-road system or a hex
+/// grid, plus how long to run it.
+struct ScenarioSpec {
+  std::uint64_t seed = 0;
+  bool hex = false;
+  SystemConfig linear;    ///< meaningful when !hex
+  HexSystemConfig grid;   ///< meaningful when hex
+  sim::Duration duration = 150.0;
+
+  /// Human-readable one-liner for failure messages ("seed=7 linear
+  /// cells=5 ring policy=AC3 load=88.1 ...").
+  std::string summary() const;
+};
+
+/// Expands `seed` into a scenario. Loads are drawn in 40-150 BU over
+/// 20-60 BU cells and lifetimes are kept short relative to cell sojourns,
+/// so a 100-250 s run exercises admission, hand-offs, drops, expiries and
+/// every enabled extension without needing a long warm-up.
+ScenarioSpec random_scenario(std::uint64_t seed);
+
+}  // namespace pabr::core

@@ -227,12 +227,15 @@ void CellularSystem::schedule_next_arrival() {
     traffic::ConnectionRequest req = workload_.make_request(t);
     schedule_next_arrival();
     handle_arrival(std::move(req));
+    maybe_audit();
   });
 }
 
 bool CellularSystem::submit_request(const traffic::ConnectionRequest& req) {
   check_cell_id(req.cell);
-  return handle_arrival(req);
+  const bool admitted = handle_arrival(req);
+  maybe_audit();
+  return admitted;
 }
 
 bool CellularSystem::handle_arrival(traffic::ConnectionRequest request) {
@@ -256,11 +259,8 @@ bool CellularSystem::handle_arrival(traffic::ConnectionRequest request) {
 }
 
 bool CellularSystem::try_admit(const traffic::ConnectionRequest& request) {
-  accountant_.begin_admission();
-  const bool admitted =
-      policy_->admit(*this, request.cell, request.bandwidth());
-  accountant_.end_admission();
-  return admitted;
+  backhaul::AdmissionScope scope(accountant_);
+  return policy_->admit(*this, request.cell, request.bandwidth());
 }
 
 void CellularSystem::maybe_schedule_retry(traffic::ConnectionRequest request) {
@@ -282,6 +282,7 @@ void CellularSystem::maybe_schedule_retry(traffic::ConnectionRequest request) {
 
   simulator_.schedule_in(wait, [this, next = std::move(next)]() mutable {
     handle_arrival(std::move(next));
+    maybe_audit();
   });
 }
 
@@ -319,7 +320,10 @@ void CellularSystem::start_connection(
   MobileRecord& stored = it->second;
 
   stored.expiry = simulator_.schedule_at(
-      stored.m.expires_at, [this, id = request.id] { handle_expiry(id); });
+      stored.m.expires_at, [this, id = request.id] {
+        handle_expiry(id);
+        maybe_audit();
+      });
   schedule_crossing(stored);
 }
 
@@ -332,7 +336,10 @@ void CellularSystem::schedule_crossing(MobileRecord& rec) {
   rec.crossing_to = crossing->to;
   rec.crossing_boundary_km = crossing->boundary_km;
   rec.crossing = simulator_.schedule_at(
-      crossing->when, [this, id = rec.m.id] { handle_crossing(id); });
+      crossing->when, [this, id = rec.m.id] {
+        handle_crossing(id);
+        maybe_audit();
+      });
 
   // CDMA soft hand-off (§7): pre-allocate the second leg when the mobile
   // enters the boundary zone.
@@ -343,7 +350,10 @@ void CellularSystem::schedule_crossing(MobileRecord& rec) {
     const sim::Time when =
         std::max(simulator_.now(), crossing->when - lead);
     rec.zone_entry = simulator_.schedule_at(
-        when, [this, id = rec.m.id] { handle_zone_entry(id); });
+        when, [this, id = rec.m.id] {
+          handle_zone_entry(id);
+          maybe_audit();
+        });
   }
 }
 
@@ -405,11 +415,14 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
   const bool via_dual = rec.dual() && rec.dual_cell == to;
   traffic::Bandwidth granted =
       via_dual ? rec.dual_bw : grant_for_handoff(dst, rec.m);
-  // §2/§7 wired leg: the new access link must also carry the call. (The
-  // soft hand-off pre-allocation covers the radio only — the wired
-  // re-route happens at the actual crossing.)
+  // §2/§7 wired leg: the new access link must also carry the call, and
+  // the shared uplink must absorb any adaptive-QoS resize (the uplink leg
+  // persists across the re-route, so only the delta over the currently
+  // held bandwidth is new demand). The soft hand-off pre-allocation
+  // covers the radio only — the wired re-route happens at the actual
+  // crossing.
   if (granted > 0 && backbone_ != nullptr &&
-      !backbone_->can_handoff_into(to, granted)) {
+      !backbone_->can_handoff_into(to, id, granted)) {
     granted = 0;
     wired_drops_.add();
   }

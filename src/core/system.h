@@ -111,6 +111,12 @@ struct SystemConfig {
   // recorded as time series.
   std::vector<geom::CellId> traced_cells;
 
+  /// Audit cadence: in builds with PABR_AUDIT on, run the full invariant
+  /// sweep (audit_invariants) after every Nth handled simulation event.
+  /// 0 disables the hook. Ignored entirely when PABR_AUDIT is off —
+  /// audit_invariants() itself stays callable in every build.
+  int audit_every = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -174,6 +180,15 @@ class CellularSystem final : public admission::AdmissionContext {
   /// admitted.
   bool submit_request(const traffic::ConnectionRequest& request);
 
+  // ---- Invariant audit (src/audit/system_audit.cc) ------------------------
+  /// Full structural invariant sweep over the live system — the I1-I8
+  /// catalogue of audit/invariants.h. Throws InvariantError naming the
+  /// first violated invariant. Trajectory-transparent: nothing observable
+  /// by the simulation (occupancy, reservations, metrics, RNG streams)
+  /// changes. Available in every build; the per-event hook driven by
+  /// SystemConfig::audit_every additionally needs PABR_AUDIT.
+  void audit_invariants();
+
  private:
   struct MobileRecord {
     mobility::Mobile m;
@@ -224,6 +239,19 @@ class CellularSystem final : public admission::AdmissionContext {
   geom::CellId next_cell_in_direction(geom::CellId cell, int direction) const;
   void check_cell_id(geom::CellId cell) const;
 
+  /// Per-event audit hook, called at the end of every event handler.
+  /// Compiles to nothing without PABR_AUDIT; otherwise runs the full
+  /// sweep every config_.audit_every events.
+  void maybe_audit() {
+#ifdef PABR_AUDIT_ENABLED
+    if (config_.audit_every > 0 &&
+        ++events_since_audit_ >= config_.audit_every) {
+      events_since_audit_ = 0;
+      audit_invariants();
+    }
+#endif
+  }
+
   SystemConfig config_;
   sim::RngFactory rng_factory_;  ///< one factory, shared by all streams
   sim::Simulator simulator_;
@@ -245,6 +273,7 @@ class CellularSystem final : public admission::AdmissionContext {
   std::unique_ptr<wired::Backbone> backbone_;  // null unless config_.wired
   sim::Counter wired_blocks_;
   sim::Counter wired_drops_;
+  int events_since_audit_ = 0;
 
  public:
   const wired::Backbone* backbone() const { return backbone_.get(); }

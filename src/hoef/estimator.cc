@@ -79,6 +79,32 @@ void HandoffEstimator::record(const Quadruplet& q) {
   ++state_version_;
 }
 
+void HandoffEstimator::audit() const {
+  for (const auto& [prev, hist] : by_prev_) {
+    for (const auto& [next, events] : hist.by_next) {
+      PABR_CHECK(next != geom::kNoCell && next != self_,
+                 "estimator audit: deque keyed by invalid next cell");
+      sim::Time last = -sim::kInfiniteDuration;
+      for (const Quadruplet& q : events) {
+        PABR_CHECK(q.prev == prev,
+                   "estimator audit: quadruplet in foreign prev deque");
+        PABR_CHECK(q.next == next,
+                   "estimator audit: quadruplet in foreign next deque");
+        PABR_CHECK(q.sojourn >= 0.0, "estimator audit: negative sojourn");
+        PABR_CHECK(q.event_time >= last,
+                   "estimator audit: event times out of order");
+        PABR_CHECK(q.event_time <= last_event_time_,
+                   "estimator audit: event newer than the last recorded");
+        last = q.event_time;
+      }
+      if (!is_finite_duration(config_.t_int)) {
+        PABR_CHECK(events.size() <= static_cast<std::size_t>(config_.n_quad),
+                   "estimator audit: deque exceeds N_quad");
+      }
+    }
+  }
+}
+
 std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
     const std::deque<Quadruplet>& events, sim::Time t0) const {
   std::vector<Selected> picked;

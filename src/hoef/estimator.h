@@ -129,6 +129,13 @@ class HandoffEstimator {
   /// (T_event < t0 - T_int - N_win * P).
   void prune(sim::Time t0);
 
+  /// Structural self-check of the event store (audit layer): every cached
+  /// quadruplet lives in the deque matching its (prev, next), deques are
+  /// event-time-sorted with nothing newer than the last recorded event,
+  /// sojourns are non-negative, and with an infinite T_int no deque holds
+  /// more than N_quad events. Throws InvariantError on violation.
+  void audit() const;
+
   /// Total quadruplets currently cached (diagnostics).
   std::size_t cached_events() const;
 

@@ -52,8 +52,16 @@ double clamp(double v, double lo, double hi) {
 double positive_fmod(double x, double m) {
   PABR_CHECK(m > 0.0, "positive_fmod: modulus must be positive");
   double r = std::fmod(x, m);
-  if (r < 0.0) r += m;
-  return r;
+  if (r < 0.0) {
+    r += m;
+    // A tiny negative remainder (|r| below half an ULP of m) makes r + m
+    // round up to exactly m, escaping the documented [0, m) range; such a
+    // value sits at the wrap point, so it canonicalizes to 0.
+    if (r >= m) r = 0.0;
+  }
+  // Normalize fmod's signed zero so callers comparing against +0.0 (or
+  // hashing the result) never observe -0.0.
+  return r == 0.0 ? 0.0 : r;
 }
 
 double normal_cdf(double x) {

@@ -25,17 +25,23 @@ bool Backbone::can_admit(geom::CellId cell, traffic::Bandwidth b) const {
   check_cell(cell);
   const Link& acc = access_[static_cast<std::size_t>(cell)];
   const double br = reservation_[static_cast<std::size_t>(cell)];
-  // Eq. (1) on the wired access leg + plain fit on the shared uplink.
-  return acc.used() + static_cast<double>(b) <= acc.capacity() - br &&
+  // Eq. (1) on the wired access leg + plain fit on the shared uplink,
+  // phrased through the shared boundary helper so the wired decision
+  // cannot disagree with the air-interface one at the same occupancy.
+  return admission::fits_budget(acc.used(), static_cast<double>(b),
+                                acc.capacity(), br) &&
          uplink_.can_fit(b);
 }
 
-bool Backbone::can_handoff_into(geom::CellId cell,
+bool Backbone::can_handoff_into(geom::CellId cell, traffic::ConnectionId id,
                                 traffic::Bandwidth b) const {
   check_cell(cell);
-  // Hand-offs may use the reserved wired bandwidth; the uplink leg is
-  // already held by the connection.
-  return access_[static_cast<std::size_t>(cell)].can_fit(b);
+  // Hand-offs may use the reserved wired bandwidth on the new access leg.
+  // The uplink leg persists across the re-route but its held bandwidth may
+  // change under adaptive QoS, so the uplink is tested for the *net*
+  // demand after giving back the connection's current leg.
+  return access_[static_cast<std::size_t>(cell)].can_fit(b) &&
+         uplink_.can_refit(uplink_.held(id), b);
 }
 
 void Backbone::admit(geom::CellId cell, traffic::ConnectionId id,

@@ -35,7 +35,14 @@ class Backbone {
   bool can_admit(geom::CellId cell, traffic::Bandwidth b) const;
 
   /// Fit test for a HAND-OFF into cell c (reservation does not apply).
-  bool can_handoff_into(geom::CellId cell, traffic::Bandwidth b) const;
+  /// `b` is the bandwidth the hand-off will hold after the re-route and
+  /// `id` the connection being re-routed: its current uplink leg is given
+  /// back before testing the shared uplink, so an adaptive-QoS upgrade
+  /// (degraded 2 BU -> full 4 BU) is charged only for the delta — and a
+  /// full uplink rejects the hand-off here instead of tripping the
+  /// occupancy invariant inside reroute().
+  bool can_handoff_into(geom::CellId cell, traffic::ConnectionId id,
+                        traffic::Bandwidth b) const;
 
   /// Occupies the route for a newly admitted connection.
   void admit(geom::CellId cell, traffic::ConnectionId id,

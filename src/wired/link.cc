@@ -18,6 +18,17 @@ void Link::attach(traffic::ConnectionId id, traffic::Bandwidth b) {
   used_ += static_cast<double>(b);
 }
 
+double Link::attached_sum() const {
+  double sum = 0.0;
+  for (const auto& [id, b] : by_id_) sum += static_cast<double>(b);
+  return sum;
+}
+
+traffic::Bandwidth Link::held(traffic::ConnectionId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? 0 : it->second;
+}
+
 void Link::detach(traffic::ConnectionId id) {
   const auto it = by_id_.find(id);
   PABR_CHECK(it != by_id_.end(), "Link: detaching unknown connection");

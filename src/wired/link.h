@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "admission/policy.h"
 #include "traffic/connection.h"
 
 namespace pabr::wired {
@@ -26,7 +27,15 @@ class Link {
   double free() const { return capacity_ - used_; }
 
   bool can_fit(traffic::Bandwidth b) const {
-    return used_ + static_cast<double>(b) <= capacity_;
+    return admission::fits_budget(used_, static_cast<double>(b), capacity_,
+                                  0.0);
+  }
+
+  /// can_fit after first giving back `released` BUs the caller already
+  /// holds on this link (a hand-off re-route swaps, it does not stack).
+  bool can_refit(traffic::Bandwidth released, traffic::Bandwidth b) const {
+    return admission::fits_budget(used_ - static_cast<double>(released),
+                                  static_cast<double>(b), capacity_, 0.0);
   }
 
   void attach(traffic::ConnectionId id, traffic::Bandwidth b);
@@ -35,6 +44,12 @@ class Link {
     return by_id_.count(id) != 0;
   }
   int connection_count() const { return static_cast<int>(by_id_.size()); }
+
+  /// Sum of the attached per-connection bandwidths — must always equal
+  /// used() (the audit layer cross-checks the two).
+  double attached_sum() const;
+  /// Bandwidth held by one attached connection (0 when not carried).
+  traffic::Bandwidth held(traffic::ConnectionId id) const;
 
  private:
   LinkId id_;

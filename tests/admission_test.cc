@@ -206,6 +206,36 @@ TEST(StaticPolicyTest, NameIncludesG) {
   EXPECT_THROW(StaticPolicy(-1.0), InvariantError);
 }
 
+// ---- Boundary helper -------------------------------------------------------
+
+TEST(AdmissionBoundaryTest, ExactBoundaryAdmits) {
+  // Eq. (1) with equality: used + b == C - B_r must admit, in the single
+  // associativity the helper fixes.
+  EXPECT_TRUE(fits_budget(86.0, 4.0, 100.0, 10.0));
+  EXPECT_FALSE(fits_budget(86.0 + 1e-6, 4.0, 100.0, 10.0));
+  EXPECT_FALSE(exceeds_budget(86.0, 4.0, 100.0, 10.0));
+}
+
+TEST(AdmissionBoundaryTest, ToleranceAbsorbsRoundingDust) {
+  // A reservation carrying accumulated floating-point dust (B_r summed
+  // over many Eq. (5) terms) must not flip a decision that is exact in
+  // real arithmetic. Pre-helper, `used > cap - br` and `used + b > cap -
+  // br` style rewrites disagreed on exactly these inputs.
+  const double br = 10.0 + 4e-10;  // 10 + dust, within tolerance
+  EXPECT_TRUE(fits_budget(86.0, 4.0, 100.0, br));
+  // Beyond the tolerance the boundary is real and must reject.
+  EXPECT_FALSE(fits_budget(86.0, 4.0, 100.0, 10.0 + 1e-8));
+}
+
+TEST(AdmissionBoundaryTest, ParticipationAndReserveFormsAgree) {
+  // AC3's participation test and AC2's reserve check are the same
+  // predicate (is cell i at or over its budget with no new demand); both
+  // route through exceeds_budget so no algebraic rewrite can split them.
+  const double used = 90.0, cap = 100.0, br = 10.0;
+  EXPECT_FALSE(exceeds_budget(used, 0.0, cap, br));       // exactly at budget
+  EXPECT_TRUE(exceeds_budget(used + 1e-6, 0.0, cap, br));
+}
+
 // ---- Factory --------------------------------------------------------------
 
 TEST(PolicyFactoryTest, NamesAndKinds) {

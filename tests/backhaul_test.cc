@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "geom/linear_topology.h"
 #include "util/check.h"
 
@@ -105,6 +107,46 @@ TEST_F(SignalingTest, NestedBeginThrows) {
 
 TEST_F(SignalingTest, EndWithoutBeginThrows) {
   EXPECT_THROW(acc_.end_admission(), InvariantError);
+}
+
+TEST_F(SignalingTest, AdmissionScopeBalancesOnException) {
+  // A policy that throws mid-admission must not leave the accountant
+  // open: the next admission would then trip the nesting check (or,
+  // worse, silently merge its calculations into the leaked one).
+  EXPECT_FALSE(acc_.admission_open());
+  try {
+    AdmissionScope scope(acc_);
+    EXPECT_TRUE(acc_.admission_open());
+    acc_.record_br_calculation(0);
+    throw std::runtime_error("policy blew up");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(acc_.admission_open());
+  EXPECT_EQ(acc_.admissions_observed(), 1u);
+  // The accountant is immediately usable for the next admission.
+  {
+    AdmissionScope scope(acc_);
+    acc_.record_br_calculation(1);
+    EXPECT_EQ(acc_.in_flight(), 1);
+  }
+  EXPECT_EQ(acc_.admissions_observed(), 2u);
+  EXPECT_DOUBLE_EQ(acc_.n_calc(), 1.0);
+}
+
+TEST_F(SignalingTest, RejectionPathStillCountsTowardNCalc) {
+  // An admission test that ends in rejection is still one N_calc sample
+  // — the paper's metric averages over admission *tests*, not grants.
+  {
+    AdmissionScope scope(acc_);
+    acc_.record_br_calculation(2);
+    acc_.record_br_calculation(3);
+    // (policy returns false here; no connection is started)
+  }
+  {
+    AdmissionScope scope(acc_);  // zero-calculation test (e.g. NS-DCA)
+  }
+  EXPECT_EQ(acc_.admissions_observed(), 2u);
+  EXPECT_DOUBLE_EQ(acc_.n_calc(), 1.0);  // (2 + 0) / 2
 }
 
 TEST_F(SignalingTest, NullInterconnectIsAllowed) {

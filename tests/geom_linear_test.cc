@@ -50,6 +50,18 @@ TEST(LinearTopologyTest, CellAtWrapsOnRing) {
   EXPECT_EQ(t.cell_at(25.5), 5);
 }
 
+// Regression: positive_fmod used to return the modulus itself for a tiny
+// negative position (float cancellation near the origin), so the wrapped
+// coordinate landed exactly on road_length and cell_at rejected it.
+TEST(LinearTopologyTest, CellAtTinyNegativePositionOnRing) {
+  LinearTopology t(10, 1.0, true);
+  EXPECT_EQ(t.cell_at(-1e-18), 0);
+  const auto pos = t.canonical_position(-1e-18);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_GE(*pos, 0.0);
+  EXPECT_LT(*pos, t.road_length_km());
+}
+
 TEST(LinearTopologyTest, CellAtOutsideOpenRoadThrows) {
   LinearTopology t(10, 1.0, false);
   EXPECT_THROW(t.cell_at(-0.1), InvariantError);

@@ -21,6 +21,15 @@ TEST(DailyProfileTest, WrapsAcrossMidnight) {
   EXPECT_DOUBLE_EQ(p.at_hour(23.999), 10.0 + 0.001 / 12.0 * 10.0);
 }
 
+TEST(DailyProfileTest, ContinuousAtMidnightWrapPoint) {
+  DailyProfile p({{0.0, 10.0}, {12.0, 20.0}});
+  // Hours an epsilon either side of the wrap point agree with hour 0:
+  // positive_fmod must map -1e-18 into [0, 24), not onto 24 itself.
+  EXPECT_DOUBLE_EQ(p.at_hour(-1e-18), p.at_hour(0.0));
+  EXPECT_NEAR(p.at_hour(24.0 - 1e-12), p.at_hour(0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(p.at_hour(-0.0), p.at_hour(0.0));
+}
+
 TEST(DailyProfileTest, PeriodicOverDays) {
   DailyProfile p({{0.0, 5.0}, {6.0, 50.0}, {18.0, 5.0}});
   for (double h : {3.0, 9.5, 20.0}) {

@@ -107,6 +107,35 @@ TEST(MathxTest, PositiveFmodRejectsBadModulus) {
   EXPECT_THROW(positive_fmod(1.0, -1.0), InvariantError);
 }
 
+// Regression: a tiny negative remainder used to take the `r += m` branch
+// and round up to exactly m, violating the documented [0, m) range (the
+// ring road's cell_at then rejected the wrapped position as out of range).
+TEST(MathxTest, PositiveFmodTinyNegativeStaysBelowModulus) {
+  for (double m : {1.0, 10.0, 24.0, 86400.0}) {
+    for (double x : {-1e-18, -1e-20, -5e-16 * m}) {
+      const double r = positive_fmod(x, m);
+      EXPECT_GE(r, 0.0) << "x=" << x << " m=" << m;
+      EXPECT_LT(r, m) << "x=" << x << " m=" << m;
+    }
+  }
+}
+
+TEST(MathxTest, PositiveFmodNormalizesSignedZero) {
+  const double r = positive_fmod(-0.0, 10.0);
+  EXPECT_EQ(r, 0.0);
+  EXPECT_FALSE(std::signbit(r));
+  const double wrapped = positive_fmod(-20.0, 10.0);
+  EXPECT_FALSE(std::signbit(wrapped));
+}
+
+TEST(MathxTest, PositiveFmodTinyNegativeNearMultiple) {
+  // x just below an exact multiple of m: the true remainder is just under
+  // m; the clamp canonicalizes the unrepresentable case to the wrap point.
+  const double r = positive_fmod(std::nextafter(48.0, 0.0), 24.0);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 24.0);
+}
+
 TEST(MathxTest, NormalCdfKnownValues) {
   EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
   EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);

@@ -70,7 +70,7 @@ TEST_F(BackboneTest, ReservationConstrainsNewAdmissionsOnly) {
   EXPECT_TRUE(bb_.can_admit(3, 2));
   EXPECT_FALSE(bb_.can_admit(3, 4));
   // Hand-offs ignore the reservation: the full 20 BU are available.
-  EXPECT_TRUE(bb_.can_handoff_into(3, 4));
+  EXPECT_TRUE(bb_.can_handoff_into(3, /*id=*/7, 4));
   EXPECT_DOUBLE_EQ(bb_.reservation(3), 18.0);
 }
 
@@ -78,8 +78,23 @@ TEST_F(BackboneTest, HandoffBlockedByPhysicalAccessCapacity) {
   for (traffic::ConnectionId id = 1; id <= 5; ++id) {
     bb_.admit(3, id, 4);  // access-3 full at 20
   }
-  EXPECT_FALSE(bb_.can_handoff_into(3, 1));
-  EXPECT_TRUE(bb_.can_handoff_into(4, 4));
+  EXPECT_FALSE(bb_.can_handoff_into(3, /*id=*/6, 1));
+  EXPECT_TRUE(bb_.can_handoff_into(4, /*id=*/1, 4));
+}
+
+TEST_F(BackboneTest, HandoffChargesUplinkOnlyForTheResizeDelta) {
+  // Uplink capacity 6: a degraded 2 BU video plus a 3 BU neighbor leave
+  // only 1 BU of headroom. Restoring the video to 4 BU at the crossing
+  // needs a delta of 2 — the hand-off must be refused up front (not crash
+  // inside reroute), while a same-size re-route still passes.
+  Backbone bb(10, BackboneConfig{100.0, 6.0});
+  bb.admit(3, 1, 2);  // degraded video
+  bb.admit(5, 2, 3);
+  EXPECT_TRUE(bb.can_handoff_into(4, /*id=*/1, 2));   // same size: swap ok
+  EXPECT_FALSE(bb.can_handoff_into(4, /*id=*/1, 4));  // upgrade: 5 > 6-1
+  // A connection with no uplink leg gets no credit.
+  EXPECT_FALSE(bb.can_handoff_into(4, /*id=*/99, 2));
+  EXPECT_TRUE(bb.can_handoff_into(4, /*id=*/99, 1));
 }
 
 TEST_F(BackboneTest, SharedUplinkIsACommonPool) {
