@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_qos.dir/ablation_adaptive_qos.cc.o"
+  "CMakeFiles/ablation_adaptive_qos.dir/ablation_adaptive_qos.cc.o.d"
+  "ablation_adaptive_qos"
+  "ablation_adaptive_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

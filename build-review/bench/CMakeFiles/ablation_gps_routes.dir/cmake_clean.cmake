@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gps_routes.dir/ablation_gps_routes.cc.o"
+  "CMakeFiles/ablation_gps_routes.dir/ablation_gps_routes.cc.o.d"
+  "ablation_gps_routes"
+  "ablation_gps_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gps_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

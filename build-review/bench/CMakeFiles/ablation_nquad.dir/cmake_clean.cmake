@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nquad.dir/ablation_nquad.cc.o"
+  "CMakeFiles/ablation_nquad.dir/ablation_nquad.cc.o.d"
+  "ablation_nquad"
+  "ablation_nquad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nquad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_step_policy.dir/ablation_step_policy.cc.o"
+  "CMakeFiles/ablation_step_policy.dir/ablation_step_policy.cc.o.d"
+  "ablation_step_policy"
+  "ablation_step_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_step_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wired_backbone.dir/ablation_wired_backbone.cc.o"
+  "CMakeFiles/ablation_wired_backbone.dir/ablation_wired_backbone.cc.o.d"
+  "ablation_wired_backbone"
+  "ablation_wired_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wired_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

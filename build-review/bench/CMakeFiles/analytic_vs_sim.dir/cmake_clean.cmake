@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_vs_sim.dir/analytic_vs_sim.cc.o"
+  "CMakeFiles/analytic_vs_sim.dir/analytic_vs_sim.cc.o.d"
+  "analytic_vs_sim"
+  "analytic_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

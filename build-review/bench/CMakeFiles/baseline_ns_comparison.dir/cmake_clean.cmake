@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_ns_comparison.dir/baseline_ns_comparison.cc.o"
+  "CMakeFiles/baseline_ns_comparison.dir/baseline_ns_comparison.cc.o.d"
+  "baseline_ns_comparison"
+  "baseline_ns_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ns_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

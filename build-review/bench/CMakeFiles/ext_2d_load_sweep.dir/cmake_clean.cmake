@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_2d_load_sweep.dir/ext_2d_load_sweep.cc.o"
+  "CMakeFiles/ext_2d_load_sweep.dir/ext_2d_load_sweep.cc.o.d"
+  "ext_2d_load_sweep"
+  "ext_2d_load_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_2d_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_footprint.dir/fig04_footprint.cc.o"
+  "CMakeFiles/fig04_footprint.dir/fig04_footprint.cc.o.d"
+  "fig04_footprint"
+  "fig04_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

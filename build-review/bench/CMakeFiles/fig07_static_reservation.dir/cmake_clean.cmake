@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_static_reservation.dir/fig07_static_reservation.cc.o"
+  "CMakeFiles/fig07_static_reservation.dir/fig07_static_reservation.cc.o.d"
+  "fig07_static_reservation"
+  "fig07_static_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_static_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

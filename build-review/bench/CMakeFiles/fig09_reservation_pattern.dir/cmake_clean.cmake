@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_reservation_pattern.dir/fig09_reservation_pattern.cc.o"
+  "CMakeFiles/fig09_reservation_pattern.dir/fig09_reservation_pattern.cc.o.d"
+  "fig09_reservation_pattern"
+  "fig09_reservation_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_reservation_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_test_window_trace.dir/fig10_test_window_trace.cc.o"
+  "CMakeFiles/fig10_test_window_trace.dir/fig10_test_window_trace.cc.o.d"
+  "fig10_test_window_trace"
+  "fig10_test_window_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_test_window_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

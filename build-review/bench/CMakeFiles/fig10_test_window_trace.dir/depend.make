@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_test_window_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_phd_convergence.dir/fig11_phd_convergence.cc.o"
+  "CMakeFiles/fig11_phd_convergence.dir/fig11_phd_convergence.cc.o.d"
+  "fig11_phd_convergence"
+  "fig11_phd_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_phd_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ncalc_complexity.dir/fig13_ncalc_complexity.cc.o"
+  "CMakeFiles/fig13_ncalc_complexity.dir/fig13_ncalc_complexity.cc.o.d"
+  "fig13_ncalc_complexity"
+  "fig13_ncalc_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ncalc_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_time_varying.dir/fig14_time_varying.cc.o"
+  "CMakeFiles/fig14_time_varying.dir/fig14_time_varying.cc.o.d"
+  "fig14_time_varying"
+  "fig14_time_varying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_time_varying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

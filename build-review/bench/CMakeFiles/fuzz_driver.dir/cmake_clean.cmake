@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_driver.dir/fuzz_driver.cc.o"
+  "CMakeFiles/fuzz_driver.dir/fuzz_driver.cc.o.d"
+  "fuzz_driver"
+  "fuzz_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_admission.dir/micro_admission.cc.o"
+  "CMakeFiles/micro_admission.dir/micro_admission.cc.o.d"
+  "micro_admission"
+  "micro_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_ci.dir/replication_ci.cc.o"
+  "CMakeFiles/replication_ci.dir/replication_ci.cc.o.d"
+  "replication_ci"
+  "replication_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cell_status.dir/table2_cell_status.cc.o"
+  "CMakeFiles/table2_cell_status.dir/table2_cell_status.cc.o.d"
+  "table2_cell_status"
+  "table2_cell_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cell_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

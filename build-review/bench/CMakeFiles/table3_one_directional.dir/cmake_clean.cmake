@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_one_directional.dir/table3_one_directional.cc.o"
+  "CMakeFiles/table3_one_directional.dir/table3_one_directional.cc.o.d"
+  "table3_one_directional"
+  "table3_one_directional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_one_directional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

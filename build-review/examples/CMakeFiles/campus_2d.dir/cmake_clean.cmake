@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_2d.dir/campus_2d.cpp.o"
+  "CMakeFiles/campus_2d.dir/campus_2d.cpp.o.d"
+  "campus_2d"
+  "campus_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_qos.dir/highway_qos.cpp.o"
+  "CMakeFiles/highway_qos.dir/highway_qos.cpp.o.d"
+  "highway_qos"
+  "highway_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

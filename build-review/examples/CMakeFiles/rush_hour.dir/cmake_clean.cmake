@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_hour.dir/rush_hour.cpp.o"
+  "CMakeFiles/rush_hour.dir/rush_hour.cpp.o.d"
+  "rush_hour"
+  "rush_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rush_hour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/week_planner.dir/week_planner.cpp.o"
+  "CMakeFiles/week_planner.dir/week_planner.cpp.o.d"
+  "week_planner"
+  "week_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/week_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

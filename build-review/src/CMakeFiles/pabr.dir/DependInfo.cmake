@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admission/ac1.cc" "src/CMakeFiles/pabr.dir/admission/ac1.cc.o" "gcc" "src/CMakeFiles/pabr.dir/admission/ac1.cc.o.d"
+  "/root/repo/src/admission/ac2.cc" "src/CMakeFiles/pabr.dir/admission/ac2.cc.o" "gcc" "src/CMakeFiles/pabr.dir/admission/ac2.cc.o.d"
+  "/root/repo/src/admission/ac3.cc" "src/CMakeFiles/pabr.dir/admission/ac3.cc.o" "gcc" "src/CMakeFiles/pabr.dir/admission/ac3.cc.o.d"
+  "/root/repo/src/admission/ns_policy.cc" "src/CMakeFiles/pabr.dir/admission/ns_policy.cc.o" "gcc" "src/CMakeFiles/pabr.dir/admission/ns_policy.cc.o.d"
+  "/root/repo/src/admission/policy.cc" "src/CMakeFiles/pabr.dir/admission/policy.cc.o" "gcc" "src/CMakeFiles/pabr.dir/admission/policy.cc.o.d"
+  "/root/repo/src/admission/static_policy.cc" "src/CMakeFiles/pabr.dir/admission/static_policy.cc.o" "gcc" "src/CMakeFiles/pabr.dir/admission/static_policy.cc.o.d"
+  "/root/repo/src/analysis/guard_channel.cc" "src/CMakeFiles/pabr.dir/analysis/guard_channel.cc.o" "gcc" "src/CMakeFiles/pabr.dir/analysis/guard_channel.cc.o.d"
+  "/root/repo/src/audit/differential.cc" "src/CMakeFiles/pabr.dir/audit/differential.cc.o" "gcc" "src/CMakeFiles/pabr.dir/audit/differential.cc.o.d"
+  "/root/repo/src/audit/invariants.cc" "src/CMakeFiles/pabr.dir/audit/invariants.cc.o" "gcc" "src/CMakeFiles/pabr.dir/audit/invariants.cc.o.d"
+  "/root/repo/src/audit/system_audit.cc" "src/CMakeFiles/pabr.dir/audit/system_audit.cc.o" "gcc" "src/CMakeFiles/pabr.dir/audit/system_audit.cc.o.d"
+  "/root/repo/src/backhaul/network.cc" "src/CMakeFiles/pabr.dir/backhaul/network.cc.o" "gcc" "src/CMakeFiles/pabr.dir/backhaul/network.cc.o.d"
+  "/root/repo/src/backhaul/signaling.cc" "src/CMakeFiles/pabr.dir/backhaul/signaling.cc.o" "gcc" "src/CMakeFiles/pabr.dir/backhaul/signaling.cc.o.d"
+  "/root/repo/src/core/base_station.cc" "src/CMakeFiles/pabr.dir/core/base_station.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/base_station.cc.o.d"
+  "/root/repo/src/core/cell.cc" "src/CMakeFiles/pabr.dir/core/cell.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/cell.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/pabr.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/hex_system.cc" "src/CMakeFiles/pabr.dir/core/hex_system.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/hex_system.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/pabr.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/random_scenario.cc" "src/CMakeFiles/pabr.dir/core/random_scenario.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/random_scenario.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/CMakeFiles/pabr.dir/core/scenario.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/scenario.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/pabr.dir/core/system.cc.o" "gcc" "src/CMakeFiles/pabr.dir/core/system.cc.o.d"
+  "/root/repo/src/geom/hex_topology.cc" "src/CMakeFiles/pabr.dir/geom/hex_topology.cc.o" "gcc" "src/CMakeFiles/pabr.dir/geom/hex_topology.cc.o.d"
+  "/root/repo/src/geom/linear_topology.cc" "src/CMakeFiles/pabr.dir/geom/linear_topology.cc.o" "gcc" "src/CMakeFiles/pabr.dir/geom/linear_topology.cc.o.d"
+  "/root/repo/src/geom/topology.cc" "src/CMakeFiles/pabr.dir/geom/topology.cc.o" "gcc" "src/CMakeFiles/pabr.dir/geom/topology.cc.o.d"
+  "/root/repo/src/hoef/calendar.cc" "src/CMakeFiles/pabr.dir/hoef/calendar.cc.o" "gcc" "src/CMakeFiles/pabr.dir/hoef/calendar.cc.o.d"
+  "/root/repo/src/hoef/estimator.cc" "src/CMakeFiles/pabr.dir/hoef/estimator.cc.o" "gcc" "src/CMakeFiles/pabr.dir/hoef/estimator.cc.o.d"
+  "/root/repo/src/mobility/hex_motion.cc" "src/CMakeFiles/pabr.dir/mobility/hex_motion.cc.o" "gcc" "src/CMakeFiles/pabr.dir/mobility/hex_motion.cc.o.d"
+  "/root/repo/src/mobility/linear_motion.cc" "src/CMakeFiles/pabr.dir/mobility/linear_motion.cc.o" "gcc" "src/CMakeFiles/pabr.dir/mobility/linear_motion.cc.o.d"
+  "/root/repo/src/mobility/speed_model.cc" "src/CMakeFiles/pabr.dir/mobility/speed_model.cc.o" "gcc" "src/CMakeFiles/pabr.dir/mobility/speed_model.cc.o.d"
+  "/root/repo/src/reservation/engine.cc" "src/CMakeFiles/pabr.dir/reservation/engine.cc.o" "gcc" "src/CMakeFiles/pabr.dir/reservation/engine.cc.o.d"
+  "/root/repo/src/reservation/reservation.cc" "src/CMakeFiles/pabr.dir/reservation/reservation.cc.o" "gcc" "src/CMakeFiles/pabr.dir/reservation/reservation.cc.o.d"
+  "/root/repo/src/reservation/test_window.cc" "src/CMakeFiles/pabr.dir/reservation/test_window.cc.o" "gcc" "src/CMakeFiles/pabr.dir/reservation/test_window.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/pabr.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/pabr.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/parallel.cc" "src/CMakeFiles/pabr.dir/sim/parallel.cc.o" "gcc" "src/CMakeFiles/pabr.dir/sim/parallel.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/pabr.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/pabr.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/series.cc" "src/CMakeFiles/pabr.dir/sim/series.cc.o" "gcc" "src/CMakeFiles/pabr.dir/sim/series.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/pabr.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/pabr.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/pabr.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/pabr.dir/sim/stats.cc.o.d"
+  "/root/repo/src/traffic/profiles.cc" "src/CMakeFiles/pabr.dir/traffic/profiles.cc.o" "gcc" "src/CMakeFiles/pabr.dir/traffic/profiles.cc.o.d"
+  "/root/repo/src/traffic/retry.cc" "src/CMakeFiles/pabr.dir/traffic/retry.cc.o" "gcc" "src/CMakeFiles/pabr.dir/traffic/retry.cc.o.d"
+  "/root/repo/src/traffic/workload.cc" "src/CMakeFiles/pabr.dir/traffic/workload.cc.o" "gcc" "src/CMakeFiles/pabr.dir/traffic/workload.cc.o.d"
+  "/root/repo/src/util/ascii_plot.cc" "src/CMakeFiles/pabr.dir/util/ascii_plot.cc.o" "gcc" "src/CMakeFiles/pabr.dir/util/ascii_plot.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/pabr.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/pabr.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/pabr.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/pabr.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/CMakeFiles/pabr.dir/util/log.cc.o" "gcc" "src/CMakeFiles/pabr.dir/util/log.cc.o.d"
+  "/root/repo/src/util/mathx.cc" "src/CMakeFiles/pabr.dir/util/mathx.cc.o" "gcc" "src/CMakeFiles/pabr.dir/util/mathx.cc.o.d"
+  "/root/repo/src/wired/backbone.cc" "src/CMakeFiles/pabr.dir/wired/backbone.cc.o" "gcc" "src/CMakeFiles/pabr.dir/wired/backbone.cc.o.d"
+  "/root/repo/src/wired/link.cc" "src/CMakeFiles/pabr.dir/wired/link.cc.o" "gcc" "src/CMakeFiles/pabr.dir/wired/link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_ns_test.dir/admission_ns_test.cc.o"
+  "CMakeFiles/admission_ns_test.dir/admission_ns_test.cc.o.d"
+  "admission_ns_test"
+  "admission_ns_test.pdb"
+  "admission_ns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_ns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

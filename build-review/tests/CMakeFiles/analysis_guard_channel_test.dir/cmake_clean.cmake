@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_guard_channel_test.dir/analysis_guard_channel_test.cc.o"
+  "CMakeFiles/analysis_guard_channel_test.dir/analysis_guard_channel_test.cc.o.d"
+  "analysis_guard_channel_test"
+  "analysis_guard_channel_test.pdb"
+  "analysis_guard_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_guard_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

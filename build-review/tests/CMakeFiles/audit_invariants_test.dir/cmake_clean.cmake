@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_invariants_test.dir/audit_invariants_test.cc.o"
+  "CMakeFiles/audit_invariants_test.dir/audit_invariants_test.cc.o.d"
+  "audit_invariants_test"
+  "audit_invariants_test.pdb"
+  "audit_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

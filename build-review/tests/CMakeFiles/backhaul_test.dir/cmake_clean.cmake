@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backhaul_test.dir/backhaul_test.cc.o"
+  "CMakeFiles/backhaul_test.dir/backhaul_test.cc.o.d"
+  "backhaul_test"
+  "backhaul_test.pdb"
+  "backhaul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backhaul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adaptive_qos_test.dir/core_adaptive_qos_test.cc.o"
+  "CMakeFiles/core_adaptive_qos_test.dir/core_adaptive_qos_test.cc.o.d"
+  "core_adaptive_qos_test"
+  "core_adaptive_qos_test.pdb"
+  "core_adaptive_qos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adaptive_qos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cell_test.dir/core_cell_test.cc.o"
+  "CMakeFiles/core_cell_test.dir/core_cell_test.cc.o.d"
+  "core_cell_test"
+  "core_cell_test.pdb"
+  "core_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_retry_test.dir/core_retry_test.cc.o"
+  "CMakeFiles/core_retry_test.dir/core_retry_test.cc.o.d"
+  "core_retry_test"
+  "core_retry_test.pdb"
+  "core_retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

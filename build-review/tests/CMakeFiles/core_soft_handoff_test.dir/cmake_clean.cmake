@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_soft_handoff_test.dir/core_soft_handoff_test.cc.o"
+  "CMakeFiles/core_soft_handoff_test.dir/core_soft_handoff_test.cc.o.d"
+  "core_soft_handoff_test"
+  "core_soft_handoff_test.pdb"
+  "core_soft_handoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_soft_handoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_soft_handoff_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stress_test.dir/core_stress_test.cc.o"
+  "CMakeFiles/core_stress_test.dir/core_stress_test.cc.o.d"
+  "core_stress_test"
+  "core_stress_test.pdb"
+  "core_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wired_test.dir/core_wired_test.cc.o"
+  "CMakeFiles/core_wired_test.dir/core_wired_test.cc.o.d"
+  "core_wired_test"
+  "core_wired_test.pdb"
+  "core_wired_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wired_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

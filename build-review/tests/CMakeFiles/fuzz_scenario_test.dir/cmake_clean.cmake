@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_scenario_test.dir/fuzz_scenario_test.cc.o"
+  "CMakeFiles/fuzz_scenario_test.dir/fuzz_scenario_test.cc.o.d"
+  "fuzz_scenario_test"
+  "fuzz_scenario_test.pdb"
+  "fuzz_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

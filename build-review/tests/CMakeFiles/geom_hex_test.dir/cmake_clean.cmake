@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_hex_test.dir/geom_hex_test.cc.o"
+  "CMakeFiles/geom_hex_test.dir/geom_hex_test.cc.o.d"
+  "geom_hex_test"
+  "geom_hex_test.pdb"
+  "geom_hex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_hex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

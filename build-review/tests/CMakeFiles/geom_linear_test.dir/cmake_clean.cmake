@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_linear_test.dir/geom_linear_test.cc.o"
+  "CMakeFiles/geom_linear_test.dir/geom_linear_test.cc.o.d"
+  "geom_linear_test"
+  "geom_linear_test.pdb"
+  "geom_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoef_calendar_test.dir/hoef_calendar_test.cc.o"
+  "CMakeFiles/hoef_calendar_test.dir/hoef_calendar_test.cc.o.d"
+  "hoef_calendar_test"
+  "hoef_calendar_test.pdb"
+  "hoef_calendar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoef_calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoef_estimator_test.dir/hoef_estimator_test.cc.o"
+  "CMakeFiles/hoef_estimator_test.dir/hoef_estimator_test.cc.o.d"
+  "hoef_estimator_test"
+  "hoef_estimator_test.pdb"
+  "hoef_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoef_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

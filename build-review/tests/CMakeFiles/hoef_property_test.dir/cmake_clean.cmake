@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoef_property_test.dir/hoef_property_test.cc.o"
+  "CMakeFiles/hoef_property_test.dir/hoef_property_test.cc.o.d"
+  "hoef_property_test"
+  "hoef_property_test.pdb"
+  "hoef_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoef_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

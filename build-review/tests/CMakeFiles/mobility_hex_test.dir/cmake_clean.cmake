@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_hex_test.dir/mobility_hex_test.cc.o"
+  "CMakeFiles/mobility_hex_test.dir/mobility_hex_test.cc.o.d"
+  "mobility_hex_test"
+  "mobility_hex_test.pdb"
+  "mobility_hex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_hex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

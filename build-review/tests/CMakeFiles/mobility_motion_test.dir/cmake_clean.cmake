@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_motion_test.dir/mobility_motion_test.cc.o"
+  "CMakeFiles/mobility_motion_test.dir/mobility_motion_test.cc.o.d"
+  "mobility_motion_test"
+  "mobility_motion_test.pdb"
+  "mobility_motion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_motion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_speed_test.dir/mobility_speed_test.cc.o"
+  "CMakeFiles/mobility_speed_test.dir/mobility_speed_test.cc.o.d"
+  "mobility_speed_test"
+  "mobility_speed_test.pdb"
+  "mobility_speed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_speed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

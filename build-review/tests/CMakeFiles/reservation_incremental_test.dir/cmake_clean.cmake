@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_incremental_test.dir/reservation_incremental_test.cc.o"
+  "CMakeFiles/reservation_incremental_test.dir/reservation_incremental_test.cc.o.d"
+  "reservation_incremental_test"
+  "reservation_incremental_test.pdb"
+  "reservation_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_series_test.dir/sim_series_test.cc.o"
+  "CMakeFiles/sim_series_test.dir/sim_series_test.cc.o.d"
+  "sim_series_test"
+  "sim_series_test.pdb"
+  "sim_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

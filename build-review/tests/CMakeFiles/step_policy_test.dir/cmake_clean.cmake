@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_policy_test.dir/step_policy_test.cc.o"
+  "CMakeFiles/step_policy_test.dir/step_policy_test.cc.o.d"
+  "step_policy_test"
+  "step_policy_test.pdb"
+  "step_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

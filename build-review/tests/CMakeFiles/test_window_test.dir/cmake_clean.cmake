@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_test.dir/test_window_test.cc.o"
+  "CMakeFiles/test_window_test.dir/test_window_test.cc.o.d"
+  "test_window_test"
+  "test_window_test.pdb"
+  "test_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_profiles_test.dir/traffic_profiles_test.cc.o"
+  "CMakeFiles/traffic_profiles_test.dir/traffic_profiles_test.cc.o.d"
+  "traffic_profiles_test"
+  "traffic_profiles_test.pdb"
+  "traffic_profiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_retry_test.dir/traffic_retry_test.cc.o"
+  "CMakeFiles/traffic_retry_test.dir/traffic_retry_test.cc.o.d"
+  "traffic_retry_test"
+  "traffic_retry_test.pdb"
+  "traffic_retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_workload_test.dir/traffic_workload_test.cc.o"
+  "CMakeFiles/traffic_workload_test.dir/traffic_workload_test.cc.o.d"
+  "traffic_workload_test"
+  "traffic_workload_test.pdb"
+  "traffic_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

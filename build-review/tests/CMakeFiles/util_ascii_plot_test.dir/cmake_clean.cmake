@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_ascii_plot_test.dir/util_ascii_plot_test.cc.o"
+  "CMakeFiles/util_ascii_plot_test.dir/util_ascii_plot_test.cc.o.d"
+  "util_ascii_plot_test"
+  "util_ascii_plot_test.pdb"
+  "util_ascii_plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_ascii_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wired_backbone_test.dir/wired_backbone_test.cc.o"
+  "CMakeFiles/wired_backbone_test.dir/wired_backbone_test.cc.o.d"
+  "wired_backbone_test"
+  "wired_backbone_test.pdb"
+  "wired_backbone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wired_backbone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
