@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
                   "2-D hex-grid load sweep: AC1/AC2/AC3/static (§7)");
   bench::add_common_flags(cli, opts);
   bench::add_threads_flag(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Extension — 2-D hexagonal system (4x6 torus, "
                       "R_vo = 1.0, vehicular mobility)");
@@ -49,8 +51,15 @@ int main(int argc, char** argv) {
     for (const double load : loads) jobs.push_back({kind, load});
   }
 
+  struct JobResult {
+    core::SystemStatus status;
+    telemetry::MetricsSnapshot telemetry;
+    std::vector<telemetry::TraceRecord> trace;
+    std::uint64_t trace_rotated_out = 0;
+  };
+
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = sim::parallel_map<core::SystemStatus>(
+  const auto results = sim::parallel_map<JobResult>(
       opts.threads, jobs.size(), [&](std::size_t i) {
         core::HexSystemConfig cfg;
         cfg.policy = jobs[i].kind;
@@ -58,6 +67,7 @@ int main(int argc, char** argv) {
         cfg.voice_ratio = 1.0;
         cfg.set_offered_load(jobs[i].load);
         cfg.seed = opts.seed;
+        cfg.telemetry = opts.telemetry_config();
 
         // 24 cells yield ~2.4x the per-second samples of the 1-D ring, so
         // shorter runs reach the same confidence.
@@ -65,19 +75,34 @@ int main(int argc, char** argv) {
         sys.run_for(opts.full ? 2000.0 : 600.0);
         sys.reset_metrics();
         sys.run_for(opts.full ? 8000.0 : 1500.0);
-        return sys.system_status();
+        JobResult out;
+        out.status = sys.system_status();
+        if (sys.telemetry().enabled()) {
+          out.telemetry = sys.telemetry_snapshot();
+          out.trace_rotated_out = sys.telemetry().buffer().rotated_out();
+          out.trace = sys.telemetry().drain_trace();
+        }
+        return out;
       });
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   std::uint64_t br_calculations = 0;
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
   core::TablePrinter table(
       {"policy", "load", "P_CB", "P_HD", "N_calc", "target"},
       {7, 6, 10, 10, 7, 7});
   table.print_header();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto& s = results[i];
+    const auto& s = results[i].status;
+    if (opts.telemetry_requested()) {
+      snapshots.push_back(results[i].telemetry);
+      trace_streams.push_back(results[i].trace);
+      trace_rotated += results[i].trace_rotated_out;
+    }
     const char* name = admission::policy_kind_name(jobs[i].kind);
     table.print_row({name, core::TablePrinter::fixed(jobs[i].load, 0),
                      core::TablePrinter::prob(s.pcb),
@@ -95,7 +120,12 @@ int main(int argc, char** argv) {
   json.counter("wall_seconds", wall);
   json.counter("br_calculations", static_cast<double>(br_calculations));
   json.counter("threads", opts.threads);
+  if (!snapshots.empty()) {
+    json.metrics(telemetry::merge_snapshots(snapshots));
+  }
   json.write();
+  bench::write_bench_trace("ext_2d_load_sweep", opts, trace_streams,
+                           trace_rotated);
 
   std::cout << "\nExpected shape: the predictive/adaptive machinery carries "
                "to 2-D unchanged\n(AC3 keeps P_HD at target); AC2's cost "

@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
                   "P_CB/P_HD vs load, static reservation (paper Fig. 7)");
   bench::add_common_flags(cli, opts);
   bench::add_threads_flag(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   cli.add_double("g", &g, "statically reserved BUs per cell");
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Figure 7 — static reservation, G = " +
                       core::TablePrinter::fixed(g, 0) + " BU");
@@ -33,6 +35,9 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t br_calculations = 0;
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
 
   core::TablePrinter table({"mobility", "R_vo", "load", "P_CB", "P_HD"},
                            {8, 6, 6, 10, 10});
@@ -53,11 +58,18 @@ int main(int argc, char** argv) {
             p.policy = admission::PolicyKind::kStatic;
             p.static_g = g;
             p.seed = opts.seed;
-            return core::stationary_config(p);
+            core::SystemConfig cfg = core::stationary_config(p);
+            cfg.telemetry = opts.telemetry_config();
+            return cfg;
           },
           opts.plan(), opts.threads);
       for (const auto& pt : points) {
         const auto& s = pt.result.status;
+        if (opts.telemetry_requested()) {
+          snapshots.push_back(pt.result.telemetry);
+          trace_streams.push_back(pt.result.trace);
+          trace_rotated += pt.result.trace_rotated_out;
+        }
         table.print_row({core::mobility_name(mob),
                          core::TablePrinter::fixed(rvo, 1),
                          core::TablePrinter::fixed(pt.offered_load, 0),
@@ -80,6 +92,11 @@ int main(int argc, char** argv) {
                    .count());
   json.counter("br_calculations", static_cast<double>(br_calculations));
   json.counter("threads", opts.threads);
+  if (!snapshots.empty()) {
+    json.metrics(telemetry::merge_snapshots(snapshots));
+  }
   json.write();
+  bench::write_bench_trace("fig07_static_reservation", opts, trace_streams,
+                           trace_rotated);
   return 0;
 }

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
                   "P_CB/P_HD vs load under AC3 (paper Fig. 8)");
   bench::add_common_flags(cli, opts);
   bench::add_threads_flag(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Figure 8 — predictive/adaptive reservation, AC3");
   csv::Writer csv(opts.csv_path);
@@ -28,6 +30,9 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t br_calculations = 0;
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
 
   core::TablePrinter table(
       {"mobility", "R_vo", "load", "P_CB", "P_HD", "target met"},
@@ -47,11 +52,18 @@ int main(int argc, char** argv) {
             p.mobility = mob;
             p.policy = admission::PolicyKind::kAc3;
             p.seed = opts.seed;
-            return core::stationary_config(p);
+            core::SystemConfig cfg = core::stationary_config(p);
+            cfg.telemetry = opts.telemetry_config();
+            return cfg;
           },
           opts.plan(), opts.threads);
       for (const auto& pt : points) {
         const auto& s = pt.result.status;
+        if (opts.telemetry_requested()) {
+          snapshots.push_back(pt.result.telemetry);
+          trace_streams.push_back(pt.result.trace);
+          trace_rotated += pt.result.trace_rotated_out;
+        }
         table.print_row({core::mobility_name(mob),
                          core::TablePrinter::fixed(rvo, 1),
                          core::TablePrinter::fixed(pt.offered_load, 0),
@@ -75,6 +87,11 @@ int main(int argc, char** argv) {
                    .count());
   json.counter("br_calculations", static_cast<double>(br_calculations));
   json.counter("threads", opts.threads);
+  if (!snapshots.empty()) {
+    json.metrics(telemetry::merge_snapshots(snapshots));
+  }
   json.write();
+  bench::write_bench_trace("fig08_ac3_load_sweep", opts, trace_streams,
+                           trace_rotated);
   return 0;
 }

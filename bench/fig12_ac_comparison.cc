@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
                   "P_CB/P_HD vs load for AC1/AC2/AC3 (paper Fig. 12)");
   bench::add_common_flags(cli, opts);
   bench::add_threads_flag(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Figure 12 — admission-control comparison "
                       "(high mobility)");
@@ -30,6 +32,9 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t br_calculations = 0;
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
 
   const admission::PolicyKind kinds[] = {admission::PolicyKind::kAc1,
                                          admission::PolicyKind::kAc2,
@@ -50,11 +55,18 @@ int main(int argc, char** argv) {
             p.mobility = core::Mobility::kHigh;
             p.policy = kind;
             p.seed = opts.seed;
-            return core::stationary_config(p);
+            core::SystemConfig cfg = core::stationary_config(p);
+            cfg.telemetry = opts.telemetry_config();
+            return cfg;
           },
           opts.plan(), opts.threads);
       for (const auto& pt : points) {
         const auto& s = pt.result.status;
+        if (opts.telemetry_requested()) {
+          snapshots.push_back(pt.result.telemetry);
+          trace_streams.push_back(pt.result.trace);
+          trace_rotated += pt.result.trace_rotated_out;
+        }
         table.print_row({admission::policy_kind_name(kind),
                          core::TablePrinter::fixed(pt.offered_load, 0),
                          core::TablePrinter::prob(s.pcb),
@@ -77,6 +89,11 @@ int main(int argc, char** argv) {
                    .count());
   json.counter("br_calculations", static_cast<double>(br_calculations));
   json.counter("threads", opts.threads);
+  if (!snapshots.empty()) {
+    json.metrics(telemetry::merge_snapshots(snapshots));
+  }
   json.write();
+  bench::write_bench_trace("fig12_ac_comparison", opts, trace_streams,
+                           trace_rotated);
   return 0;
 }

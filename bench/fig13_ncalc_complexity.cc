@@ -15,11 +15,15 @@ int main(int argc, char** argv) {
   cli::Parser cli("fig13_ncalc_complexity",
                   "N_calc vs load for AC1/AC2/AC3 (paper Fig. 13)");
   bench::add_common_flags(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Figure 13 — admission-test complexity (N_calc)");
   csv::Writer csv(opts.csv_path);
   csv.header({"mobility", "policy", "load", "n_calc", "msgs_per_admission"});
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
 
   const admission::PolicyKind kinds[] = {admission::PolicyKind::kAc1,
                                          admission::PolicyKind::kAc2,
@@ -41,12 +45,17 @@ int main(int argc, char** argv) {
         p.policy = kind;
         p.seed = opts.seed;
         core::SystemConfig cfg = core::stationary_config(p);
+        cfg.telemetry = opts.telemetry_config();
         const auto plan = opts.plan();
         core::CellularSystem sys(cfg);
         sys.run_for(plan.warmup_s);
         sys.reset_metrics();
         sys.run_for(plan.measure_s);
         const auto s = sys.system_status();
+        if (sys.telemetry().enabled()) {
+          trace_rotated += sys.telemetry().buffer().rotated_out();
+          trace_streams.push_back(sys.telemetry().drain_trace());
+        }
         const double msgs =
             s.requests == 0
                 ? 0.0
@@ -64,5 +73,7 @@ int main(int argc, char** argv) {
       table.print_rule();
     }
   }
+  bench::write_bench_trace("fig13_ncalc_complexity", opts, trace_streams,
+                           trace_rotated);
   return 0;
 }

@@ -21,19 +21,24 @@ struct ModeResult {
   std::uint64_t admissions = 0;
   std::uint64_t br_calculations = 0;
   double max_abs_diff = 0.0;
+  pabr::telemetry::MetricsSnapshot telemetry;
+  std::vector<pabr::telemetry::TraceRecord> trace;
+  std::uint64_t trace_rotated_out = 0;
 };
 
 ModeResult run_mode(pabr::admission::PolicyKind kind, bool incremental,
-                    double load, unsigned long long seed, bool full) {
+                    double load, const pabr::bench::CommonOptions& opts) {
   using namespace pabr;
+  const bool full = opts.full;
   core::StationaryParams p;
   p.offered_load = load;
   p.voice_ratio = 1.0;
   p.mobility = core::Mobility::kHigh;
   p.policy = kind;
-  p.seed = seed;
+  p.seed = opts.seed;
   core::SystemConfig cfg = core::stationary_config(p);
   cfg.incremental_reservation = incremental;
+  cfg.telemetry = opts.telemetry_config();
 
   core::CellularSystem sys(cfg);
   sys.run_for(full ? 2000.0 : 800.0);
@@ -67,6 +72,11 @@ ModeResult run_mode(pabr::admission::PolicyKind kind, bool incremental,
       std::chrono::duration<double, std::nano>(busy).count() /
       static_cast<double>(out.admissions);
   out.br_calculations = sys.system_status().br_calculations;
+  if (sys.telemetry().enabled()) {
+    out.telemetry = sys.telemetry_snapshot();
+    out.trace_rotated_out = sys.telemetry().buffer().rotated_out();
+    out.trace = sys.telemetry().drain_trace();
+  }
   return out;
 }
 
@@ -80,8 +90,10 @@ int main(int argc, char** argv) {
                   "ns per admission test: incremental engine vs scratch "
                   "rescan");
   bench::add_common_flags(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   cli.add_double("load", &load, "offered load per cell");
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Micro — admission cost, incremental vs scratch "
                       "(L = " + core::TablePrinter::fixed(load, 0) +
@@ -95,6 +107,9 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t br_calculations = 0;
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
 
   core::TablePrinter table(
       {"policy", "incr ns/adm", "scratch ns/adm", "speedup", "max|diff|"},
@@ -103,13 +118,20 @@ int main(int argc, char** argv) {
   for (const auto kind :
        {admission::PolicyKind::kAc1, admission::PolicyKind::kAc2,
         admission::PolicyKind::kAc3}) {
-    const ModeResult fast = run_mode(kind, true, load, opts.seed, opts.full);
-    const ModeResult slow = run_mode(kind, false, load, opts.seed, opts.full);
+    ModeResult fast = run_mode(kind, true, load, opts);
+    ModeResult slow = run_mode(kind, false, load, opts);
     const double speedup = fast.ns_per_admission > 0.0
                                ? slow.ns_per_admission / fast.ns_per_admission
                                : 0.0;
     const double diff = std::max(fast.max_abs_diff, slow.max_abs_diff);
     br_calculations += fast.br_calculations + slow.br_calculations;
+    if (opts.telemetry_requested()) {
+      snapshots.push_back(std::move(fast.telemetry));
+      snapshots.push_back(std::move(slow.telemetry));
+      trace_streams.push_back(std::move(fast.trace));
+      trace_streams.push_back(std::move(slow.trace));
+      trace_rotated += fast.trace_rotated_out + slow.trace_rotated_out;
+    }
     table.print_row({admission::policy_kind_name(kind),
                      core::TablePrinter::fixed(fast.ns_per_admission, 1),
                      core::TablePrinter::fixed(slow.ns_per_admission, 1),
@@ -129,7 +151,12 @@ int main(int argc, char** argv) {
                                              t0)
                    .count());
   json.counter("br_calculations", static_cast<double>(br_calculations));
+  if (!snapshots.empty()) {
+    json.metrics(telemetry::merge_snapshots(snapshots));
+  }
   json.write();
+  bench::write_bench_trace("micro_admission", opts, trace_streams,
+                           trace_rotated);
 
   std::cout << "\nReading: between admissions only a handful of connections "
                "change state, so\nthe engine reuses almost every cached "

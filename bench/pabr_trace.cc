@@ -1,0 +1,211 @@
+// pabr-trace — inspection tool for binary event traces (.pabrtrace)
+// written by the bench binaries' --trace-out flag.
+//
+//   pabr_trace RUN.pabrtrace                  # header + per-kind summary
+//   pabr_trace RUN.pabrtrace --summary-csv S  # the summary as CSV
+//   pabr_trace RUN.pabrtrace --cells-csv C --bucket 100
+//                                             # per-cell time series (events
+//                                             # per kind per time bucket)
+//   pabr_trace RUN.pabrtrace --dump-csv D     # every record as CSV
+//   pabr_trace RUN.pabrtrace --chrome T.json  # chrome://tracing / Perfetto
+//                                             # trace_event JSON
+//
+// All outputs are deterministic functions of the input file, which is
+// itself byte-identical whatever --threads produced it (records are
+// merged in replication-slot order, not thread order).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace {
+
+using pabr::telemetry::EventKind;
+using pabr::telemetry::TraceFile;
+using pabr::telemetry::TraceRecord;
+using pabr::telemetry::event_kind_name;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct KindStats {
+  std::uint64_t count = 0;
+  double payload_sum = 0.0;
+  double t_first = 0.0;
+  double t_last = 0.0;
+};
+
+/// Per-kind aggregation in EventKind order (deterministic output).
+std::map<std::uint16_t, KindStats> kind_stats(
+    const std::vector<TraceRecord>& records) {
+  std::map<std::uint16_t, KindStats> stats;
+  for (const TraceRecord& r : records) {
+    KindStats& s = stats[r.kind];
+    if (s.count == 0) s.t_first = r.t;
+    ++s.count;
+    s.payload_sum += r.payload;
+    s.t_last = std::max(s.t_last, r.t);
+  }
+  return stats;
+}
+
+void print_summary(const TraceFile& file) {
+  std::cout << "meta:\n";
+  for (const auto& [k, v] : file.meta.entries) {
+    std::cout << "  " << k << " = " << v << "\n";
+  }
+  double t_lo = 0.0, t_hi = 0.0;
+  std::uint16_t max_stream = 0;
+  if (!file.records.empty()) {
+    t_lo = file.records.front().t;
+    t_hi = t_lo;
+    for (const TraceRecord& r : file.records) {
+      t_lo = std::min(t_lo, r.t);
+      t_hi = std::max(t_hi, r.t);
+      max_stream = std::max(max_stream, r.stream);
+    }
+  }
+  std::cout << "records: " << file.records.size()
+            << "  (rotated out: " << file.rotated_out << ")\n"
+            << "streams: " << (file.records.empty() ? 0 : max_stream + 1)
+            << "\n"
+            << "time span: [" << fmt(t_lo) << ", " << fmt(t_hi) << "] s\n\n";
+
+  std::printf("%-14s %12s %16s %12s %12s\n", "kind", "count", "payload_sum",
+              "t_first", "t_last");
+  for (const auto& [kind, s] : kind_stats(file.records)) {
+    std::printf("%-14s %12llu %16.6g %12.2f %12.2f\n",
+                event_kind_name(static_cast<EventKind>(kind)),
+                static_cast<unsigned long long>(s.count), s.payload_sum,
+                s.t_first, s.t_last);
+  }
+}
+
+void write_summary_csv(const TraceFile& file, const std::string& path) {
+  pabr::csv::Writer out(path);
+  out.header({"kind", "count", "payload_sum", "payload_mean", "t_first",
+              "t_last"});
+  for (const auto& [kind, s] : kind_stats(file.records)) {
+    const double mean =
+        s.count == 0 ? 0.0 : s.payload_sum / static_cast<double>(s.count);
+    out.row({event_kind_name(static_cast<EventKind>(kind)),
+             std::to_string(s.count), fmt(s.payload_sum), fmt(mean),
+             fmt(s.t_first), fmt(s.t_last)});
+  }
+}
+
+/// Per-cell, per-kind event counts over fixed time buckets — the input
+/// for load/drop heat-maps (cells as rows, time as columns).
+void write_cells_csv(const TraceFile& file, const std::string& path,
+                     double bucket_s) {
+  pabr::csv::Writer out(path);
+  out.header({"bucket_start_s", "cell", "kind", "count", "payload_sum"});
+  struct Key {
+    std::int64_t bucket;
+    std::int32_t cell;
+    std::uint16_t kind;
+    bool operator<(const Key& o) const {
+      if (bucket != o.bucket) return bucket < o.bucket;
+      if (cell != o.cell) return cell < o.cell;
+      return kind < o.kind;
+    }
+  };
+  std::map<Key, std::pair<std::uint64_t, double>> cells;
+  for (const TraceRecord& r : file.records) {
+    const auto b = static_cast<std::int64_t>(r.t / bucket_s);
+    auto& slot = cells[Key{b, r.cell, r.kind}];
+    ++slot.first;
+    slot.second += r.payload;
+  }
+  for (const auto& [key, v] : cells) {
+    out.row({fmt(static_cast<double>(key.bucket) * bucket_s),
+             std::to_string(key.cell),
+             event_kind_name(static_cast<EventKind>(key.kind)),
+             std::to_string(v.first), fmt(v.second)});
+  }
+}
+
+void write_dump_csv(const TraceFile& file, const std::string& path) {
+  pabr::csv::Writer out(path);
+  out.header({"t", "stream", "cell", "kind", "mobile", "payload"});
+  for (const TraceRecord& r : file.records) {
+    out.row({fmt(r.t), std::to_string(r.stream), std::to_string(r.cell),
+             event_kind_name(static_cast<EventKind>(r.kind)),
+             std::to_string(r.mobile), fmt(r.payload)});
+  }
+}
+
+/// Chrome trace_event JSON (load in chrome://tracing or Perfetto):
+/// instant events, ts in microseconds of simulation time, one process per
+/// replication stream, one thread row per cell.
+bool write_chrome_json(const TraceFile& file, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceRecord& r : file.records) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"name\": \""
+        << event_kind_name(static_cast<EventKind>(r.kind))
+        << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << fmt(r.t * 1e6)
+        << ", \"pid\": " << r.stream << ", \"tid\": " << r.cell
+        << ", \"args\": {\"mobile\": " << r.mobile
+        << ", \"payload\": " << fmt(r.payload) << "}}";
+  }
+  out << (first ? "]" : "\n]") << "}\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pabr::cli::Parser cli("pabr_trace",
+                        "inspect .pabrtrace binary event traces");
+  std::string summary_csv, cells_csv, dump_csv, chrome_json;
+  double bucket_s = 100.0;
+  cli.add_string("summary-csv", &summary_csv,
+                 "write the per-kind summary to this CSV");
+  cli.add_string("cells-csv", &cells_csv,
+                 "write per-cell per-bucket event counts to this CSV");
+  cli.add_double("bucket", &bucket_s,
+                 "time bucket (s) for --cells-csv");
+  cli.add_string("dump-csv", &dump_csv, "dump every record to this CSV");
+  cli.add_string("chrome", &chrome_json,
+                 "write chrome://tracing trace_event JSON to this path");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.positional().size() != 1) {
+    std::cerr << "usage: pabr_trace RUN.pabrtrace [options]\n"
+              << cli.usage();
+    return 1;
+  }
+  if (bucket_s <= 0.0) {
+    std::cerr << "error: --bucket must be positive\n";
+    return 1;
+  }
+
+  const auto file = pabr::telemetry::read_trace(cli.positional()[0]);
+  if (!file.has_value()) return 1;
+
+  print_summary(*file);
+  if (!summary_csv.empty()) write_summary_csv(*file, summary_csv);
+  if (!cells_csv.empty()) write_cells_csv(*file, cells_csv, bucket_s);
+  if (!dump_csv.empty()) write_dump_csv(*file, dump_csv);
+  if (!chrome_json.empty() && !write_chrome_json(*file, chrome_json)) {
+    return 1;
+  }
+  return 0;
+}

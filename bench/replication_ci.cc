@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
                   "multi-seed confidence intervals for the L=300 comparison");
   bench::add_common_flags(cli, opts);
   bench::add_threads_flag(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   cli.add_int("seeds", &seeds, "independent replications per scheme");
   cli.add_double("load", &load, "offered load per cell");
   if (!cli.parse(argc, argv)) return 1;
   if (opts.full) seeds = std::max(seeds, 10);
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Replication — mean ± 95% CI over " +
                       std::to_string(seeds) + " seeds (L = " +
@@ -37,6 +39,9 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t br_calculations = 0;
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
 
   core::TablePrinter table(
       {"policy", "P_CB mean±CI", "P_HD mean±CI", "N_calc"},
@@ -51,8 +56,10 @@ int main(int argc, char** argv) {
     p.mobility = core::Mobility::kHigh;
     p.policy = kind;
     p.seed = opts.seed;
-    const auto rep = core::run_replicated(core::stationary_config(p),
-                                          opts.plan(), seeds, opts.threads);
+    core::SystemConfig cfg = core::stationary_config(p);
+    cfg.telemetry = opts.telemetry_config();
+    const auto rep =
+        core::run_replicated(cfg, opts.plan(), seeds, opts.threads);
     const auto pm = [](const core::Replicated& r) {
       return core::TablePrinter::prob(r.mean) + " ± " +
              core::TablePrinter::prob(r.ci95);
@@ -69,6 +76,11 @@ int main(int argc, char** argv) {
                 csv::Writer::format(rep.pcb.samples[i]),
                 csv::Writer::format(rep.phd.samples[i]),
                 csv::Writer::format(rep.n_calc.samples[i])});
+      if (opts.telemetry_requested()) {
+        snapshots.push_back(rep.runs[i].telemetry);
+        trace_streams.push_back(rep.runs[i].trace);
+        trace_rotated += rep.runs[i].trace_rotated_out;
+      }
     }
   }
   table.print_rule();
@@ -79,7 +91,12 @@ int main(int argc, char** argv) {
                    .count());
   json.counter("br_calculations", static_cast<double>(br_calculations));
   json.counter("threads", opts.threads);
+  if (!snapshots.empty()) {
+    json.metrics(telemetry::merge_snapshots(snapshots));
+  }
   json.write();
+  bench::write_bench_trace("replication_ci", opts, trace_streams,
+                           trace_rotated);
 
   std::cout << "\nReading: AC1's P_HD sits above the 0.01 target by more "
                "than its CI while\nAC2/AC3 sit below by more than theirs — "

@@ -12,7 +12,9 @@
 namespace {
 
 void run_one(pabr::admission::PolicyKind kind,
-             const pabr::bench::CommonOptions& opts, pabr::csv::Writer& csv) {
+             const pabr::bench::CommonOptions& opts, pabr::csv::Writer& csv,
+             std::vector<std::vector<pabr::telemetry::TraceRecord>>& streams,
+             std::uint64_t& trace_rotated) {
   using namespace pabr;
   core::StationaryParams p;
   p.offered_load = 300.0;
@@ -27,7 +29,13 @@ void run_one(pabr::admission::PolicyKind kind,
   plan.measure_s = opts.full ? 20000.0 : 6000.0;
   plan.reset_after_warmup = false;
 
-  const auto r = core::run_system(core::stationary_config(p), plan);
+  core::SystemConfig cfg = core::stationary_config(p);
+  cfg.telemetry = opts.telemetry_config();
+  auto r = core::run_system(cfg, plan);
+  if (opts.telemetry_requested()) {
+    streams.push_back(std::move(r.trace));
+    trace_rotated += r.trace_rotated_out;
+  }
 
   std::cout << "\n(" << (kind == admission::PolicyKind::kAc1 ? "a" : "b")
             << ") " << admission::policy_kind_name(kind) << "\n";
@@ -60,13 +68,21 @@ int main(int argc, char** argv) {
   cli::Parser cli("table2_cell_status",
                   "per-cell status, L = 300, AC1 vs AC3 (paper Table 2)");
   bench::add_common_flags(cli, opts);
+  bench::add_telemetry_flags(cli, opts);
   if (!cli.parse(argc, argv)) return 1;
+  bench::warn_if_telemetry_unavailable(opts);
 
   bench::print_banner("Table 2 — per-cell status at end of run "
                       "(L = 300, R_vo = 1.0, high mobility, ring)");
   csv::Writer csv(opts.csv_path);
   csv.header({"policy", "cell", "pcb", "phd", "t_est", "br", "bu"});
-  run_one(admission::PolicyKind::kAc1, opts, csv);
-  run_one(admission::PolicyKind::kAc3, opts, csv);
+  std::vector<std::vector<telemetry::TraceRecord>> trace_streams;
+  std::uint64_t trace_rotated = 0;
+  run_one(admission::PolicyKind::kAc1, opts, csv, trace_streams,
+          trace_rotated);
+  run_one(admission::PolicyKind::kAc3, opts, csv, trace_streams,
+          trace_rotated);
+  bench::write_bench_trace("table2_cell_status", opts, trace_streams,
+                           trace_rotated);
   return 0;
 }

@@ -5,8 +5,16 @@ namespace pabr::admission {
 bool Ac1Policy::admit(AdmissionContext& sys, geom::CellId cell,
                       traffic::Bandwidth b_new) {
   const double br = sys.recompute_reservation(cell);
-  return fits_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
-                     sys.capacity(cell), br);
+  const bool ok =
+      fits_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
+                  sys.capacity(cell), br);
+  telemetry::bump(ok ? tel_admits_ : tel_rejects_);
+  return ok;
+}
+
+void Ac1Policy::bind_telemetry(telemetry::Registry& registry) {
+  tel_admits_ = registry.counter("ac1.admits");
+  tel_rejects_ = registry.counter("ac1.rejects");
 }
 
 }  // namespace pabr::admission

@@ -11,6 +11,11 @@ class Ac1Policy final : public AdmissionPolicy {
   std::string name() const override { return "AC1"; }
   bool admit(AdmissionContext& sys, geom::CellId cell,
              traffic::Bandwidth b_new) override;
+  void bind_telemetry(telemetry::Registry& registry) override;
+
+ private:
+  telemetry::Counter* tel_admits_ = nullptr;
+  telemetry::Counter* tel_rejects_ = nullptr;
 };
 
 }  // namespace pabr::admission

@@ -5,18 +5,29 @@ namespace pabr::admission {
 bool Ac2Policy::admit(AdmissionContext& sys, geom::CellId cell,
                       traffic::Bandwidth b_new) {
   bool ok = true;
+  bool neighbor_failed = false;
   for (geom::CellId i : sys.adjacent(cell)) {
     const double br_i = sys.recompute_reservation(i);
     if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i), br_i)) {
       ok = false;
+      neighbor_failed = true;
     }
   }
   const double br = sys.recompute_reservation(cell);
   if (exceeds_budget(sys.used_bandwidth(cell), static_cast<double>(b_new),
                      sys.capacity(cell), br)) {
     ok = false;
+    telemetry::bump(tel_rejects_local_);
   }
+  if (neighbor_failed) telemetry::bump(tel_rejects_neighbor_);
+  if (ok) telemetry::bump(tel_admits_);
   return ok;
+}
+
+void Ac2Policy::bind_telemetry(telemetry::Registry& registry) {
+  tel_admits_ = registry.counter("ac2.admits");
+  tel_rejects_local_ = registry.counter("ac2.rejects_local");
+  tel_rejects_neighbor_ = registry.counter("ac2.rejects_neighbor");
 }
 
 }  // namespace pabr::admission

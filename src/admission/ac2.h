@@ -14,6 +14,12 @@ class Ac2Policy final : public AdmissionPolicy {
   std::string name() const override { return "AC2"; }
   bool admit(AdmissionContext& sys, geom::CellId cell,
              traffic::Bandwidth b_new) override;
+  void bind_telemetry(telemetry::Registry& registry) override;
+
+ private:
+  telemetry::Counter* tel_admits_ = nullptr;
+  telemetry::Counter* tel_rejects_local_ = nullptr;    ///< cell 0 test failed
+  telemetry::Counter* tel_rejects_neighbor_ = nullptr; ///< some A_0 test failed
 };
 
 }  // namespace pabr::admission

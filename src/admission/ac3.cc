@@ -13,6 +13,7 @@ bool Ac3Policy::admit(AdmissionContext& sys, geom::CellId cell,
     // bitwise reaches the identical verdict.
     if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i),
                        sys.current_reservation(i))) {
+      telemetry::bump(tel_participations_);
       const double br_i = sys.recompute_reservation(i);
       if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i),
                          br_i)) {
@@ -25,7 +26,14 @@ bool Ac3Policy::admit(AdmissionContext& sys, geom::CellId cell,
                      sys.capacity(cell), br)) {
     ok = false;
   }
+  telemetry::bump(ok ? tel_admits_ : tel_rejects_);
   return ok;
+}
+
+void Ac3Policy::bind_telemetry(telemetry::Registry& registry) {
+  tel_admits_ = registry.counter("ac3.admits");
+  tel_rejects_ = registry.counter("ac3.rejects");
+  tel_participations_ = registry.counter("ac3.participations");
 }
 
 }  // namespace pabr::admission

@@ -18,6 +18,14 @@ class Ac3Policy final : public AdmissionPolicy {
   std::string name() const override { return "AC3"; }
   bool admit(AdmissionContext& sys, geom::CellId cell,
              traffic::Bandwidth b_new) override;
+  void bind_telemetry(telemetry::Registry& registry) override;
+
+ private:
+  telemetry::Counter* tel_admits_ = nullptr;
+  telemetry::Counter* tel_rejects_ = nullptr;
+  /// Adjacent cells whose participation test fired (the selective
+  /// recomputations that keep N_calc below AC2's |A_0|+1).
+  telemetry::Counter* tel_participations_ = nullptr;
 };
 
 }  // namespace pabr::admission

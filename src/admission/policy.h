@@ -19,6 +19,7 @@
 #include <string>
 
 #include "geom/topology.h"
+#include "telemetry/metrics.h"
 #include "traffic/connection.h"
 
 namespace pabr::admission {
@@ -93,6 +94,15 @@ class AdmissionPolicy {
   /// `cell`. May call `recompute_reservation` on any cell it consults.
   virtual bool admit(AdmissionContext& sys, geom::CellId cell,
                      traffic::Bandwidth b_new) = 0;
+
+  /// Registers this policy's decision counters ("<policy>.admits",
+  /// "<policy>.rejects", plus scheme-specific extras such as AC3's
+  /// participation tally) on `registry` and starts bumping them on every
+  /// admit() call. The default keeps the policy uninstrumented; bumps are
+  /// no-ops until bound and fold away when telemetry is compiled out.
+  virtual void bind_telemetry(telemetry::Registry& registry) {
+    (void)registry;
+  }
 };
 
 /// kNsDca is the Naghshineh-Schwartz distributed admission baseline (the

@@ -15,6 +15,7 @@ void SignalingAccountant::record_br_calculation(geom::CellId cell) {
   // counts toward totals but not toward the per-admission N_calc mean.
   if (open_) ++in_flight_;
   total_.add();
+  telemetry::bump(tel_br_calculations_);
   if (interconnect_ != nullptr) {
     // Computing B_r for `cell` requires a T_est announcement plus a
     // query/reply pair with every adjacent BS.

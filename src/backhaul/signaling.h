@@ -7,6 +7,7 @@
 #include "backhaul/network.h"
 #include "geom/topology.h"
 #include "sim/stats.h"
+#include "telemetry/metrics.h"
 
 namespace pabr::backhaul {
 
@@ -50,6 +51,13 @@ class SignalingAccountant {
 
   void reset();
 
+  /// Mirrors every recorded B_r calculation onto a telemetry counter
+  /// (telemetry/metrics.h). No-op until bound; folds away when telemetry
+  /// is compiled out.
+  void bind_telemetry(telemetry::Counter* br_calculations) {
+    tel_br_calculations_ = br_calculations;
+  }
+
  private:
   const geom::Topology& topology_;
   InterconnectModel* interconnect_;  // may be null (no message accounting)
@@ -57,6 +65,7 @@ class SignalingAccountant {
   sim::Counter total_;
   int in_flight_ = 0;
   bool open_ = false;
+  telemetry::Counter* tel_br_calculations_ = nullptr;
 };
 
 /// RAII admission bracket: begin on construction, end on destruction —

@@ -25,6 +25,11 @@ RunResult run_system(const SystemConfig& config, const RunPlan& plan) {
     result.cells.push_back(system.cell_status(c));
   }
   result.events = system.events_executed();
+  if (system.telemetry().enabled()) {
+    result.telemetry = system.telemetry_snapshot();
+    result.trace_rotated_out = system.telemetry().buffer().rotated_out();
+    result.trace = system.telemetry().drain_trace();
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

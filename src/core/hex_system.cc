@@ -1,6 +1,7 @@
 #include "core/hex_system.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "reservation/reservation.h"
 #include "util/check.h"
@@ -48,6 +49,20 @@ HexCellularSystem::HexCellularSystem(HexSystemConfig config)
     metrics_[static_cast<std::size_t>(c)].bu_mean.update(0.0, 0.0);
   }
 
+  telemetry_.configure(config_.telemetry);
+  if (telemetry_.enabled()) {
+    tel_ = telemetry::make_sim_counters(telemetry_.registry(),
+                                        config_.capacity_bu);
+    reservation_engine_.bind_telemetry(tel_.terms_recomputed,
+                                       tel_.terms_reused);
+    accountant_.bind_telemetry(tel_.br_calculations);
+    policy_->bind_telemetry(telemetry_.registry());
+    for (auto& station : stations_) {
+      station.estimator().bind_telemetry(tel_.quads_recorded,
+                                         tel_.quads_evicted);
+    }
+  }
+
   schedule_next_arrival();
 }
 
@@ -73,6 +88,10 @@ void HexCellularSystem::reset_metrics() {
     m.bu_mean.update(t, cells_[static_cast<std::size_t>(c)].used());
   }
   accountant_.reset();
+  if (telemetry_.enabled()) {
+    telemetry_.registry().reset();
+    telemetry_.buffer().clear();
+  }
 }
 
 // ---- AdmissionContext -------------------------------------------------------
@@ -110,6 +129,11 @@ double HexCellularSystem::recompute_reservation(geom::CellId cell) {
     br = reservation_rescan(cell, t, t_est);
   }
   stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.br_recomputes);
+    tel_.br_value->add(br);
+    telemetry_.emit(t, telemetry::EventKind::kBrRecompute, cell, 0, br);
+  }
   metrics_[static_cast<std::size_t>(cell)].br_mean.update(t, br);
   return br;
 }
@@ -192,11 +216,27 @@ bool HexCellularSystem::handle_request(geom::CellId cell,
   bool admitted;
   {
     backhaul::AdmissionScope scope(accountant_);
-    admitted = policy_->admit(*this, cell, bw);
+    if (telemetry_.time_admissions()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      admitted = policy_->admit(*this, cell, bw);
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      tel_.admission_ns->add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    } else {
+      admitted = policy_->admit(*this, cell, bw);
+    }
   }
   // The policies' probabilistic tests do not replace the hard FCA check.
   admitted = admitted && cells_[static_cast<std::size_t>(cell)].can_fit(bw);
   metrics_[static_cast<std::size_t>(cell)].pcb.trial(!admitted);
+  if (telemetry_.enabled()) {
+    telemetry::bump(admitted ? tel_.admitted : tel_.blocked);
+    telemetry_.emit(simulator_.now(),
+                    admitted ? telemetry::EventKind::kAdmit
+                             : telemetry::EventKind::kBlock,
+                    cell, next_id_, static_cast<double>(bw));
+  }
   if (!admitted) return false;
 
   const traffic::ConnectionId id = next_id_++;
@@ -244,12 +284,27 @@ void HexCellularSystem::handle_crossing(traffic::ConnectionId id) {
 
   stations_[static_cast<std::size_t>(from)].estimator().record(
       hoef::Quadruplet{t, m.prev, to, t - m.entered_at});
+  if (telemetry_.enabled()) tel_.handoff_sojourn->add(t - m.entered_at);
 
   Cell& dst = cells_[static_cast<std::size_t>(to)];
   const bool dropped = !dst.can_fit(m.bandwidth());
+  const sim::Duration t_est_before =
+      stations_[static_cast<std::size_t>(to)].window().t_est();
   stations_[static_cast<std::size_t>(to)].window().on_handoff(
       dropped, t_soj_max_for(to));
   metrics_[static_cast<std::size_t>(to)].phd.trial(dropped);
+  if (telemetry_.enabled()) {
+    const sim::Duration t_est_after =
+        stations_[static_cast<std::size_t>(to)].window().t_est();
+    if (t_est_after != t_est_before) {
+      telemetry_.emit(t, telemetry::EventKind::kTEstStep, to, 0, t_est_after);
+    }
+    telemetry::bump(dropped ? tel_.handoff_dropped : tel_.handoff_completed);
+    telemetry_.emit(t,
+                    dropped ? telemetry::EventKind::kHandoffDrop
+                            : telemetry::EventKind::kHandoff,
+                    to, id, static_cast<double>(m.bandwidth()));
+  }
 
   cells_[static_cast<std::size_t>(from)].detach(id);
   record_bu(from);
@@ -269,6 +324,12 @@ void HexCellularSystem::handle_crossing(traffic::ConnectionId id) {
 void HexCellularSystem::handle_expiry(traffic::ConnectionId id) {
   const auto it = mobiles_.find(id);
   PABR_CHECK(it != mobiles_.end(), "expiry for unknown mobile");
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.expiries);
+    telemetry_.emit(simulator_.now(), telemetry::EventKind::kExpiry,
+                    it->second.cell, id,
+                    static_cast<double>(it->second.bandwidth()));
+  }
   simulator_.cancel(it->second.crossing);
   cells_[static_cast<std::size_t>(it->second.cell)].detach(id);
   record_bu(it->second.cell);
@@ -322,6 +383,22 @@ SystemStatus HexCellularSystem::system_status() const {
   s.bu_avg = bu_sum / static_cast<double>(n);
   s.br_calculations = accountant_.total_br_calculations();
   return s;
+}
+
+telemetry::MetricsSnapshot HexCellularSystem::telemetry_snapshot() {
+  if (telemetry_.enabled()) {
+    auto& reg = telemetry_.registry();
+    reg.gauge("signaling.n_calc")->set(accountant_.n_calc());
+    reg.gauge("connections.active")
+        ->set(static_cast<double>(mobiles_.size()));
+    reg.gauge("trace.emitted")
+        ->set(static_cast<double>(telemetry_.buffer().emitted()));
+    reg.gauge("trace.rotated_out")
+        ->set(static_cast<double>(telemetry_.buffer().rotated_out()));
+    reg.gauge("trace.sampled_out")
+        ->set(static_cast<double>(telemetry_.buffer().sampled_out()));
+  }
+  return telemetry_.snapshot();
 }
 
 Cell& HexCellularSystem::cell(geom::CellId id) {

@@ -31,6 +31,7 @@
 #include "reservation/engine.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "traffic/workload.h"
 
 namespace pabr::core {
@@ -72,6 +73,9 @@ struct HexSystemConfig {
   /// 0 disables the hook (see SystemConfig::audit_every).
   int audit_every = 0;
 
+  /// Telemetry & trace collection (see SystemConfig::telemetry).
+  telemetry::TelemetryConfig telemetry;
+
   std::uint64_t seed = 1;
 
   /// Offered load per cell, Eq. (7).
@@ -105,6 +109,12 @@ class HexCellularSystem final : public admission::AdmissionContext {
   // ---- Metrics --------------------------------------------------------------
   const CellMetrics& cell_metrics(geom::CellId cell) const;
   SystemStatus system_status() const;
+
+  // ---- Telemetry (src/telemetry/) ----------------------------------------
+  telemetry::Collector& telemetry() { return telemetry_; }
+  const telemetry::Collector& telemetry() const { return telemetry_; }
+  /// Snapshot with polled gauges synced (see CellularSystem).
+  telemetry::MetricsSnapshot telemetry_snapshot();
 
   // ---- Introspection ----------------------------------------------------------
   const geom::HexTopology& grid() const { return grid_; }
@@ -185,6 +195,8 @@ class HexCellularSystem final : public admission::AdmissionContext {
   std::unordered_map<traffic::ConnectionId, HexMobile> mobiles_;
   traffic::ConnectionId next_id_ = 1;
   int events_since_audit_ = 0;
+  telemetry::Collector telemetry_;
+  telemetry::SimCounters tel_;  ///< null instruments unless telemetry is on
 };
 
 }  // namespace pabr::core

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "mobility/linear_motion.h"
@@ -90,6 +91,20 @@ CellularSystem::CellularSystem(SystemConfig config)
     });
   }
 
+  telemetry_.configure(config_.telemetry);
+  if (telemetry_.enabled()) {
+    tel_ = telemetry::make_sim_counters(telemetry_.registry(),
+                                        config_.capacity_bu);
+    reservation_engine_.bind_telemetry(tel_.terms_recomputed,
+                                       tel_.terms_reused);
+    accountant_.bind_telemetry(tel_.br_calculations);
+    policy_->bind_telemetry(telemetry_.registry());
+    for (auto& station : stations_) {
+      station.estimator().bind_telemetry(tel_.quads_recorded,
+                                         tel_.quads_evicted);
+    }
+  }
+
   schedule_next_arrival();
 }
 
@@ -125,6 +140,12 @@ void CellularSystem::reset_metrics() {
   wired_drops_.reset();
   accountant_.reset();
   interconnect_.reset();
+  // Telemetry follows the same warm-up semantics: accumulators restart,
+  // learned simulation state persists untouched.
+  if (telemetry_.enabled()) {
+    telemetry_.registry().reset();
+    telemetry_.buffer().clear();
+  }
 }
 
 // ---- AdmissionContext -----------------------------------------------------
@@ -169,6 +190,11 @@ double CellularSystem::recompute_reservation(geom::CellId cell) {
   // §7: mirror the reservation onto the cell's wired access link — the
   // same expected hand-ins will need backbone capacity.
   if (backbone_ != nullptr) backbone_->set_reservation(cell, br);
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.br_recomputes);
+    tel_.br_value->add(br);
+    telemetry_.emit(t, telemetry::EventKind::kBrRecompute, cell, 0, br);
+  }
   metrics_[static_cast<std::size_t>(cell)].br_mean.update(t, br);
   if (auto it = traces_.find(cell); it != traces_.end()) {
     it->second.br.add(t, br);
@@ -242,12 +268,25 @@ bool CellularSystem::handle_arrival(traffic::ConnectionRequest request) {
   load_tracker_.on_request(simulator_.now(),
                            static_cast<double>(request.bandwidth()));
   bool admitted = try_admit(request);
+  bool wired_block = false;
   if (admitted && backbone_ != nullptr &&
       !backbone_->can_admit(request.cell, request.bandwidth())) {
     // The air interface admitted but the wired route cannot carry the
     // call (§2): blocked at the backbone.
     admitted = false;
+    wired_block = true;
     wired_blocks_.add();
+  }
+  if (telemetry_.enabled()) {
+    // `blocked` counts every block; `blocked_wired` the backbone subset.
+    telemetry::bump(admitted ? tel_.admitted : tel_.blocked);
+    if (wired_block) telemetry::bump(tel_.blocked_wired);
+    telemetry_.emit(simulator_.now(),
+                    admitted      ? telemetry::EventKind::kAdmit
+                    : wired_block ? telemetry::EventKind::kWiredBlock
+                                  : telemetry::EventKind::kBlock,
+                    request.cell, request.id,
+                    static_cast<double>(request.bandwidth()));
   }
   metrics_[static_cast<std::size_t>(request.cell)].pcb.trial(!admitted);
   if (admitted) {
@@ -260,7 +299,17 @@ bool CellularSystem::handle_arrival(traffic::ConnectionRequest request) {
 
 bool CellularSystem::try_admit(const traffic::ConnectionRequest& request) {
   backhaul::AdmissionScope scope(accountant_);
-  return policy_->admit(*this, request.cell, request.bandwidth());
+  if (!telemetry_.time_admissions()) {
+    return policy_->admit(*this, request.cell, request.bandwidth());
+  }
+  // Wall-clock sampling of the admission test. steady_clock never touches
+  // simulation state, so determinism is unaffected.
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = policy_->admit(*this, request.cell, request.bandwidth());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  tel_.admission_ns->add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  return ok;
 }
 
 void CellularSystem::maybe_schedule_retry(traffic::ConnectionRequest request) {
@@ -280,6 +329,11 @@ void CellularSystem::maybe_schedule_retry(traffic::ConnectionRequest request) {
   next.position_km = *pos;
   next.cell = road_.cell_at(*pos);
 
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.retries);
+    telemetry_.emit(simulator_.now(), telemetry::EventKind::kRetry, next.cell,
+                    next.id, static_cast<double>(next.attempt));
+  }
   simulator_.schedule_in(wait, [this, next = std::move(next)]() mutable {
     handle_arrival(std::move(next));
     maybe_audit();
@@ -370,12 +424,22 @@ void CellularSystem::handle_zone_entry(traffic::ConnectionId id) {
   if (granted == 0) {
     // No room yet: fall back to a hard hand-off attempt at the boundary.
     metrics_[static_cast<std::size_t>(to)].soft_fallback.add();
+    if (telemetry_.enabled()) {
+      telemetry::bump(tel_.soft_fallbacks);
+      telemetry_.emit(simulator_.now(), telemetry::EventKind::kSoftFallback,
+                      to, id, static_cast<double>(rec.m.bandwidth()));
+    }
     return;
   }
   dst.attach(id, granted, reservation_view(rec.m, granted));
   rec.dual_cell = to;
   rec.dual_bw = granted;
   metrics_[static_cast<std::size_t>(to)].soft_alloc.add();
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.soft_allocs);
+    telemetry_.emit(simulator_.now(), telemetry::EventKind::kSoftAlloc, to,
+                    id, static_cast<double>(granted));
+  }
   record_bu(to);
 }
 
@@ -396,6 +460,11 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
   if (to == geom::kNoCell) {
     // Drives off the open road: the connection ends without a hand-off
     // and without a quadruplet (no adjacent cell was entered).
+    if (telemetry_.enabled()) {
+      telemetry::bump(tel_.off_road);
+      telemetry_.emit(t, telemetry::EventKind::kOffRoad, from, id,
+                      static_cast<double>(rec.m.current_bandwidth));
+    }
     terminate(rec, /*cancel_expiry=*/true, /*cancel_crossing=*/false);
     mobiles_.erase(it);
     return;
@@ -406,6 +475,7 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
   stations_[static_cast<std::size_t>(from)].estimator().record(
       hoef::Quadruplet{t, rec.m.prev_cell, to, sojourn});
   interconnect_.record(from, to, backhaul::MessageType::kHandoffSignal);
+  if (telemetry_.enabled()) tel_.handoff_sojourn->add(sojourn);
 
   Cell& dst = cells_[static_cast<std::size_t>(to)];
 
@@ -421,14 +491,18 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
   // held bandwidth is new demand). The soft hand-off pre-allocation
   // covers the radio only — the wired re-route happens at the actual
   // crossing.
+  bool wired_dropped = false;
   if (granted > 0 && backbone_ != nullptr &&
       !backbone_->can_handoff_into(to, id, granted)) {
     granted = 0;
+    wired_dropped = true;
     wired_drops_.add();
   }
   const bool dropped = granted == 0;
 
   // Fig. 6 controller of the destination cell observes every hand-off.
+  const sim::Duration t_est_before =
+      stations_[static_cast<std::size_t>(to)].window().t_est();
   stations_[static_cast<std::size_t>(to)].window().on_handoff(
       dropped, t_soj_max_for(to));
   metrics_[static_cast<std::size_t>(to)].phd.trial(dropped);
@@ -438,8 +512,24 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
     tr->second.phd.add(
         t, metrics_[static_cast<std::size_t>(to)].phd.value());
   }
+  if (telemetry_.enabled()) {
+    const sim::Duration t_est_after =
+        stations_[static_cast<std::size_t>(to)].window().t_est();
+    if (t_est_after != t_est_before) {
+      telemetry_.emit(t, telemetry::EventKind::kTEstStep, to, 0, t_est_after);
+    }
+  }
 
   if (dropped) {
+    if (telemetry_.enabled()) {
+      // `handoff_dropped` counts every drop; `_wired` the backbone subset.
+      telemetry::bump(tel_.handoff_dropped);
+      if (wired_dropped) telemetry::bump(tel_.handoff_dropped_wired);
+      telemetry_.emit(t,
+                      wired_dropped ? telemetry::EventKind::kWiredDrop
+                                    : telemetry::EventKind::kHandoffDrop,
+                      to, id, static_cast<double>(rec.m.bandwidth()));
+    }
     terminate(rec, /*cancel_expiry=*/true, /*cancel_crossing=*/false);
     mobiles_.erase(it);
     return;
@@ -447,8 +537,23 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
 
   if (granted < rec.m.bandwidth()) {
     metrics_[static_cast<std::size_t>(to)].degrades.add();
+    if (telemetry_.enabled()) {
+      telemetry::bump(tel_.handoff_degraded);
+      telemetry_.emit(t, telemetry::EventKind::kDegrade, to, id,
+                      static_cast<double>(granted));
+    }
   } else if (rec.m.degraded()) {
     metrics_[static_cast<std::size_t>(to)].upgrades.add();
+    if (telemetry_.enabled()) {
+      telemetry::bump(tel_.handoff_upgraded);
+      telemetry_.emit(t, telemetry::EventKind::kUpgrade, to, id,
+                      static_cast<double>(granted));
+    }
+  }
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.handoff_completed);
+    telemetry_.emit(t, telemetry::EventKind::kHandoff, to, id,
+                    static_cast<double>(granted));
   }
 
   cells_[static_cast<std::size_t>(from)].detach(id);
@@ -475,6 +580,12 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
 void CellularSystem::handle_expiry(traffic::ConnectionId id) {
   const auto it = mobiles_.find(id);
   PABR_CHECK(it != mobiles_.end(), "expiry for unknown mobile");
+  if (telemetry_.enabled()) {
+    telemetry::bump(tel_.expiries);
+    telemetry_.emit(simulator_.now(), telemetry::EventKind::kExpiry,
+                    it->second.m.cell, id,
+                    static_cast<double>(it->second.m.current_bandwidth));
+  }
   terminate(it->second, /*cancel_expiry=*/false, /*cancel_crossing=*/true);
   mobiles_.erase(it);
 }
@@ -619,6 +730,24 @@ SystemStatus CellularSystem::system_status() const {
 const CellTrace* CellularSystem::trace(geom::CellId cell) const {
   const auto it = traces_.find(cell);
   return it == traces_.end() ? nullptr : &it->second;
+}
+
+telemetry::MetricsSnapshot CellularSystem::telemetry_snapshot() {
+  if (telemetry_.enabled()) {
+    auto& reg = telemetry_.registry();
+    reg.gauge("signaling.n_calc")->set(accountant_.n_calc());
+    reg.gauge("signaling.messages")
+        ->set(static_cast<double>(interconnect_.total_messages()));
+    reg.gauge("connections.active")
+        ->set(static_cast<double>(mobiles_.size()));
+    reg.gauge("trace.emitted")
+        ->set(static_cast<double>(telemetry_.buffer().emitted()));
+    reg.gauge("trace.rotated_out")
+        ->set(static_cast<double>(telemetry_.buffer().rotated_out()));
+    reg.gauge("trace.sampled_out")
+        ->set(static_cast<double>(telemetry_.buffer().sampled_out()));
+  }
+  return telemetry_.snapshot();
 }
 
 Cell& CellularSystem::cell(geom::CellId id) {

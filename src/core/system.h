@@ -27,6 +27,7 @@
 #include "reservation/test_window.h"
 #include "sim/series.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "traffic/profiles.h"
 #include "traffic/retry.h"
 #include "traffic/workload.h"
@@ -117,6 +118,12 @@ struct SystemConfig {
   /// audit_invariants() itself stays callable in every build.
   int audit_every = 0;
 
+  /// Telemetry & trace collection (telemetry/telemetry.h). Default off;
+  /// with PABR_TELEMETRY compiled out the field is inert. Purely
+  /// observational either way: trajectories are byte-identical with
+  /// telemetry on, off, or compiled out.
+  telemetry::TelemetryConfig telemetry;
+
   std::uint64_t seed = 1;
 };
 
@@ -156,6 +163,14 @@ class CellularSystem final : public admission::AdmissionContext {
   SystemStatus system_status() const;
   const OfferedLoadTracker& offered_load() const { return load_tracker_; }
   const CellTrace* trace(geom::CellId cell) const;
+
+  // ---- Telemetry (src/telemetry/) ----------------------------------------
+  telemetry::Collector& telemetry() { return telemetry_; }
+  const telemetry::Collector& telemetry() const { return telemetry_; }
+  /// Metrics snapshot with the polled gauges (N_calc, signalling message
+  /// totals, active connections, trace-buffer health) synced first.
+  /// Empty when telemetry is disabled or compiled out.
+  telemetry::MetricsSnapshot telemetry_snapshot();
 
   // ---- Introspection ------------------------------------------------------
   const geom::LinearTopology& road() const { return road_; }
@@ -274,6 +289,8 @@ class CellularSystem final : public admission::AdmissionContext {
   sim::Counter wired_blocks_;
   sim::Counter wired_drops_;
   int events_since_audit_ = 0;
+  telemetry::Collector telemetry_;
+  telemetry::SimCounters tel_;  ///< null instruments unless telemetry is on
 
  public:
   const wired::Backbone* backbone() const { return backbone_.get(); }

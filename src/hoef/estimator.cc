@@ -60,12 +60,14 @@ void HandoffEstimator::record(const Quadruplet& q) {
   PrevHistory& h = by_prev_[q.prev];
   auto& dq = h.by_next[q.next];
   dq.push_back(q);
+  telemetry::bump(tel_recorded_);
 
   if (!is_finite_duration(config_.t_int)) {
     // With an infinite window the priority rule is pure recency, so only
     // the newest N_quad events per (prev, next) can ever be selected.
     while (dq.size() > static_cast<std::size_t>(config_.n_quad)) {
       dq.pop_front();
+      telemetry::bump(tel_evicted_);
     }
   } else {
     // Out-of-date events (older than every remaining periodic window) can
@@ -73,7 +75,10 @@ void HandoffEstimator::record(const Quadruplet& q) {
     const sim::Time horizon =
         q.event_time - config_.t_int -
         config_.period * static_cast<double>(config_.n_win_periods);
-    while (!dq.empty() && dq.front().event_time < horizon) dq.pop_front();
+    while (!dq.empty() && dq.front().event_time < horizon) {
+      dq.pop_front();
+      telemetry::bump(tel_evicted_);
+    }
   }
   ++h.revision;
   ++state_version_;
@@ -375,6 +380,7 @@ void HandoffEstimator::prune(sim::Time t0) {
     for (auto& [next, dq] : h.by_next) {
       while (!dq.empty() && dq.front().event_time < horizon) {
         dq.pop_front();
+        telemetry::bump(tel_evicted_);
         changed = true;
       }
     }

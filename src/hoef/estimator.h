@@ -28,6 +28,7 @@
 #include "geom/topology.h"
 #include "hoef/quadruplet.h"
 #include "sim/time.h"
+#include "telemetry/metrics.h"
 
 namespace pabr::hoef {
 
@@ -139,6 +140,16 @@ class HandoffEstimator {
   /// Total quadruplets currently cached (diagnostics).
   std::size_t cached_events() const;
 
+  /// Mirrors quadruplet ingestion/eviction onto telemetry counters
+  /// (telemetry/metrics.h). The owning system binds every station's
+  /// estimator to the same pair; bumps are no-ops until bound and fold
+  /// away when telemetry is compiled out.
+  void bind_telemetry(telemetry::Counter* recorded,
+                      telemetry::Counter* evicted) {
+    tel_recorded_ = recorded;
+    tel_evicted_ = evicted;
+  }
+
   geom::CellId self() const { return self_; }
   const EstimatorConfig& config() const { return config_; }
 
@@ -183,6 +194,8 @@ class HandoffEstimator {
   std::map<geom::CellId, PrevHistory> by_prev_;
   sim::Time last_event_time_ = 0.0;
   std::uint64_t state_version_ = 0;
+  telemetry::Counter* tel_recorded_ = nullptr;
+  telemetry::Counter* tel_evicted_ = nullptr;
 };
 
 }  // namespace pabr::hoef

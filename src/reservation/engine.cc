@@ -77,10 +77,12 @@ double IncrementalEngine::accumulate(
     if (hit) {
       scratch_.push_back(*cached);
       ++terms_reused_;
+      telemetry::bump(tel_reused_);
     } else {
       scratch_.push_back(
           make_term(source, target, entry, estimator, now, t_est));
       ++terms_recomputed_;
+      telemetry::bump(tel_recomputed_);
     }
     // Accumulate in table order onto the caller's running sum — the exact
     // association order of the scratch rescan, so the cached path is

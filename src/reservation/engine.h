@@ -45,6 +45,7 @@
 #include "geom/topology.h"
 #include "hoef/estimator.h"
 #include "sim/time.h"
+#include "telemetry/metrics.h"
 #include "traffic/connection.h"
 
 namespace pabr::reservation {
@@ -75,6 +76,15 @@ class IncrementalEngine {
   std::uint64_t terms_recomputed() const { return terms_recomputed_; }
   std::uint64_t terms_reused() const { return terms_reused_; }
 
+  /// Mirrors the per-term recompute/reuse tallies onto telemetry counters
+  /// (telemetry/metrics.h). Null pointers detach; bumps are no-ops until
+  /// bound and fold away entirely when telemetry is compiled out.
+  void bind_telemetry(telemetry::Counter* recomputed,
+                      telemetry::Counter* reused) {
+    tel_recomputed_ = recomputed;
+    tel_reused_ = reused;
+  }
+
  private:
   struct TermEntry {
     traffic::ConnectionId id = 0;
@@ -103,6 +113,8 @@ class IncrementalEngine {
   RouteNextFn route_next_;
   std::uint64_t terms_recomputed_ = 0;
   std::uint64_t terms_reused_ = 0;
+  telemetry::Counter* tel_recomputed_ = nullptr;
+  telemetry::Counter* tel_reused_ = nullptr;
 };
 
 }  // namespace pabr::reservation

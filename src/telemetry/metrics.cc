@@ -1,0 +1,231 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pabr::telemetry {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0) {
+  PABR_CHECK(hi > lo, "histogram range must be non-empty");
+  PABR_CHECK(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = buckets_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, buckets_.size() - 1);  // fp edge at hi
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_high(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (seen + in_bucket >= target && in_bucket > 0.0) {
+      const double frac = in_bucket == 0.0
+                              ? 0.0
+                              : std::clamp((target - seen) / in_bucket, 0.0,
+                                           1.0);
+      return bucket_low(i) + frac * width_;
+    }
+    seen += in_bucket;
+  }
+  return hi_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  if (const auto it = counter_index_.find(name);
+      it != counter_index_.end()) {
+    return &counters_[it->second];
+  }
+  counter_index_.emplace(name, counters_.size());
+  counter_names_.push_back(name);
+  counters_.emplace_back();
+  return &counters_.back();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return &gauges_[it->second];
+  }
+  gauge_index_.emplace(name, gauges_.size());
+  gauge_names_.push_back(name);
+  gauges_.emplace_back();
+  return &gauges_.back();
+}
+
+Histogram* Registry::histogram(const std::string& name, double lo, double hi,
+                               std::size_t buckets) {
+  if (const auto it = histogram_index_.find(name);
+      it != histogram_index_.end()) {
+    return &histograms_[it->second];
+  }
+  histogram_index_.emplace(name, histograms_.size());
+  histogram_names_.push_back(name);
+  histograms_.emplace_back(lo, hi, buckets);
+  return &histograms_.back();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    s.counters.emplace_back(counter_names_[i], counters_[i].count());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    s.gauges.emplace_back(gauge_names_[i], gauges_[i].value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i];
+    HistogramSummary hs;
+    hs.name = histogram_names_[i];
+    hs.lo = h.lo();
+    hs.hi = h.hi();
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.min = h.min();
+    hs.max = h.max();
+    hs.p50 = h.quantile(0.50);
+    hs.p99 = h.quantile(0.99);
+    hs.buckets = h.buckets();
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void Registry::reset() {
+  for (Counter& c : counters_) c.reset();
+  for (Gauge& g : gauges_) g.reset();
+  for (Histogram& h : histograms_) h.reset();
+}
+
+namespace {
+
+/// Quantile over a merged HistogramSummary — same linear interpolation as
+/// Histogram::quantile, but driven by the summary's bucket vector.
+double summary_quantile(const HistogramSummary& h, double q) {
+  if (h.count == 0 || h.buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double width =
+      (h.hi - h.lo) / static_cast<double>(h.buckets.size());
+  const double target = q * static_cast<double>(h.count);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(h.buckets[i]);
+    if (seen + in_bucket >= target && in_bucket > 0.0) {
+      const double frac = std::clamp((target - seen) / in_bucket, 0.0, 1.0);
+      return h.lo + width * (static_cast<double>(i) + frac);
+    }
+    seen += in_bucket;
+  }
+  return h.hi;
+}
+
+}  // namespace
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
+  MetricsSnapshot out;
+  std::unordered_map<std::string, std::size_t> counter_idx, gauge_idx,
+      histo_idx;
+  std::vector<std::uint64_t> gauge_samples;  // per-gauge sample counts
+
+  for (const MetricsSnapshot& s : snaps) {
+    for (const auto& [name, v] : s.counters) {
+      const auto [it, fresh] = counter_idx.emplace(name, out.counters.size());
+      if (fresh) {
+        out.counters.emplace_back(name, v);
+      } else {
+        out.counters[it->second].second += v;
+      }
+    }
+    for (const auto& [name, v] : s.gauges) {
+      const auto [it, fresh] = gauge_idx.emplace(name, out.gauges.size());
+      if (fresh) {
+        out.gauges.emplace_back(name, v);
+        gauge_samples.push_back(1);
+      } else {
+        out.gauges[it->second].second += v;
+        ++gauge_samples[it->second];
+      }
+    }
+    for (const HistogramSummary& h : s.histograms) {
+      const auto [it, fresh] = histo_idx.emplace(h.name,
+                                                 out.histograms.size());
+      if (fresh) {
+        out.histograms.push_back(h);
+        continue;
+      }
+      HistogramSummary& m = out.histograms[it->second];
+      if (m.lo != h.lo || m.hi != h.hi ||
+          m.buckets.size() != h.buckets.size()) {
+        continue;  // layouts drifted — keep the first occurrence as-is
+      }
+      if (h.count == 0) continue;
+      m.min = m.count == 0 ? h.min : std::min(m.min, h.min);
+      m.max = m.count == 0 ? h.max : std::max(m.max, h.max);
+      m.count += h.count;
+      m.sum += h.sum;
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        m.buckets[i] += h.buckets[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.gauges.size(); ++i) {
+    out.gauges[i].second /= static_cast<double>(gauge_samples[i]);
+  }
+  for (HistogramSummary& h : out.histograms) {
+    h.p50 = summary_quantile(h, 0.50);
+    h.p99 = summary_quantile(h, 0.99);
+  }
+  return out;
+}
+
+}  // namespace pabr::telemetry

@@ -1,0 +1,239 @@
+#include "telemetry/trace.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace pabr::telemetry {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'B', 'R', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+// A corrupt header must not drive a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxRecords = 1ull << 32;
+constexpr std::uint32_t kMaxMetaEntries = 1u << 16;
+constexpr std::uint32_t kMaxStringLen = 1u << 20;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_u32(std::istream& in, std::uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool get_u64(std::istream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool get_string(std::istream& in, std::string* s) {
+  std::uint32_t len = 0;
+  if (!get_u32(in, &len) || len > kMaxStringLen) return false;
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return in.good();
+}
+
+bool write_streams(const std::string& path, const TraceMeta& meta,
+                   const std::vector<std::vector<TraceRecord>>& streams,
+                   std::uint64_t rotated_out) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot write trace to " << path << '\n';
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(meta.entries.size()));
+  for (const auto& [key, value] : meta.entries) {
+    put_string(out, key);
+    put_string(out, value);
+  }
+  std::uint64_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  put_u64(out, total);
+  put_u64(out, rotated_out);
+  for (std::size_t slot = 0; slot < streams.size(); ++slot) {
+    for (TraceRecord rec : streams[slot]) {
+      rec.stream = static_cast<std::uint16_t>(slot);
+      out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+    }
+  }
+  if (!out) {
+    std::cerr << "warning: short write while tracing to " << path << '\n';
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kBlock: return "block";
+    case EventKind::kWiredBlock: return "wired_block";
+    case EventKind::kHandoff: return "handoff";
+    case EventKind::kHandoffDrop: return "handoff_drop";
+    case EventKind::kWiredDrop: return "wired_drop";
+    case EventKind::kDegrade: return "degrade";
+    case EventKind::kUpgrade: return "upgrade";
+    case EventKind::kExpiry: return "expiry";
+    case EventKind::kOffRoad: return "off_road";
+    case EventKind::kBrRecompute: return "br_recompute";
+    case EventKind::kQuadRecord: return "quad_record";
+    case EventKind::kQuadEvict: return "quad_evict";
+    case EventKind::kSoftAlloc: return "soft_alloc";
+    case EventKind::kSoftFallback: return "soft_fallback";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kTEstStep: return "t_est_step";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity, std::uint32_t sample_every)
+    : capacity_(capacity),
+      sample_every_(sample_every == 0 ? 1 : sample_every) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceBuffer::emit(double t, EventKind kind, std::int32_t cell,
+                       std::uint64_t mobile, double payload) {
+  if (capacity_ == 0) return;
+  ++emitted_;
+  if (sample_every_ > 1 && (sample_seq_++ % sample_every_) != 0) {
+    ++sampled_out_;
+    return;
+  }
+  TraceRecord rec;
+  rec.t = t;
+  rec.cell = cell;
+  rec.kind = static_cast<std::uint16_t>(kind);
+  rec.mobile = mobile;
+  rec.payload = payload;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  ring_[head_] = rec;
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+  ++rotated_out_;
+}
+
+std::vector<TraceRecord> TraceBuffer::records() const {
+  if (!wrapped_) return ring_;
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+std::vector<TraceRecord> TraceBuffer::drain() {
+  std::vector<TraceRecord> out = records();
+  ring_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  return out;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  emitted_ = sampled_out_ = rotated_out_ = 0;
+  sample_seq_ = 0;
+}
+
+void TraceMeta::set(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries.emplace_back(key, value);
+}
+
+std::string TraceMeta::get(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool write_trace(const std::string& path, const TraceMeta& meta,
+                 const std::vector<TraceRecord>& records,
+                 std::uint64_t rotated_out) {
+  return write_streams(path, meta, {records}, rotated_out);
+}
+
+bool write_merged_trace(const std::string& path, const TraceMeta& meta,
+                        const std::vector<std::vector<TraceRecord>>& streams,
+                        std::uint64_t rotated_out) {
+  return write_streams(path, meta, streams, rotated_out);
+}
+
+std::optional<TraceFile> read_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot open trace " << path << '\n';
+    return std::nullopt;
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::cerr << "error: " << path << " is not a pabr trace\n";
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!get_u32(in, &version) || version != kVersion) {
+    std::cerr << "error: unsupported trace version in " << path << '\n';
+    return std::nullopt;
+  }
+  TraceFile file;
+  std::uint32_t meta_count = 0;
+  if (!get_u32(in, &meta_count) || meta_count > kMaxMetaEntries) {
+    std::cerr << "error: corrupt trace header in " << path << '\n';
+    return std::nullopt;
+  }
+  for (std::uint32_t i = 0; i < meta_count; ++i) {
+    std::string key, value;
+    if (!get_string(in, &key) || !get_string(in, &value)) {
+      std::cerr << "error: corrupt trace metadata in " << path << '\n';
+      return std::nullopt;
+    }
+    file.meta.entries.emplace_back(std::move(key), std::move(value));
+  }
+  std::uint64_t count = 0;
+  if (!get_u64(in, &count) || !get_u64(in, &file.rotated_out) ||
+      count > kMaxRecords) {
+    std::cerr << "error: corrupt trace header in " << path << '\n';
+    return std::nullopt;
+  }
+  file.records.resize(count);
+  in.read(reinterpret_cast<char*>(file.records.data()),
+          static_cast<std::streamsize>(count * sizeof(TraceRecord)));
+  if (!in.good()) {
+    std::cerr << "error: truncated trace body in " << path << '\n';
+    return std::nullopt;
+  }
+  return file;
+}
+
+}  // namespace pabr::telemetry

@@ -1,0 +1,34 @@
+#include "util/buildinfo.h"
+
+// PABR_GIT_SHA / PABR_BUILD_TYPE are injected per-source by
+// src/CMakeLists.txt at configure time.
+#ifndef PABR_GIT_SHA
+#define PABR_GIT_SHA "unknown"
+#endif
+#ifndef PABR_BUILD_TYPE
+#define PABR_BUILD_TYPE "unknown"
+#endif
+
+namespace pabr::buildinfo {
+
+const char* git_sha() { return PABR_GIT_SHA; }
+
+const char* build_type() { return PABR_BUILD_TYPE; }
+
+bool audit_enabled() {
+#ifdef PABR_AUDIT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool telemetry_enabled() {
+#ifdef PABR_TELEMETRY_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace pabr::buildinfo

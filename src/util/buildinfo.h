@@ -1,0 +1,23 @@
+// Build provenance for machine-readable reports: the git revision and
+// build type captured at configure time, plus which compile-time feature
+// gates (PABR_AUDIT, PABR_TELEMETRY) this binary was built with. Bench
+// --json reports and trace file headers embed these so a result can
+// always be traced back to the code and configuration that produced it.
+#pragma once
+
+namespace pabr::buildinfo {
+
+/// Abbreviated git commit sha at configure time ("unknown" outside a git
+/// checkout). A trailing "+" marks configure-time uncommitted changes.
+const char* git_sha();
+
+/// CMAKE_BUILD_TYPE of this binary ("RelWithDebInfo", "Release", ...).
+const char* build_type();
+
+/// True when per-event invariant audit hooks are compiled in.
+bool audit_enabled();
+
+/// True when telemetry/trace hooks are compiled in.
+bool telemetry_enabled();
+
+}  // namespace pabr::buildinfo

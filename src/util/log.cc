@@ -1,13 +1,27 @@
 #include "util/log.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <iostream>
+#include <mutex>
 
 namespace pabr::log {
 namespace {
 
-Level g_level = Level::kWarn;
+std::atomic<Level> g_level{Level::kWarn};
+
+// Serializes line emission (and guards the sink) across the parallel
+// experiment drivers' worker threads.
+std::mutex& output_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Sink& sink_slot() {
+  static Sink sink;
+  return sink;
+}
 
 const char* level_name(Level level) {
   switch (level) {
@@ -29,34 +43,47 @@ const char* level_name(Level level) {
 
 }  // namespace
 
-void set_level(Level level) { g_level = level; }
+void set_level(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-Level level() { return g_level; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
 
 bool set_level_by_name(const std::string& name) {
   std::string lower(name.size(), '\0');
   std::transform(name.begin(), name.end(), lower.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (lower == "trace") {
-    g_level = Level::kTrace;
+    set_level(Level::kTrace);
   } else if (lower == "debug") {
-    g_level = Level::kDebug;
+    set_level(Level::kDebug);
   } else if (lower == "info") {
-    g_level = Level::kInfo;
+    set_level(Level::kInfo);
   } else if (lower == "warn") {
-    g_level = Level::kWarn;
+    set_level(Level::kWarn);
   } else if (lower == "error") {
-    g_level = Level::kError;
+    set_level(Level::kError);
   } else if (lower == "off") {
-    g_level = Level::kOff;
+    set_level(Level::kOff);
   } else {
     return false;
   }
   return true;
 }
 
+void set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(output_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void write(Level lvl, const std::string& message) {
-  if (lvl < g_level || g_level == Level::kOff) return;
+  const Level threshold = level();
+  if (lvl < threshold || threshold == Level::kOff) return;
+  const std::lock_guard<std::mutex> lock(output_mutex());
+  if (Sink& sink = sink_slot(); sink) {
+    sink(lvl, message);
+    return;
+  }
   std::cerr << '[' << level_name(lvl) << "] " << message << '\n';
 }
 

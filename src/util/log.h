@@ -1,8 +1,12 @@
-// Minimal leveled logger. The simulator is deterministic and single
-// threaded, so the logger keeps no locks; output goes to stderr so that
-// bench binaries can print machine-readable tables on stdout.
+// Minimal leveled logger, safe under the parallel experiment drivers
+// (sim/parallel.h): the threshold is an atomic, each emitted line is
+// written to stderr under a mutex (so concurrent replications never
+// interleave characters), and an optional sink hook captures lines for
+// tests. Output goes to stderr so that bench binaries can print
+// machine-readable tables on stdout.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,6 +15,8 @@ namespace pabr::log {
 enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Sets the global threshold; messages below it are discarded.
+/// Thread-safe (atomic store) — but call it from one thread at startup;
+/// flipping it mid-run races benignly with the PABR_LOG fast path.
 void set_level(Level level);
 Level level();
 
@@ -19,8 +25,16 @@ Level level();
 bool set_level_by_name(const std::string& name);
 
 /// Emits one line "[LEVEL] message" to stderr if `level` passes the
-/// threshold.
+/// threshold. Lines from concurrent threads are serialized whole, never
+/// interleaved mid-line.
 void write(Level level, const std::string& message);
+
+/// Redirects formatted lines ("[LEVEL] message") to `sink` instead of
+/// stderr; pass nullptr to restore stderr. Used by tests to capture
+/// output; the sink runs under the logger's mutex, so it may append to a
+/// plain container but must not log re-entrantly.
+using Sink = std::function<void(Level, const std::string&)>;
+void set_sink(Sink sink);
 
 namespace detail {
 

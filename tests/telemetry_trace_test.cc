@@ -1,0 +1,213 @@
+// Trace ring buffer semantics (rotation, sampling) and the .pabrtrace
+// file round-trip (telemetry/trace.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace pabr::telemetry {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TraceRecord make_record(std::uint64_t i) {
+  TraceRecord r;
+  r.t = 0.001 * static_cast<double>(i);
+  r.cell = static_cast<std::int32_t>(i % 7);
+  r.kind = static_cast<std::uint16_t>(1 + i % 17);
+  r.mobile = i;
+  r.payload = static_cast<double>(i) * 0.5;
+  return r;
+}
+
+TEST(TelemetryTraceTest, RecordLayoutIsStable) {
+  EXPECT_EQ(sizeof(TraceRecord), 32u);
+}
+
+TEST(TelemetryTraceTest, BufferKeepsInsertionOrderBelowCapacity) {
+  TraceBuffer buf(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    buf.emit(static_cast<double>(i), EventKind::kAdmit,
+             static_cast<std::int32_t>(i), 100 + i, 1.0);
+  }
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.emitted(), 5u);
+  EXPECT_EQ(buf.rotated_out(), 0u);
+  const auto recs = buf.records();
+  ASSERT_EQ(recs.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(recs[i].t, static_cast<double>(i));
+    EXPECT_EQ(recs[i].mobile, 100 + i);
+  }
+}
+
+TEST(TelemetryTraceTest, RingRotatesOutOldestAndCountsDrops) {
+  TraceBuffer buf(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    buf.emit(static_cast<double>(i), EventKind::kBlock, 0, i, 0.0);
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.emitted(), 10u);
+  EXPECT_EQ(buf.rotated_out(), 6u);
+  const auto recs = buf.records();  // oldest-first after wrap
+  ASSERT_EQ(recs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recs[i].mobile, 6 + i);
+  }
+}
+
+TEST(TelemetryTraceTest, ZeroCapacityDisablesCollection) {
+  TraceBuffer buf(0);
+  buf.emit(1.0, EventKind::kAdmit, 0, 1, 1.0);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.records().empty());
+}
+
+TEST(TelemetryTraceTest, SamplerKeepsEveryNthDeterministically) {
+  TraceBuffer a(64, 3);
+  TraceBuffer b(64, 3);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    a.emit(static_cast<double>(i), EventKind::kHandoff, 0, i, 0.0);
+    b.emit(static_cast<double>(i), EventKind::kHandoff, 0, i, 0.0);
+  }
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a.emitted(), 30u);
+  EXPECT_EQ(a.sampled_out(), 20u);
+  // Determinism: two buffers fed identically keep identical records.
+  const auto ra = a.records();
+  const auto rb = b.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].mobile, rb[i].mobile);
+  }
+}
+
+TEST(TelemetryTraceTest, DrainReturnsRecordsAndEmptiesRing) {
+  TraceBuffer buf(8);
+  buf.emit(1.0, EventKind::kExpiry, 2, 3, 4.0);
+  const auto recs = buf.drain();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.emitted(), 1u);  // counters survive a drain
+}
+
+TEST(TelemetryTraceTest, ClearResetsRecordsAndCounters) {
+  TraceBuffer buf(2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    buf.emit(0.0, EventKind::kAdmit, 0, i, 0.0);
+  }
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.emitted(), 0u);
+  EXPECT_EQ(buf.rotated_out(), 0u);
+}
+
+TEST(TelemetryTraceTest, MetaRoundTripsThroughFile) {
+  TraceMeta meta;
+  meta.set("bench", "unit_test");
+  meta.set("seed", "42");
+  meta.set("note", "value with spaces, punctuation: ok");
+  const std::string path = temp_path("meta_roundtrip.pabrtrace");
+  ASSERT_TRUE(write_trace(path, meta, {}));
+  const auto file = read_trace(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->meta.get("bench"), "unit_test");
+  EXPECT_EQ(file->meta.get("seed"), "42");
+  EXPECT_EQ(file->meta.get("note"), "value with spaces, punctuation: ok");
+  EXPECT_EQ(file->meta.get("absent"), "");
+  EXPECT_TRUE(file->records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTraceTest, LargeTraceRoundTripsExactly) {
+  // Acceptance criterion: >= 100k records survive write/read bit-exactly.
+  constexpr std::uint64_t kCount = 120'000;
+  std::vector<TraceRecord> records;
+  records.reserve(kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) records.push_back(make_record(i));
+
+  TraceMeta meta;
+  meta.set("bench", "roundtrip_100k");
+  const std::string path = temp_path("large_roundtrip.pabrtrace");
+  ASSERT_TRUE(write_trace(path, meta, records, /*rotated_out=*/7));
+
+  const auto file = read_trace(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->rotated_out, 7u);
+  ASSERT_EQ(file->records.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; i += 997) {  // spot-check stride
+    const TraceRecord& got = file->records[i];
+    const TraceRecord want = make_record(i);
+    EXPECT_DOUBLE_EQ(got.t, want.t);
+    EXPECT_EQ(got.cell, want.cell);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.mobile, want.mobile);
+    EXPECT_DOUBLE_EQ(got.payload, want.payload);
+  }
+  // Endpoints exactly.
+  EXPECT_EQ(file->records.front().mobile, 0u);
+  EXPECT_EQ(file->records.back().mobile, kCount - 1);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTraceTest, MergedStreamsAreStampedBySlotIndex) {
+  std::vector<std::vector<TraceRecord>> streams(3);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      streams[static_cast<std::size_t>(s)].push_back(
+          make_record(static_cast<std::uint64_t>(s * 100 + i)));
+    }
+  }
+  TraceMeta meta;
+  meta.set("bench", "merged");
+  const std::string path = temp_path("merged_streams.pabrtrace");
+  ASSERT_TRUE(write_merged_trace(path, meta, streams));
+  const auto file = read_trace(path);
+  ASSERT_TRUE(file.has_value());
+  ASSERT_EQ(file->records.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    // Slot order, not arrival order: stream s occupies [4s, 4s+4).
+    EXPECT_EQ(file->records[i].stream, static_cast<std::uint16_t>(i / 4));
+    EXPECT_EQ(file->records[i].mobile,
+              static_cast<std::uint64_t>((i / 4) * 100 + i % 4));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTraceTest, ReadRejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(read_trace(temp_path("no_such_file.pabrtrace")).has_value());
+
+  const std::string path = temp_path("corrupt.pabrtrace");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a pabr trace";
+  }
+  EXPECT_FALSE(read_trace(path).has_value());
+
+  // Valid header, truncated record section.
+  const std::string trunc = temp_path("truncated.pabrtrace");
+  {
+    TraceMeta meta;
+    std::vector<TraceRecord> recs(4);
+    ASSERT_TRUE(write_trace(trunc, meta, recs));
+    std::ifstream in(trunc, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 16);  // chop half a record
+    std::ofstream out(trunc, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_FALSE(read_trace(trunc).has_value());
+  std::remove(path.c_str());
+  std::remove(trunc.c_str());
+}
+
+}  // namespace
+}  // namespace pabr::telemetry
