@@ -150,7 +150,7 @@ inline void write_bench_trace(const std::string& bench,
 ///   {"bench": "...", "seed": 3, "full": false,
 ///    "meta": {"git_sha": "...", "build_type": "...", "threads": 1,
 ///             "audit_enabled": false, "telemetry_compiled": true,
-///             "telemetry": false},
+///             "telemetry": false, "fault_compiled": true},
 ///    "columns": [...], "rows": [[...], ...],
 ///    "counters": {"wall_seconds": 12.3, ...},
 ///    "metrics": {"counters": {...}, "gauges": {...},
@@ -174,6 +174,8 @@ class JsonReport {
                        buildinfo::telemetry_enabled() ? "true" : "false");
     meta_.emplace_back("telemetry",
                        opts.telemetry_requested() ? "true" : "false");
+    meta_.emplace_back("fault_compiled",
+                       buildinfo::fault_enabled() ? "true" : "false");
   }
 
   bool active() const { return !path_.empty(); }

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   int seeds = 100;
   unsigned long long base_seed = 1;
   int audit_every = 8;
+  bool faults = false;
   cli::Parser cli("fuzz_driver",
                   "differential scenario fuzzer (incremental vs scratch "
                   "reservation, 1 vs N threads, invariant audits)");
@@ -50,19 +51,28 @@ int main(int argc, char** argv) {
   cli.add_int("audit-every", &audit_every,
               "run the invariant sweep every Nth event (0 = end-of-run "
               "checkpoint only; needs a PABR_AUDIT build to matter)");
+  cli.add_bool("faults", &faults,
+               "draw a random fault schedule per seed (link/station "
+               "outages, message loss) — needs a PABR_FAULT build");
   if (!cli.parse(argc, argv)) return 1;
+  if (faults && !buildinfo::fault_enabled()) {
+    std::cout << "warning: --faults requested but fault-injection hooks were "
+                 "compiled out (PABR_FAULT=OFF); schedules are generated but "
+                 "inert\n";
+  }
   if (opts.full) seeds = std::max(seeds, 500);
   if (opts.threads <= 0) opts.threads = sim::hardware_threads();
 
   bench::print_banner("Differential scenario fuzzer — " +
                       std::to_string(seeds) + " seeds from " +
                       std::to_string(base_seed) + ", audit every " +
-                      std::to_string(audit_every) + " events");
+                      std::to_string(audit_every) + " events" +
+                      (faults ? ", fault schedules on" : ""));
 
   const auto n = static_cast<std::size_t>(seeds);
   const auto run_seed = [&](std::size_t i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const core::ScenarioSpec spec = core::random_scenario(seed);
+    const core::ScenarioSpec spec = core::random_scenario(seed, faults);
     SeedResult r;
     try {
       r.incremental = audit::run_scenario_digest(spec, true, audit_every);
@@ -94,7 +104,7 @@ int main(int argc, char** argv) {
   json.columns({"seed", "digest", "status"});
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const core::ScenarioSpec spec = core::random_scenario(seed);
+    const core::ScenarioSpec spec = core::random_scenario(seed, faults);
     std::string status = "ok";
     if (sequential[i].failed) {
       status = "audit: " + sequential[i].error;

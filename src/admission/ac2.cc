@@ -7,6 +7,13 @@ bool Ac2Policy::admit(AdmissionContext& sys, geom::CellId cell,
   bool ok = true;
   bool neighbor_failed = false;
   for (geom::CellId i : sys.adjacent(cell)) {
+    // Degraded mode: an unreachable neighbour cannot run its reserve
+    // check, so AC2 falls back to the AC1-local decision for that cell
+    // rather than rejecting outright (the local test below still runs).
+    if (!sys.neighbor_reachable(cell, i)) {
+      telemetry::bump(tel_fallbacks_local_);
+      continue;
+    }
     const double br_i = sys.recompute_reservation(i);
     if (exceeds_budget(sys.used_bandwidth(i), 0.0, sys.capacity(i), br_i)) {
       ok = false;
@@ -28,6 +35,7 @@ void Ac2Policy::bind_telemetry(telemetry::Registry& registry) {
   tel_admits_ = registry.counter("ac2.admits");
   tel_rejects_local_ = registry.counter("ac2.rejects_local");
   tel_rejects_neighbor_ = registry.counter("ac2.rejects_neighbor");
+  tel_fallbacks_local_ = registry.counter("ac2.fallback_local");
 }
 
 }  // namespace pabr::admission

@@ -20,6 +20,7 @@ class Ac2Policy final : public AdmissionPolicy {
   telemetry::Counter* tel_admits_ = nullptr;
   telemetry::Counter* tel_rejects_local_ = nullptr;    ///< cell 0 test failed
   telemetry::Counter* tel_rejects_neighbor_ = nullptr; ///< some A_0 test failed
+  telemetry::Counter* tel_fallbacks_local_ = nullptr;  ///< neighbour unreachable
 };
 
 }  // namespace pabr::admission

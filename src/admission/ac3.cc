@@ -6,6 +6,13 @@ bool Ac3Policy::admit(AdmissionContext& sys, geom::CellId cell,
                       traffic::Bandwidth b_new) {
   bool ok = true;
   for (geom::CellId i : sys.adjacent(cell)) {
+    // Degraded mode: an unreachable neighbour cannot be asked to
+    // recompute, so AC3 degrades to the AC1-local decision for that
+    // cell (the local test below still runs).
+    if (!sys.neighbor_reachable(cell, i)) {
+      telemetry::bump(tel_fallbacks_local_);
+      continue;
+    }
     // Participation test uses the *stale* target B_r^curr (paper: "which
     // was calculated for a previous admission test, is not reserved
     // fully"). It is phrased through the same budget form as the AC2
@@ -34,6 +41,7 @@ void Ac3Policy::bind_telemetry(telemetry::Registry& registry) {
   tel_admits_ = registry.counter("ac3.admits");
   tel_rejects_ = registry.counter("ac3.rejects");
   tel_participations_ = registry.counter("ac3.participations");
+  tel_fallbacks_local_ = registry.counter("ac3.fallback_local");
 }
 
 }  // namespace pabr::admission

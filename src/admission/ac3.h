@@ -26,6 +26,7 @@ class Ac3Policy final : public AdmissionPolicy {
   /// Adjacent cells whose participation test fired (the selective
   /// recomputations that keep N_calc below AC2's |A_0|+1).
   telemetry::Counter* tel_participations_ = nullptr;
+  telemetry::Counter* tel_fallbacks_local_ = nullptr;  ///< neighbour unreachable
 };
 
 }  // namespace pabr::admission

@@ -72,6 +72,17 @@ class AdmissionContext {
   /// 0 before any computation). AC3's participation test uses this.
   virtual double current_reservation(geom::CellId cell) const = 0;
 
+  /// True when the BS of `neighbor` can currently be consulted from
+  /// `cell` over the signalling backhaul. Always true in the default
+  /// (fault-free) system; under fault injection the core system probes
+  /// the link/station state. AC2/AC3 skip unreachable neighbours and
+  /// fall back to their AC1-local test for those cells.
+  virtual bool neighbor_reachable(geom::CellId cell, geom::CellId neighbor) {
+    (void)cell;
+    (void)neighbor;
+    return true;
+  }
+
   /// Reference implementation of recompute_reservation: a full from-
   /// scratch rescan of all adjacent cells' connections with NO contribution
   /// caching, no stored side effects and no N_calc accounting. Systems with

@@ -81,6 +81,8 @@ GuardChannelResult evaluate(const GuardChannelParams& p, int max_iterations,
              "guard out of range");
   PABR_CHECK(p.lambda_new >= 0.0, "negative arrival rate");
   PABR_CHECK(p.mean_lifetime_s > 0.0, "bad lifetime");
+  PABR_CHECK(max_iterations >= 1, "evaluate: need at least one iteration");
+  PABR_CHECK(tolerance > 0.0, "evaluate: non-positive tolerance");
 
   const int servers = static_cast<int>(p.capacity_bu);
   const int threshold = static_cast<int>(p.capacity_bu - p.guard_bu);
@@ -120,18 +122,23 @@ GuardChannelResult evaluate(const GuardChannelParams& p, int max_iterations,
 
     const double next_lambda_h = p.lambda_new * (1.0 - pcb) * p_hn +
                                  lambda_h * (1.0 - phd) * p_hh;
-    const double delta = std::fabs(next_lambda_h - lambda_h);
+    const double delta = next_lambda_h - lambda_h;
     r.pcb = pcb;
     r.phd = phd;
     r.mean_busy = busy;
     // Damped update keeps the heavy-load fixed point stable.
     lambda_h = 0.5 * lambda_h + 0.5 * next_lambda_h;
     r.lambda_h = lambda_h;
-    if (delta < tolerance) {
+    // Magnitude test on the signed step: the fixed-point iteration can
+    // approach from either side, so the raw delta may be negative.
+    if (std::fabs(delta) < tolerance) {
       r.converged = true;
       break;
     }
   }
+  PABR_CHECK(r.converged,
+             "guard-channel fixed point did not converge within the "
+             "iteration cap; raise max_iterations or loosen tolerance");
   return r;
 }
 

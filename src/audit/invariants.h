@@ -23,6 +23,16 @@
 //   I8  Estimator event stores are event-time-sorted, hold nothing newer
 //       than the last recorded event, and respect the N_quad cap
 //       (hoef::HandoffEstimator::audit).
+//   I9  Degraded mode (fault injection): the I5 comparison runs per
+//       (neighbour -> cell) pair over the reachable, non-stale pairs
+//       only. Unreachable pairs have no comparable terms (both the
+//       production and the replay path substitute the configured static
+//       floor); stale pairs' caches were intentionally dropped and are
+//       bitwise-audited against the from-scratch rescan by the production
+//       path itself at the next successful exchange (the post-heal
+//       re-sync in recompute_reservation). The sweep never accumulates a
+//       stale pair — doing so would rebuild its cache and silently
+//       discharge that production audit.
 #pragma once
 
 #include "core/cell.h"

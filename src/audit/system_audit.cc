@@ -83,10 +83,34 @@ void CellularSystem::audit_invariants() {
   // I5: the incremental engine must reproduce the from-scratch Eq. (6)
   // rescan bitwise. Accumulating here only warms the engine's caches —
   // never changes a value it will return — so the check is silent.
+  //
+  // I9 (degraded mode): under fault injection the comparison runs per
+  // (neighbour -> cell) pair and skips pairs that are currently
+  // unreachable (both replay paths substitute the same static floor, so
+  // there are no terms to compare) or stale (the cache was intentionally
+  // dropped; it is re-synced and bitwise-audited by the production path
+  // at the next successful exchange). Stale pairs must NOT be
+  // accumulated here — that would rebuild their caches and silently
+  // discharge the production re-sync audit, making the sweep
+  // trajectory-visible.
   if (config_.incremental_reservation) {
     for (geom::CellId cell = 0; cell < config_.num_cells; ++cell) {
       const sim::Duration t_est =
           stations_[static_cast<std::size_t>(cell)].window().t_est();
+      if (faults_on()) {
+        for (geom::CellId i : road_.neighbors(cell)) {
+          if (!fault_->exchange_outcome(cell, i, t).delivered) continue;
+          if (reservation_engine_.is_stale(i, cell)) continue;
+          const double incremental = reservation_engine_.accumulate(
+              i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+              stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+              0.0);
+          PABR_CHECK(incremental ==
+                         rescan_contribution(i, cell, t, t_est, 0.0),
+                     "audit: incremental pair diverged from scratch rescan");
+        }
+        continue;
+      }
       double incremental = 0.0;
       for (geom::CellId i : road_.neighbors(cell)) {
         incremental = reservation_engine_.accumulate(
@@ -125,10 +149,25 @@ void HexCellularSystem::audit_invariants() {
                "audit: resident count != cell connection count");
   }
 
+  // I5 / I9 — same degraded-mode rules as the linear sweep above.
   if (config_.incremental_reservation) {
     for (geom::CellId cell = 0; cell < grid_.num_cells(); ++cell) {
       const sim::Duration t_est =
           stations_[static_cast<std::size_t>(cell)].window().t_est();
+      if (faults_on()) {
+        for (geom::CellId i : grid_.neighbors(cell)) {
+          if (!fault_->exchange_outcome(cell, i, t).delivered) continue;
+          if (reservation_engine_.is_stale(i, cell)) continue;
+          const double incremental = reservation_engine_.accumulate(
+              i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+              stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+              0.0);
+          PABR_CHECK(incremental ==
+                         rescan_contribution(i, cell, t, t_est, 0.0),
+                     "audit: incremental pair diverged from scratch rescan");
+        }
+        continue;
+      }
       double incremental = 0.0;
       for (geom::CellId i : grid_.neighbors(cell)) {
         incremental = reservation_engine_.accumulate(

@@ -27,6 +27,39 @@ void SignalingAccountant::record_br_calculation(geom::CellId cell) {
   }
 }
 
+void SignalingAccountant::count_br_calculation() {
+  if (open_) ++in_flight_;
+  total_.add();
+  telemetry::bump(tel_br_calculations_);
+}
+
+bool SignalingAccountant::exchange(geom::CellId from, geom::CellId to,
+                                   sim::Time t,
+                                   fault::FaultInjector& injector,
+                                   MessageType request_type) {
+  const fault::ExchangeOutcome out = injector.exchange_outcome(from, to, t);
+  if (interconnect_ != nullptr) {
+    // The T_est announce piggybacks on B_r queries only (reachability
+    // probes carry no window). The request is re-sent on every retry,
+    // and the reply exists only when the exchange ultimately got through.
+    if (request_type == MessageType::kBandwidthQuery) {
+      interconnect_->record(from, to, MessageType::kTestWindowAnnounce);
+    }
+    for (int k = 0; k < out.attempts; ++k) {
+      interconnect_->record(from, to, request_type);
+    }
+    if (out.delivered) {
+      interconnect_->record(to, from, MessageType::kBandwidthReply);
+    }
+  }
+  if (out.attempts > 1) {
+    telemetry::bump(tel_retries_,
+                    static_cast<std::uint64_t>(out.attempts - 1));
+  }
+  if (!out.delivered) telemetry::bump(tel_timeouts_);
+  return out.delivered;
+}
+
 void SignalingAccountant::end_admission() {
   PABR_CHECK(open_, "end_admission without begin_admission");
   open_ = false;

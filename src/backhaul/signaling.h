@@ -5,6 +5,7 @@
 #pragma once
 
 #include "backhaul/network.h"
+#include "fault/fault.h"
 #include "geom/topology.h"
 #include "sim/stats.h"
 #include "telemetry/metrics.h"
@@ -33,6 +34,22 @@ class SignalingAccountant {
   /// receives a reply (paper §4.1 last paragraph).
   void record_br_calculation(geom::CellId cell);
 
+  /// Tallies one B_r computation toward N_calc and the telemetry counter
+  /// without the all-neighbors message loop. Fault-mode callers use this
+  /// and then account each per-neighbour exchange() individually, so
+  /// retried or undelivered messages are billed per attempt instead of
+  /// assuming the fixed announce/query/reply triple always succeeds.
+  void count_br_calculation();
+
+  /// One query/reply exchange between `from` and `to` under fault
+  /// injection: asks `injector` for the outcome, records `request_type`
+  /// once per attempt (plus the T_est announce on the first attempt) and
+  /// the reply only on delivery, and mirrors retries/timeouts onto the
+  /// bound fault telemetry counters. Returns true when the exchange
+  /// eventually succeeded within the retry budget.
+  bool exchange(geom::CellId from, geom::CellId to, sim::Time t,
+                fault::FaultInjector& injector, MessageType request_type);
+
   void end_admission();
 
   /// True between begin_admission and end_admission. Event handlers are
@@ -58,6 +75,14 @@ class SignalingAccountant {
     tel_br_calculations_ = br_calculations;
   }
 
+  /// Fault-path telemetry: retransmissions and exhausted retry budgets
+  /// observed by exchange(). No-ops until bound.
+  void bind_fault_telemetry(telemetry::Counter* retries,
+                            telemetry::Counter* timeouts) {
+    tel_retries_ = retries;
+    tel_timeouts_ = timeouts;
+  }
+
  private:
   const geom::Topology& topology_;
   InterconnectModel* interconnect_;  // may be null (no message accounting)
@@ -66,6 +91,8 @@ class SignalingAccountant {
   int in_flight_ = 0;
   bool open_ = false;
   telemetry::Counter* tel_br_calculations_ = nullptr;
+  telemetry::Counter* tel_retries_ = nullptr;
+  telemetry::Counter* tel_timeouts_ = nullptr;
 };
 
 /// RAII admission bracket: begin on construction, end on destruction —

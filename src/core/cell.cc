@@ -30,8 +30,10 @@ void Cell::attach(traffic::ConnectionId id, traffic::Bandwidth b) {
 void Cell::attach(traffic::ConnectionId id, traffic::Bandwidth b,
                   const traffic::ReservationView& view) {
   PABR_CHECK(b > 0, "Cell: non-positive bandwidth");
-  PABR_CHECK(used_ + static_cast<double>(b) <= soft_capacity() + 1e-9,
-             "Cell: attach exceeds soft capacity");
+  PABR_CHECK(
+      admission::fits_budget(used_, static_cast<double>(b), soft_capacity(),
+                             0.0),
+      "Cell: attach exceeds soft capacity");
   const auto it = find_slot(id);
   PABR_CHECK(it == entries_.end() || it->id != id,
              "Cell: connection already attached");
@@ -63,7 +65,7 @@ void Cell::reassign(traffic::ConnectionId id, traffic::Bandwidth new_b) {
   PABR_CHECK(it != entries_.end() && it->id == id,
              "Cell: reassigning unknown connection");
   const double delta = static_cast<double>(new_b - it->bandwidth);
-  PABR_CHECK(used_ + delta <= soft_capacity() + 1e-9,
+  PABR_CHECK(admission::fits_budget(used_, delta, soft_capacity(), 0.0),
              "Cell: reassign exceeds soft capacity");
   used_ += delta;
   it->bandwidth = new_b;

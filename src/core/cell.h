@@ -44,8 +44,11 @@ class Cell {
   }
 
   /// True while occupancy exceeds the hard capacity (soft-capacity
-  /// overload: degraded interference budget).
-  bool overloaded() const { return used_ > capacity_ + 1e-9; }
+  /// overload: degraded interference budget). Same boundary helper and
+  /// tolerance as every other bandwidth comparison.
+  bool overloaded() const {
+    return admission::exceeds_budget(used_, 0.0, capacity_, 0.0);
+  }
 
   void attach(traffic::ConnectionId id, traffic::Bandwidth b);
   /// Attach with the reservation-visible mobility state filled in (the

@@ -49,6 +49,12 @@ HexCellularSystem::HexCellularSystem(HexSystemConfig config)
     metrics_[static_cast<std::size_t>(c)].bu_mean.update(0.0, 0.0);
   }
 
+#ifdef PABR_FAULT_ENABLED
+  if (config_.fault.enabled) {
+    fault_ = std::make_unique<fault::FaultInjector>(config_.fault);
+  }
+#endif
+
   telemetry_.configure(config_.telemetry);
   if (telemetry_.enabled()) {
     tel_ = telemetry::make_sim_counters(telemetry_.registry(),
@@ -60,6 +66,13 @@ HexCellularSystem::HexCellularSystem(HexSystemConfig config)
     for (auto& station : stations_) {
       station.estimator().bind_telemetry(tel_.quads_recorded,
                                          tel_.quads_evicted);
+    }
+    if (faults_on()) {
+      // Registered only under fault injection so fault-free snapshots
+      // keep their exact historical key set.
+      fault_tel_ = telemetry::make_fault_counters(telemetry_.registry());
+      accountant_.bind_fault_telemetry(fault_tel_.retries,
+                                       fault_tel_.timeouts);
     }
   }
 
@@ -114,19 +127,58 @@ const std::vector<geom::CellId>& HexCellularSystem::adjacent(
 double HexCellularSystem::recompute_reservation(geom::CellId cell) {
   check_cell_id(cell);
   const sim::Time t = simulator_.now();
-  accountant_.record_br_calculation(cell);
   const sim::Duration t_est =
       stations_[static_cast<std::size_t>(cell)].window().t_est();
 
   double br = 0.0;
-  if (config_.incremental_reservation) {
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    // Degraded mode — see CellularSystem::recompute_reservation. The hex
+    // accountant carries no interconnect, so exchange() only decides
+    // reachability and bumps retry/timeout telemetry.
+    accountant_.count_br_calculation();
     for (geom::CellId i : grid_.neighbors(cell)) {
-      br = reservation_engine_.accumulate(
-          i, cell, cells_[static_cast<std::size_t>(i)].connections(),
-          stations_[static_cast<std::size_t>(i)].estimator(), t, t_est, br);
+      const bool reachable = accountant_.exchange(
+          cell, i, t, *fault_, backhaul::MessageType::kBandwidthQuery);
+      if (!reachable) {
+        br += config_.fault.degraded_floor_bu;
+        if (config_.incremental_reservation) {
+          reservation_engine_.mark_stale(i, cell);
+        }
+        telemetry::bump(fault_tel_.floor_substitutions);
+        continue;
+      }
+      if (config_.incremental_reservation) {
+        const bool healing = reservation_engine_.is_stale(i, cell);
+        const double before = br;
+        br = reservation_engine_.accumulate(
+            i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+            stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+            br);
+        if (healing) {
+          PABR_CHECK(br == rescan_contribution(i, cell, t, t_est, before),
+                     "post-heal pair re-sync diverged from scratch rescan");
+          telemetry::bump(fault_tel_.pair_resyncs);
+        }
+      } else {
+        br = rescan_contribution(i, cell, t, t_est, br);
+      }
     }
   } else {
-    br = reservation_rescan(cell, t, t_est);
+#else
+  {
+#endif
+    accountant_.record_br_calculation(cell);
+    if (config_.incremental_reservation) {
+      for (geom::CellId i : grid_.neighbors(cell)) {
+        br = reservation_engine_.accumulate(
+            i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+            stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+            br);
+      }
+    } else {
+      br = reservation_rescan(cell, t, t_est);
+    }
   }
   stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
   if (telemetry_.enabled()) {
@@ -142,22 +194,61 @@ double HexCellularSystem::reservation_rescan(geom::CellId cell, sim::Time t,
                                              sim::Duration t_est) const {
   double br = 0.0;
   for (geom::CellId i : grid_.neighbors(cell)) {
-    const auto& estimator =
-        stations_[static_cast<std::size_t>(i)].estimator();
-    for (const auto& e : cells_[static_cast<std::size_t>(i)].connections()) {
-      br += static_cast<double>(e.view.reserve_bandwidth) *
-            estimator.handoff_probability(t, e.view.prev_cell, cell,
-                                          t - e.view.entered_cell_at, t_est);
-    }
+    br = rescan_contribution(i, cell, t, t_est, br);
   }
   return br;
 }
 
+double HexCellularSystem::rescan_contribution(geom::CellId source,
+                                              geom::CellId target,
+                                              sim::Time t,
+                                              sim::Duration t_est,
+                                              double running) const {
+  const auto& estimator =
+      stations_[static_cast<std::size_t>(source)].estimator();
+  for (const auto& e :
+       cells_[static_cast<std::size_t>(source)].connections()) {
+    running += static_cast<double>(e.view.reserve_bandwidth) *
+               estimator.handoff_probability(t, e.view.prev_cell, target,
+                                             t - e.view.entered_cell_at,
+                                             t_est);
+  }
+  return running;
+}
+
 double HexCellularSystem::scratch_reservation(geom::CellId cell) {
   check_cell_id(cell);
-  return reservation_rescan(
-      cell, simulator_.now(),
-      stations_[static_cast<std::size_t>(cell)].window().t_est());
+  const sim::Time t = simulator_.now();
+  const sim::Duration t_est =
+      stations_[static_cast<std::size_t>(cell)].window().t_est();
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    double br = 0.0;
+    for (geom::CellId i : grid_.neighbors(cell)) {
+      br = fault_->exchange_outcome(cell, i, t).delivered
+               ? rescan_contribution(i, cell, t, t_est, br)
+               : br + config_.fault.degraded_floor_bu;
+    }
+    return br;
+  }
+#endif
+  return reservation_rescan(cell, t, t_est);
+}
+
+bool HexCellularSystem::neighbor_reachable(geom::CellId cell,
+                                           geom::CellId neighbor) {
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    const bool ok =
+        accountant_.exchange(cell, neighbor, simulator_.now(), *fault_,
+                             backhaul::MessageType::kReservationCheck);
+    if (!ok) telemetry::bump(fault_tel_.ac_local_fallbacks);
+    return ok;
+  }
+#endif
+  (void)cell;
+  (void)neighbor;
+  return true;
 }
 
 traffic::ReservationView HexCellularSystem::reservation_view(
@@ -213,6 +304,20 @@ bool HexCellularSystem::handle_request(geom::CellId cell,
                                        double speed_kmh,
                                        sim::Duration lifetime_s) {
   const traffic::Bandwidth bw = traffic::bandwidth_of(service);
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on() && !fault_->station_up(cell, simulator_.now())) {
+    // The serving BS is down: blocked without an admission test, so no
+    // N_calc sample is taken (see CellularSystem::handle_arrival).
+    telemetry::bump(fault_tel_.station_blocks);
+    metrics_[static_cast<std::size_t>(cell)].pcb.trial(true);
+    if (telemetry_.enabled()) {
+      telemetry::bump(tel_.blocked);
+      telemetry_.emit(simulator_.now(), telemetry::EventKind::kBlock, cell,
+                      next_id_, static_cast<double>(bw));
+    }
+    return false;
+  }
+#endif
   bool admitted;
   {
     backhaul::AdmissionScope scope(accountant_);
@@ -287,7 +392,14 @@ void HexCellularSystem::handle_crossing(traffic::ConnectionId id) {
   if (telemetry_.enabled()) tel_.handoff_sojourn->add(t - m.entered_at);
 
   Cell& dst = cells_[static_cast<std::size_t>(to)];
-  const bool dropped = !dst.can_fit(m.bandwidth());
+  bool dropped = !dst.can_fit(m.bandwidth());
+#ifdef PABR_FAULT_ENABLED
+  if (!dropped && faults_on() && !fault_->station_up(to, t)) {
+    // Destination BS down: the hand-off has no one to signal to.
+    dropped = true;
+    telemetry::bump(fault_tel_.station_drops);
+  }
+#endif
   const sim::Duration t_est_before =
       stations_[static_cast<std::size_t>(to)].window().t_est();
   stations_[static_cast<std::size_t>(to)].window().on_handoff(

@@ -25,6 +25,7 @@
 #include "core/base_station.h"
 #include "core/cell.h"
 #include "core/metrics.h"
+#include "fault/fault.h"
 #include "geom/hex_topology.h"
 #include "hoef/estimator.h"
 #include "mobility/hex_motion.h"
@@ -76,6 +77,10 @@ struct HexSystemConfig {
   /// Telemetry & trace collection (see SystemConfig::telemetry).
   telemetry::TelemetryConfig telemetry;
 
+  /// Deterministic fault injection (see SystemConfig::fault; same
+  /// byte-identical-when-disabled contract).
+  fault::FaultConfig fault;
+
   std::uint64_t seed = 1;
 
   /// Offered load per cell, Eq. (7).
@@ -103,8 +108,23 @@ class HexCellularSystem final : public admission::AdmissionContext {
   double recompute_reservation(geom::CellId cell) override;
   double current_reservation(geom::CellId cell) const override;
   /// Reference from-scratch rescan (no caches, no side effects, not
-  /// counted in N_calc) — must always equal recompute_reservation.
+  /// counted in N_calc) — must always equal recompute_reservation (also
+  /// in degraded mode: same floors, same reachability verdicts).
   double scratch_reservation(geom::CellId cell) override;
+  /// Fault-aware backhaul probe (AC2/AC3 degraded fallback); always true
+  /// without fault injection.
+  bool neighbor_reachable(geom::CellId cell, geom::CellId neighbor) override;
+
+  // ---- Fault injection (src/fault/) --------------------------------------
+  /// See CellularSystem::faults_on.
+  bool faults_on() const {
+#ifdef PABR_FAULT_ENABLED
+    return fault_ != nullptr;
+#else
+    return false;
+#endif
+  }
+  fault::FaultInjector* fault_injector() { return fault_.get(); }
 
   // ---- Metrics --------------------------------------------------------------
   const CellMetrics& cell_metrics(geom::CellId cell) const;
@@ -165,6 +185,11 @@ class HexCellularSystem final : public admission::AdmissionContext {
   /// tables (shared by the scratch path and the engine-off mode).
   double reservation_rescan(geom::CellId cell, sim::Time t,
                             sim::Duration t_est) const;
+  /// One neighbour's Eq. (5) contribution (see
+  /// CellularSystem::rescan_contribution).
+  double rescan_contribution(geom::CellId source, geom::CellId target,
+                             sim::Time t, sim::Duration t_est,
+                             double running) const;
 
   /// Per-event audit hook (no-op unless built with PABR_AUDIT and enabled
   /// via config_.audit_every).
@@ -197,6 +222,8 @@ class HexCellularSystem final : public admission::AdmissionContext {
   int events_since_audit_ = 0;
   telemetry::Collector telemetry_;
   telemetry::SimCounters tel_;  ///< null instruments unless telemetry is on
+  std::unique_ptr<fault::FaultInjector> fault_;  // null unless faults on
+  telemetry::FaultCounters fault_tel_;  ///< bound only when faults are on
 };
 
 }  // namespace pabr::core

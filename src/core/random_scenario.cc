@@ -34,6 +34,47 @@ hoef::EstimatorConfig pick_estimator(sim::Rng& rng) {
   return hoef;
 }
 
+/// Fault schedules come from their own named stream so the default
+/// (faults-off) expansion of every seed stays byte-identical to what this
+/// generator produced before fault fuzzing existed.
+fault::FaultConfig pick_faults(std::uint64_t seed, int num_cells,
+                               sim::Duration duration) {
+  sim::Rng rng(sim::derive_seed(seed, "fault-generator"));
+  fault::FaultConfig f;
+  f.enabled = true;
+  f.seed = sim::derive_seed(seed, "fault-injector");
+  f.message_loss = rng.bernoulli(0.7) ? rng.uniform(0.0, 0.3) : 0.0;
+  f.message_delay = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.2) : 0.0;
+  if (rng.bernoulli(0.6)) {
+    f.link_mtbf_s = rng.uniform(60.0, 600.0);
+    f.link_mttr_s = rng.uniform(5.0, 60.0);
+  }
+  if (rng.bernoulli(0.4)) {
+    f.station_mtbf_s = rng.uniform(120.0, 1200.0);
+    f.station_mttr_s = rng.uniform(5.0, 60.0);
+  }
+  f.max_retries = rng.uniform_int(0, 4);
+  f.backoff_base_s = rng.uniform(0.01, 0.1);
+  f.backoff_max_s = f.backoff_base_s * rng.uniform(1.0, 16.0);
+  f.degraded_floor_bu = rng.uniform(0.0, 15.0);
+  // A couple of scripted windows so deterministic heals (and the audited
+  // post-heal re-syncs) occur even when the stochastic processes are off.
+  const int n_outages = rng.uniform_int(0, 2);
+  for (int k = 0; k < n_outages; ++k) {
+    fault::ScriptedOutage o;
+    o.kind = rng.bernoulli(0.5) ? fault::ScriptedOutage::Kind::kStation
+                                : fault::ScriptedOutage::Kind::kLink;
+    o.a = rng.uniform_int(0, num_cells - 1);
+    if (o.kind == fault::ScriptedOutage::Kind::kLink) {
+      o.b = rng.uniform_int(0, num_cells - 1);
+    }
+    o.from = rng.uniform(0.0, duration);
+    o.until = o.from + rng.uniform(5.0, 60.0);
+    f.outages.push_back(o);
+  }
+  return f;
+}
+
 }  // namespace
 
 std::string ScenarioSpec::summary() const {
@@ -46,6 +87,7 @@ std::string ScenarioSpec::summary() const {
        << " C=" << grid.capacity_bu << " load=" << grid.offered_load()
        << " rvo=" << grid.voice_ratio
        << (grid.incremental_reservation ? "" : " scratch");
+    if (grid.fault.enabled) os << " faults";
   } else {
     os << " linear cells=" << linear.num_cells
        << (linear.ring ? " ring" : " open")
@@ -60,12 +102,13 @@ std::string ScenarioSpec::summary() const {
     if (linear.known_route_fraction > 0.0) os << " gps";
     if (linear.retry.enabled) os << " retry";
     if (!linear.incremental_reservation) os << " scratch";
+    if (linear.fault.enabled) os << " faults";
   }
   os << " dur=" << duration;
   return os.str();
 }
 
-ScenarioSpec random_scenario(std::uint64_t seed) {
+ScenarioSpec random_scenario(std::uint64_t seed, bool with_faults) {
   // Decorrelate the generator stream from the systems' own streams (which
   // derive from the same seed value via named-stream hashing).
   sim::Rng rng(sim::derive_seed(seed, "scenario-generator"));
@@ -105,6 +148,9 @@ ScenarioSpec random_scenario(std::uint64_t seed) {
     g.speed_max_kmh = speed_max;
     g.set_offered_load(load);
     g.seed = seed;
+    if (with_faults) {
+      g.fault = pick_faults(seed, g.rows * g.cols, s.duration);
+    }
     return s;
   }
 
@@ -140,6 +186,9 @@ ScenarioSpec random_scenario(std::uint64_t seed) {
 
   c.retry.enabled = rng.bernoulli(0.3);
   c.seed = seed;
+  if (with_faults) {
+    c.fault = pick_faults(seed, c.num_cells, s.duration);
+  }
   return s;
 }
 

@@ -33,6 +33,13 @@ struct ScenarioSpec {
 /// 20-60 BU cells and lifetimes are kept short relative to cell sojourns,
 /// so a 100-250 s run exercises admission, hand-offs, drops, expiries and
 /// every enabled extension without needing a long warm-up.
-ScenarioSpec random_scenario(std::uint64_t seed);
+///
+/// `with_faults` additionally draws a random fault schedule (link and
+/// station outages, message loss/delay, retry budgets, scripted outages)
+/// from a SEPARATE named RNG stream ("fault-generator"), so for any seed
+/// the with_faults=false scenario is byte-identical to what older
+/// revisions generated — fault fuzzing extends the corpus without
+/// invalidating historical digests.
+ScenarioSpec random_scenario(std::uint64_t seed, bool with_faults = false);
 
 }  // namespace pabr::core

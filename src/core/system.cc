@@ -91,6 +91,12 @@ CellularSystem::CellularSystem(SystemConfig config)
     });
   }
 
+#ifdef PABR_FAULT_ENABLED
+  if (config_.fault.enabled) {
+    fault_ = std::make_unique<fault::FaultInjector>(config_.fault);
+  }
+#endif
+
   telemetry_.configure(config_.telemetry);
   if (telemetry_.enabled()) {
     tel_ = telemetry::make_sim_counters(telemetry_.registry(),
@@ -102,6 +108,13 @@ CellularSystem::CellularSystem(SystemConfig config)
     for (auto& station : stations_) {
       station.estimator().bind_telemetry(tel_.quads_recorded,
                                          tel_.quads_evicted);
+    }
+    if (faults_on()) {
+      // Registered only under fault injection so fault-free snapshots
+      // keep their exact historical key set.
+      fault_tel_ = telemetry::make_fault_counters(telemetry_.registry());
+      accountant_.bind_fault_telemetry(fault_tel_.retries,
+                                       fault_tel_.timeouts);
     }
   }
 
@@ -168,7 +181,6 @@ const std::vector<geom::CellId>& CellularSystem::adjacent(
 double CellularSystem::recompute_reservation(geom::CellId cell) {
   check_cell_id(cell);
   const sim::Time t = simulator_.now();
-  accountant_.record_br_calculation(cell);
 
   // Eq. (4) is evaluated with the *target* cell's estimation window
   // (T_est of "cell next", §4.1).
@@ -176,14 +188,59 @@ double CellularSystem::recompute_reservation(geom::CellId cell) {
       stations_[static_cast<std::size_t>(cell)].window().t_est();
 
   double br = 0.0;
-  if (config_.incremental_reservation) {
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    // Degraded mode: each neighbour is consulted through the faulty
+    // backhaul. Messages are billed per attempt by exchange(); the B_r
+    // computation itself still counts once toward N_calc.
+    accountant_.count_br_calculation();
     for (geom::CellId i : road_.neighbors(cell)) {
-      br = reservation_engine_.accumulate(
-          i, cell, cells_[static_cast<std::size_t>(i)].connections(),
-          stations_[static_cast<std::size_t>(i)].estimator(), t, t_est, br);
+      const bool reachable = accountant_.exchange(
+          cell, i, t, *fault_, backhaul::MessageType::kBandwidthQuery);
+      if (!reachable) {
+        // The neighbour's hand-in estimate is unavailable: substitute the
+        // configured static floor (a per-neighbour guard-channel stand-in,
+        // Hong & Rappaport style) and distrust the pair's cached terms.
+        br += config_.fault.degraded_floor_bu;
+        if (config_.incremental_reservation) {
+          reservation_engine_.mark_stale(i, cell);
+        }
+        telemetry::bump(fault_tel_.floor_substitutions);
+        continue;
+      }
+      if (config_.incremental_reservation) {
+        const bool healing = reservation_engine_.is_stale(i, cell);
+        const double before = br;
+        br = reservation_engine_.accumulate(
+            i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+            stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+            br);
+        if (healing) {
+          // Post-heal re-sync (invariant I9): the rebuilt pair cache must
+          // reproduce the from-scratch Eq. (5) contribution bit-for-bit.
+          PABR_CHECK(br == rescan_contribution(i, cell, t, t_est, before),
+                     "post-heal pair re-sync diverged from scratch rescan");
+          telemetry::bump(fault_tel_.pair_resyncs);
+        }
+      } else {
+        br = rescan_contribution(i, cell, t, t_est, br);
+      }
     }
   } else {
-    br = reservation_rescan(cell, t, t_est);
+#else
+  {
+#endif
+    accountant_.record_br_calculation(cell);
+    if (config_.incremental_reservation) {
+      for (geom::CellId i : road_.neighbors(cell)) {
+        br = reservation_engine_.accumulate(
+            i, cell, cells_[static_cast<std::size_t>(i)].connections(),
+            stations_[static_cast<std::size_t>(i)].estimator(), t, t_est,
+            br);
+      }
+    } else {
+      br = reservation_rescan(cell, t, t_est);
+    }
   }
 
   stations_[static_cast<std::size_t>(cell)].set_current_reservation(br);
@@ -206,37 +263,78 @@ double CellularSystem::reservation_rescan(geom::CellId cell, sim::Time t,
                                           sim::Duration t_est) const {
   double br = 0.0;
   for (geom::CellId i : road_.neighbors(cell)) {
-    const Cell& neighbor = cells_[static_cast<std::size_t>(i)];
-    const auto& estimator =
-        stations_[static_cast<std::size_t>(i)].estimator();
-    // Eq. (5): expected fractional hand-in bandwidth from cell i. Under
-    // adaptive QoS, "bandwidth reservation is made on the basis of the
-    // minimum QoS of each connection" (§1) — reserve_bandwidth carries the
-    // minimum-QoS value in that mode.
-    for (const traffic::ConnectionEntry& e : neighbor.connections()) {
-      const sim::Duration extant = t - e.view.entered_cell_at;
-      double ph;
-      if (e.view.route_known) {
-        // §7 ITS/GPS extension: the next cell is known, so the estimation
-        // function only estimates the hand-off (sojourn) time.
-        if (next_cell_in_direction(i, e.view.direction) != cell) continue;
-        ph = estimator.any_handoff_probability(t, e.view.prev_cell, extant,
-                                               t_est);
-      } else {
-        ph = estimator.handoff_probability(t, e.view.prev_cell, cell, extant,
-                                           t_est);
-      }
-      br += static_cast<double>(e.view.reserve_bandwidth) * ph;
-    }
+    br = rescan_contribution(i, cell, t, t_est, br);
   }
   return br;
 }
 
+double CellularSystem::rescan_contribution(geom::CellId source,
+                                           geom::CellId target, sim::Time t,
+                                           sim::Duration t_est,
+                                           double running) const {
+  const Cell& neighbor = cells_[static_cast<std::size_t>(source)];
+  const auto& estimator =
+      stations_[static_cast<std::size_t>(source)].estimator();
+  // Eq. (5): expected fractional hand-in bandwidth from cell `source`.
+  // Under adaptive QoS, "bandwidth reservation is made on the basis of the
+  // minimum QoS of each connection" (§1) — reserve_bandwidth carries the
+  // minimum-QoS value in that mode.
+  for (const traffic::ConnectionEntry& e : neighbor.connections()) {
+    const sim::Duration extant = t - e.view.entered_cell_at;
+    double ph;
+    if (e.view.route_known) {
+      // §7 ITS/GPS extension: the next cell is known, so the estimation
+      // function only estimates the hand-off (sojourn) time.
+      if (next_cell_in_direction(source, e.view.direction) != target) {
+        continue;
+      }
+      ph = estimator.any_handoff_probability(t, e.view.prev_cell, extant,
+                                             t_est);
+    } else {
+      ph = estimator.handoff_probability(t, e.view.prev_cell, target, extant,
+                                         t_est);
+    }
+    running += static_cast<double>(e.view.reserve_bandwidth) * ph;
+  }
+  return running;
+}
+
 double CellularSystem::scratch_reservation(geom::CellId cell) {
   check_cell_id(cell);
-  return reservation_rescan(
-      cell, simulator_.now(),
-      stations_[static_cast<std::size_t>(cell)].window().t_est());
+  const sim::Time t = simulator_.now();
+  const sim::Duration t_est =
+      stations_[static_cast<std::size_t>(cell)].window().t_est();
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    // Mirror the degraded production path exactly — same reachability
+    // verdicts (exchange_outcome is pure in (from, to, t)), same floor —
+    // without any message or N_calc accounting.
+    double br = 0.0;
+    for (geom::CellId i : road_.neighbors(cell)) {
+      br = fault_->exchange_outcome(cell, i, t).delivered
+               ? rescan_contribution(i, cell, t, t_est, br)
+               : br + config_.fault.degraded_floor_bu;
+    }
+    return br;
+  }
+#endif
+  return reservation_rescan(cell, t, t_est);
+}
+
+bool CellularSystem::neighbor_reachable(geom::CellId cell,
+                                        geom::CellId neighbor) {
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    const bool ok =
+        accountant_.exchange(cell, neighbor, simulator_.now(), *fault_,
+                             backhaul::MessageType::kReservationCheck);
+    if (!ok) telemetry::bump(fault_tel_.ac_local_fallbacks);
+    return ok;
+  }
+#endif
+  (void)cell;
+  (void)neighbor;
+  return true;
 }
 
 double CellularSystem::current_reservation(geom::CellId cell) const {
@@ -267,15 +365,28 @@ bool CellularSystem::submit_request(const traffic::ConnectionRequest& req) {
 bool CellularSystem::handle_arrival(traffic::ConnectionRequest request) {
   load_tracker_.on_request(simulator_.now(),
                            static_cast<double>(request.bandwidth()));
-  bool admitted = try_admit(request);
+  bool admitted = false;
   bool wired_block = false;
-  if (admitted && backbone_ != nullptr &&
-      !backbone_->can_admit(request.cell, request.bandwidth())) {
-    // The air interface admitted but the wired route cannot carry the
-    // call (§2): blocked at the backbone.
-    admitted = false;
-    wired_block = true;
-    wired_blocks_.add();
+  bool station_block = false;
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on() && !fault_->station_up(request.cell, simulator_.now())) {
+    // The serving BS is down: the request cannot even be signalled. It is
+    // blocked without an admission test, so no N_calc sample is taken —
+    // the complexity metric measures the algorithm, not the outage.
+    station_block = true;
+    telemetry::bump(fault_tel_.station_blocks);
+  }
+#endif
+  if (!station_block) {
+    admitted = try_admit(request);
+    if (admitted && backbone_ != nullptr &&
+        !backbone_->can_admit(request.cell, request.bandwidth())) {
+      // The air interface admitted but the wired route cannot carry the
+      // call (§2): blocked at the backbone.
+      admitted = false;
+      wired_block = true;
+      wired_blocks_.add();
+    }
   }
   if (telemetry_.enabled()) {
     // `blocked` counts every block; `blocked_wired` the backbone subset.
@@ -420,7 +531,15 @@ void CellularSystem::handle_zone_entry(traffic::ConnectionId id) {
   PABR_CHECK(to != geom::kNoCell, "zone entry without a next cell");
 
   Cell& dst = cells_[static_cast<std::size_t>(to)];
-  const traffic::Bandwidth granted = grant_for_handoff(dst, rec.m);
+  traffic::Bandwidth granted = grant_for_handoff(dst, rec.m);
+#ifdef PABR_FAULT_ENABLED
+  // A down destination BS cannot pre-allocate a soft leg; fall back to a
+  // hard hand-off attempt at the boundary like any other full cell.
+  if (granted > 0 && faults_on() &&
+      !fault_->station_up(to, simulator_.now())) {
+    granted = 0;
+  }
+#endif
   if (granted == 0) {
     // No room yet: fall back to a hard hand-off attempt at the boundary.
     metrics_[static_cast<std::size_t>(to)].soft_fallback.add();
@@ -485,6 +604,15 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
   const bool via_dual = rec.dual() && rec.dual_cell == to;
   traffic::Bandwidth granted =
       via_dual ? rec.dual_bw : grant_for_handoff(dst, rec.m);
+#ifdef PABR_FAULT_ENABLED
+  if (granted > 0 && faults_on() && !fault_->station_up(to, t)) {
+    // Destination BS is down: the hand-off has no one to signal to, so
+    // the crossing drops even when radio capacity (or a pre-allocated
+    // soft leg) would have carried it.
+    granted = 0;
+    telemetry::bump(fault_tel_.station_drops);
+  }
+#endif
   // §2/§7 wired leg: the new access link must also carry the call, and
   // the shared uplink must absorb any adaptive-QoS resize (the uplink leg
   // persists across the re-route, so only the delta over the currently

@@ -20,6 +20,7 @@
 #include "core/base_station.h"
 #include "core/cell.h"
 #include "core/metrics.h"
+#include "fault/fault.h"
 #include "geom/linear_topology.h"
 #include "hoef/estimator.h"
 #include "mobility/mobile.h"
@@ -124,6 +125,13 @@ struct SystemConfig {
   /// telemetry on, off, or compiled out.
   telemetry::TelemetryConfig telemetry;
 
+  /// Deterministic fault injection (fault/fault.h). Default disabled; with
+  /// PABR_FAULT compiled out the field is inert. When disabled the fault
+  /// branches are never taken and no injector RNG stream is created, so
+  /// trajectories are byte-identical to builds/runs without fault support
+  /// — the same contract as telemetry.
+  fault::FaultConfig fault;
+
   std::uint64_t seed = 1;
 };
 
@@ -154,8 +162,14 @@ class CellularSystem final : public admission::AdmissionContext {
   double recompute_reservation(geom::CellId cell) override;
   double current_reservation(geom::CellId cell) const override;
   /// Reference from-scratch rescan (no caches, no side effects, not
-  /// counted in N_calc) — must always equal recompute_reservation.
+  /// counted in N_calc) — must always equal recompute_reservation. Under
+  /// fault injection it substitutes the same degraded floor for
+  /// unreachable neighbours as the production path, so the equality
+  /// holds in degraded mode too.
   double scratch_reservation(geom::CellId cell) override;
+  /// Fault-aware backhaul probe (AC2/AC3 degraded fallback); always true
+  /// without fault injection.
+  bool neighbor_reachable(geom::CellId cell, geom::CellId neighbor) override;
 
   // ---- Metrics ------------------------------------------------------------
   const CellMetrics& cell_metrics(geom::CellId cell) const;
@@ -189,6 +203,20 @@ class CellularSystem final : public admission::AdmissionContext {
   std::uint64_t events_executed() const {
     return simulator_.events_executed();
   }
+
+  // ---- Fault injection (src/fault/) --------------------------------------
+  /// True when fault hooks are compiled in AND this run enabled them
+  /// (SystemConfig::fault.enabled). Constant false otherwise.
+  bool faults_on() const {
+#ifdef PABR_FAULT_ENABLED
+    return fault_ != nullptr;
+#else
+    return false;
+#endif
+  }
+  /// The run's injector (null without fault injection). Tests use this to
+  /// query the sampled link/station timelines the simulation saw.
+  fault::FaultInjector* fault_injector() { return fault_.get(); }
 
   /// Direct injection hooks used by unit/integration tests: bypasses the
   /// Poisson workload and submits one request now. Returns whether it was
@@ -248,6 +276,13 @@ class CellularSystem final : public admission::AdmissionContext {
   /// tables (shared by the scratch path and the engine-off mode).
   double reservation_rescan(geom::CellId cell, sim::Time t,
                             sim::Duration t_est) const;
+  /// One neighbour's Eq. (5) contribution of the from-scratch rescan,
+  /// added term-by-term onto `running` in the exact association order of
+  /// reservation_rescan (which is a loop of these). Degraded-mode code
+  /// compares per-pair contributions against the incremental engine.
+  double rescan_contribution(geom::CellId source, geom::CellId target,
+                             sim::Time t, sim::Duration t_est,
+                             double running) const;
   sim::Duration t_soj_max_for(geom::CellId cell) const;
   /// The cell a mobile in `cell` moving in `direction` will enter next
   /// (kNoCell past an open border).
@@ -291,6 +326,8 @@ class CellularSystem final : public admission::AdmissionContext {
   int events_since_audit_ = 0;
   telemetry::Collector telemetry_;
   telemetry::SimCounters tel_;  ///< null instruments unless telemetry is on
+  std::unique_ptr<fault::FaultInjector> fault_;  // null unless faults on
+  telemetry::FaultCounters fault_tel_;  ///< bound only when faults are on
 
  public:
   const wired::Backbone* backbone() const { return backbone_.get(); }

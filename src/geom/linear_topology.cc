@@ -39,10 +39,19 @@ std::string LinearTopology::describe() const {
 
 CellId LinearTopology::cell_at(double x_km) const {
   if (wrap_) x_km = mathx::positive_fmod(x_km, road_length_km());
+  // Forgive only float round-off: positions within kCellAtEpsilonKm of a
+  // road end clamp to the boundary cell; anything further out is a caller
+  // bug (wrong topology, unclamped motion) and must fail loudly rather
+  // than be silently folded into an end cell.
+  if (x_km < 0.0 && x_km >= -kCellAtEpsilonKm) x_km = 0.0;
   PABR_CHECK(x_km >= 0.0 && x_km < road_length_km(),
              "cell_at: position outside open road");
   auto c = static_cast<CellId>(std::floor(x_km / diameter_));
-  if (c >= n_) c = n_ - 1;  // guard the x == length-epsilon float edge
+  if (c >= n_) {
+    PABR_CHECK(x_km >= road_length_km() - kCellAtEpsilonKm,
+               "cell_at: interior position mapped past the last cell");
+    c = n_ - 1;  // guard the x == length-epsilon float edge
+  }
   return c;
 }
 

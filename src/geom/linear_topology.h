@@ -12,6 +12,10 @@
 
 namespace pabr::geom {
 
+/// Round-off forgiveness band for cell_at(): positions within this of a
+/// road end clamp to the boundary cell; anything further outside throws.
+inline constexpr double kCellAtEpsilonKm = 1e-9;
+
 class LinearTopology final : public Topology {
  public:
   /// `n` cells, each `cell_diameter_km` wide. Road spans

@@ -177,7 +177,12 @@ bool HandoffEstimator::snapshot_fresh(const PrevHistory& h,
   const Snapshot& s = h.snapshot;
   if (!s.valid || s.revision != h.revision) return false;
   if (!is_finite_duration(config_.t_int)) return true;
-  return std::fabs(t0 - s.built_at) <= config_.snapshot_tolerance;
+  // One-sided: a snapshot is only reusable for queries at or after its
+  // build time. fabs() here would also accept snapshots built *after* t0,
+  // whose window [built_at, built_at + t_int) can extend past t0 + t_int
+  // and leak future events into an earlier query.
+  const sim::Duration age = t0 - s.built_at;
+  return age >= 0.0 && age <= config_.snapshot_tolerance;
 }
 
 void HandoffEstimator::build_snapshot(const PrevHistory& h,

@@ -92,7 +92,25 @@ double IncrementalEngine::accumulate(
   pair.terms.swap(scratch_);
   pair.estimator_version = version;
   pair.t_est = t_est;
+  // A completed walk re-derived every term from the live table, so any
+  // degraded-mode stale mark is now discharged (post-heal re-sync).
+  pair.stale = false;
   return running;
+}
+
+void IncrementalEngine::mark_stale(geom::CellId source, geom::CellId target) {
+  PairCache& pair = pairs_[pair_key(source, target)];
+  if (!pair.stale) {
+    pair.stale = true;
+    ++pairs_invalidated_;
+  }
+  pair.terms.clear();
+}
+
+bool IncrementalEngine::is_stale(geom::CellId source,
+                                 geom::CellId target) const {
+  const auto it = pairs_.find(pair_key(source, target));
+  return it != pairs_.end() && it->second.stale;
 }
 
 }  // namespace pabr::reservation

@@ -71,6 +71,17 @@ class IncrementalEngine {
                     const hoef::HandoffEstimator& estimator, sim::Time now,
                     sim::Duration t_est, double running);
 
+  /// Degraded mode (fault injection): declares the (source -> target)
+  /// pair's cached terms untrusted — the source cell could not be
+  /// consulted, so the terms no longer track its table. Drops the cached
+  /// terms; the stale mark stays up until the next successful
+  /// accumulate() over the pair (the post-heal re-sync), which the core
+  /// system audits bitwise against a from-scratch rescan.
+  void mark_stale(geom::CellId source, geom::CellId target);
+  bool is_stale(geom::CellId source, geom::CellId target) const;
+  /// Pairs ever marked stale (monotone; telemetry/diagnostics).
+  std::uint64_t pairs_invalidated() const { return pairs_invalidated_; }
+
   // Diagnostics: how many per-connection terms were recomputed vs served
   // from cache since construction.
   std::uint64_t terms_recomputed() const { return terms_recomputed_; }
@@ -100,6 +111,7 @@ class IncrementalEngine {
   struct PairCache {
     std::uint64_t estimator_version = ~std::uint64_t{0};
     sim::Duration t_est = -1.0;
+    bool stale = false;  ///< degraded mode: terms dropped, awaiting re-sync
     std::vector<TermEntry> terms;  // id-sorted, mirrors the source table
   };
 
@@ -113,6 +125,7 @@ class IncrementalEngine {
   RouteNextFn route_next_;
   std::uint64_t terms_recomputed_ = 0;
   std::uint64_t terms_reused_ = 0;
+  std::uint64_t pairs_invalidated_ = 0;
   telemetry::Counter* tel_recomputed_ = nullptr;
   telemetry::Counter* tel_reused_ = nullptr;
 };

@@ -45,4 +45,16 @@ SimCounters make_sim_counters(Registry& r, double capacity_bu) {
   return c;
 }
 
+FaultCounters make_fault_counters(Registry& r) {
+  FaultCounters c;
+  c.retries = r.counter("fault.retries");
+  c.timeouts = r.counter("fault.timeouts");
+  c.ac_local_fallbacks = r.counter("fault.ac_local_fallbacks");
+  c.floor_substitutions = r.counter("fault.floor_substitutions");
+  c.station_blocks = r.counter("fault.station_blocks");
+  c.station_drops = r.counter("fault.station_drops");
+  c.pair_resyncs = r.counter("fault.pair_resyncs");
+  return c;
+}
+
 }  // namespace pabr::telemetry

@@ -121,4 +121,19 @@ struct SimCounters {
 /// `capacity_bu` sizes the B_r histogram's range.
 SimCounters make_sim_counters(Registry& registry, double capacity_bu);
 
+/// Degraded-mode instruments, registered only when fault injection is
+/// active (so fault-free snapshots keep their exact historical key set).
+struct FaultCounters {
+  Counter* retries = nullptr;             ///< signalling retransmissions
+  Counter* timeouts = nullptr;            ///< retry budget exhausted
+  Counter* ac_local_fallbacks = nullptr;  ///< AC2/AC3 -> AC1-local decisions
+  Counter* floor_substitutions = nullptr; ///< static floor used for a p_h term
+  Counter* station_blocks = nullptr;      ///< new calls refused, BS down
+  Counter* station_drops = nullptr;       ///< hand-ins dropped, BS down
+  Counter* pair_resyncs = nullptr;        ///< post-heal audited cache re-syncs
+};
+
+/// Registers (or re-fetches) the fault instruments on `registry`.
+FaultCounters make_fault_counters(Registry& registry);
+
 }  // namespace pabr::telemetry

@@ -31,4 +31,12 @@ bool telemetry_enabled() {
 #endif
 }
 
+bool fault_enabled() {
+#ifdef PABR_FAULT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
 }  // namespace pabr::buildinfo

@@ -20,4 +20,7 @@ bool audit_enabled();
 /// True when telemetry/trace hooks are compiled in.
 bool telemetry_enabled();
 
+/// True when fault-injection hooks are compiled in.
+bool fault_enabled();
+
 }  // namespace pabr::buildinfo

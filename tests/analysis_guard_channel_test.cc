@@ -134,5 +134,25 @@ TEST(GuardChannelTest, ParameterValidation) {
   EXPECT_THROW(evaluate(p2), InvariantError);
 }
 
+TEST(GuardChannelTest, SolverParameterValidation) {
+  GuardChannelParams p;
+  p.lambda_new = 100.0 / 120.0;
+  EXPECT_THROW(evaluate(p, 0), InvariantError);       // no iterations
+  EXPECT_THROW(evaluate(p, 200, 0.0), InvariantError);  // tolerance <= 0
+  EXPECT_THROW(evaluate(p, 200, -1e-9), InvariantError);
+}
+
+// Regression: a run that exhausts the iteration cap used to return a
+// half-baked result with converged = false that callers could silently
+// consume. Non-convergence is now an error.
+TEST(GuardChannelTest, NonConvergenceThrowsInsteadOfReturningStale) {
+  GuardChannelParams p;
+  p.lambda_new = 150.0 / 120.0;
+  // One iteration at an unreachable tolerance cannot converge.
+  EXPECT_THROW(evaluate(p, 1, 1e-30), InvariantError);
+  // The same setting with a sane budget converges fine.
+  EXPECT_TRUE(evaluate(p).converged);
+}
+
 }  // namespace
 }  // namespace pabr::analysis

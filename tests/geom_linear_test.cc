@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace pabr::geom {
@@ -65,6 +67,24 @@ TEST(LinearTopologyTest, CellAtTinyNegativePositionOnRing) {
 TEST(LinearTopologyTest, CellAtOutsideOpenRoadThrows) {
   LinearTopology t(10, 1.0, false);
   EXPECT_THROW(t.cell_at(-0.1), InvariantError);
+  EXPECT_THROW(t.cell_at(10.0), InvariantError);
+}
+
+// Regression: tiny negative positions from accumulated motion rounding
+// used to fall straight through to the range check and throw mid-run.
+// They are now clamped to the origin — but only inside the explicit
+// kCellAtEpsilonKm band; genuinely out-of-road positions on either side
+// still throw, and a division rounding artifact just under road_length
+// can never floor() past the last cell.
+TEST(LinearTopologyTest, CellAtEpsilonBandClampsAtBothEnds) {
+  LinearTopology t(10, 1.0, false);
+  EXPECT_EQ(t.cell_at(-1e-10), 0);  // inside the band: clamp to origin
+  EXPECT_EQ(t.cell_at(0.0), 0);
+  // Just under road_length: floor(x / D) of 10 - 1e-13 rounds to 10 in
+  // the division; the band clamps it back onto the last cell.
+  EXPECT_EQ(t.cell_at(std::nextafter(10.0, 0.0)), 9);
+  // Outside the band on either side is still a hard error.
+  EXPECT_THROW(t.cell_at(-1e-6), InvariantError);
   EXPECT_THROW(t.cell_at(10.0), InvariantError);
 }
 

@@ -333,5 +333,27 @@ TEST(HoefFiniteWindowTest, SnapshotRefreshesAsTimeDrifts) {
                    0.0);
 }
 
+// Regression: snapshot freshness was a fabs() band, so a snapshot built
+// at B could be reused by a query at t0 < B (up to the tolerance). The
+// reuse is now one-sided — only t0 >= built_at qualifies — because an
+// event recorded between t0 and B is visible to the snapshot but is
+// still in the future of the earlier query.
+TEST(HoefFiniteWindowTest, SnapshotReuseIsOneSided) {
+  HandoffEstimator e(kSelf, daily_window());  // snapshot_tolerance = 1 s
+  e.record({1000.0, kLeft, kRight, 30.0});
+  // Build the snapshot just after the event: the event is usable.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(1000.5, kLeft, kRight, 0.0, 30.0),
+                   1.0);
+  // Forward reuse inside the band still works, including the exact
+  // age == tolerance boundary.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(1001.5, kLeft, kRight, 0.0, 30.0),
+                   1.0);
+  // Query just BEFORE the event, within the tolerance of the snapshot
+  // built at 1000.5: reusing it would leak the future event into the
+  // past — the one-sided check forces a rebuild and reports 0.
+  EXPECT_DOUBLE_EQ(e.handoff_probability(999.9, kLeft, kRight, 0.0, 30.0),
+                   0.0);
+}
+
 }  // namespace
 }  // namespace pabr::hoef
