@@ -3,7 +3,18 @@
 // update adds to a base station. These are not paper figures; they back
 // DESIGN.md's claim that the scheme is "not complex" (paper §7) with
 // concrete per-operation costs.
+// The flat_map/ring/arena sections race the hot-path containers of
+// DESIGN.md §11 head-to-head against the std containers they replaced;
+// `--json PATH` is translated to google-benchmark's
+// --benchmark_out=PATH --benchmark_out_format=json for parity with the
+// other benches' machine-readable reports.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/scenario.h"
 #include "core/system.h"
@@ -11,6 +22,9 @@
 #include "reservation/test_window.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
+#include "util/ring.h"
 
 namespace {
 
@@ -107,6 +121,124 @@ void BM_ReservationRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_ReservationRecompute)->Arg(100)->Arg(300);
 
+// --- Hot-path containers vs the std structures they replaced ---------
+//
+// Workloads mirror the estimator/engine access patterns: a handful of
+// keys probed constantly (flat_map vs std::map), FIFO event histories
+// pushed/evicted and binary-searched (ring vs std::deque), and
+// per-rebuild array churn (arena reuse vs fresh vectors).
+
+void BM_FlatMapFind(benchmark::State& state) {
+  util::FlatMap<geom::CellId, int> m;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) m.find_or_insert(i * 3) = i;
+  geom::CellId probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 7) % (n * 3);
+    benchmark::DoNotOptimize(m.find(probe));
+  }
+}
+BENCHMARK(BM_FlatMapFind)->Arg(4)->Arg(16);
+
+void BM_StdMapFind(benchmark::State& state) {
+  std::map<geom::CellId, int> m;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) m[i * 3] = i;
+  geom::CellId probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 7) % (n * 3);
+    benchmark::DoNotOptimize(m.find(probe));
+  }
+}
+BENCHMARK(BM_StdMapFind)->Arg(4)->Arg(16);
+
+void BM_RingPushEvict(benchmark::State& state) {
+  util::Ring<hoef::Quadruplet> ring;
+  ring.reserve(101);
+  sim::Time t = 0.0;
+  for (auto _ : state) {
+    t += 0.5;
+    ring.push_back({t, 1, 2, 30.0});
+    while (ring.size() > 100) ring.pop_front();
+  }
+  benchmark::DoNotOptimize(ring.size());
+}
+BENCHMARK(BM_RingPushEvict);
+
+void BM_DequePushEvict(benchmark::State& state) {
+  std::deque<hoef::Quadruplet> dq;
+  sim::Time t = 0.0;
+  for (auto _ : state) {
+    t += 0.5;
+    dq.push_back({t, 1, 2, 30.0});
+    while (dq.size() > 100) dq.pop_front();
+  }
+  benchmark::DoNotOptimize(dq.size());
+}
+BENCHMARK(BM_DequePushEvict);
+
+void BM_RingLowerBound(benchmark::State& state) {
+  util::Ring<hoef::Quadruplet> ring;
+  for (int i = 0; i < 100; ++i) {
+    ring.push_back({static_cast<double>(i), 1, 2, 30.0});
+  }
+  double probe = 0.0;
+  for (auto _ : state) {
+    probe = probe > 99.0 ? 0.0 : probe + 1.7;
+    benchmark::DoNotOptimize(std::lower_bound(
+        ring.begin(), ring.end(), probe,
+        [](const hoef::Quadruplet& q, double v) { return q.event_time < v; }));
+  }
+}
+BENCHMARK(BM_RingLowerBound);
+
+void BM_DequeLowerBound(benchmark::State& state) {
+  std::deque<hoef::Quadruplet> dq;
+  for (int i = 0; i < 100; ++i) {
+    dq.push_back({static_cast<double>(i), 1, 2, 30.0});
+  }
+  double probe = 0.0;
+  for (auto _ : state) {
+    probe = probe > 99.0 ? 0.0 : probe + 1.7;
+    benchmark::DoNotOptimize(std::lower_bound(
+        dq.begin(), dq.end(), probe,
+        [](const hoef::Quadruplet& q, double v) { return q.event_time < v; }));
+  }
+}
+BENCHMARK(BM_DequeLowerBound);
+
+void BM_ArenaSnapshotRefill(benchmark::State& state) {
+  // A snapshot rebuild's storage pattern: 3 runs of range(0) doubles each
+  // refilled per iteration. The arena resets and reuses its capacity.
+  util::Arena<double> arena;
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    arena.reset();
+    for (int run = 0; run < 3; ++run) {
+      const auto mark = arena.mark();
+      for (int i = 0; i < n; ++i) arena.push_back(static_cast<double>(i));
+      benchmark::DoNotOptimize(arena.span_from(mark));
+    }
+  }
+}
+BENCHMARK(BM_ArenaSnapshotRefill)->Arg(100);
+
+void BM_FreshVectorSnapshotRefill(benchmark::State& state) {
+  // What the pre-§11 snapshot did: allocate fresh vectors per rebuild.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::vector<double>> runs;
+    for (int run = 0; run < 3; ++run) {
+      std::vector<double> v;
+      v.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) v.push_back(static_cast<double>(i));
+      runs.push_back(std::move(v));
+    }
+    benchmark::DoNotOptimize(runs.size());
+  }
+}
+BENCHMARK(BM_FreshVectorSnapshotRefill)->Arg(100);
+
 void BM_FullSimulationSecond(benchmark::State& state) {
   // Wall cost of one simulated second of the paper's stationary scenario.
   core::StationaryParams p;
@@ -122,4 +254,33 @@ BENCHMARK(BM_FullSimulationSecond)->Arg(100)->Arg(300);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): rewrites `--json PATH` (the
+// repo-wide report flag) into google-benchmark's native JSON output
+// arguments before initialization.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> rewritten;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string path;
+    if (a == "--json" && i + 1 < args.size()) {
+      path = args[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      path = a.substr(std::strlen("--json="));
+    } else {
+      rewritten.push_back(a);
+      continue;
+    }
+    rewritten.push_back("--benchmark_out=" + path);
+    rewritten.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(rewritten.size());
+  for (std::string& s : rewritten) cargs.push_back(s.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

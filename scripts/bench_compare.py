@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json report against a checked-in baseline.
+
+Guards the DESIGN.md §11 hot-path optimizations against silent
+regression: rows are matched by their first column (the path/policy
+label) and every timing column — a name ending in ``_ns`` or
+``ns_per_op`` — must not exceed baseline * (1 + threshold). Non-timing
+columns are reported but never gate.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json FRESH.json [--threshold 0.15]
+
+Exit status: 0 when every timing cell is within the threshold (faster is
+always fine), 1 on any regression or structural mismatch (missing row,
+missing timing column), 2 on unreadable input.
+
+CI runs reduced-length benches on shared runners, so the default 15%
+threshold is deliberately loose: it catches an accidentally-restored
+O(n) rescan or per-call allocation, not scheduler jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_timing_column(name: str) -> bool:
+    return name.endswith("_ns") or name.endswith("ns_per_op")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    for key in ("columns", "rows"):
+        if key not in report:
+            sys.exit(f"bench_compare: {path} has no '{key}' field")
+    return report
+
+
+def rows_by_label(report: dict) -> dict:
+    return {row[0]: row for row in report["rows"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="checked-in BENCH_*.json")
+    ap.add_argument("fresh", help="freshly generated report")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional slowdown per timing cell "
+                         "(default 0.15 = +15%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    base_cols = base["columns"]
+    fresh_cols = fresh["columns"]
+    timing = [c for c in base_cols if is_timing_column(c)]
+    if not timing:
+        sys.exit(f"bench_compare: no timing columns in {args.baseline}")
+    missing_cols = [c for c in timing if c not in fresh_cols]
+    if missing_cols:
+        print(f"FAIL: fresh report lacks timing columns: {missing_cols}")
+        return 1
+
+    fresh_rows = rows_by_label(fresh)
+    bench = base.get("bench", "?")
+    failures = 0
+    print(f"bench_compare: {bench}  (threshold +{args.threshold:.0%})")
+    for row in base["rows"]:
+        label = row[0]
+        if label not in fresh_rows:
+            print(f"  FAIL {label}: row missing from fresh report")
+            failures += 1
+            continue
+        for col in timing:
+            old = float(row[base_cols.index(col)])
+            new = float(fresh_rows[label][fresh_cols.index(col)])
+            if old <= 0.0:
+                continue  # degenerate baseline cell: nothing to gate on
+            ratio = new / old
+            verdict = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+            print(f"  {verdict:4} {label:24} {col:16} "
+                  f"{old:12.1f} -> {new:12.1f} ns  ({ratio - 1.0:+.1%})")
+            if ratio > 1.0 + args.threshold:
+                failures += 1
+    extra = set(fresh_rows) - {r[0] for r in base["rows"]}
+    if extra:
+        print(f"  note: rows only in fresh report (not gated): "
+              f"{sorted(extra)}")
+    if failures:
+        print(f"bench_compare: {failures} regression(s) beyond "
+              f"+{args.threshold:.0%} — regenerate the baseline if the "
+              f"slowdown is intended")
+        return 1
+    print("bench_compare: all timing cells within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

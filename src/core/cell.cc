@@ -10,6 +10,9 @@ Cell::Cell(geom::CellId id, double capacity_bu, double soft_margin)
     : id_(id), capacity_(capacity_bu), soft_margin_(soft_margin) {
   PABR_CHECK(capacity_bu > 0.0, "Cell: non-positive capacity");
   PABR_CHECK(soft_margin >= 0.0, "Cell: negative soft margin");
+  // The id-sorted table is mutated on every admission/hand-off and walked
+  // on every B_r term; skip the first few growth reallocations outright.
+  entries_.reserve(64);
 }
 
 std::vector<traffic::ConnectionEntry>::iterator Cell::find_slot(

@@ -10,20 +10,33 @@ namespace {
 
 bool is_finite_duration(sim::Duration d) { return d < sim::kInfiniteDuration; }
 
-/// Weight of entries with sojourn <= x given sojourn-sorted values and
-/// their prefix-summed weights.
+/// Weight of entries with sojourn <= x given a sojourn-sorted array
+/// [begin, end) and its prefix-summed weights (parallel array starting at
+/// `prefix`).
+double prefix_weight_at(const double* begin, const double* end,
+                        const double* prefix, double x) {
+  const double* it = std::upper_bound(begin, end, x);
+  const auto idx = static_cast<std::size_t>(it - begin);
+  return idx == 0 ? 0.0 : prefix[idx - 1];
+}
+
 double prefix_weight_at(const std::vector<double>& sojourns,
                         const std::vector<double>& prefix, double x) {
-  const auto it = std::upper_bound(sojourns.begin(), sojourns.end(), x);
-  const auto idx = static_cast<std::size_t>(it - sojourns.begin());
-  return idx == 0 ? 0.0 : prefix[idx - 1];
+  return prefix_weight_at(sojourns.data(), sojourns.data() + sojourns.size(),
+                          prefix.data(), x);
 }
 
 /// Smallest sojourn value strictly greater than x (the next step
 /// breakpoint of the prefix-weight function), or infinity when none.
+double next_breakpoint_after(const double* begin, const double* end,
+                             double x) {
+  const double* it = std::upper_bound(begin, end, x);
+  return it == end ? sim::kInfiniteDuration : *it;
+}
+
 double next_breakpoint_after(const std::vector<double>& sojourns, double x) {
-  const auto it = std::upper_bound(sojourns.begin(), sojourns.end(), x);
-  return it == sojourns.end() ? sim::kInfiniteDuration : *it;
+  return next_breakpoint_after(sojourns.data(),
+                               sojourns.data() + sojourns.size(), x);
 }
 
 }  // namespace
@@ -57,16 +70,22 @@ void HandoffEstimator::record(const Quadruplet& q) {
              "quadruplet.next must be an adjacent cell");
   last_event_time_ = q.event_time;
 
-  PrevHistory& h = by_prev_[q.prev];
-  auto& dq = h.by_next[q.next];
-  dq.push_back(q);
+  PrevHistory& h = by_prev_.find_or_insert(q.prev);
+  auto& ring = h.by_next.find_or_insert(q.next);
+  if (!is_finite_duration(config_.t_int)) {
+    // The retention loop below keeps at most N_quad events, so the ring
+    // peaks at N_quad + 1 elements; pre-sizing once pins the capacity to
+    // the first power of two above that and the ring never grows again.
+    ring.reserve(static_cast<std::size_t>(config_.n_quad) + 1);
+  }
+  ring.push_back(q);
   telemetry::bump(tel_recorded_);
 
   if (!is_finite_duration(config_.t_int)) {
     // With an infinite window the priority rule is pure recency, so only
     // the newest N_quad events per (prev, next) can ever be selected.
-    while (dq.size() > static_cast<std::size_t>(config_.n_quad)) {
-      dq.pop_front();
+    while (ring.size() > static_cast<std::size_t>(config_.n_quad)) {
+      ring.pop_front();
       telemetry::bump(tel_evicted_);
     }
   } else {
@@ -75,8 +94,8 @@ void HandoffEstimator::record(const Quadruplet& q) {
     const sim::Time horizon =
         q.event_time - config_.t_int -
         config_.period * static_cast<double>(config_.n_win_periods);
-    while (!dq.empty() && dq.front().event_time < horizon) {
-      dq.pop_front();
+    while (!ring.empty() && ring.front().event_time < horizon) {
+      ring.pop_front();
       telemetry::bump(tel_evicted_);
     }
   }
@@ -88,13 +107,13 @@ void HandoffEstimator::audit() const {
   for (const auto& [prev, hist] : by_prev_) {
     for (const auto& [next, events] : hist.by_next) {
       PABR_CHECK(next != geom::kNoCell && next != self_,
-                 "estimator audit: deque keyed by invalid next cell");
+                 "estimator audit: ring keyed by invalid next cell");
       sim::Time last = -sim::kInfiniteDuration;
       for (const Quadruplet& q : events) {
         PABR_CHECK(q.prev == prev,
-                   "estimator audit: quadruplet in foreign prev deque");
+                   "estimator audit: quadruplet in foreign prev ring");
         PABR_CHECK(q.next == next,
-                   "estimator audit: quadruplet in foreign next deque");
+                   "estimator audit: quadruplet in foreign next ring");
         PABR_CHECK(q.sojourn >= 0.0, "estimator audit: negative sojourn");
         PABR_CHECK(q.event_time >= last,
                    "estimator audit: event times out of order");
@@ -104,19 +123,20 @@ void HandoffEstimator::audit() const {
       }
       if (!is_finite_duration(config_.t_int)) {
         PABR_CHECK(events.size() <= static_cast<std::size_t>(config_.n_quad),
-                   "estimator audit: deque exceeds N_quad");
+                   "estimator audit: ring exceeds N_quad");
       }
     }
   }
 }
 
-std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
-    const std::deque<Quadruplet>& events, sim::Time t0) const {
-  std::vector<Selected> picked;
-  if (events.empty()) return picked;
+void HandoffEstimator::select(const util::Ring<Quadruplet>& events,
+                              sim::Time t0) const {
+  std::vector<Selected>& picked = select_scratch_;
+  picked.clear();
+  if (events.empty()) return;
 
   if (!is_finite_duration(config_.t_int)) {
-    // Single window (n = 0) covering all of history; the deque is already
+    // Single window (n = 0) covering all of history; the ring is already
     // capped at N_quad newest events in record().
     const double w = window_weight(0);
     picked.reserve(events.size());
@@ -124,7 +144,7 @@ std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
       if (q.event_time > t0) continue;  // future events are meaningless
       picked.push_back(Selected{q.sojourn, w, 0, t0 - q.event_time});
     }
-    return picked;
+    return;
   }
 
   // When 2*T_int > period, consecutive windows overlap and an event can
@@ -169,7 +189,6 @@ std::vector<HandoffEstimator::Selected> HandoffEstimator::select(
               });
     picked.resize(static_cast<std::size_t>(config_.n_quad));
   }
-  return picked;
 }
 
 bool HandoffEstimator::snapshot_fresh(const PrevHistory& h,
@@ -194,30 +213,42 @@ void HandoffEstimator::build_snapshot(const PrevHistory& h,
   s.all_sojourn.clear();
   s.all_prefix.clear();
   s.by_next.clear();
-  s.raw_selected.clear();
+  s.values.reset();
+  s.raw.reset();
   s.all_total = 0.0;
   s.max_sojourn = 0.0;
 
-  std::vector<std::pair<double, double>> all;  // (sojourn, weight)
+  std::vector<std::pair<double, double>>& all = all_scratch_;  // (soj, w)
+  all.clear();
+  s.by_next.reserve(h.by_next.size());
   for (const auto& [next, events] : h.by_next) {
-    std::vector<Selected> sel = select(events, t0);
+    select(events, t0);
+    std::vector<Selected>& sel = select_scratch_;
     if (sel.empty()) continue;
     std::sort(sel.begin(), sel.end(),
               [](const Selected& a, const Selected& b) {
                 return a.sojourn < b.sojourn;
               });
-    auto& [sojourns, prefix] = s.by_next[next];
-    sojourns.reserve(sel.size());
-    prefix.reserve(sel.size());
-    double acc = 0.0;
+    NextSpan span;
+    span.next = next;
+    const std::uint32_t soj_mark = s.values.mark();
     for (const Selected& x : sel) {
-      sojourns.push_back(x.sojourn);
-      acc += x.weight;
-      prefix.push_back(acc);
+      s.values.push_back(x.sojourn);
       all.emplace_back(x.sojourn, x.weight);
       s.max_sojourn = std::max(s.max_sojourn, x.sojourn);
     }
-    s.raw_selected.emplace_back(next, std::move(sel));
+    span.sojourns = s.values.span_from(soj_mark);
+    const std::uint32_t prefix_mark = s.values.mark();
+    double acc = 0.0;
+    for (const Selected& x : sel) {
+      acc += x.weight;
+      s.values.push_back(acc);
+    }
+    span.prefix = s.values.span_from(prefix_mark);
+    const std::uint32_t raw_mark = s.raw.mark();
+    for (const Selected& x : sel) s.raw.push_back(x);
+    span.raw = s.raw.span_from(raw_mark);
+    s.by_next.push_back(span);
   }
 
   std::sort(all.begin(), all.end());
@@ -230,6 +261,14 @@ void HandoffEstimator::build_snapshot(const PrevHistory& h,
     s.all_prefix.push_back(acc);
   }
   s.all_total = acc;
+}
+
+const HandoffEstimator::NextSpan* HandoffEstimator::Snapshot::find_next(
+    geom::CellId next) const {
+  const auto it = std::lower_bound(
+      by_next.begin(), by_next.end(), next,
+      [](const NextSpan& s, geom::CellId id) { return s.next < id; });
+  return (it != by_next.end() && it->next == next) ? &*it : nullptr;
 }
 
 const HandoffEstimator::Snapshot* HandoffEstimator::snapshot_for(
@@ -255,12 +294,14 @@ double HandoffEstimator::handoff_probability(sim::Time t0, geom::CellId prev,
                                       extant_sojourn);
   if (denom <= 0.0) return 0.0;  // estimated stationary (paper §4.1)
 
-  const auto it = s->by_next.find(next);
-  if (it == s->by_next.end()) return 0.0;
-  const auto& [sojourns, prefix] = it->second;
+  const NextSpan* span = s->find_next(next);
+  if (span == nullptr) return 0.0;
+  const double* soj_b = s->values.begin(span->sojourns);
+  const double* soj_e = s->values.end(span->sojourns);
+  const double* pre_b = s->values.begin(span->prefix);
   const double numer =
-      prefix_weight_at(sojourns, prefix, extant_sojourn + t_est) -
-      prefix_weight_at(sojourns, prefix, extant_sojourn);
+      prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn + t_est) -
+      prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn);
   return std::clamp(numer / denom, 0.0, 1.0);
 }
 
@@ -299,12 +340,14 @@ ProbeResult HandoffEstimator::handoff_probability_probe(
   if (denom <= 0.0) return r;  // estimated stationary — and stays so: the
                                // denominator only shrinks as time passes
 
-  const auto it = s->by_next.find(next);
-  if (it == s->by_next.end()) return r;  // no events toward `next` yet
-  const auto& [sojourns, prefix] = it->second;
+  const NextSpan* span = s->find_next(next);
+  if (span == nullptr) return r;  // no events toward `next` yet
+  const double* soj_b = s->values.begin(span->sojourns);
+  const double* soj_e = s->values.end(span->sojourns);
+  const double* pre_b = s->values.begin(span->prefix);
   const double numer =
-      prefix_weight_at(sojourns, prefix, extant_sojourn + t_est) -
-      prefix_weight_at(sojourns, prefix, extant_sojourn);
+      prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn + t_est) -
+      prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn);
   r.probability = std::clamp(numer / denom, 0.0, 1.0);
 
   // The value is a pure function of the step-function indices selected
@@ -313,9 +356,9 @@ ProbeResult HandoffEstimator::handoff_probability_probe(
   const double d1 =
       next_breakpoint_after(s->all_sojourn, extant_sojourn) - extant_sojourn;
   const double d2 =
-      next_breakpoint_after(sojourns, extant_sojourn) - extant_sojourn;
+      next_breakpoint_after(soj_b, soj_e, extant_sojourn) - extant_sojourn;
   const double d3 =
-      next_breakpoint_after(sojourns, extant_sojourn + t_est) -
+      next_breakpoint_after(soj_b, soj_e, extant_sojourn + t_est) -
       (extant_sojourn + t_est);
   const double delta = std::min({d1, d2, d3});
   r.valid_until =
@@ -366,10 +409,12 @@ std::vector<FootprintPoint> HandoffEstimator::footprint(
   std::vector<FootprintPoint> out;
   const Snapshot* s = snapshot_for(prev, t0);
   if (s == nullptr) return out;
-  out.reserve(s->all_sojourn.size());
-  for (const auto& [next, sel] : s->raw_selected) {
-    for (const Selected& x : sel) {
-      out.push_back(FootprintPoint{next, x.sojourn, x.weight, x.window});
+  out.reserve(s->raw.size());
+  for (const NextSpan& span : s->by_next) {
+    for (const Selected* x = s->raw.begin(span.raw);
+         x != s->raw.end(span.raw); ++x) {
+      out.push_back(FootprintPoint{span.next, x->sojourn, x->weight,
+                                   x->window});
     }
   }
   return out;
@@ -382,9 +427,9 @@ void HandoffEstimator::prune(sim::Time t0) {
       config_.period * static_cast<double>(config_.n_win_periods);
   for (auto& [prev, h] : by_prev_) {
     bool changed = false;
-    for (auto& [next, dq] : h.by_next) {
-      while (!dq.empty() && dq.front().event_time < horizon) {
-        dq.pop_front();
+    for (auto& [next, ring] : h.by_next) {
+      while (!ring.empty() && ring.front().event_time < horizon) {
+        ring.pop_front();
         telemetry::bump(tel_evicted_);
         changed = true;
       }
@@ -399,7 +444,7 @@ void HandoffEstimator::prune(sim::Time t0) {
 std::size_t HandoffEstimator::cached_events() const {
   std::size_t n = 0;
   for (const auto& [prev, h] : by_prev_) {
-    for (const auto& [next, dq] : h.by_next) n += dq.size();
+    for (const auto& [next, ring] : h.by_next) n += ring.size();
   }
   return n;
 }

@@ -18,17 +18,30 @@
 // with prefix-summed weights, so p_h costs O(log N_quad). Snapshots are
 // rebuilt when new events arrive or (for finite T_int) when t0 drifts past
 // `snapshot_tolerance`.
+//
+// Data layout (DESIGN.md §11): this estimator sits on the reservation
+// hot path — every B_r recomputation probes it per connection — so the
+// event store and the snapshots are flat, cache-friendly structures
+// rather than node-based containers. Histories live in a small sorted
+// flat-map (util/flat_map.h) of fixed-retention ring buffers
+// (util/ring.h); snapshots keep their per-next arrays as index spans
+// into reusable arenas (util/arena.h), so a rebuild allocates nothing
+// once warm. Iteration orders match the std::map/std::deque layout they
+// replaced key-for-key, which keeps every float-accumulation order — and
+// therefore every output bit — identical.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "geom/topology.h"
 #include "hoef/quadruplet.h"
 #include "sim/time.h"
 #include "telemetry/metrics.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
+#include "util/ring.h"
 
 namespace pabr::hoef {
 
@@ -131,9 +144,9 @@ class HandoffEstimator {
   void prune(sim::Time t0);
 
   /// Structural self-check of the event store (audit layer): every cached
-  /// quadruplet lives in the deque matching its (prev, next), deques are
+  /// quadruplet lives in the ring matching its (prev, next), rings are
   /// event-time-sorted with nothing newer than the last recorded event,
-  /// sojourns are non-negative, and with an infinite T_int no deque holds
+  /// sojourns are non-negative, and with an infinite T_int no ring holds
   /// more than N_quad events. Throws InvariantError on violation.
   void audit() const;
 
@@ -160,6 +173,18 @@ class HandoffEstimator {
     int window;
     double center_distance;
   };
+  /// One prev's estimation function, flattened: the per-next
+  /// sojourn-sorted sample arrays and the raw selections live as index
+  /// spans into the snapshot's arenas; the whole-prev arrays keep their
+  /// own vectors (clear() retains capacity, so they churn nothing
+  /// either). Rebuilds reset the arenas and refill — zero allocations
+  /// once the arenas are warm.
+  struct NextSpan {
+    geom::CellId next = geom::kNoCell;
+    util::ArenaSpan sojourns;  ///< into `values`, sorted ascending
+    util::ArenaSpan prefix;    ///< into `values`, same length
+    util::ArenaSpan raw;       ///< into `raw`, sojourn-sorted Selected
+  };
   struct Snapshot {
     sim::Time built_at = -1.0;
     std::uint64_t revision = 0;
@@ -169,14 +194,17 @@ class HandoffEstimator {
     std::vector<double> all_prefix;  // prefix-summed weights (same length)
     double all_total = 0.0;
     double max_sojourn = 0.0;
-    // Per-next sojourn-sorted arrays.
-    std::map<geom::CellId, std::pair<std::vector<double>, std::vector<double>>>
-        by_next;
-    std::vector<std::pair<geom::CellId, std::vector<Selected>>> raw_selected;
+    // Per-next spans, sorted by next id (the iteration order of the
+    // std::map this replaces).
+    std::vector<NextSpan> by_next;
+    util::Arena<double> values;  ///< per-next sojourn + prefix runs
+    util::Arena<Selected> raw;   ///< per-next raw selections (footprint)
+
+    const NextSpan* find_next(geom::CellId next) const;
   };
   struct PrevHistory {
-    // Per-next event-time-ordered deques (append order == time order).
-    std::map<geom::CellId, std::deque<Quadruplet>> by_next;
+    // Per-next event-time-ordered rings (append order == time order).
+    util::FlatMap<geom::CellId, util::Ring<Quadruplet>> by_next;
     std::uint64_t revision = 0;
     mutable Snapshot snapshot;
   };
@@ -184,16 +212,20 @@ class HandoffEstimator {
   double window_weight(int n) const;
   bool snapshot_fresh(const PrevHistory& h, sim::Time t0) const;
   void build_snapshot(const PrevHistory& h, sim::Time t0) const;
-  /// Usable quadruplets of one deque at t0, with window index/weight.
-  std::vector<Selected> select(const std::deque<Quadruplet>& events,
-                               sim::Time t0) const;
+  /// Usable quadruplets of one ring at t0, with window index/weight,
+  /// written into `select_scratch_`.
+  void select(const util::Ring<Quadruplet>& events, sim::Time t0) const;
   const Snapshot* snapshot_for(geom::CellId prev, sim::Time t0) const;
 
   geom::CellId self_;
   EstimatorConfig config_;
-  std::map<geom::CellId, PrevHistory> by_prev_;
+  util::FlatMap<geom::CellId, PrevHistory> by_prev_;
   sim::Time last_event_time_ = 0.0;
   std::uint64_t state_version_ = 0;
+  // Build-time scratch, reused across every snapshot rebuild of this
+  // estimator (per-estimator arena of the hot path's temporaries).
+  mutable std::vector<Selected> select_scratch_;
+  mutable std::vector<std::pair<double, double>> all_scratch_;
   telemetry::Counter* tel_recorded_ = nullptr;
   telemetry::Counter* tel_evicted_ = nullptr;
 };

@@ -22,12 +22,16 @@
 //      almost every cached term is still bitwise-exact.
 //
 // Each (source cell -> target cell) pair keeps a term cache mirroring the
-// source cell's id-sorted connection table. A recomputation merge-walks
-// table and cache: unchanged, unexpired terms are reused verbatim;
-// new/expired/changed ones are recomputed via the estimator probes. The
-// returned B_r accumulates term-by-term in table order into the caller's
-// running sum — the exact association order of the scratch rescan — so the
-// fast path is bit-identical to recomputing from scratch, not merely close
+// source cell's id-sorted connection table. A recomputation first tries
+// the all-hit fast path: when the cached terms mirror the live table
+// one-to-one and none has expired, it sums the cached values in table
+// order with no copying at all — the steady-state case. On the first
+// divergence it falls back to the merge walk: unchanged, unexpired terms
+// are reused verbatim; new/expired/changed ones are recomputed via the
+// estimator probes. Either way the returned B_r accumulates term-by-term
+// in table order into the caller's running sum — the exact association
+// order of the scratch rescan — so the fast path is bit-identical to
+// recomputing from scratch, not merely close
 // (tests/reservation_incremental_test.cc asserts this).
 //
 // Estimators with a finite T_int drift with wall-clock time (their
@@ -35,11 +39,19 @@
 // (supports_caching() == false) — the walk then degrades gracefully to a
 // dense-table rescan, still avoiding the per-connection hash lookups the
 // scratch path of old performed.
+//
+// Pair caches live in an open-addressed, linearly probed hash table
+// (power-of-two capacity, key = packed source<<32|target mixed through a
+// splitmix64 finalizer) instead of a std::unordered_map: one predictable
+// probe sequence over a dense slot array per accumulate() call, no
+// per-node allocation. Degraded-mode invalidation (mark_stale) DELETES
+// the pair's slot via backward-shift, so the table never accumulates
+// tombstones; staleness itself is tracked in a small sorted key set that
+// the next completed accumulate() discharges (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "geom/topology.h"
@@ -73,10 +85,11 @@ class IncrementalEngine {
 
   /// Degraded mode (fault injection): declares the (source -> target)
   /// pair's cached terms untrusted — the source cell could not be
-  /// consulted, so the terms no longer track its table. Drops the cached
-  /// terms; the stale mark stays up until the next successful
-  /// accumulate() over the pair (the post-heal re-sync), which the core
-  /// system audits bitwise against a from-scratch rescan.
+  /// consulted, so the terms no longer track its table. Deletes the
+  /// pair's table slot (backward-shift, no tombstone); the stale mark
+  /// stays up until the next successful accumulate() over the pair (the
+  /// post-heal re-sync), which the core system audits bitwise against a
+  /// from-scratch rescan.
   void mark_stale(geom::CellId source, geom::CellId target);
   bool is_stale(geom::CellId source, geom::CellId target) const;
   /// Pairs ever marked stale (monotone; telemetry/diagnostics).
@@ -111,8 +124,35 @@ class IncrementalEngine {
   struct PairCache {
     std::uint64_t estimator_version = ~std::uint64_t{0};
     sim::Duration t_est = -1.0;
-    bool stale = false;  ///< degraded mode: terms dropped, awaiting re-sync
     std::vector<TermEntry> terms;  // id-sorted, mirrors the source table
+  };
+
+  /// Open-addressed (source -> target) pair table: linear probing over a
+  /// power-of-two slot array, no tombstones (erase backward-shifts the
+  /// probe run). The packed pair key reserves ~0 (kNoCell twice) as the
+  /// empty-slot marker; valid cell ids never produce it.
+  class PairTable {
+   public:
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    PairCache& find_or_insert(std::uint64_t key);
+    PairCache* find(std::uint64_t key);
+    const PairCache* find(std::uint64_t key) const;
+    void erase(std::uint64_t key);
+    std::size_t size() const { return size_; }
+
+   private:
+    struct Slot {
+      std::uint64_t key = kEmptyKey;
+      PairCache cache;
+    };
+
+    std::size_t probe_start(std::uint64_t key) const;
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;  // slots_.size() - 1 (power of two)
   };
 
   TermEntry make_term(geom::CellId source, geom::CellId target,
@@ -120,8 +160,12 @@ class IncrementalEngine {
                       const hoef::HandoffEstimator& estimator, sim::Time now,
                       sim::Duration t_est) const;
 
-  std::unordered_map<std::uint64_t, PairCache> pairs_;
+  PairTable pairs_;
+  /// Sorted keys of pairs in degraded mode (mark_stale .. next completed
+  /// accumulate). Tiny: only faulted pairs ever enter.
+  std::vector<std::uint64_t> stale_keys_;
   std::vector<TermEntry> scratch_;  // reused merge buffer
+  std::size_t max_table_seen_ = 0;  // pre-sizes scratch_ across pairs
   RouteNextFn route_next_;
   std::uint64_t terms_recomputed_ = 0;
   std::uint64_t terms_reused_ = 0;

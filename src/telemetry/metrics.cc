@@ -177,6 +177,15 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
       histo_idx;
   std::vector<std::uint64_t> gauge_samples;  // per-gauge sample counts
 
+  // Snapshots from the same registry layout share one instrument set, so
+  // the first snapshot's sizes are the merged sizes almost always.
+  if (!snaps.empty()) {
+    out.counters.reserve(snaps.front().counters.size());
+    out.gauges.reserve(snaps.front().gauges.size());
+    out.histograms.reserve(snaps.front().histograms.size());
+    gauge_samples.reserve(snaps.front().gauges.size());
+  }
+
   for (const MetricsSnapshot& s : snaps) {
     for (const auto& [name, v] : s.counters) {
       const auto [it, fresh] = counter_idx.emplace(name, out.counters.size());

@@ -1,0 +1,75 @@
+// A typed bump arena with index-based spans — the backing store for
+// estimator snapshots, replacing the per-rebuild heap churn of one
+// std::map node plus two std::vector allocations per (prev, next) pair.
+//
+// An Arena<T> is one contiguous std::vector<T> that only ever grows.
+// Writers append with push_back() and delimit their run with mark():
+//
+//   arena.reset();
+//   auto begin = arena.mark();
+//   ... arena.push_back(x) ...
+//   Span s{begin, arena.mark()};
+//
+// Spans are (begin, end) INDEX pairs, not pointers, so appends that
+// reallocate the underlying vector never invalidate a span — readers
+// resolve through arena.data() at lookup time. reset() rewinds the write
+// cursor but keeps the capacity: after a warm-up rebuild or two the arena
+// stops touching the allocator entirely, which is the point — snapshot
+// rebuilds happen on the reservation hot path (every estimator
+// state-version bump), and "rebuild" must not mean "reallocate".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pabr::util {
+
+/// Half-open index range into an Arena<T>.
+struct ArenaSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+template <typename T>
+class Arena {
+ public:
+  void reset() { items_.clear(); }  // keeps capacity
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  /// Current write cursor; pair two marks into an ArenaSpan.
+  std::uint32_t mark() const { return static_cast<std::uint32_t>(items_.size()); }
+
+  void push_back(const T& value) { items_.push_back(value); }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    items_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  /// Closes the span opened at `begin` (a prior mark()).
+  ArenaSpan span_from(std::uint32_t begin) const {
+    PABR_CHECK(begin <= mark(), "ArenaSpan begins past the write cursor");
+    return ArenaSpan{begin, mark()};
+  }
+
+  const T* data() const { return items_.data(); }
+  T* data() { return items_.data(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return items_.capacity(); }
+
+  const T* begin(const ArenaSpan& s) const { return items_.data() + s.begin; }
+  const T* end(const ArenaSpan& s) const { return items_.data() + s.end; }
+
+  /// Mutable access within a span (sorting a freshly written run).
+  T* begin(const ArenaSpan& s) { return items_.data() + s.begin; }
+  T* end(const ArenaSpan& s) { return items_.data() + s.end; }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace pabr::util

@@ -1,0 +1,81 @@
+// A small sorted flat map: key-ordered `std::vector<std::pair<K, V>>`
+// behind a `std::map`-shaped interface — the replacement for the
+// node-based maps on the estimator/reservation hot path.
+//
+// The maps this replaces (estimator `by_prev_`, per-prev `by_next`) hold
+// a handful of entries — one per adjacent cell, so ≲ 7 on the hex grid —
+// but are probed on every p_h lookup. A red-black tree pays a pointer
+// chase and a likely cache miss per comparison; a sorted vector finds the
+// same key with a branch-light binary search over one cache line or two,
+// and iteration (snapshot builds, audits, prunes) walks contiguous
+// memory in exactly the same key order as std::map, which keeps every
+// float-accumulation order — and therefore every output bit — unchanged.
+//
+// Inserts are O(n) (shift the tail); that is the right trade for
+// read-mostly maps whose size is bounded by the cell adjacency degree.
+// References are invalidated by insertions (vector reallocation/shift),
+// unlike std::map — callers must not hold references across find_or_insert.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pabr::util {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  iterator find(const K& key) {
+    const auto it = lower(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  const_iterator find(const K& key) const {
+    const auto it = lower(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  bool contains(const K& key) const { return find(key) != end(); }
+
+  /// std::map::operator[]: returns the mapped value, default-constructing
+  /// (and inserting in key order) when absent.
+  V& find_or_insert(const K& key) {
+    auto it = lower(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.emplace(it, key, V{});
+    }
+    return it->second;
+  }
+
+  iterator erase(iterator pos) { return entries_.erase(pos); }
+
+ private:
+  iterator lower(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+  const_iterator lower(const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;  // sorted by key, unique
+};
+
+}  // namespace pabr::util

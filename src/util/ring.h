@@ -1,0 +1,192 @@
+// A growable circular buffer (FIFO ring) with contiguous-power-of-two
+// storage and random-access iterators — the flat replacement for the
+// `std::deque<Quadruplet>` event histories on the estimator hot path.
+//
+// Why not std::deque: libstdc++ deques allocate one ~512-byte node per
+// chunk and chase a map of chunk pointers on every index, so the
+// estimator's select() walk (binary searches + linear scans over event
+// history) touches scattered cache lines and the per-(prev, next) history
+// costs at least two allocations even when it holds three events. Ring
+// keeps all elements in one power-of-two array addressed modulo capacity:
+// push_back/pop_front are O(1) with no allocation in steady state, and
+// iteration walks (at most two) contiguous runs.
+//
+// Capacity grows by doubling when full; under the estimator's
+// N_quad-style retention (record() pops the oldest element once the ring
+// exceeds N_quad) the capacity settles at the first power of two >
+// N_quad and never reallocates again.
+//
+// Iterators are random-access so std::lower_bound over event times stays
+// O(log n). They are invalidated by push_back (growth may linearize) —
+// same contract callers already honoured for deque + pop_front.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pabr::util {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+
+  /// Pre-sizes storage for at least `capacity` elements (rounded up to a
+  /// power of two). Never shrinks.
+  explicit Ring(std::size_t capacity) { grow_to(round_up(capacity)); }
+
+  Ring(const Ring& other) { *this = other; }
+  Ring& operator=(const Ring& other) {
+    if (this == &other) return *this;
+    clear();
+    if (other.size_ > capacity_) grow_to(round_up(other.size_));
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    return *this;
+  }
+  Ring(Ring&&) noexcept = default;
+  Ring& operator=(Ring&&) noexcept = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) { return slot(i); }
+  const T& operator[](std::size_t i) const { return slot(i); }
+
+  T& front() {
+    PABR_CHECK(size_ > 0, "Ring::front on empty ring");
+    return slot(0);
+  }
+  const T& front() const {
+    PABR_CHECK(size_ > 0, "Ring::front on empty ring");
+    return slot(0);
+  }
+  T& back() {
+    PABR_CHECK(size_ > 0, "Ring::back on empty ring");
+    return slot(size_ - 1);
+  }
+  const T& back() const {
+    PABR_CHECK(size_ > 0, "Ring::back on empty ring");
+    return slot(size_ - 1);
+  }
+
+  /// Ensures room for at least `n` elements without further growth.
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(round_up(n));
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow_to(capacity_ == 0 ? 4 : capacity_ * 2);
+    data_[(head_ + size_) & mask_] = value;
+    ++size_;
+  }
+
+  void pop_front() {
+    PABR_CHECK(size_ > 0, "Ring::pop_front on empty ring");
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Random-access iterator over [oldest, newest]. Template over
+  /// constness so `iterator` converts to `const_iterator`.
+  template <bool Const>
+  class Iter {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+    using reference = std::conditional_t<Const, const T&, T&>;
+
+    Iter() = default;
+    Iter(std::conditional_t<Const, const Ring*, Ring*> ring,
+         std::size_t index)
+        : ring_(ring), index_(static_cast<difference_type>(index)) {}
+    /// iterator -> const_iterator.
+    template <bool C = Const, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& other)  // NOLINT(google-explicit-constructor)
+        : ring_(other.ring_), index_(other.index_) {}
+
+    reference operator*() const {
+      return (*ring_)[static_cast<std::size_t>(index_)];
+    }
+    pointer operator->() const { return &**this; }
+    reference operator[](difference_type n) const {
+      return (*ring_)[static_cast<std::size_t>(index_ + n)];
+    }
+
+    Iter& operator++() { ++index_; return *this; }
+    Iter operator++(int) { Iter t = *this; ++index_; return t; }
+    Iter& operator--() { --index_; return *this; }
+    Iter operator--(int) { Iter t = *this; --index_; return t; }
+    Iter& operator+=(difference_type n) { index_ += n; return *this; }
+    Iter& operator-=(difference_type n) { index_ -= n; return *this; }
+    friend Iter operator+(Iter it, difference_type n) { return it += n; }
+    friend Iter operator+(difference_type n, Iter it) { return it += n; }
+    friend Iter operator-(Iter it, difference_type n) { return it -= n; }
+    friend difference_type operator-(const Iter& a, const Iter& b) {
+      return a.index_ - b.index_;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) { return !(a == b); }
+    friend bool operator<(const Iter& a, const Iter& b) {
+      return a.index_ < b.index_;
+    }
+    friend bool operator>(const Iter& a, const Iter& b) { return b < a; }
+    friend bool operator<=(const Iter& a, const Iter& b) { return !(b < a); }
+    friend bool operator>=(const Iter& a, const Iter& b) { return !(a < b); }
+
+   private:
+    friend class Iter<true>;
+    std::conditional_t<Const, const Ring*, Ring*> ring_ = nullptr;
+    difference_type index_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, size_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+  const_iterator cbegin() const { return begin(); }
+  const_iterator cend() const { return end(); }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 4;
+    while (c < n) c *= 2;
+    return c;
+  }
+
+  T& slot(std::size_t i) { return data_[(head_ + i) & mask_]; }
+  const T& slot(std::size_t i) const { return data_[(head_ + i) & mask_]; }
+
+  void grow_to(std::size_t new_capacity) {
+    std::unique_ptr<T[]> next(new T[new_capacity]);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move(slot(i));
+    data_ = std::move(next);
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+    head_ = 0;
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;   // capacity - 1 (capacity is a power of two)
+  std::size_t head_ = 0;   // physical index of the oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace pabr::util

@@ -1,0 +1,120 @@
+// util::Arena — the bump store behind estimator snapshots (DESIGN.md
+// §11). Two contracts matter: index-based spans survive reallocation
+// (unlike pointers), and reset() keeps capacity so warm rebuilds never
+// touch the allocator. The estimator-level test proves snapshot arenas
+// reused across many rebuilds answer bitwise identically to a fresh
+// estimator that never reused anything.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hoef/estimator.h"
+#include "hoef/quadruplet.h"
+#include "sim/time.h"
+
+namespace pabr {
+namespace {
+
+TEST(ArenaTest, SpansSurviveReallocation) {
+  util::Arena<int> a;
+  const auto m0 = a.mark();
+  for (int i = 0; i < 4; ++i) a.push_back(i);
+  const util::ArenaSpan first = a.span_from(m0);
+  // Push enough to force at least one reallocation of the backing vector.
+  const auto m1 = a.mark();
+  for (int i = 0; i < 10000; ++i) a.push_back(100 + i);
+  const util::ArenaSpan second = a.span_from(m1);
+  // Index spans still resolve to the right elements post-reallocation.
+  ASSERT_EQ(first.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.begin(first)[i], i);
+  ASSERT_EQ(second.size(), 10000u);
+  EXPECT_EQ(*a.begin(second), 100);
+  EXPECT_EQ(a.end(second)[-1], 100 + 9999);
+}
+
+TEST(ArenaTest, ResetKeepsCapacityAndStorage) {
+  util::Arena<double> a;
+  for (int i = 0; i < 1000; ++i) a.push_back(static_cast<double>(i));
+  const std::size_t cap = a.capacity();
+  const double* storage = a.data();
+  a.reset();
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.capacity(), cap);
+  // Refills within capacity reuse the exact same allocation.
+  for (int i = 0; i < 1000; ++i) a.push_back(static_cast<double>(-i));
+  EXPECT_EQ(a.data(), storage);
+  EXPECT_EQ(a.begin(util::ArenaSpan{0, 3})[2], -2.0);
+}
+
+TEST(ArenaTest, MarksDelimitAdjacentRuns) {
+  util::Arena<int> a;
+  std::vector<util::ArenaSpan> runs;
+  for (int run = 0; run < 5; ++run) {
+    const auto m = a.mark();
+    for (int i = 0; i <= run; ++i) a.push_back(run * 100 + i);
+    runs.push_back(a.span_from(m));
+  }
+  EXPECT_EQ(a.size(), 1u + 2 + 3 + 4 + 5);
+  for (std::size_t run = 0; run < 5; ++run) {
+    ASSERT_EQ(runs[run].size(), static_cast<std::uint32_t>(run + 1));
+    const int* p = a.begin(runs[run]);
+    for (std::size_t i = 0; i <= run; ++i) {
+      EXPECT_EQ(p[i], static_cast<int>(run * 100 + i));
+    }
+  }
+  EXPECT_TRUE(util::ArenaSpan{}.empty());
+}
+
+TEST(ArenaTest, EstimatorSnapshotReuseIsBitwiseClean) {
+  // Force a snapshot rebuild per query round (each record invalidates
+  // it). The long-lived estimator reuses its snapshot arenas dozens of
+  // times; the throwaway estimator rebuilt from scratch each round never
+  // reuses anything. Every probability must match bit for bit.
+  hoef::EstimatorConfig cfg;
+  cfg.t_int = sim::kInfiniteDuration;
+  cfg.n_quad = 20;
+  hoef::HandoffEstimator warm(0, cfg);
+  std::vector<hoef::Quadruplet> events;
+  sim::Time t = 0.0;
+  const geom::CellId prevs[] = {0, 1, 2};
+  const geom::CellId nexts[] = {1, 2, 3};
+  for (int i = 0; i < 60; ++i) {
+    t += 2.5;
+    const hoef::Quadruplet q{t, prevs[i % 3], nexts[(i * 5) % 3],
+                             1.0 + 0.37 * ((i * 7) % 50)};
+    events.push_back(q);
+    warm.record(q);
+
+    hoef::HandoffEstimator fresh(0, cfg);
+    for (const hoef::Quadruplet& e : events) fresh.record(e);
+    for (geom::CellId prev : prevs) {
+      for (geom::CellId next : nexts) {
+        for (double soj = 0.0; soj < 20.0; soj += 4.3) {
+          EXPECT_EQ(warm.handoff_probability(t, prev, next, soj, 30.0),
+                    fresh.handoff_probability(t, prev, next, soj, 30.0))
+              << "round " << i << " prev " << prev << " next " << next
+              << " sojourn " << soj;
+        }
+      }
+      EXPECT_EQ(warm.any_handoff_probability(t, prev, 3.0, 30.0),
+                fresh.any_handoff_probability(t, prev, 3.0, 30.0));
+      // Footprints walk the raw per-next arena spans.
+      const auto wf = warm.footprint(t, prev);
+      const auto ff = fresh.footprint(t, prev);
+      ASSERT_EQ(wf.size(), ff.size());
+      for (std::size_t k = 0; k < wf.size(); ++k) {
+        EXPECT_EQ(wf[k].next, ff[k].next);
+        EXPECT_EQ(wf[k].sojourn, ff[k].sojourn);
+        EXPECT_EQ(wf[k].weight, ff[k].weight);
+        EXPECT_EQ(wf[k].window, ff[k].window);
+      }
+    }
+    EXPECT_EQ(warm.max_sojourn(t), fresh.max_sojourn(t));
+  }
+  EXPECT_NO_THROW(warm.audit());
+}
+
+}  // namespace
+}  // namespace pabr

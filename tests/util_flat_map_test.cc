@@ -1,0 +1,103 @@
+// util::FlatMap — the sorted-vector map replacing std::map on the
+// estimator hot path (DESIGN.md §11). The load-bearing property is that
+// iteration visits keys in EXACTLY std::map's order: snapshot builds and
+// audits accumulate floats in iteration order, so any ordering drift
+// would change output bits.
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pabr {
+namespace {
+
+TEST(FlatMapTest, IterationMatchesStdMapOrder) {
+  // Insert in scrambled order; both maps must agree entry-for-entry.
+  const int keys[] = {7, 1, 12, 3, 9, 0, 5, 11, 2};
+  util::FlatMap<int, int> flat;
+  std::map<int, int> ref;
+  for (int k : keys) {
+    flat.find_or_insert(k) = 10 * k;
+    ref[k] = 10 * k;
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto fit = flat.begin();
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(fit->first, k);
+    EXPECT_EQ(fit->second, v);
+    ++fit;
+  }
+}
+
+TEST(FlatMapTest, FindOrInsertDefaultConstructsOnce) {
+  util::FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  std::string& s = m.find_or_insert(4);
+  EXPECT_TRUE(s.empty());  // default-constructed, like std::map::operator[]
+  s = "four";
+  EXPECT_EQ(m.find_or_insert(4), "four");  // no overwrite on re-probe
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, FindAndContains) {
+  util::FlatMap<int, int> m;
+  for (int k : {2, 4, 6}) m.find_or_insert(k) = k * k;
+  EXPECT_TRUE(m.contains(4));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.find(6)->second, 36);
+  EXPECT_EQ(m.find(5), m.end());
+  const util::FlatMap<int, int>& cm = m;
+  EXPECT_EQ(cm.find(2)->second, 4);
+  EXPECT_EQ(cm.find(7), cm.end());
+}
+
+TEST(FlatMapTest, EraseKeepsOrder) {
+  util::FlatMap<int, int> m;
+  for (int k : {1, 3, 5, 7}) m.find_or_insert(k) = k;
+  m.erase(m.find(5));
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_FALSE(m.contains(5));
+  std::vector<int> seen;
+  for (const auto& [k, v] : m) seen.push_back(k);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 7}));
+  // Reinsert lands back in sorted position.
+  m.find_or_insert(5) = 50;
+  seen.clear();
+  for (const auto& [k, v] : m) seen.push_back(k);
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(FlatMapTest, RandomizedParityWithStdMap) {
+  util::FlatMap<int, int> flat;
+  std::map<int, int> ref;
+  // Deterministic pseudo-random walk of inserts, overwrites and erases.
+  unsigned state = 12345;
+  auto next = [&state] { return state = state * 1103515245u + 12345u; };
+  for (int step = 0; step < 500; ++step) {
+    const int key = static_cast<int>(next() % 40u);
+    switch (next() % 3u) {
+      case 0:
+      case 1:
+        flat.find_or_insert(key) = step;
+        ref[key] = step;
+        break;
+      default:
+        if (auto it = flat.find(key); it != flat.end()) flat.erase(it);
+        ref.erase(key);
+        break;
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto fit = flat.begin();
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(fit->first, k);
+    EXPECT_EQ(fit->second, v);
+    ++fit;
+  }
+}
+
+}  // namespace
+}  // namespace pabr

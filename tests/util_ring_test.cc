@@ -1,0 +1,142 @@
+// util::Ring — the flat FIFO replacing std::deque in the estimator's
+// per-(prev, next) event histories (DESIGN.md §11). The contract under
+// test: strict FIFO order across wrap-around and growth, random-access
+// iterators good enough for std::lower_bound, and — at the estimator
+// level — eviction at exactly N_quad with answers bitwise identical to
+// an estimator that only ever saw the surviving events.
+#include "util/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hoef/estimator.h"
+#include "hoef/quadruplet.h"
+#include "sim/time.h"
+
+namespace pabr {
+namespace {
+
+std::vector<int> contents(const util::Ring<int>& r) {
+  return std::vector<int>(r.begin(), r.end());
+}
+
+TEST(RingTest, PushPopKeepsFifoOrder) {
+  util::Ring<int> r;
+  EXPECT_TRUE(r.empty());
+  for (int i = 0; i < 10; ++i) r.push_back(i);
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_EQ(r.front(), 0);
+  EXPECT_EQ(r.back(), 9);
+  r.pop_front();
+  r.pop_front();
+  EXPECT_EQ(r.front(), 2);
+  EXPECT_EQ(contents(r), (std::vector<int>{2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(RingTest, WrapAroundPreservesOrder) {
+  util::Ring<int> r(4);
+  EXPECT_EQ(r.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) r.push_back(i);
+  // Pop two, push two: the new elements wrap into the freed slots.
+  r.pop_front();
+  r.pop_front();
+  r.push_back(4);
+  r.push_back(5);
+  EXPECT_EQ(r.capacity(), 4u);  // no growth happened
+  EXPECT_EQ(contents(r), (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(RingTest, GrowthWhileWrappedLinearizes) {
+  util::Ring<int> r(4);
+  for (int i = 0; i < 4; ++i) r.push_back(i);
+  r.pop_front();       // head now mid-array
+  r.push_back(4);      // wrapped
+  r.push_back(5);      // full -> grows, must relinearize [1..5]
+  EXPECT_GT(r.capacity(), 4u);
+  EXPECT_EQ(contents(r), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.front(), 1);
+  EXPECT_EQ(r.back(), 5);
+}
+
+TEST(RingTest, SteadyStateEvictionNeverReallocates) {
+  // The estimator's N_quad retention pattern: push one, evict one.
+  util::Ring<int> r;
+  r.reserve(101);
+  const std::size_t cap = r.capacity();
+  for (int i = 0; i < 5000; ++i) {
+    r.push_back(i);
+    while (r.size() > 100) r.pop_front();
+  }
+  EXPECT_EQ(r.capacity(), cap);
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_EQ(r.front(), 4900);
+  EXPECT_EQ(r.back(), 4999);
+}
+
+TEST(RingTest, IteratorsSupportLowerBound) {
+  util::Ring<int> r(8);
+  for (int i = 0; i < 8; ++i) r.push_back(2 * i);  // 0 2 4 .. 14
+  r.pop_front();
+  r.pop_front();
+  r.push_back(16);
+  r.push_back(18);  // wrapped: 4 6 8 10 12 14 16 18
+  const auto it = std::lower_bound(r.begin(), r.end(), 11);
+  EXPECT_EQ(*it, 12);
+  EXPECT_EQ(it - r.begin(), 4);
+  // Random-access arithmetic and iterator -> const_iterator conversion.
+  util::Ring<int>::const_iterator cit = r.begin() + 3;
+  EXPECT_EQ(*cit, 10);
+  EXPECT_EQ(cit[2], 14);
+  EXPECT_EQ(r.end() - r.begin(),
+            static_cast<std::ptrdiff_t>(r.size()));
+}
+
+TEST(RingTest, CopyIsDeepAndOrderPreserving) {
+  util::Ring<int> a(4);
+  for (int i = 0; i < 6; ++i) a.push_back(i);  // grew once
+  a.pop_front();
+  util::Ring<int> b(a);
+  EXPECT_EQ(contents(b), contents(a));
+  b.push_back(99);
+  EXPECT_EQ(a.size(), 5u);  // a untouched
+  util::Ring<int> c;
+  c = a;
+  EXPECT_EQ(contents(c), contents(a));
+}
+
+TEST(RingTest, EstimatorEvictsAtExactlyNQuad) {
+  // Infinite T_int keeps the newest N_quad quadruplets per (prev, next):
+  // after any number of records the ring must hold exactly N_quad, the
+  // audit must pass, and every answer must be bitwise identical to an
+  // estimator that only ever ingested the surviving events.
+  hoef::EstimatorConfig cfg;
+  cfg.t_int = sim::kInfiniteDuration;
+  cfg.n_quad = 5;
+  hoef::HandoffEstimator full(0, cfg);
+  std::vector<hoef::Quadruplet> events;
+  for (int i = 0; i < 23; ++i) {
+    const hoef::Quadruplet q{10.0 * (i + 1), 1, 2,
+                             5.0 + 7.0 * ((i * 13) % 11)};
+    events.push_back(q);
+    full.record(q);
+  }
+  EXPECT_EQ(full.cached_events(), 5u);
+  EXPECT_NO_THROW(full.audit());
+
+  hoef::HandoffEstimator tail(0, cfg);
+  for (std::size_t i = events.size() - 5; i < events.size(); ++i) {
+    tail.record(events[i]);
+  }
+  const sim::Time t0 = 500.0;
+  for (double soj = 0.0; soj < 90.0; soj += 3.7) {
+    EXPECT_EQ(full.handoff_probability(t0, 1, 2, soj, 30.0),
+              tail.handoff_probability(t0, 1, 2, soj, 30.0))
+        << "sojourn " << soj;
+  }
+  EXPECT_EQ(full.max_sojourn(t0), tail.max_sojourn(t0));
+}
+
+}  // namespace
+}  // namespace pabr
