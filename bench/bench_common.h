@@ -251,7 +251,9 @@ class JsonReport {
             << ", \"min\": " << number(h.min)
             << ", \"max\": " << number(h.max)
             << ", \"p50\": " << number(h.p50)
-            << ", \"p99\": " << number(h.p99) << "}";
+            << ", \"p99\": " << number(h.p99)
+            << ", \"underflow\": " << h.underflow
+            << ", \"overflow\": " << h.overflow << "}";
       }
       out << (metrics_.histograms.empty() ? "}" : "\n    }") << "\n  }";
     }

@@ -4,8 +4,11 @@
 Guards the DESIGN.md §11 hot-path optimizations against silent
 regression: rows are matched by their first column (the path/policy
 label) and every timing column — a name ending in ``_ns`` or
-``ns_per_op`` — must not exceed baseline * (1 + threshold). Non-timing
-columns are reported but never gate.
+``ns_per_op`` — must not exceed baseline * (1 + threshold). Throughput
+columns — a name ending in ``_per_s``, e.g. the sharded scale sweep's
+``events_per_s`` — gate in the opposite direction: they must not fall
+below baseline * (1 - threshold). All other columns are reported but
+never gate.
 
 Usage:
     scripts/bench_compare.py BASELINE.json FRESH.json [--threshold 0.15]
@@ -26,6 +29,10 @@ import sys
 
 def is_timing_column(name: str) -> bool:
     return name.endswith("_ns") or name.endswith("ns_per_op")
+
+
+def is_throughput_column(name: str) -> bool:
+    return name.endswith("_per_s")
 
 
 def load(path: str) -> dict:
@@ -59,9 +66,11 @@ def main() -> int:
     base_cols = base["columns"]
     fresh_cols = fresh["columns"]
     timing = [c for c in base_cols if is_timing_column(c)]
-    if not timing:
-        sys.exit(f"bench_compare: no timing columns in {args.baseline}")
-    missing_cols = [c for c in timing if c not in fresh_cols]
+    throughput = [c for c in base_cols if is_throughput_column(c)]
+    if not timing and not throughput:
+        sys.exit(f"bench_compare: no timing or throughput columns in "
+                 f"{args.baseline}")
+    missing_cols = [c for c in timing + throughput if c not in fresh_cols]
     if missing_cols:
         print(f"FAIL: fresh report lacks timing columns: {missing_cols}")
         return 1
@@ -76,16 +85,22 @@ def main() -> int:
             print(f"  FAIL {label}: row missing from fresh report")
             failures += 1
             continue
-        for col in timing:
+        for col in timing + throughput:
             old = float(row[base_cols.index(col)])
             new = float(fresh_rows[label][fresh_cols.index(col)])
             if old <= 0.0:
                 continue  # degenerate baseline cell: nothing to gate on
             ratio = new / old
-            verdict = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+            if col in timing:  # lower is better
+                bad = ratio > 1.0 + args.threshold
+                unit = "ns"
+            else:  # throughput: higher is better
+                bad = ratio < 1.0 - args.threshold
+                unit = "/s"
+            verdict = "FAIL" if bad else "ok"
             print(f"  {verdict:4} {label:24} {col:16} "
-                  f"{old:12.1f} -> {new:12.1f} ns  ({ratio - 1.0:+.1%})")
-            if ratio > 1.0 + args.threshold:
+                  f"{old:12.1f} -> {new:12.1f} {unit}  ({ratio - 1.0:+.1%})")
+            if bad:
                 failures += 1
     extra = set(fresh_rows) - {r[0] for r in base["rows"]}
     if extra:

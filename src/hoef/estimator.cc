@@ -280,6 +280,26 @@ const HandoffEstimator::Snapshot* HandoffEstimator::snapshot_for(
   return &h.snapshot;
 }
 
+// The Bayes posterior Pr[hand-off within T_est | survived `extant`] =
+// numer / denom, hardened at the numeric boundaries. A zero-mass
+// denominator — empty window, all-stale (pruned) quadruplets, all-zero
+// weights — means "estimated stationary" (paper §4.1) and yields 0, and
+// so does any non-finite intermediate: `NaN <= 0` comparisons are false
+// and std::clamp passes NaN through, so without the isfinite gates a
+// poisoned weight sum would leak NaN/Inf into every B_r term downstream.
+// p_h is therefore always a finite value in [0, 1].
+static double posterior(double numer, double denom) {
+  if (!(denom > 0.0) || !std::isfinite(denom)) return 0.0;
+  const double p = numer / denom;
+  return std::isfinite(p) ? std::clamp(p, 0.0, 1.0) : 0.0;
+}
+
+/// True when the posterior denominator has usable mass; false is the
+/// zero-mass/non-finite case where posterior() pins the probability at 0.
+static bool posterior_mass(double denom) {
+  return denom > 0.0 && std::isfinite(denom);
+}
+
 double HandoffEstimator::handoff_probability(sim::Time t0, geom::CellId prev,
                                              geom::CellId next,
                                              sim::Duration extant_sojourn,
@@ -292,7 +312,7 @@ double HandoffEstimator::handoff_probability(sim::Time t0, geom::CellId prev,
   const double denom =
       s->all_total - prefix_weight_at(s->all_sojourn, s->all_prefix,
                                       extant_sojourn);
-  if (denom <= 0.0) return 0.0;  // estimated stationary (paper §4.1)
+  if (!posterior_mass(denom)) return 0.0;
 
   const NextSpan* span = s->find_next(next);
   if (span == nullptr) return 0.0;
@@ -302,7 +322,7 @@ double HandoffEstimator::handoff_probability(sim::Time t0, geom::CellId prev,
   const double numer =
       prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn + t_est) -
       prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn);
-  return std::clamp(numer / denom, 0.0, 1.0);
+  return posterior(numer, denom);
 }
 
 double HandoffEstimator::any_handoff_probability(
@@ -313,12 +333,12 @@ double HandoffEstimator::any_handoff_probability(
   const double below =
       prefix_weight_at(s->all_sojourn, s->all_prefix, extant_sojourn);
   const double denom = s->all_total - below;
-  if (denom <= 0.0) return 0.0;
+  if (!posterior_mass(denom)) return 0.0;
   const double numer =
       prefix_weight_at(s->all_sojourn, s->all_prefix,
                        extant_sojourn + t_est) -
       below;
-  return std::clamp(numer / denom, 0.0, 1.0);
+  return posterior(numer, denom);
 }
 
 bool HandoffEstimator::supports_caching() const {
@@ -337,8 +357,10 @@ ProbeResult HandoffEstimator::handoff_probability_probe(
   const double below_all =
       prefix_weight_at(s->all_sojourn, s->all_prefix, extant_sojourn);
   const double denom = s->all_total - below_all;
-  if (denom <= 0.0) return r;  // estimated stationary — and stays so: the
-                               // denominator only shrinks as time passes
+  if (!posterior_mass(denom)) {
+    return r;  // estimated stationary — and stays so: the denominator
+               // only shrinks as time passes
+  }
 
   const NextSpan* span = s->find_next(next);
   if (span == nullptr) return r;  // no events toward `next` yet
@@ -348,7 +370,7 @@ ProbeResult HandoffEstimator::handoff_probability_probe(
   const double numer =
       prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn + t_est) -
       prefix_weight_at(soj_b, soj_e, pre_b, extant_sojourn);
-  r.probability = std::clamp(numer / denom, 0.0, 1.0);
+  r.probability = posterior(numer, denom);
 
   // The value is a pure function of the step-function indices selected
   // above; it can only change when the extant sojourn (or sojourn + T_est)
@@ -377,12 +399,12 @@ ProbeResult HandoffEstimator::any_handoff_probability_probe(
   const double below =
       prefix_weight_at(s->all_sojourn, s->all_prefix, extant_sojourn);
   const double denom = s->all_total - below;
-  if (denom <= 0.0) return r;
+  if (!posterior_mass(denom)) return r;
   const double numer =
       prefix_weight_at(s->all_sojourn, s->all_prefix,
                        extant_sojourn + t_est) -
       below;
-  r.probability = std::clamp(numer / denom, 0.0, 1.0);
+  r.probability = posterior(numer, denom);
 
   const double d1 =
       next_breakpoint_after(s->all_sojourn, extant_sojourn) - extant_sojourn;

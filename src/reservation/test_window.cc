@@ -24,6 +24,7 @@ TestWindowController::TestWindowController(TestWindowConfig config)
   PABR_CHECK(config.phd_target > 0.0 && config.phd_target <= 1.0,
              "P_HD,target out of (0,1]");
   PABR_CHECK(config.t_start >= config.t_min, "T_start below T_min");
+  PABR_CHECK(config.t_max >= config.t_start, "T_max below T_start");
   w_ = static_cast<std::uint64_t>(std::ceil(1.0 / config.phd_target));
   PABR_CHECK(w_ >= 1, "degenerate observation window");
   w_obs_ = w_;
@@ -55,8 +56,12 @@ void TestWindowController::on_handoff(bool dropped,
     ++n_hd_;                      // line 07
     if (n_hd_ > w_obs_ / w_) {    // line 08 (quota = W_obs / W)
       w_obs_ += w_;               // line 09
-      if (t_est_ < t_soj_max) {   // line 10
-        t_est_ = std::min(t_est_ + next_step(+1), t_soj_max);
+      // Line 10, with the widening rail at min(T_soj,max, t_max): the
+      // dynamic bound from the estimation functions and the configured
+      // ceiling both pin T_est.
+      const sim::Duration cap = std::min(t_soj_max, config_.t_max);
+      if (t_est_ < cap) {
+        t_est_ = std::min(t_est_ + next_step(+1), cap);
       }
     }
   } else if (n_h_ > w_obs_) {     // line 13

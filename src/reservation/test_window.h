@@ -25,8 +25,9 @@
 // permitted quota (growing the observation window so repeated drops keep
 // pushing), and narrows it by 1 s when a full window of W_obs hand-offs
 // completes with fewer than the permitted drops. T_est never exceeds
-// T_soj,max (the largest sojourn seen by adjacent cells' estimation
-// functions — larger values are meaningless) and never goes below 1 s
+// min(T_soj,max, t_max) — T_soj,max is the largest sojourn seen by the
+// adjacent cells' estimation functions (larger values are meaningless)
+// and t_max is the configured ceiling — and never goes below t_min
 // ("our scheme will reserve virtually no bandwidth" otherwise).
 #pragma once
 
@@ -56,6 +57,12 @@ struct TestWindowConfig {
   sim::Duration t_start = 1.0;
   /// Lower clamp for T_est (the paper fixes it to 1 s).
   sim::Duration t_min = 1.0;
+  /// Configured upper clamp for T_est, applied on top of the dynamic
+  /// T_soj,max bound. The paper relies on T_soj,max alone; a finite t_max
+  /// caps the controller when the observed sojourns are unbounded (e.g.
+  /// heavy-tailed dwell times) so a drop burst cannot ratchet T_est — and
+  /// with it the reserved bandwidth — without limit.
+  sim::Duration t_max = sim::kInfiniteDuration;
   /// Step-size growth rule (see above).
   StepPolicy step_policy = StepPolicy::kFixed;
 };

@@ -1,0 +1,100 @@
+// Per-shard event calendar for the sharded executor (DESIGN.md §12).
+//
+// Every future simulation event is keyed by the composite
+// (time, kind, cell, connection id) and popped in strictly ascending key
+// order. The key is a TOTAL order — no two live events ever share all
+// four fields — so the pop sequence is the sorted sequence regardless of
+// insertion order. That property is what makes cross-shard message
+// drains safe: a transfer inserted at a slot barrier lands in exactly
+// the position it would have occupied had it been scheduled locally.
+//
+// Unlike sim::Simulator's handle-based queue, events here are
+// self-contained: each carries the full mobile snapshot it operates on,
+// so a mobile IS its next event and no shared mobile table (or
+// cross-shard cancellation protocol) exists. Exactly one future event
+// exists per mobile at any time — the expiry-vs-crossing race is decided
+// at attach time, when both times are already known.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geom/topology.h"
+#include "sim/time.h"
+#include "traffic/connection.h"
+
+namespace pabr::sim::sharded {
+
+/// Kind tags double as tie-break priorities at equal times (departures
+/// before arrivals before expiries; arrival ticks first).
+enum class EventKind : std::uint8_t {
+  kArrivalTick = 0,  ///< next Poisson arrival of a cell's own process
+  kDepart = 1,       ///< mobile leaves `cell` (source half of a crossing)
+  kArrive = 2,       ///< mobile hands into `cell` (target half)
+  kExpiry = 3,       ///< connection lifetime ends in `cell`
+};
+
+/// Everything the owning shard needs to act on a mobile: its identity,
+/// service, kinematics, and the current stay (prev cell + entry time).
+struct MobileSnapshot {
+  traffic::ConnectionId id = 0;
+  traffic::ServiceClass service = traffic::ServiceClass::kVoice;
+  double speed_kmh = 0.0;
+  geom::CellId prev = geom::kNoCell;  ///< cell resided in before this stay
+  sim::Time entered_at = 0.0;         ///< start of the current stay
+  sim::Time expires_at = 0.0;         ///< absolute lifetime deadline
+
+  traffic::Bandwidth bandwidth() const {
+    return traffic::bandwidth_of(service);
+  }
+};
+
+struct PendingEvent {
+  sim::Time time = 0.0;
+  EventKind kind = EventKind::kArrivalTick;
+  geom::CellId cell = geom::kNoCell;  ///< cell whose state the event mutates
+  traffic::ConnectionId id = 0;       ///< 0 for arrival ticks
+  MobileSnapshot mobile;              ///< valid for depart/arrive/expiry
+  geom::CellId to = geom::kNoCell;    ///< crossing destination (kDepart)
+};
+
+/// Strict (time, kind, cell, id) ordering; `a` fires before `b`.
+inline bool event_before(const PendingEvent& a, const PendingEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.cell != b.cell) return a.cell < b.cell;
+  return a.id < b.id;
+}
+
+/// Binary min-heap over the composite key.
+class EventCalendar {
+ public:
+  void push(PendingEvent e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), after_);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const PendingEvent& top() const { return heap_.front(); }
+
+  PendingEvent pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), after_);
+    PendingEvent e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+ private:
+  // std::*_heap keep the MAX element at front, so the comparator is the
+  // reverse of event_before.
+  static bool after_(const PendingEvent& a, const PendingEvent& b) {
+    return event_before(b, a);
+  }
+
+  std::vector<PendingEvent> heap_;
+};
+
+}  // namespace pabr::sim::sharded

@@ -1,0 +1,263 @@
+#include "sim/sharded/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "util/check.h"
+
+namespace pabr::sim::sharded {
+
+namespace {
+
+/// FNV-1a 64 over an explicit word stream.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+double ratio_of(std::uint64_t hits, std::uint64_t trials) {
+  return trials == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+ShardedExecutor::ShardedExecutor(ShardedConfig config)
+    : config_(std::move(config)),
+      grid_(config_.system.rows, config_.system.cols, config_.system.wrap),
+      motion_(grid_, config_.system.motion),
+      partition_(grid_.num_cells(), config_.shards) {
+  PABR_CHECK(config_.system.capacity_bu > 0.0, "non-positive capacity");
+  PABR_CHECK(config_.system.arrival_rate_per_cell >= 0.0,
+             "negative arrival rate");
+  PABR_CHECK(config_.system.voice_ratio >= 0.0 &&
+                 config_.system.voice_ratio <= 1.0,
+             "voice ratio out of [0,1]");
+  PABR_CHECK(config_.system.speed_min_kmh > 0.0 &&
+                 config_.system.speed_max_kmh >= config_.system.speed_min_kmh,
+             "bad speed range");
+  PABR_CHECK(config_.duration_s >= 0.0, "negative run duration");
+  PABR_CHECK(config_.warmup_s >= 0.0 && config_.warmup_s <= config_.duration_s,
+             "warm-up outside the run horizon");
+
+  // Conservative lookahead: the fastest possible cell traversal.
+  const auto& mc = config_.system.motion;
+  const double min_traversal = 3600.0 * mc.cell_diameter_km /
+                               config_.system.speed_max_kmh *
+                               (1.0 - mc.jitter);
+  PABR_CHECK(min_traversal > 0.0, "degenerate mobility: zero lookahead");
+  slot_ = min_traversal;
+  if (config_.slot_override_s > 0.0) {
+    PABR_CHECK(config_.slot_override_s <= min_traversal,
+               "slot override exceeds the conservative lookahead");
+    slot_ = config_.slot_override_s;
+  }
+
+  num_slots_ = static_cast<std::uint64_t>(
+      std::ceil(config_.duration_s / slot_));
+  PABR_CHECK(num_slots_ == 0 ||
+                 slot_ * static_cast<double>(num_slots_ - 1) <
+                     config_.duration_s,
+             "slot grid overshoots the horizon");
+  if (config_.warmup_s > 0.0) {
+    // Slot-aligned so every shard count resets at the same instant.
+    reset_slot_ = static_cast<std::uint64_t>(
+        std::ceil(config_.warmup_s / slot_));
+    PABR_CHECK(reset_slot_ >= 1 && reset_slot_ < num_slots_,
+               "warm-up leaves no measurement slots");
+  }
+
+  const auto n = static_cast<std::size_t>(grid_.num_cells());
+  shared_.grid = &grid_;
+  shared_.motion = &motion_;
+  shared_.partition = &partition_;
+  shared_.frozen_used.assign(n, 0.0);
+  shared_.frozen_t_est.assign(n, 0.0);
+  shared_.frozen_max_soj.assign(n, 0.0);
+  shared_.frozen_br.assign(n, 0.0);
+  shared_.contrib_offset.reserve(n);
+  std::size_t total_pairs = 0;
+  for (geom::CellId c = 0; c < grid_.num_cells(); ++c) {
+    shared_.contrib_offset.push_back(total_pairs);
+    total_pairs += grid_.neighbors(c).size();
+  }
+  shared_.contrib.assign(total_pairs, 0.0);
+  const auto s = static_cast<std::size_t>(partition_.shards());
+  shared_.outbox.assign(s, std::vector<std::vector<PendingEvent>>(s));
+}
+
+ShardedResult ShardedExecutor::run() {
+  const int num_shards = partition_.shards();
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards.push_back(std::make_unique<Shard>(config_, shared_, s));
+  }
+
+  std::barrier sync(num_shards);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_shards));
+  std::atomic<bool> abort{false};
+
+  const auto worker = [&](int s) {
+    Shard& shard = *shards[static_cast<std::size_t>(s)];
+    auto& error = errors[static_cast<std::size_t>(s)];
+    // Each phase body is guarded so a throwing shard still reaches every
+    // barrier of its slot; all workers then observe `abort` at the SAME
+    // barrier (the flag is set before the thrower arrives, and the
+    // barrier orders that store before the others' loads) and break
+    // together.
+    const auto guarded = [&](auto&& phase) {
+      if (!abort.load(std::memory_order_relaxed)) {
+        try {
+          phase();
+        } catch (...) {
+          error = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      sync.arrive_and_wait();
+      return !abort.load(std::memory_order_relaxed);
+    };
+    for (std::uint64_t k = 0; k < num_slots_; ++k) {
+      const sim::Time t0 = slot_ * static_cast<double>(k);
+      const sim::Time t1 =
+          std::min(slot_ * static_cast<double>(k + 1), config_.duration_s);
+      const bool ok =
+          guarded([&] {
+            shard.drain_and_publish(t0);
+            if (reset_slot_ != 0 && k == reset_slot_) {
+              shard.reset_measurements(t0);
+            }
+            if (config_.audit_at_barriers) shard.audit(t0);
+          }) &&
+          guarded([&] { shard.compute_contributions(t0); }) &&
+          guarded([&] { shard.finalize_reservations(t0); }) &&
+          guarded([&] { shard.process_events(t1); });
+      if (!ok) break;
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_shards) - 1);
+  for (int s = 1; s < num_shards; ++s) {
+    threads.emplace_back(worker, s);
+  }
+  worker(0);
+  for (auto& t : threads) t.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  const sim::Time end = config_.duration_s;
+  if (config_.audit_at_barriers) {
+    for (const auto& shard : shards) shard->audit(end);
+  }
+
+  ShardedResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  core::SystemStatus st;
+  double br_sum = 0.0;
+  double bu_sum = 0.0;
+  Fnv1a digest;
+  const int n = grid_.num_cells();
+  result.cells.reserve(static_cast<std::size_t>(n));
+  for (geom::CellId c = 0; c < n; ++c) {
+    const Shard& shard = *shards[static_cast<std::size_t>(partition_.owner(c))];
+    const core::Cell& cell = shard.cell_state(c);
+    const core::BaseStation& station = shard.station_state(c);
+    const core::CellMetrics& m = shard.cell_metrics(c);
+
+    core::CellStatus row;
+    row.cell = c + 1;
+    row.pcb = ratio_of(m.pcb.hits(), m.pcb.trials());
+    row.phd = ratio_of(m.phd.hits(), m.phd.trials());
+    row.t_est = station.window().t_est();
+    row.br = station.current_reservation();
+    row.bu = cell.used();
+    row.br_avg = m.br_mean.mean(end);
+    row.bu_avg = m.bu_mean.mean(end);
+    row.requests = m.pcb.trials();
+    row.blocks = m.pcb.hits();
+    row.handoffs = m.phd.trials();
+    row.drops = m.phd.hits();
+    result.cells.push_back(row);
+
+    st.requests += row.requests;
+    st.blocks += row.blocks;
+    st.handoffs += row.handoffs;
+    st.drops += row.drops;
+    br_sum += row.br_avg;
+    bu_sum += row.bu_avg;
+
+    digest.mix(row.bu);
+    digest.mix(static_cast<std::uint64_t>(cell.connection_count()));
+    digest.mix(row.br);
+    digest.mix(row.t_est);
+    digest.mix(row.blocks);
+    digest.mix(row.requests);
+    digest.mix(row.drops);
+    digest.mix(row.handoffs);
+    digest.mix(row.br_avg);
+    digest.mix(row.bu_avg);
+  }
+  st.pcb = ratio_of(st.blocks, st.requests);
+  st.phd = ratio_of(st.drops, st.handoffs);
+  st.br_avg = br_sum / static_cast<double>(n);
+  st.bu_avg = bu_sum / static_cast<double>(n);
+
+  // N_calc is a mean of integer per-admission counts: recover the exact
+  // sums (integers, exact in double) and re-divide, so the merged value
+  // is independent of how admissions were spread across shards.
+  double calc_sum = 0.0;
+  double admissions = 0.0;
+  std::vector<telemetry::MetricsSnapshot> snaps;
+  for (auto& shard : shards) {
+    const auto& acc = shard->accountant();
+    calc_sum +=
+        acc.n_calc() * static_cast<double>(acc.admissions_observed());
+    admissions += static_cast<double>(acc.admissions_observed());
+    st.br_calculations += acc.total_br_calculations();
+    result.events += shard->events_processed();
+    result.active_connections += shard->active_connections();
+    if (shard->telemetry().enabled()) {
+      snaps.push_back(shard->telemetry().snapshot());
+    }
+  }
+  st.n_calc = admissions == 0.0 ? 0.0 : calc_sum / admissions;
+  result.status = st;
+  if (!snaps.empty()) result.telemetry = telemetry::merge_snapshots(snaps);
+
+  digest.mix(result.events);
+  result.digest = digest.value();
+  result.events_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.events) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace pabr::sim::sharded

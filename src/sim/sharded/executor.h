@@ -1,0 +1,76 @@
+// Deterministic cell-partitioned execution of the hex simulation
+// (DESIGN.md §12).
+//
+// The executor partitions the grid into contiguous shards, runs one
+// worker thread per shard, and advances simulated time in conservative
+// slots of length
+//
+//   slot = 3600 * cell_diameter_km / speed_max_kmh * (1 - jitter)
+//
+// — the minimum possible cell traversal time. A mobile's crossing is
+// scheduled (and its cross-shard arrival announced) the moment it
+// attaches, so every inter-shard event is in its receiver's calendar at
+// least one full slot before it can fire: no shard ever needs to roll
+// back. Within a slot the four phases (drain/publish, Eq. 5
+// contributions, Eq. 6 reservations, event processing) are separated by
+// barriers; see shard.h for the phase contract and the determinism
+// argument. Results are bitwise-identical for every shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "geom/hex_topology.h"
+#include "mobility/hex_motion.h"
+#include "sim/sharded/config.h"
+#include "sim/sharded/partition.h"
+#include "sim/sharded/shard.h"
+#include "telemetry/metrics.h"
+
+namespace pabr::sim::sharded {
+
+struct ShardedResult {
+  core::SystemStatus status;             ///< paper metrics, all cells
+  std::vector<core::CellStatus> cells;   ///< per-cell rows, cell order
+  /// FNV-1a over every cell's end state (occupancy, connection count,
+  /// B_r^curr, T_est, P_CB / P_HD tallies, time-averaged B_r / B_u) and
+  /// the event total. Equal digests <=> equal trajectories; this is the
+  /// value the shard-count equivalence suite compares.
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;              ///< simulation events processed
+  std::size_t active_connections = 0;    ///< mobiles alive at the horizon
+  double wall_seconds = 0.0;             ///< host time inside the slot loop
+  double events_per_second = 0.0;        ///< events / wall_seconds
+  /// Per-shard registries merged via telemetry::merge_snapshots
+  /// (counters sum, histograms merge bucket-wise). Empty when telemetry
+  /// is disabled. Polled gauges are not synced and tracing is forced off
+  /// — per-shard trace rings have no meaningful global order.
+  telemetry::MetricsSnapshot telemetry;
+};
+
+class ShardedExecutor {
+ public:
+  explicit ShardedExecutor(ShardedConfig config);
+
+  /// Runs the full horizon and returns the aggregated result. One-shot:
+  /// construct a fresh executor per run.
+  ShardedResult run();
+
+  /// The conservative lookahead actually in force.
+  sim::Duration slot_length() const { return slot_; }
+  const geom::HexTopology& grid() const { return grid_; }
+  const Partition& partition() const { return partition_; }
+
+ private:
+  ShardedConfig config_;
+  geom::HexTopology grid_;
+  mobility::HexMotion motion_;
+  Partition partition_;
+  SharedState shared_;
+  sim::Duration slot_ = 0.0;
+  std::uint64_t num_slots_ = 0;
+  std::uint64_t reset_slot_ = 0;  ///< slot index of the warm-up reset (0 = none)
+};
+
+}  // namespace pabr::sim::sharded

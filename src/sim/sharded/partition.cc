@@ -1,0 +1,31 @@
+#include "sim/sharded/partition.h"
+
+#include "util/check.h"
+
+namespace pabr::sim::sharded {
+
+Partition::Partition(int num_cells, int shards)
+    : num_cells_(num_cells), shards_(shards) {
+  PABR_CHECK(num_cells >= 1, "partition over empty cell set");
+  PABR_CHECK(shards >= 1 && shards <= num_cells,
+             "shard count out of [1, num_cells]");
+  base_ = num_cells / shards;
+  wide_ = num_cells % shards;
+  starts_.reserve(static_cast<std::size_t>(shards) + 1);
+  geom::CellId at = 0;
+  for (int s = 0; s < shards; ++s) {
+    starts_.push_back(at);
+    at += base_ + (s < wide_ ? 1 : 0);
+  }
+  starts_.push_back(at);
+  PABR_CHECK(at == num_cells, "partition fenceposts do not cover the grid");
+}
+
+int Partition::owner(geom::CellId cell) const {
+  PABR_CHECK(cell >= 0 && cell < num_cells_, "cell id out of range");
+  const int wide_span = wide_ * (base_ + 1);
+  if (cell < wide_span) return cell / (base_ + 1);
+  return wide_ + (cell - wide_span) / base_;
+}
+
+}  // namespace pabr::sim::sharded

@@ -1,0 +1,47 @@
+// Contiguous cell partition for the sharded executor (DESIGN.md §12).
+//
+// Cells 0..n-1 are split into `shards` contiguous ranges whose sizes
+// differ by at most one. Contiguity keeps each shard's working set — the
+// connection tables, estimators and metrics of its owned cells — dense in
+// memory, and makes ownership a two-branch computation instead of a table
+// lookup on the hand-off hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/topology.h"
+
+namespace pabr::sim::sharded {
+
+class Partition {
+ public:
+  /// Splits `num_cells` cells into `shards` contiguous ranges. Requires
+  /// 1 <= shards <= num_cells.
+  Partition(int num_cells, int shards);
+
+  int shards() const { return shards_; }
+  int num_cells() const { return num_cells_; }
+
+  /// Owned range of shard `s`: [first(s), last(s)).
+  geom::CellId first(int s) const {
+    return starts_[static_cast<std::size_t>(s)];
+  }
+  geom::CellId last(int s) const {
+    return starts_[static_cast<std::size_t>(s) + 1];
+  }
+  int size(int s) const { return last(s) - first(s); }
+
+  /// Shard owning `cell`. O(1): every shard owns either `base` or
+  /// `base + 1` cells, the wide ones first.
+  int owner(geom::CellId cell) const;
+
+ private:
+  int num_cells_;
+  int shards_;
+  int base_;  ///< floor(num_cells / shards)
+  int wide_;  ///< number of leading shards owning base_ + 1 cells
+  std::vector<geom::CellId> starts_;  ///< shards + 1 fenceposts
+};
+
+}  // namespace pabr::sim::sharded

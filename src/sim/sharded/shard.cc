@@ -1,0 +1,558 @@
+#include "sim/sharded/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace pabr::sim::sharded {
+
+namespace {
+
+std::string stream_name(const char* prefix, geom::CellId cell) {
+  return std::string(prefix) + std::to_string(cell);
+}
+
+}  // namespace
+
+Shard::Shard(const ShardedConfig& config, SharedState& shared, int index)
+    : config_(config),
+      shared_(shared),
+      index_(index),
+      accountant_(*shared.grid, nullptr),
+      policy_(admission::make_policy(config_.system.policy,
+                                     config_.system.static_g,
+                                     &config_.system.ns)) {
+  first_ = shared_.partition->first(index);
+  end_ = shared_.partition->last(index);
+
+  reservation::TestWindowConfig twc;
+  twc.phd_target = config_.system.phd_target;
+  twc.t_start = config_.system.t_start;
+
+  const sim::RngFactory factory(config_.system.seed);
+
+  const auto span = static_cast<std::size_t>(end_ - first_);
+  cells_.reserve(span);
+  stations_.reserve(span);
+  metrics_.resize(span);
+  arrival_rng_.reserve(span);
+  motion_rng_.reserve(span);
+  ordinal_.assign(span, 0);
+  out_slots_.resize(span);
+
+  for (geom::CellId c = first_; c < end_; ++c) {
+    const auto li = static_cast<std::size_t>(c - first_);
+    cells_.emplace_back(c, config_.system.capacity_bu);
+    stations_.emplace_back(c, config_.system.hoef, twc);
+    metrics_[li].br_mean.update(0.0, 0.0);
+    metrics_[li].bu_mean.update(0.0, 0.0);
+    // One arrival and one mobility stream per CELL (not per shard): the
+    // draw sequence each cell sees is then independent of the partition,
+    // which is what makes trajectories shard-count invariant.
+    arrival_rng_.emplace_back(
+        factory.make(stream_name("sharded-arrivals-", c)));
+    motion_rng_.emplace_back(factory.make(stream_name("sharded-motion-", c)));
+
+    // P2 write plan: the contrib slot of pair (c -> target) is the
+    // position of c inside the target's adjacency list.
+    for (const geom::CellId target : shared_.grid->neighbors(c)) {
+      const auto& back = shared_.grid->neighbors(target);
+      for (std::size_t j = 0; j < back.size(); ++j) {
+        if (back[j] == c) {
+          out_slots_[li].push_back(
+              OutSlot{target, shared_.contrib_offset[static_cast<std::size_t>(
+                                  target)] +
+                                  j});
+          break;
+        }
+      }
+    }
+  }
+
+#ifdef PABR_FAULT_ENABLED
+  if (config_.system.fault.enabled) {
+    // Each shard holds its own injector REPLICA. All decisions are pure
+    // functions of (fault seed, query args) and timeline memoization is
+    // query-order independent, so replicas agree bitwise.
+    fault_ = std::make_unique<fault::FaultInjector>(config_.system.fault);
+  }
+#endif
+
+  telemetry::TelemetryConfig tcfg = config_.system.telemetry;
+  tcfg.trace = false;  // per-shard trace rings are not merge-ordered
+  telemetry_.configure(tcfg);
+  if (telemetry_.enabled()) {
+    tel_ = telemetry::make_sim_counters(telemetry_.registry(),
+                                        config_.system.capacity_bu);
+    engine_.bind_telemetry(tel_.terms_recomputed, tel_.terms_reused);
+    accountant_.bind_telemetry(tel_.br_calculations);
+    policy_->bind_telemetry(telemetry_.registry());
+    for (auto& station : stations_) {
+      station.estimator().bind_telemetry(tel_.quads_recorded,
+                                         tel_.quads_evicted);
+    }
+    if (faults_on()) {
+      fault_tel_ = telemetry::make_fault_counters(telemetry_.registry());
+      accountant_.bind_fault_telemetry(fault_tel_.retries,
+                                       fault_tel_.timeouts);
+    }
+  }
+
+  // Prime each cell's Poisson process. The first draw of the arrival
+  // stream is the first interarrival gap, matching the per-tick order
+  // (gap first, then the request attributes).
+  const double rate = config_.system.arrival_rate_per_cell;
+  if (rate > 0.0) {
+    for (geom::CellId c = first_; c < end_; ++c) {
+      const auto li = static_cast<std::size_t>(c - first_);
+      PendingEvent tick;
+      tick.time = arrival_rng_[li].exponential(1.0 / rate);
+      tick.kind = EventKind::kArrivalTick;
+      tick.cell = c;
+      calendar_.push(tick);
+    }
+  }
+}
+
+std::size_t Shard::local(geom::CellId cell) const {
+  PABR_CHECK(owned(cell), "cell not owned by this shard");
+  return static_cast<std::size_t>(cell - first_);
+}
+
+// ---- slot protocol ----------------------------------------------------------
+
+void Shard::drain_and_publish(sim::Time slot_start) {
+  for (std::size_t s = 0; s < shared_.outbox.size(); ++s) {
+    auto& box = shared_.outbox[s][static_cast<std::size_t>(index_)];
+    for (const PendingEvent& e : box) calendar_.push(e);
+    box.clear();
+  }
+  for (geom::CellId c = first_; c < end_; ++c) {
+    const auto li = static_cast<std::size_t>(c - first_);
+    const auto ci = static_cast<std::size_t>(c);
+    shared_.frozen_used[ci] = cells_[li].used();
+    shared_.frozen_t_est[ci] = stations_[li].window().t_est();
+    shared_.frozen_max_soj[ci] =
+        stations_[li].estimator().max_sojourn(slot_start);
+  }
+}
+
+void Shard::compute_contributions(sim::Time slot_start) {
+  for (geom::CellId i = first_; i < end_; ++i) {
+    const auto li = static_cast<std::size_t>(i - first_);
+    const auto& table = cells_[li].connections();
+    const auto& estimator = stations_[li].estimator();
+    for (const OutSlot& os : out_slots_[li]) {
+      const geom::CellId c = os.target;
+#ifdef PABR_FAULT_ENABLED
+      if (faults_on() &&
+          !fault_->exchange_outcome(c, i, slot_start).delivered) {
+        // The target could not consult us this slot; it substitutes the
+        // degraded floor (in finalize_reservations, same pure verdict).
+        if (config_.system.incremental_reservation) engine_.mark_stale(i, c);
+        shared_.contrib[os.slot] = 0.0;
+        continue;
+      }
+#endif
+      const sim::Duration t_est =
+          shared_.frozen_t_est[static_cast<std::size_t>(c)];
+      double s = 0.0;
+      if (config_.system.incremental_reservation) {
+        const bool healing = faults_on() && engine_.is_stale(i, c);
+        s = engine_.accumulate(i, c, table, estimator, slot_start, t_est,
+                               0.0);
+        if (healing) {
+          PABR_CHECK(s == scratch_contribution(i, c, slot_start, t_est),
+                     "post-heal pair re-sync diverged from scratch rescan");
+          telemetry::bump(fault_tel_.pair_resyncs);
+        }
+      } else {
+        s = scratch_contribution(i, c, slot_start, t_est);
+      }
+      shared_.contrib[os.slot] = s;
+    }
+  }
+}
+
+void Shard::finalize_reservations(sim::Time slot_start) {
+  for (geom::CellId c = first_; c < end_; ++c) {
+    const auto li = static_cast<std::size_t>(c - first_);
+    const auto& neighbors = shared_.grid->neighbors(c);
+    const std::size_t off = shared_.contrib_offset[static_cast<std::size_t>(c)];
+    double br = 0.0;
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+#ifdef PABR_FAULT_ENABLED
+      if (faults_on() &&
+          !fault_->exchange_outcome(c, neighbors[j], slot_start).delivered) {
+        br += config_.system.fault.degraded_floor_bu;
+        telemetry::bump(fault_tel_.floor_substitutions);
+        continue;
+      }
+#endif
+      br += shared_.contrib[off + j];
+    }
+    stations_[li].set_current_reservation(br);
+    shared_.frozen_br[static_cast<std::size_t>(c)] = br;
+    metrics_[li].br_mean.update(slot_start, br);
+    if (telemetry_.enabled()) {
+      telemetry::bump(tel_.br_recomputes);
+      tel_.br_value->add(br);
+    }
+  }
+}
+
+void Shard::process_events(sim::Time slot_end) {
+  while (!calendar_.empty() && calendar_.top().time < slot_end) {
+    const PendingEvent e = calendar_.pop();
+    now_ = e.time;
+    switch (e.kind) {
+      case EventKind::kArrivalTick:
+        handle_arrival_tick(e);
+        break;
+      case EventKind::kDepart:
+        handle_depart(e);
+        break;
+      case EventKind::kArrive:
+        handle_arrive(e);
+        break;
+      case EventKind::kExpiry:
+        handle_expiry(e);
+        break;
+    }
+    ++events_;
+  }
+  now_ = slot_end;
+}
+
+void Shard::reset_measurements(sim::Time t) {
+  for (geom::CellId c = first_; c < end_; ++c) {
+    const auto li = static_cast<std::size_t>(c - first_);
+    auto& m = metrics_[li];
+    m.pcb.reset();
+    m.phd.reset();
+    m.br_mean.reset(t);
+    m.br_mean.update(t, stations_[li].current_reservation());
+    m.bu_mean.reset(t);
+    m.bu_mean.update(t, cells_[li].used());
+  }
+  accountant_.reset();
+  if (telemetry_.enabled()) telemetry_.registry().reset();
+}
+
+void Shard::audit(sim::Time t) const {
+  PABR_CHECK(!accountant_.admission_open(),
+             "admission left open across a slot barrier");
+  for (geom::CellId c = first_; c < end_; ++c) {
+    const auto li = static_cast<std::size_t>(c - first_);
+    const core::Cell& cell = cells_[li];
+    // I1: occupancy equals the table sum exactly (integral bandwidths).
+    double sum = 0.0;
+    traffic::ConnectionId prev_id = 0;
+    for (const auto& entry : cell.connections()) {
+      PABR_CHECK(prev_id == 0 || entry.id > prev_id,
+                 "connection table not strictly id-sorted");
+      prev_id = entry.id;
+      PABR_CHECK(entry.bandwidth == traffic::kVoiceBandwidth ||
+                     entry.bandwidth == traffic::kVideoBandwidth,
+                 "non-catalogue bandwidth attached");
+      PABR_CHECK(entry.view.reserve_bandwidth == entry.bandwidth,
+                 "reserve bandwidth diverged from attachment");
+      PABR_CHECK(entry.view.entered_cell_at <= t,
+                 "connection entered its cell in the future");
+      PABR_CHECK(entry.view.prev_cell == c ||
+                     shared_.grid->adjacent(entry.view.prev_cell, c),
+                 "previous cell not adjacent");
+      sum += static_cast<double>(entry.bandwidth);
+    }
+    PABR_CHECK(sum == cell.used(), "occupancy diverged from table sum");
+    PABR_CHECK(cell.used() >= 0.0 &&
+                   !admission::exceeds_budget(cell.used(), 0.0,
+                                              cell.soft_capacity(), 0.0),
+               "occupancy outside [0, soft capacity]");
+    // I2: control-plane state is finite and within its rails; the frozen
+    // mirror matches the live value at every barrier.
+    const double br = stations_[li].current_reservation();
+    PABR_CHECK(std::isfinite(br) && br >= 0.0, "B_r not finite or negative");
+    PABR_CHECK(br == shared_.frozen_br[static_cast<std::size_t>(c)],
+               "frozen B_r mirror diverged from the base station");
+    const double t_est = stations_[li].window().t_est();
+    PABR_CHECK(std::isfinite(t_est) && t_est > 0.0, "T_est not positive");
+  }
+}
+
+// ---- AdmissionContext -------------------------------------------------------
+
+double Shard::capacity(geom::CellId cell) const {
+  (void)cell;
+  return config_.system.capacity_bu;  // uniform FCA capacity
+}
+
+double Shard::used_bandwidth(geom::CellId cell) const {
+  // Frozen-neighbour semantics: the admission test sees the requesting
+  // cell live and every other cell as of the slot boundary, so the
+  // decision cannot depend on which shard the neighbours landed in.
+  if (cell == admission_self_) return cells_[local(cell)].used();
+  return shared_.frozen_used[static_cast<std::size_t>(cell)];
+}
+
+const std::vector<geom::CellId>& Shard::adjacent(geom::CellId cell) const {
+  return shared_.grid->neighbors(cell);
+}
+
+double Shard::recompute_reservation(geom::CellId cell) {
+  // Serves the slot-frozen Eq. (6) value; the actual recomputation ran
+  // at the barrier. Signalling is still billed per admission-time call,
+  // preserving the paper's N_calc semantics (AC1 = 1, AC2 = |A|+1).
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    accountant_.count_br_calculation();
+    for (const geom::CellId i : shared_.grid->neighbors(cell)) {
+      accountant_.exchange(cell, i, now_, *fault_,
+                           backhaul::MessageType::kBandwidthQuery);
+    }
+    return shared_.frozen_br[static_cast<std::size_t>(cell)];
+  }
+#endif
+  accountant_.record_br_calculation(cell);
+  return shared_.frozen_br[static_cast<std::size_t>(cell)];
+}
+
+double Shard::current_reservation(geom::CellId cell) const {
+  return shared_.frozen_br[static_cast<std::size_t>(cell)];
+}
+
+double Shard::scratch_reservation(geom::CellId cell) {
+  return shared_.frozen_br[static_cast<std::size_t>(cell)];
+}
+
+bool Shard::neighbor_reachable(geom::CellId cell, geom::CellId neighbor) {
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on()) {
+    const bool ok =
+        accountant_.exchange(cell, neighbor, now_, *fault_,
+                             backhaul::MessageType::kReservationCheck);
+    if (!ok) telemetry::bump(fault_tel_.ac_local_fallbacks);
+    return ok;
+  }
+#endif
+  (void)cell;
+  (void)neighbor;
+  return true;
+}
+
+// ---- event handlers ---------------------------------------------------------
+
+void Shard::handle_arrival_tick(const PendingEvent& e) {
+  const geom::CellId c = e.cell;
+  const auto li = local(c);
+  sim::Rng& rng = arrival_rng_[li];
+  // Next tick first, then the request attributes — one fixed draw order.
+  PendingEvent next;
+  next.time =
+      e.time + rng.exponential(1.0 / config_.system.arrival_rate_per_cell);
+  next.kind = EventKind::kArrivalTick;
+  next.cell = c;
+  calendar_.push(next);
+
+  const auto service = rng.bernoulli(config_.system.voice_ratio)
+                           ? traffic::ServiceClass::kVoice
+                           : traffic::ServiceClass::kVideo;
+  const double speed = rng.uniform(config_.system.speed_min_kmh,
+                                   config_.system.speed_max_kmh);
+  const double lifetime =
+      rng.exponential(config_.system.mean_lifetime_s);
+  handle_arrival(c, service, speed, lifetime);
+}
+
+void Shard::handle_arrival(geom::CellId cell, traffic::ServiceClass service,
+                           double speed_kmh, sim::Duration lifetime_s) {
+  const traffic::Bandwidth bw = traffic::bandwidth_of(service);
+  const auto li = local(cell);
+#ifdef PABR_FAULT_ENABLED
+  if (faults_on() && !fault_->station_up(cell, now_)) {
+    telemetry::bump(fault_tel_.station_blocks);
+    metrics_[li].pcb.trial(true);
+    telemetry::bump(tel_.blocked);
+    return;
+  }
+#endif
+  bool admitted;
+  {
+    backhaul::AdmissionScope scope(accountant_);
+    admission_self_ = cell;
+    if (telemetry_.time_admissions()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      admitted = policy_->admit(*this, cell, bw);
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      tel_.admission_ns->add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    } else {
+      admitted = policy_->admit(*this, cell, bw);
+    }
+    admission_self_ = geom::kNoCell;
+  }
+  admitted = admitted && cells_[li].can_fit(bw);
+  metrics_[li].pcb.trial(!admitted);
+  if (telemetry_.enabled()) {
+    telemetry::bump(admitted ? tel_.admitted : tel_.blocked);
+  }
+  if (!admitted) return;
+
+  MobileSnapshot m;
+  m.id = (static_cast<traffic::ConnectionId>(cell) + 1) << 40 |
+         ordinal_[li]++;
+  m.service = service;
+  m.speed_kmh = speed_kmh;
+  m.prev = cell;  // started here (the paper's prev = 0)
+  m.entered_at = now_;
+  m.expires_at = now_ + lifetime_s;
+
+  traffic::ReservationView view;
+  view.reserve_bandwidth = bw;
+  view.prev_cell = m.prev;
+  view.entered_cell_at = m.entered_at;
+  cells_[li].attach(m.id, bw, view);
+  record_bu(cell);
+  plan_next_leg(m, cell, now_);
+}
+
+void Shard::plan_next_leg(MobileSnapshot m, geom::CellId cell, sim::Time t) {
+  sim::Rng& rng = motion_rng_[local(cell)];
+  // Both the sojourn and the destination are drawn at cell ENTRY (the
+  // serial loop draws the destination at crossing time): the departure
+  // is then fully announced one conservative lookahead ahead of time.
+  const sim::Duration stay = shared_.motion->sojourn(m.speed_kmh, rng);
+  const geom::CellId to = shared_.motion->next_cell(m.prev, cell, rng);
+  const sim::Time crossing_at = t + stay;
+
+  if (m.expires_at <= crossing_at) {
+    PendingEvent expiry;
+    expiry.time = m.expires_at;
+    expiry.kind = EventKind::kExpiry;
+    expiry.cell = cell;
+    expiry.id = m.id;
+    expiry.mobile = m;
+    calendar_.push(expiry);
+    return;
+  }
+
+  PendingEvent depart;
+  depart.time = crossing_at;
+  depart.kind = EventKind::kDepart;
+  depart.cell = cell;
+  depart.id = m.id;
+  depart.mobile = m;
+  depart.to = to;
+  calendar_.push(depart);
+
+  PendingEvent arrive;
+  arrive.time = crossing_at;
+  arrive.kind = EventKind::kArrive;
+  arrive.cell = to;
+  arrive.id = m.id;
+  arrive.mobile = m;
+  arrive.mobile.prev = cell;
+  arrive.mobile.entered_at = crossing_at;
+  route(arrive);
+}
+
+void Shard::route(PendingEvent e) {
+  if (owned(e.cell)) {
+    calendar_.push(e);
+    return;
+  }
+  const int dest = shared_.partition->owner(e.cell);
+  shared_.outbox[static_cast<std::size_t>(index_)]
+                [static_cast<std::size_t>(dest)]
+                    .push_back(e);
+}
+
+void Shard::handle_depart(const PendingEvent& e) {
+  const auto li = local(e.cell);
+  stations_[li].estimator().record(hoef::Quadruplet{
+      e.time, e.mobile.prev, e.to, e.time - e.mobile.entered_at});
+  if (telemetry_.enabled()) {
+    tel_.handoff_sojourn->add(e.time - e.mobile.entered_at);
+  }
+  cells_[li].detach(e.id);
+  record_bu(e.cell);
+}
+
+void Shard::handle_arrive(const PendingEvent& e) {
+  const geom::CellId c = e.cell;
+  const auto li = local(c);
+  const traffic::Bandwidth bw = e.mobile.bandwidth();
+  bool dropped = !cells_[li].can_fit(bw);
+#ifdef PABR_FAULT_ENABLED
+  if (!dropped && faults_on() && !fault_->station_up(c, e.time)) {
+    dropped = true;
+    telemetry::bump(fault_tel_.station_drops);
+  }
+#endif
+  // The T_soj,max bound comes from the slot-frozen estimator snapshots —
+  // live neighbour estimators may belong to other shards mid-slot.
+  stations_[li].window().on_handoff(dropped, frozen_t_soj_max(c));
+  metrics_[li].phd.trial(dropped);
+  if (telemetry_.enabled()) {
+    telemetry::bump(dropped ? tel_.handoff_dropped : tel_.handoff_completed);
+  }
+  if (dropped) return;  // the mobile dies with its only pending event
+
+  traffic::ReservationView view;
+  view.reserve_bandwidth = bw;
+  view.prev_cell = e.mobile.prev;
+  view.entered_cell_at = e.time;
+  cells_[li].attach(e.id, bw, view);
+  record_bu(c);
+  plan_next_leg(e.mobile, c, e.time);
+}
+
+void Shard::handle_expiry(const PendingEvent& e) {
+  const auto li = local(e.cell);
+  if (telemetry_.enabled()) telemetry::bump(tel_.expiries);
+  cells_[li].detach(e.id);
+  record_bu(e.cell);
+}
+
+// ---- helpers ----------------------------------------------------------------
+
+void Shard::record_bu(geom::CellId cell) {
+  const auto li = local(cell);
+  metrics_[li].bu_mean.update(now_, cells_[li].used());
+}
+
+sim::Duration Shard::frozen_t_soj_max(geom::CellId cell) const {
+  sim::Duration m = 0.0;
+  for (const geom::CellId i : shared_.grid->neighbors(cell)) {
+    m = std::max(m, shared_.frozen_max_soj[static_cast<std::size_t>(i)]);
+  }
+  return m;
+}
+
+double Shard::scratch_contribution(geom::CellId source, geom::CellId target,
+                                   sim::Time t, sim::Duration t_est) const {
+  const auto li = local(source);
+  const auto& estimator = stations_[li].estimator();
+  double running = 0.0;
+  for (const auto& e : cells_[li].connections()) {
+    running += static_cast<double>(e.view.reserve_bandwidth) *
+               estimator.handoff_probability(t, e.view.prev_cell, target,
+                                             t - e.view.entered_cell_at,
+                                             t_est);
+  }
+  return running;
+}
+
+std::size_t Shard::active_connections() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells_) {
+    n += static_cast<std::size_t>(cell.connection_count());
+  }
+  return n;
+}
+
+}  // namespace pabr::sim::sharded

@@ -21,15 +21,16 @@ void Histogram::add(double x) {
   sum_ += x;
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
-  std::size_t idx;
   if (x < lo_) {
-    idx = 0;
-  } else if (x >= hi_) {
-    idx = buckets_.size() - 1;
-  } else {
-    idx = static_cast<std::size_t>((x - lo_) / width_);
-    idx = std::min(idx, buckets_.size() - 1);  // fp edge at hi
+    ++underflow_;
+    return;
   }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  std::size_t idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, buckets_.size() - 1);  // fp edge at hi
   ++buckets_[idx];
 }
 
@@ -49,7 +50,10 @@ double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
-  double seen = 0.0;
+  // Underflow mass sits below the range: any quantile inside it reports
+  // the lower edge (the tightest bound the bucket layout can give).
+  double seen = static_cast<double>(underflow_);
+  if (seen >= target && underflow_ > 0) return lo_;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     const double in_bucket = static_cast<double>(buckets_[i]);
     if (seen + in_bucket >= target && in_bucket > 0.0) {
@@ -66,6 +70,8 @@ double Histogram::quantile(double q) const {
 
 void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
   count_ = 0;
   sum_ = 0.0;
   min_ = std::numeric_limits<double>::infinity();
@@ -135,6 +141,8 @@ MetricsSnapshot Registry::snapshot() const {
     hs.max = h.max();
     hs.p50 = h.quantile(0.50);
     hs.p99 = h.quantile(0.99);
+    hs.underflow = h.underflow();
+    hs.overflow = h.overflow();
     hs.buckets = h.buckets();
     s.histograms.push_back(std::move(hs));
   }
@@ -157,7 +165,8 @@ double summary_quantile(const HistogramSummary& h, double q) {
   const double width =
       (h.hi - h.lo) / static_cast<double>(h.buckets.size());
   const double target = q * static_cast<double>(h.count);
-  double seen = 0.0;
+  double seen = static_cast<double>(h.underflow);
+  if (seen >= target && h.underflow > 0) return h.lo;
   for (std::size_t i = 0; i < h.buckets.size(); ++i) {
     const double in_bucket = static_cast<double>(h.buckets[i]);
     if (seen + in_bucket >= target && in_bucket > 0.0) {
@@ -222,6 +231,8 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
       m.max = m.count == 0 ? h.max : std::max(m.max, h.max);
       m.count += h.count;
       m.sum += h.sum;
+      m.underflow += h.underflow;
+      m.overflow += h.overflow;
       for (std::size_t i = 0; i < m.buckets.size(); ++i) {
         m.buckets[i] += h.buckets[i];
       }

@@ -48,9 +48,11 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Fixed-width-bucket histogram over [lo, hi); out-of-range samples are
-/// clamped into the edge buckets (so the total always equals the sample
-/// count), and count/sum/min/max ride along for summary lines.
+/// Fixed-width-bucket histogram over [lo, hi). Out-of-range samples are
+/// NOT clamped into the edge buckets: they land in explicit underflow
+/// (x < lo) and overflow (x >= hi) counts, so a saturated edge bucket is
+/// distinguishable from a mis-sized range while count()/sum()/min()/max()
+/// still cover every sample (count == underflow + in-range + overflow).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -60,6 +62,8 @@ class Histogram {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
   double bucket_low(std::size_t i) const;
   double bucket_high(std::size_t i) const;
 
@@ -77,6 +81,8 @@ class Histogram {
  private:
   double lo_, hi_, width_;
   std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
@@ -94,6 +100,8 @@ struct HistogramSummary {
   double max = 0.0;
   double p50 = 0.0;
   double p99 = 0.0;
+  std::uint64_t underflow = 0;  ///< samples below lo
+  std::uint64_t overflow = 0;   ///< samples at or above hi
   std::vector<std::uint64_t> buckets;
 };
 

@@ -9,7 +9,16 @@ namespace pabr::traffic {
 double RetryPolicy::retry_probability(int attempt) const {
   PABR_CHECK(attempt >= 1, "attempt counter is 1-based");
   if (!config_.enabled) return 0.0;
+  // §5.3: p = 1 - giveup_step * N_ret, clamped at the 0 rail — with the
+  // paper's 0.1 step the raw expression goes negative past N_ret = 10,
+  // and a negative p would poison the bernoulli draw below.
   return std::max(0.0, 1.0 - config_.giveup_step * attempt);
+}
+
+bool RetryPolicy::validate_config(const RetryConfig& config) {
+  PABR_CHECK(config.wait_s >= 0.0, "negative retry wait");
+  PABR_CHECK(config.giveup_step >= 0.0, "negative give-up step");
+  return true;
 }
 
 bool RetryPolicy::should_retry(int attempt) {

@@ -21,7 +21,7 @@ struct RetryConfig {
 class RetryPolicy {
  public:
   RetryPolicy(RetryConfig config, sim::Rng rng)
-      : config_(config), rng_(rng) {}
+      : config_((validate_config(config), config)), rng_(rng) {}
 
   /// Decides whether a request blocked on its `attempt`-th try (1-based)
   /// is re-issued. Draws from this policy's RNG stream.
@@ -32,6 +32,10 @@ class RetryPolicy {
 
   sim::Duration wait() const { return config_.wait_s; }
   bool enabled() const { return config_.enabled; }
+
+  /// Rejects negative waits and give-up steps (PABR_CHECK); returns true
+  /// so it can run inside the constructor's initializer list.
+  static bool validate_config(const RetryConfig& config);
 
  private:
   RetryConfig config_;

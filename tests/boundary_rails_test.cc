@@ -1,0 +1,104 @@
+// Numeric-boundary rail regressions for the two §5.3 / §4.2 feedback
+// controllers:
+//
+//  * Retry persistence p = 1 − giveup_step·N_ret must clamp at the 0 rail
+//    (past N_ret = 10 with the paper's 0.1 step the raw expression is
+//    negative) and the rail must not consume from the RNG stream.
+//  * The Fig. 6 T_est ±1 s controller must pin at its configured
+//    [t_min, t_max] bounds no matter how many same-direction adjustments
+//    the drop/window feedback pushes.
+#include <gtest/gtest.h>
+
+#include "reservation/test_window.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "traffic/retry.h"
+
+namespace pabr {
+namespace {
+
+TEST(RetryRailTest, PersistenceClampsAtZeroBeyondTenAttempts) {
+  traffic::RetryConfig cfg;
+  cfg.enabled = true;
+  traffic::RetryPolicy policy(cfg, sim::Rng{1});
+  EXPECT_DOUBLE_EQ(policy.retry_probability(1), 0.9);
+  EXPECT_DOUBLE_EQ(policy.retry_probability(9), 1.0 - 0.9);
+  EXPECT_DOUBLE_EQ(policy.retry_probability(10), 0.0);
+  // Raw 1 - 0.1·N goes negative here; the rail must hold it at 0 so the
+  // bernoulli draw never sees p < 0.
+  EXPECT_DOUBLE_EQ(policy.retry_probability(11), 0.0);
+  EXPECT_DOUBLE_EQ(policy.retry_probability(1000000), 0.0);
+}
+
+TEST(RetryRailTest, RailedRetryDoesNotConsumeRngStream) {
+  traffic::RetryConfig cfg;
+  cfg.enabled = true;
+  traffic::RetryPolicy policy(cfg, sim::Rng{42});
+  // At the rail should_retry must short-circuit without touching the
+  // stream: the next real draw has to match a fresh stream's first draw.
+  EXPECT_FALSE(policy.should_retry(10));
+  EXPECT_FALSE(policy.should_retry(50));
+  sim::Rng fresh{42};
+  const bool expected = fresh.bernoulli(0.9);
+  EXPECT_EQ(policy.should_retry(1), expected);
+}
+
+TEST(RetryRailTest, DisabledPolicyNeverRetries) {
+  traffic::RetryPolicy policy(traffic::RetryConfig{}, sim::Rng{7});
+  EXPECT_DOUBLE_EQ(policy.retry_probability(1), 0.0);
+  EXPECT_FALSE(policy.should_retry(1));
+}
+
+TEST(TestWindowRailTest, WideningPinsAtConfiguredTMax) {
+  reservation::TestWindowConfig cfg;
+  cfg.phd_target = 1.0;  // W = 1: every drop beyond the quota widens
+  cfg.t_start = 1.0;
+  cfg.t_max = 4.0;
+  reservation::TestWindowController ctl(cfg);
+  const sim::Duration unbounded_soj = 1e9;  // dynamic bound not binding
+  for (int i = 0; i < 100; ++i) ctl.on_handoff(/*dropped=*/true, unbounded_soj);
+  EXPECT_DOUBLE_EQ(ctl.t_est(), 4.0);  // pinned, not 1 + 100
+}
+
+TEST(TestWindowRailTest, DynamicSojournBoundStillBindsBelowTMax) {
+  reservation::TestWindowConfig cfg;
+  cfg.phd_target = 1.0;
+  cfg.t_max = 50.0;
+  reservation::TestWindowController ctl(cfg);
+  for (int i = 0; i < 100; ++i) ctl.on_handoff(/*dropped=*/true, 3.0);
+  EXPECT_DOUBLE_EQ(ctl.t_est(), 3.0);  // T_soj,max is the tighter rail
+}
+
+TEST(TestWindowRailTest, NarrowingPinsAtTMin) {
+  reservation::TestWindowConfig cfg;
+  cfg.phd_target = 1.0;  // W_obs = 1: every clean hand-off pair narrows
+  cfg.t_start = 3.0;
+  cfg.t_min = 2.0;
+  reservation::TestWindowController ctl(cfg);
+  for (int i = 0; i < 100; ++i) ctl.on_handoff(/*dropped=*/false, 1e9);
+  EXPECT_DOUBLE_EQ(ctl.t_est(), 2.0);  // pinned at t_min, never below
+}
+
+TEST(TestWindowRailTest, DefaultTMaxIsUnbounded) {
+  reservation::TestWindowConfig cfg;
+  EXPECT_EQ(cfg.t_max, sim::kInfiniteDuration);
+  cfg.phd_target = 1.0;
+  reservation::TestWindowController ctl(cfg);
+  // The first drop sits inside the quota (n_HD > W_obs/W is strict), so
+  // 50 drops widen 49 times from T_start = 1.
+  for (int i = 0; i < 50; ++i) ctl.on_handoff(/*dropped=*/true, 1e9);
+  EXPECT_DOUBLE_EQ(ctl.t_est(), 50.0);  // default trajectory unchanged
+}
+
+TEST(TestWindowRailTest, MultiplicativeStepsStillRespectTMax) {
+  reservation::TestWindowConfig cfg;
+  cfg.phd_target = 1.0;
+  cfg.t_max = 10.0;
+  cfg.step_policy = reservation::StepPolicy::kMultiplicative;
+  reservation::TestWindowController ctl(cfg);
+  for (int i = 0; i < 40; ++i) ctl.on_handoff(/*dropped=*/true, 1e9);
+  EXPECT_DOUBLE_EQ(ctl.t_est(), 10.0);  // 1+1+2+4+8 overshoots; rail holds
+}
+
+}  // namespace
+}  // namespace pabr

@@ -1,0 +1,129 @@
+// Regression tests for the hardened Bayes posterior: p_h must be a
+// finite value in [0, 1] even when the estimation function's posterior
+// denominator has zero (or poisoned) mass — an empty calendar window,
+// all-stale quadruplets beyond the extant sojourn, or degenerate window
+// weights. Before the shared posterior() helper, a NaN weight sum slid
+// past the `denom <= 0` guard (NaN compares false) and std::clamp passed
+// the NaN straight into the B_r term sums.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hoef/calendar.h"
+#include "hoef/estimator.h"
+#include "util/check.h"
+
+namespace pabr::hoef {
+namespace {
+
+constexpr geom::CellId kSelf = 0;
+constexpr geom::CellId kPrev = 1;
+constexpr geom::CellId kNext = 2;
+
+EstimatorConfig infinite_window() {
+  EstimatorConfig cfg;
+  cfg.t_int = sim::kInfiniteDuration;
+  return cfg;
+}
+
+void expect_finite_unit(double p) {
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(ZeroMassTest, EmptyCalendarWindowYieldsZeroNotNaN) {
+  // Weekend quadruplet set never sees an event; querying on a Saturday
+  // must hit the empty set and report "estimated stationary".
+  CalendarConfig cfg;
+  cfg.start_day_of_week = 0;  // Monday at t = 0
+  CalendarEstimator cal(kSelf, cfg);
+  cal.record({60.0, kPrev, kNext, 30.0});  // Monday event, weekday set
+  const sim::Time saturday = 5.0 * sim::kDay + 100.0;
+  ASSERT_TRUE(cal.is_weekend(saturday));
+  const double p =
+      cal.handoff_probability(saturday, kPrev, kNext, 0.0, 30.0);
+  expect_finite_unit(p);
+  EXPECT_DOUBLE_EQ(p, 0.0);
+  const double p_any =
+      cal.any_handoff_probability(saturday, kPrev, 0.0, 30.0);
+  expect_finite_unit(p_any);
+  EXPECT_DOUBLE_EQ(p_any, 0.0);
+}
+
+TEST(ZeroMassTest, AllStaleQuadrupletsYieldZeroNotNaN) {
+  // With a finite T_int every recorded event ages out of the periodic
+  // window; once none is selected the posterior denominator is zero mass.
+  EstimatorConfig cfg;
+  cfg.t_int = 10.0;
+  cfg.period = 100.0;
+  cfg.n_win_periods = 1;
+  HandoffEstimator e(kSelf, cfg);
+  e.record({5.0, kPrev, kNext, 3.0});
+  // Query two periods later, far outside any window around the event.
+  const sim::Time t0 = 250.0;
+  expect_finite_unit(e.handoff_probability(t0, kPrev, kNext, 0.0, 10.0));
+  EXPECT_DOUBLE_EQ(e.handoff_probability(t0, kPrev, kNext, 0.0, 10.0), 0.0);
+  expect_finite_unit(e.any_handoff_probability(t0, kPrev, 0.0, 10.0));
+}
+
+TEST(ZeroMassTest, SurvivedPastEveryQuadrupletYieldsZero) {
+  // An extant sojourn beyond every recorded sojourn leaves denom == 0:
+  // the conditional is over an empty survivor set.
+  HandoffEstimator e(kSelf, infinite_window());
+  e.record({100.0, kPrev, kNext, 30.0});
+  e.record({110.0, kPrev, kNext, 40.0});
+  const double p = e.handoff_probability(200.0, kPrev, kNext, 50.0, 10.0);
+  expect_finite_unit(p);
+  EXPECT_DOUBLE_EQ(p, 0.0);
+  const auto probe =
+      e.handoff_probability_probe(200.0, kPrev, kNext, 50.0, 10.0);
+  EXPECT_DOUBLE_EQ(probe.probability, 0.0);
+  const auto any_probe =
+      e.any_handoff_probability_probe(200.0, kPrev, 50.0, 10.0);
+  EXPECT_DOUBLE_EQ(any_probe.probability, 0.0);
+}
+
+TEST(ZeroMassTest, ZeroLeadWindowWeightIsRejectedAtConstruction) {
+  // A zero w_0 would zero the freshest window's mass and make the 0/0
+  // posterior routine; the estimator refuses the config outright rather
+  // than relying on the runtime guard.
+  EstimatorConfig cfg = infinite_window();
+  cfg.weights = {0.0, 0.0};
+  EXPECT_THROW(HandoffEstimator(kSelf, cfg), InvariantError);
+}
+
+TEST(ZeroMassTest, SubnormalWeightsStayFiniteAndInRange) {
+  // Tiny-but-positive weights pass validation yet push the prefix sums to
+  // the very bottom of the double range; the posterior must stay in [0,1].
+  EstimatorConfig cfg = infinite_window();
+  cfg.weights = {5e-324, 5e-324};
+  HandoffEstimator e(kSelf, cfg);
+  e.record({100.0, kPrev, kNext, 30.0});
+  e.record({110.0, kPrev, kNext, 40.0});
+  expect_finite_unit(e.handoff_probability(200.0, kPrev, kNext, 0.0, 30.0));
+  expect_finite_unit(e.any_handoff_probability(200.0, kPrev, 0.0, 30.0));
+}
+
+TEST(ZeroMassTest, PoisonedWeightsCannotLeakNonFinitePh) {
+  // Infinite weights drive the prefix sums to inf and the denominator to
+  // inf - inf = NaN; the hardened posterior pins the result at 0 instead
+  // of letting NaN slip past the zero-mass guard.
+  EstimatorConfig cfg = infinite_window();
+  cfg.weights = {std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::infinity()};
+  HandoffEstimator e(kSelf, cfg);
+  e.record({100.0, kPrev, kNext, 30.0});
+  e.record({110.0, kPrev, kNext, 40.0});
+  expect_finite_unit(e.handoff_probability(200.0, kPrev, kNext, 35.0, 10.0));
+  expect_finite_unit(e.any_handoff_probability(200.0, kPrev, 35.0, 10.0));
+  expect_finite_unit(
+      e.handoff_probability_probe(200.0, kPrev, kNext, 35.0, 10.0)
+          .probability);
+  expect_finite_unit(
+      e.any_handoff_probability_probe(200.0, kPrev, 35.0, 10.0).probability);
+}
+
+}  // namespace
+}  // namespace pabr::hoef

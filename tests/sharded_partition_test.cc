@@ -1,0 +1,72 @@
+// Contiguous cell partition used by the sharded executor.
+#include "sim/sharded/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pabr::sim::sharded {
+namespace {
+
+TEST(PartitionTest, CoversEveryCellExactlyOnce) {
+  const Partition p(23, 5);
+  EXPECT_EQ(p.shards(), 5);
+  EXPECT_EQ(p.num_cells(), 23);
+  int covered = 0;
+  for (int s = 0; s < p.shards(); ++s) {
+    EXPECT_EQ(p.last(s) - p.first(s), p.size(s));
+    for (geom::CellId c = p.first(s); c < p.last(s); ++c) {
+      EXPECT_EQ(p.owner(c), s);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, 23);
+  EXPECT_EQ(p.first(0), 0);
+  EXPECT_EQ(p.last(4), 23);
+}
+
+TEST(PartitionTest, ShardSizesDifferByAtMostOne) {
+  const Partition p(23, 5);
+  int lo = p.size(0);
+  int hi = p.size(0);
+  for (int s = 1; s < p.shards(); ++s) {
+    lo = std::min(lo, p.size(s));
+    hi = std::max(hi, p.size(s));
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(PartitionTest, RangesAreContiguousAndOrdered) {
+  const Partition p(1024, 7);
+  for (int s = 1; s < p.shards(); ++s) {
+    EXPECT_EQ(p.first(s), p.last(s - 1));
+  }
+}
+
+TEST(PartitionTest, SingleShardOwnsEverything) {
+  const Partition p(16, 1);
+  for (geom::CellId c = 0; c < 16; ++c) EXPECT_EQ(p.owner(c), 0);
+}
+
+TEST(PartitionTest, OneCellPerShardIsIdentity) {
+  const Partition p(6, 6);
+  for (geom::CellId c = 0; c < 6; ++c) {
+    EXPECT_EQ(p.owner(c), c);
+    EXPECT_EQ(p.size(c), 1);
+  }
+}
+
+TEST(PartitionTest, RejectsDegenerateShapes) {
+  EXPECT_THROW(Partition(0, 1), InvariantError);
+  EXPECT_THROW(Partition(4, 0), InvariantError);
+  EXPECT_THROW(Partition(4, 5), InvariantError);
+}
+
+TEST(PartitionTest, OwnerRejectsOutOfRangeCells) {
+  const Partition p(8, 2);
+  EXPECT_THROW(p.owner(-1), InvariantError);
+  EXPECT_THROW(p.owner(8), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::sim::sharded

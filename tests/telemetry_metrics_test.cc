@@ -43,14 +43,53 @@ TEST(TelemetryMetricsTest, HistogramBucketsAndStats) {
   EXPECT_EQ(h.buckets()[9], 1u);
 }
 
-TEST(TelemetryMetricsTest, HistogramClampsOutOfRangeIntoEdgeBuckets) {
+TEST(TelemetryMetricsTest, HistogramRoutesOutOfRangeToOverflowBuckets) {
   Histogram h(0.0, 10.0, 5);
   h.add(-100.0);
-  h.add(10.0);   // hi edge is exclusive -> last bucket
+  h.add(10.0);  // hi edge is exclusive -> overflow, not the last bucket
   h.add(1e9);
-  EXPECT_EQ(h.count(), 3u);  // clamping keeps totals consistent
-  EXPECT_EQ(h.buckets().front(), 1u);
-  EXPECT_EQ(h.buckets().back(), 2u);
+  EXPECT_EQ(h.count(), 3u);  // every sample is still accounted for
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  // The edge buckets stay clean: a saturated last bucket now always means
+  // genuine in-range mass, never a mis-sized range.
+  EXPECT_EQ(h.buckets().front(), 0u);
+  EXPECT_EQ(h.buckets().back(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), -100.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(TelemetryMetricsTest, HistogramSamplesBeyondTopEdgeAreCounted) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 7; ++i) h.add(2.0 + i);  // all beyond the top edge
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.overflow(), 7u);
+  EXPECT_EQ(h.underflow(), 0u);
+  std::uint64_t in_range = 0;
+  for (std::uint64_t b : h.buckets()) in_range += b;
+  EXPECT_EQ(in_range, 1u);
+  // Quantiles past the in-range mass report the top edge — the tightest
+  // bound the layout can give — instead of pretending the tail is inside.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+  h.reset();
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(TelemetryMetricsTest, SnapshotAndMergeCarryOverflowCounts) {
+  Registry r1, r2;
+  Histogram* h1 = r1.histogram("h", 0.0, 10.0, 10);
+  Histogram* h2 = r2.histogram("h", 0.0, 10.0, 10);
+  h1->add(-1.0);
+  h1->add(5.0);
+  h2->add(99.0);
+  h2->add(42.0);
+  const MetricsSnapshot m = merge_snapshots({r1.snapshot(), r2.snapshot()});
+  ASSERT_EQ(m.histograms.size(), 1u);
+  EXPECT_EQ(m.histograms[0].count, 4u);
+  EXPECT_EQ(m.histograms[0].underflow, 1u);
+  EXPECT_EQ(m.histograms[0].overflow, 2u);
 }
 
 TEST(TelemetryMetricsTest, HistogramQuantiles) {
