@@ -2,35 +2,98 @@
 // tests/fuzz_scenario_test.cc.
 //
 // Each seed expands deterministically into a randomized short simulation
-// (core/random_scenario.h) which is run twice, with the reservation
-// served incrementally and recomputed from scratch; the two trajectory
-// digests must match bitwise. The whole batch is then re-run across the
-// thread pool (--threads N) and every digest must match the sequential
-// batch byte for byte. Every run carries the per-event invariant audit
-// (PABR_AUDIT builds honor --audit-every; every build gets the explicit
-// end-of-run sweep).
+// (core/random_scenario.h) which is run three times: with the
+// reservation served incrementally, recomputed from scratch, and
+// incrementally again but snapshotted to memory and reloaded mid-run at
+// a seed-derived random point (invariant I10, DESIGN.md §13 —
+// --checkpoint-every replaces the random point with a fixed cadence of
+// chained snapshots). All three trajectory digests must match bitwise.
+// The whole batch is then re-run across the thread pool (--threads N)
+// and every digest must match the sequential batch byte for byte. Every
+// run carries the per-event invariant audit (PABR_AUDIT builds honor
+// --audit-every; every build gets the explicit end-of-run sweep).
+//
+// --resume-from FILE switches to a one-shot branch mode instead: the
+// snapshot is loaded (linear or hex, auto-detected), run for
+// --resume-for further simulated seconds, swept by audit_invariants()
+// and its trajectory digest printed — the command-line way to extend or
+// branch a checkpointed run.
 //
 // Exit status: 0 = all seeds clean, 1 = at least one divergence or
 // invariant violation (the offending seeds and scenario summaries are
 // printed — the seed alone reproduces the failure).
 #include <chrono>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "audit/differential.h"
 #include "bench_common.h"
 #include "core/random_scenario.h"
 #include "sim/parallel.h"
+#include "snapshot/format.h"
 
 namespace {
 
 struct SeedResult {
   std::uint64_t incremental = 0;
   std::uint64_t scratch = 0;
+  std::uint64_t resumed = 0;
   bool failed = false;
   std::string error;
 };
+
+// Branch mode for --resume-from: load, extend, audit, report.
+int resume_from_file(const std::string& path, double resume_for) {
+  using namespace pabr;
+  std::optional<snapshot::SystemKind> kind;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) {
+      std::cerr << "fuzz_driver: cannot open " << path << "\n";
+      return 1;
+    }
+    try {
+      kind = snapshot::Reader(is).header().kind;
+    } catch (const snapshot::FormatError& e) {
+      std::cerr << "fuzz_driver: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::ifstream is(path, std::ios::binary);
+  try {
+    std::uint64_t digest = 0;
+    double t_end = 0.0;
+    if (*kind == snapshot::SystemKind::kHex) {
+      const auto sys = core::HexCellularSystem::load(is);
+      sys->run_for(resume_for);
+      sys->audit_invariants();
+      digest = audit::trajectory_digest(*sys);
+      t_end = sys->now();
+    } else if (*kind == snapshot::SystemKind::kLinear) {
+      const auto sys = core::CellularSystem::load(is);
+      sys->run_for(resume_for);
+      sys->audit_invariants();
+      digest = audit::trajectory_digest(*sys);
+      t_end = sys->now();
+    } else {
+      std::cerr << "fuzz_driver: " << path
+                << ": sharded snapshots resume via scale_sweep "
+                   "--resume-from\n";
+      return 1;
+    }
+    std::printf("resumed %s to t=%.17g, digest %016llx, audits clean\n",
+                path.c_str(), t_end,
+                static_cast<unsigned long long>(digest));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_driver: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+}
 
 }  // namespace
 
@@ -54,7 +117,19 @@ int main(int argc, char** argv) {
   cli.add_bool("faults", &faults,
                "draw a random fault schedule per seed (link/station "
                "outages, message loss) — needs a PABR_FAULT build");
+  double checkpoint_every = 0.0;
+  std::string resume_from;
+  double resume_for = 0.0;
+  cli.add_double("checkpoint-every", &checkpoint_every,
+                 "I10 snapshot cadence in simulated seconds (0 = one "
+                 "random seed-derived snapshot point per scenario)");
+  cli.add_string("resume-from", &resume_from,
+                 "branch mode: load this snapshot file, extend and audit "
+                 "it instead of fuzzing");
+  cli.add_double("resume-for", &resume_for,
+                 "extra simulated seconds to run in --resume-from mode");
   if (!cli.parse(argc, argv)) return 1;
+  if (!resume_from.empty()) return resume_from_file(resume_from, resume_for);
   if (faults && !buildinfo::fault_enabled()) {
     std::cout << "warning: --faults requested but fault-injection hooks were "
                  "compiled out (PABR_FAULT=OFF); schedules are generated but "
@@ -67,16 +142,31 @@ int main(int argc, char** argv) {
                       std::to_string(seeds) + " seeds from " +
                       std::to_string(base_seed) + ", audit every " +
                       std::to_string(audit_every) + " events" +
-                      (faults ? ", fault schedules on" : ""));
+                      (faults ? ", fault schedules on" : "") +
+                      ", I10 snapshot/resume probes on");
 
   const auto n = static_cast<std::size_t>(seeds);
   const auto run_seed = [&](std::size_t i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
     const core::ScenarioSpec spec = core::random_scenario(seed, faults);
+    // I10 snapshot points: a fixed cadence when requested, otherwise one
+    // seed-derived random point — a pure function of (seed, flags), so
+    // the sequential and threaded phases probe identical points.
+    std::vector<double> fractions;
+    if (checkpoint_every > 0.0) {
+      for (double t = checkpoint_every; t < spec.duration;
+           t += checkpoint_every) {
+        fractions.push_back(t / spec.duration);
+      }
+    } else {
+      fractions.push_back(audit::snapshot_fraction_for_seed(seed));
+    }
     SeedResult r;
     try {
       r.incremental = audit::run_scenario_digest(spec, true, audit_every);
       r.scratch = audit::run_scenario_digest(spec, false, audit_every);
+      r.resumed =
+          audit::run_scenario_resume_digest(spec, true, audit_every, fractions);
     } catch (const std::exception& e) {
       r.failed = true;
       r.error = e.what();
@@ -112,8 +202,11 @@ int main(int argc, char** argv) {
       status = "audit (threaded): " + threaded[i].error;
     } else if (sequential[i].incremental != sequential[i].scratch) {
       status = "incremental != scratch";
+    } else if (sequential[i].resumed != sequential[i].incremental) {
+      status = "resumed != uninterrupted (I10)";
     } else if (sequential[i].incremental != threaded[i].incremental ||
-               sequential[i].scratch != threaded[i].scratch) {
+               sequential[i].scratch != threaded[i].scratch ||
+               sequential[i].resumed != threaded[i].resumed) {
       status = "threads=1 != threads=N";
     }
     if (status != "ok") {

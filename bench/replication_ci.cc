@@ -7,7 +7,15 @@
 // Replications are independent (one CellularSystem per seed), so
 // --threads N fans them over a pool; every per-seed sample and every
 // printed row is byte-identical to the sequential run (sim/parallel.h).
+//
+// Checkpoint/resume (DESIGN.md §13): --checkpoint-every S writes each
+// replication's state to <--checkpoint-path>-<policy>-s<i> every S
+// simulated seconds; --resume-from FILE skips the table and instead
+// finishes the plan from that one snapshot, printing its digest — the
+// resumed digest must equal the matching fresh replication's bitwise
+// (invariant I10).
 #include <chrono>
+#include <cstdio>
 
 #include "bench_common.h"
 
@@ -23,9 +31,36 @@ int main(int argc, char** argv) {
   bench::add_telemetry_flags(cli, opts);
   cli.add_int("seeds", &seeds, "independent replications per scheme");
   cli.add_double("load", &load, "offered load per cell");
+  double checkpoint_every = 0.0;
+  std::string checkpoint_path = "replication_ci.pabrsnap";
+  std::string resume_from;
+  cli.add_double("checkpoint-every", &checkpoint_every,
+                 "write a checkpoint every N simulated seconds (0 = off)");
+  cli.add_string("checkpoint-path", &checkpoint_path,
+                 "checkpoint file prefix (suffixed -<policy>-s<i> per "
+                 "replication)");
+  cli.add_string("resume-from", &resume_from,
+                 "finish the plan from this snapshot instead of running "
+                 "the replication table");
   if (!cli.parse(argc, argv)) return 1;
   if (opts.full) seeds = std::max(seeds, 10);
   bench::warn_if_telemetry_unavailable(opts);
+
+  if (!resume_from.empty()) {
+    core::RunPlan plan = opts.plan();
+    plan.resume_from = resume_from;
+    plan.checkpoint_every_s = checkpoint_every;
+    if (checkpoint_every > 0.0) {
+      plan.checkpoint_path = checkpoint_path + "-resumed";
+    }
+    const core::RunResult r = core::run_system(core::SystemConfig{}, plan);
+    std::printf(
+        "resumed %s: %llu events, P_CB %.6f, P_HD %.6f, digest %016llx\n",
+        resume_from.c_str(), static_cast<unsigned long long>(r.events),
+        r.status.pcb, r.status.phd,
+        static_cast<unsigned long long>(r.digest));
+    return 0;
+  }
 
   bench::print_banner("Replication — mean ± 95% CI over " +
                       std::to_string(seeds) + " seeds (L = " +
@@ -58,8 +93,13 @@ int main(int argc, char** argv) {
     p.seed = opts.seed;
     core::SystemConfig cfg = core::stationary_config(p);
     cfg.telemetry = opts.telemetry_config();
-    const auto rep =
-        core::run_replicated(cfg, opts.plan(), seeds, opts.threads);
+    core::RunPlan plan = opts.plan();
+    if (checkpoint_every > 0.0) {
+      plan.checkpoint_every_s = checkpoint_every;
+      plan.checkpoint_path =
+          checkpoint_path + "-" + admission::policy_kind_name(kind);
+    }
+    const auto rep = core::run_replicated(cfg, plan, seeds, opts.threads);
     const auto pm = [](const core::Replicated& r) {
       return core::TablePrinter::prob(r.mean) + " ± " +
              core::TablePrinter::prob(r.ci95);

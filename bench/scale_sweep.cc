@@ -19,6 +19,7 @@
 // records how many hardware threads were actually available. On a
 // single-core host every multi-shard run time-slices one CPU and
 // speedup <= 1 is expected; the digests still must match.
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,8 +62,27 @@ int main(int argc, char** argv) {
   cli.add_int("cols", &cols_override, "override grid cols (0 = sweep)");
   cli.add_double("duration", &duration_override,
                  "override simulated seconds (0 = per-grid default)");
+  double checkpoint_every = 0.0;
+  std::string checkpoint_path = "scale_sweep.pabrsnap";
+  std::string resume_from;
+  cli.add_double("checkpoint-every", &checkpoint_every,
+                 "write a barrier-slot checkpoint every N simulated "
+                 "seconds (0 = off; cadence snaps up to the slot grid)");
+  cli.add_string("checkpoint-path", &checkpoint_path,
+                 "checkpoint file prefix (suffixed -<cells>c<shards>s per "
+                 "sweep point)");
+  cli.add_string("resume-from", &resume_from,
+                 "resume every sweep point from this snapshot (pin one "
+                 "point with --rows/--cols/--shards; the file is "
+                 "digest-checked against the point's config)");
   if (!cli.parse(argc, argv)) return 1;
   bench::warn_if_telemetry_unavailable(opts);
+  if (!resume_from.empty() &&
+      (rows_override <= 0 || cols_override <= 0 || only_shards <= 0)) {
+    std::cerr << "scale_sweep: --resume-from needs --rows, --cols and "
+                 "--shards to pin a single sweep point\n";
+    return 1;
+  }
 
   bench::print_banner(
       "Scale sweep — deterministic cell-partitioned execution");
@@ -126,6 +146,13 @@ int main(int argc, char** argv) {
       cfg.system.telemetry = opts.telemetry_config();
       cfg.shards = shards;
       cfg.duration_s = g.duration_s;
+      if (checkpoint_every > 0.0) {
+        cfg.checkpoint_every_s = checkpoint_every;
+        cfg.checkpoint_path = checkpoint_path + "-" +
+                              std::to_string(g.rows * g.cols) + "c" +
+                              std::to_string(shards) + "s";
+      }
+      cfg.resume_from = resume_from;
       sim::sharded::ShardedExecutor exec(cfg);
       const sim::sharded::ShardedResult r = exec.run();
       total_wall += r.wall_seconds;

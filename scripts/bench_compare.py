@@ -8,14 +8,26 @@ label) and every timing column — a name ending in ``_ns`` or
 columns — a name ending in ``_per_s``, e.g. the sharded scale sweep's
 ``events_per_s`` — gate in the opposite direction: they must not fall
 below baseline * (1 - threshold). All other columns are reported but
-never gate.
+never gate unless named with ``--exact``.
+
+Beyond the per-row cells, the report-level ``counters`` block gates
+too: counters ending in ``_per_s`` / ``_ns`` gate with the threshold
+like their column counterparts, counters ending in ``_seconds`` are
+host wall time and only informational, and every OTHER counter (e.g.
+``events_total``, ``digests_match``) is a determinism counter that
+must match the baseline EXACTLY — the sharded scale sweep is bitwise
+reproducible, so any drift in its event count or a digest mismatch is
+a bug, not noise. ``--exact COL`` (repeatable) applies the same
+exact-equality rule to a named row column such as ``digest`` or
+``match``.
 
 Usage:
     scripts/bench_compare.py BASELINE.json FRESH.json [--threshold 0.15]
+        [--exact COL ...]
 
 Exit status: 0 when every timing cell is within the threshold (faster is
 always fine), 1 on any regression or structural mismatch (missing row,
-missing timing column), 2 on unreadable input.
+missing timing column, exact-counter drift), 2 on unreadable input.
 
 CI runs reduced-length benches on shared runners, so the default 15%
 threshold is deliberately loose: it catches an accidentally-restored
@@ -51,6 +63,45 @@ def rows_by_label(report: dict) -> dict:
     return {row[0]: row for row in report["rows"]}
 
 
+def compare_counters(base: dict, fresh: dict, threshold: float) -> int:
+    """Gate the report-level counters block; returns failure count."""
+    base_counters = base.get("counters", {})
+    if not base_counters:
+        return 0
+    fresh_counters = fresh.get("counters", {})
+    failures = 0
+    for name, old in base_counters.items():
+        if name not in fresh_counters:
+            print(f"  FAIL counters.{name}: missing from fresh report")
+            failures += 1
+            continue
+        new = fresh_counters[name]
+        if name.endswith("_seconds"):
+            print(f"  info counters.{name:18} {old:12.1f} -> {new:12.1f} s"
+                  f"  (host wall time, not gated)")
+            continue
+        if is_throughput_column(name) or is_timing_column(name):
+            if float(old) <= 0.0:
+                continue
+            ratio = float(new) / float(old)
+            if is_timing_column(name):
+                bad = ratio > 1.0 + threshold
+            else:
+                bad = ratio < 1.0 - threshold
+            verdict = "FAIL" if bad else "ok"
+            print(f"  {verdict:4} counters.{name:18} "
+                  f"{old:12.1f} -> {new:12.1f}  ({ratio - 1.0:+.1%})")
+            failures += 1 if bad else 0
+            continue
+        # Determinism counter: exact equality, no tolerance.
+        bad = float(new) != float(old)
+        verdict = "FAIL" if bad else "ok"
+        print(f"  {verdict:4} counters.{name:18} "
+              f"{old:12g} == {new:12g}  (exact)")
+        failures += 1 if bad else 0
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="checked-in BENCH_*.json")
@@ -58,6 +109,9 @@ def main() -> int:
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional slowdown per timing cell "
                          "(default 0.15 = +15%%)")
+    ap.add_argument("--exact", action="append", default=[], metavar="COL",
+                    help="row column that must equal the baseline exactly "
+                         "(repeatable; e.g. --exact digest --exact match)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -67,10 +121,16 @@ def main() -> int:
     fresh_cols = fresh["columns"]
     timing = [c for c in base_cols if is_timing_column(c)]
     throughput = [c for c in base_cols if is_throughput_column(c)]
+    exact = list(args.exact)
     if not timing and not throughput:
         sys.exit(f"bench_compare: no timing or throughput columns in "
                  f"{args.baseline}")
-    missing_cols = [c for c in timing + throughput if c not in fresh_cols]
+    unknown_exact = [c for c in exact if c not in base_cols]
+    if unknown_exact:
+        sys.exit(f"bench_compare: --exact column(s) not in baseline: "
+                 f"{unknown_exact}")
+    missing_cols = [c for c in timing + throughput + exact
+                    if c not in fresh_cols]
     if missing_cols:
         print(f"FAIL: fresh report lacks timing columns: {missing_cols}")
         return 1
@@ -102,10 +162,20 @@ def main() -> int:
                   f"{old:12.1f} -> {new:12.1f} {unit}  ({ratio - 1.0:+.1%})")
             if bad:
                 failures += 1
+        for col in exact:
+            old = row[base_cols.index(col)]
+            new = fresh_rows[label][fresh_cols.index(col)]
+            bad = str(new) != str(old)
+            verdict = "FAIL" if bad else "ok"
+            print(f"  {verdict:4} {label:24} {col:16} "
+                  f"{old:>12} == {new:>12}  (exact)")
+            if bad:
+                failures += 1
     extra = set(fresh_rows) - {r[0] for r in base["rows"]}
     if extra:
         print(f"  note: rows only in fresh report (not gated): "
               f"{sorted(extra)}")
+    failures += compare_counters(base, fresh, args.threshold)
     if failures:
         print(f"bench_compare: {failures} regression(s) beyond "
               f"+{args.threshold:.0%} — regenerate the baseline if the "

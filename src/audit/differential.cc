@@ -1,6 +1,9 @@
 #include "audit/differential.h"
 
-#include <bit>
+#include <memory>
+#include <sstream>
+
+#include "util/check.h"
 
 namespace pabr::audit {
 namespace {
@@ -25,10 +28,6 @@ void add_system_status(DigestBuilder& d, const core::SystemStatus& s) {
 }
 
 }  // namespace
-
-void DigestBuilder::add_double(double v) {
-  add_u64(std::bit_cast<std::uint64_t>(v));
-}
 
 std::uint64_t trajectory_digest(const core::CellularSystem& sys) {
   DigestBuilder d;
@@ -88,6 +87,62 @@ std::uint64_t run_scenario_digest(const core::ScenarioSpec& spec,
   sys.run_for(spec.duration);
   sys.audit_invariants();
   return trajectory_digest(sys);
+}
+
+namespace {
+
+// Runs to each snapshot point in turn, serializes into memory, throws
+// the live system away and reloads from the bytes, then finishes the
+// horizon on the final incarnation. run_until (absolute targets) keeps
+// every incarnation on exactly the clock values of an uninterrupted run.
+template <typename System, typename Config>
+std::uint64_t run_with_resumes(const Config& cfg, double duration,
+                               const std::vector<double>& fractions) {
+  auto sys = std::make_unique<System>(cfg);
+  for (const double f : fractions) {
+    PABR_CHECK(f >= 0.0 && f <= 1.0, "snapshot fraction outside [0, 1]");
+    sys->run_until(duration * f);
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    sys->save(buffer);
+    sys = System::load(buffer);
+  }
+  sys->run_until(duration);
+  sys->audit_invariants();
+  return trajectory_digest(*sys);
+}
+
+}  // namespace
+
+std::uint64_t run_scenario_resume_digest(
+    const core::ScenarioSpec& spec, bool incremental, int audit_every,
+    const std::vector<double>& snap_fractions) {
+  if (spec.hex) {
+    core::HexSystemConfig cfg = spec.grid;
+    cfg.incremental_reservation = incremental;
+    cfg.audit_every = audit_every;
+    return run_with_resumes<core::HexCellularSystem>(cfg, spec.duration,
+                                                     snap_fractions);
+  }
+  core::SystemConfig cfg = spec.linear;
+  cfg.incremental_reservation = incremental;
+  cfg.audit_every = audit_every;
+  return run_with_resumes<core::CellularSystem>(cfg, spec.duration,
+                                                snap_fractions);
+}
+
+std::uint64_t run_scenario_resume_digest(const core::ScenarioSpec& spec,
+                                         bool incremental, int audit_every,
+                                         double snap_fraction) {
+  return run_scenario_resume_digest(spec, incremental, audit_every,
+                                    std::vector<double>{snap_fraction});
+}
+
+double snapshot_fraction_for_seed(std::uint64_t seed) {
+  DigestBuilder d;
+  d.add_u64(seed);
+  d.add_u64(0x534e4150u);  // "SNAP" — decorrelate from other seed uses.
+  return 0.2 + 0.6 * static_cast<double>(d.value() % 4096) / 4096.0;
 }
 
 }  // namespace pabr::audit

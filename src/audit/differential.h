@@ -9,26 +9,17 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/random_scenario.h"
+#include "util/digest.h"
 
 namespace pabr::audit {
 
-/// Order-sensitive FNV-1a over 64-bit words.
-class DigestBuilder {
- public:
-  void add_u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xffu;
-      h_ *= 1099511628211ull;
-    }
-  }
-  void add_double(double v);
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 14695981039346656037ull;
-};
+/// Order-sensitive FNV-1a over 64-bit words (util/digest.h — the same
+/// primitive the sharded executor, the snapshot section checksums and
+/// the trace checksum use).
+using DigestBuilder = util::Fnv1a;
 
 /// Digest of a finished linear-road simulation.
 std::uint64_t trajectory_digest(const core::CellularSystem& sys);
@@ -43,5 +34,28 @@ std::uint64_t trajectory_digest(const core::HexCellularSystem& sys);
 /// not — and returns the trajectory digest.
 std::uint64_t run_scenario_digest(const core::ScenarioSpec& spec,
                                   bool incremental, int audit_every);
+
+/// Invariant I10 probe: runs the scenario to `snap_fraction` of its
+/// horizon, snapshots it into memory, discards the live system, loads
+/// the snapshot and runs the remainder. The returned digest must equal
+/// run_scenario_digest() bitwise for every scenario, snapshot point and
+/// fault schedule — that equality IS invariant I10 (DESIGN.md §13).
+/// `snap_fraction` must lie in [0, 1].
+std::uint64_t run_scenario_resume_digest(const core::ScenarioSpec& spec,
+                                         bool incremental, int audit_every,
+                                         double snap_fraction);
+
+/// Chained variant: snapshot + reload at EVERY fraction in
+/// `snap_fractions` (ascending, each in [0, 1]), proving that repeated
+/// checkpointing leaves the trajectory untouched — the property the
+/// --checkpoint-every flags rely on.
+std::uint64_t run_scenario_resume_digest(
+    const core::ScenarioSpec& spec, bool incremental, int audit_every,
+    const std::vector<double>& snap_fractions);
+
+/// Deterministic per-seed snapshot fraction in [0.2, 0.8] used by the
+/// fuzz harness to randomize I10 snapshot points (pure function of the
+/// seed, so the sequential and threaded fuzz phases agree).
+double snapshot_fraction_for_seed(std::uint64_t seed);
 
 }  // namespace pabr::audit

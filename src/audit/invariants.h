@@ -33,6 +33,15 @@
 //       re-sync in recompute_reservation). The sweep never accumulates a
 //       stale pair — doing so would rebuild its cache and silently
 //       discharge that production audit.
+//   I10 Checkpoint/resume determinism (DESIGN.md §13): a run resumed
+//       from a snapshot taken at any time t — save(ostream) mid-run,
+//       load(istream), run the remainder — produces a trajectory digest
+//       and end state bitwise identical to the uninterrupted run, under
+//       every scenario, fault schedule, snapshot point (including chains
+//       of snapshots) and thread/shard count. Enforced per-seed by
+//       bench/fuzz_driver (audit::run_scenario_resume_digest) and by the
+//       sharded checkpoint tests; unlike I1-I9 it is a whole-run
+//       differential property, not an event-boundary sweep.
 #pragma once
 
 #include "core/cell.h"

@@ -54,6 +54,15 @@ class InterconnectModel {
 
   void reset();
 
+  /// Snapshot restore of the message tallies.
+  void restore(
+      const std::array<std::uint64_t,
+                       static_cast<std::size_t>(MessageType::kCount)>& by_type,
+      std::uint64_t total_hops) {
+    by_type_ = by_type;
+    total_hops_ = total_hops;
+  }
+
  private:
   InterconnectKind kind_;
   double per_hop_latency_s_;

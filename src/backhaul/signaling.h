@@ -64,9 +64,22 @@ class SignalingAccountant {
   std::uint64_t admissions_observed() const {
     return per_admission_.samples();
   }
+  /// Sum of per-admission B_r calculation counts (snapshot payload; the
+  /// pair (sum, samples) reconstructs the accumulator exactly).
+  double per_admission_sum() const { return per_admission_.sum(); }
   std::uint64_t total_br_calculations() const { return total_.count(); }
 
   void reset();
+
+  /// Snapshot restore. Only legal between admissions (open_ == false at
+  /// every event boundary, which is where snapshots are taken).
+  void restore(double per_admission_sum, std::uint64_t admissions,
+               std::uint64_t total) {
+    per_admission_.restore(per_admission_sum, admissions);
+    total_.restore(total);
+    in_flight_ = 0;
+    open_ = false;
+  }
 
   /// Mirrors every recorded B_r calculation onto a telemetry counter
   /// (telemetry/metrics.h). No-op until bound; folds away when telemetry

@@ -1,10 +1,15 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "audit/differential.h"
 #include "sim/parallel.h"
 #include "util/check.h"
 #include "util/mathx.h"
@@ -13,17 +18,66 @@ namespace pabr::core {
 
 RunResult run_system(const SystemConfig& config, const RunPlan& plan) {
   const auto t0 = std::chrono::steady_clock::now();
-  CellularSystem system(config);
-  system.run_for(plan.warmup_s);
-  if (plan.reset_after_warmup) system.reset_metrics();
-  system.run_for(plan.measure_s);
+  // A resumed system carries its own config inside the snapshot; the
+  // `config` argument only describes fresh runs.
+  std::unique_ptr<CellularSystem> owned;
+  if (!plan.resume_from.empty()) {
+    std::ifstream is(plan.resume_from, std::ios::binary);
+    PABR_CHECK(is.good(), "cannot open the resume snapshot");
+    owned = CellularSystem::load(is);
+  } else {
+    owned = std::make_unique<CellularSystem>(config);
+  }
+  CellularSystem& system = *owned;
+
+  // The plan runs on absolute clock targets (run_until), never relative
+  // durations, so a resumed run stops at exactly the clock values of the
+  // uninterrupted one. A snapshot taken at the warm-up instant is always
+  // post-reset (the reset fires before the save below), so the reset is
+  // re-applied only when the snapshot strictly predates the warm-up end.
+  const sim::Time end = plan.warmup_s + plan.measure_s;
+  PABR_CHECK(system.now() <= end, "resume snapshot past the plan horizon");
+  bool reset_pending =
+      plan.reset_after_warmup &&
+      (plan.resume_from.empty() ? system.now() <= plan.warmup_s
+                                : system.now() < plan.warmup_s);
+  const bool checkpointing = plan.checkpoint_every_s > 0.0;
+  double next_ckpt = 0.0;
+  if (checkpointing) {
+    PABR_CHECK(!plan.checkpoint_path.empty(),
+               "checkpoint cadence set without a checkpoint path");
+    next_ckpt =
+        plan.checkpoint_every_s *
+        (std::floor(system.now() / plan.checkpoint_every_s) + 1.0);
+  }
+  while (true) {
+    sim::Time target = end;
+    if (reset_pending) target = std::min(target, plan.warmup_s);
+    if (checkpointing) target = std::min(target, next_ckpt);
+    system.run_until(std::max(target, system.now()));
+    if (reset_pending && system.now() >= plan.warmup_s) {
+      system.reset_metrics();
+      reset_pending = false;
+    }
+    if (checkpointing && system.now() >= next_ckpt) {
+      std::ofstream os(plan.checkpoint_path,
+                       std::ios::binary | std::ios::trunc);
+      PABR_CHECK(os.good(), "cannot open the checkpoint path");
+      system.save(os);
+      PABR_CHECK(os.good(), "checkpoint write failed");
+      next_ckpt += plan.checkpoint_every_s;
+    }
+    if (!reset_pending && system.now() >= end) break;
+  }
 
   RunResult result;
   result.status = system.system_status();
-  result.cells.reserve(static_cast<std::size_t>(config.num_cells));
-  for (geom::CellId c = 0; c < config.num_cells; ++c) {
+  const geom::CellId num_cells = system.config().num_cells;
+  result.cells.reserve(static_cast<std::size_t>(num_cells));
+  for (geom::CellId c = 0; c < num_cells; ++c) {
     result.cells.push_back(system.cell_status(c));
   }
+  result.digest = audit::trajectory_digest(system);
   result.events = system.events_executed();
   if (system.telemetry().enabled()) {
     result.telemetry = system.telemetry_snapshot();
@@ -64,6 +118,9 @@ ReplicatedResult run_replicated(const SystemConfig& config,
                                 const RunPlan& plan, int n_seeds,
                                 int threads) {
   PABR_CHECK(n_seeds >= 1, "run_replicated: need at least one seed");
+  PABR_CHECK(plan.resume_from.empty(),
+             "run_replicated cannot resume every replication from one "
+             "snapshot — resume a single run_system instead");
   ReplicatedResult out;
   // Each replication owns its own CellularSystem; results land in their
   // seed-index slot, so the aggregation below sees the sequential order
@@ -72,7 +129,13 @@ ReplicatedResult run_replicated(const SystemConfig& config,
       threads, static_cast<std::size_t>(n_seeds), [&](std::size_t i) {
         SystemConfig cfg = config;
         cfg.seed = config.seed + static_cast<std::uint64_t>(i);
-        return run_system(cfg, plan);
+        RunPlan seed_plan = plan;
+        if (!seed_plan.checkpoint_path.empty()) {
+          // One file per replication, or parallel seeds would overwrite
+          // each other's checkpoints.
+          seed_plan.checkpoint_path += "-s" + std::to_string(i);
+        }
+        return run_system(cfg, seed_plan);
       });
   std::vector<double> pcb, phd, br, ncalc;
   for (const RunResult& r : out.runs) {

@@ -19,6 +19,17 @@ struct RunPlan {
   sim::Duration warmup_s = 2000.0;
   sim::Duration measure_s = 8000.0;
   bool reset_after_warmup = true;
+  /// Checkpoint/resume (DESIGN.md §13). When `checkpoint_every_s` > 0
+  /// the run saves its complete state to `checkpoint_path` at every
+  /// multiple of the cadence (overwriting, so the file always holds the
+  /// newest checkpoint). When `resume_from` names a snapshot file the
+  /// system is loaded from it instead of built fresh — the snapshot
+  /// carries its own config — and the plan's phases continue from the
+  /// saved clock: the warm-up reset still fires at `warmup_s` if the
+  /// snapshot predates it, and is skipped if it was already applied.
+  sim::Duration checkpoint_every_s = 0.0;
+  std::string checkpoint_path;
+  std::string resume_from;
 };
 
 struct RunResult {
@@ -33,6 +44,9 @@ struct RunResult {
   telemetry::MetricsSnapshot telemetry;
   std::vector<telemetry::TraceRecord> trace;
   std::uint64_t trace_rotated_out = 0;
+  /// End-of-run trajectory digest (audit/differential.h) — the value the
+  /// I10 checkpoint/resume contract compares.
+  std::uint64_t digest = 0;
 };
 
 /// Builds the system from `config`, executes the plan, and snapshots all

@@ -88,6 +88,11 @@ void HexCellularSystem::run_for(sim::Duration duration) {
   simulator_.run_until(simulator_.now() + duration);
 }
 
+void HexCellularSystem::run_until(sim::Time t) {
+  PABR_CHECK(t >= simulator_.now(), "run_until into the past");
+  simulator_.run_until(t);
+}
+
 void HexCellularSystem::reset_metrics() {
   const sim::Time t = simulator_.now();
   for (geom::CellId c = 0; c < grid_.num_cells(); ++c) {
@@ -271,22 +276,24 @@ void HexCellularSystem::schedule_next_arrival() {
   const double system_rate = config_.arrival_rate_per_cell *
                              static_cast<double>(grid_.num_cells());
   if (system_rate <= 0.0) return;
-  simulator_.schedule_in(arrival_rng_.exponential(1.0 / system_rate),
-                         [this] {
-                           schedule_next_arrival();
-                           const geom::CellId cell = arrival_rng_.uniform_int(
-                               0, grid_.num_cells() - 1);
-                           const auto service =
-                               arrival_rng_.bernoulli(config_.voice_ratio)
-                                   ? traffic::ServiceClass::kVoice
-                                   : traffic::ServiceClass::kVideo;
-                           const double speed = arrival_rng_.uniform(
-                               config_.speed_min_kmh, config_.speed_max_kmh);
-                           const double lifetime = arrival_rng_.exponential(
-                               config_.mean_lifetime_s);
-                           handle_request(cell, service, speed, lifetime);
-                           maybe_audit();
-                         });
+  schedule_arrival_at(simulator_.now() +
+                      arrival_rng_.exponential(1.0 / system_rate));
+}
+
+void HexCellularSystem::schedule_arrival_at(sim::Time t) {
+  next_arrival_ = simulator_.schedule_at(t, [this] {
+    schedule_next_arrival();
+    const geom::CellId cell =
+        arrival_rng_.uniform_int(0, grid_.num_cells() - 1);
+    const auto service = arrival_rng_.bernoulli(config_.voice_ratio)
+                             ? traffic::ServiceClass::kVoice
+                             : traffic::ServiceClass::kVideo;
+    const double speed =
+        arrival_rng_.uniform(config_.speed_min_kmh, config_.speed_max_kmh);
+    const double lifetime = arrival_rng_.exponential(config_.mean_lifetime_s);
+    handle_request(cell, service, speed, lifetime);
+    maybe_audit();
+  });
 }
 
 bool HexCellularSystem::submit_request(geom::CellId cell,

@@ -15,6 +15,7 @@
 // more valuable — bench/ext_2d_load_sweep quantifies it.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,10 @@
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 #include "traffic/workload.h"
+
+namespace pabr::snapshot {
+class Reader;
+}  // namespace pabr::snapshot
 
 namespace pabr::core {
 
@@ -98,6 +103,10 @@ class HexCellularSystem final : public admission::AdmissionContext {
   explicit HexCellularSystem(HexSystemConfig config);
 
   void run_for(sim::Duration duration);
+  /// Advances to the absolute sim time `t` (>= now()); resumed runs use
+  /// this so they stop at exactly the clock value of the uninterrupted
+  /// run (see CellularSystem::run_until).
+  void run_until(sim::Time t);
   sim::Time now() const { return simulator_.now(); }
   void reset_metrics();
 
@@ -154,6 +163,13 @@ class HexCellularSystem final : public admission::AdmissionContext {
   /// hex system has no state for). Throws InvariantError on violation.
   void audit_invariants();
 
+  // ---- Snapshot (src/core/hex_system_snapshot.cc) -------------------------
+  /// Serializes the complete simulation state so that load() +
+  /// run_for(rest) is bitwise identical to the uninterrupted run
+  /// (invariant I10). Only legal between events.
+  void save(std::ostream& os);
+  static std::unique_ptr<HexCellularSystem> load(std::istream& is);
+
  private:
   struct HexMobile {
     traffic::ConnectionId id = 0;
@@ -171,6 +187,13 @@ class HexCellularSystem final : public admission::AdmissionContext {
   };
 
   void schedule_next_arrival();
+  /// Books the arrival event at absolute time `t`. The exponential gap is
+  /// drawn at scheduling time but every request attribute is drawn when
+  /// the event fires, so a snapshot load re-creates the pending arrival
+  /// exactly by replaying the saved fire time.
+  void schedule_arrival_at(sim::Time t);
+  /// Applies a parsed snapshot onto the freshly constructed system.
+  void restore_from(const snapshot::Reader& reader);
   bool handle_request(geom::CellId cell, traffic::ServiceClass service,
                       double speed_kmh, sim::Duration lifetime_s);
   void schedule_crossing(HexMobile& m);
@@ -218,6 +241,9 @@ class HexCellularSystem final : public admission::AdmissionContext {
   std::vector<BaseStation> stations_;
   std::vector<CellMetrics> metrics_;
   std::unordered_map<traffic::ConnectionId, HexMobile> mobiles_;
+  /// Handle of the one pending Poisson-arrival event (snapshot needs its
+  /// fire time; inert when the arrival rate is zero).
+  sim::EventHandle next_arrival_;
   traffic::ConnectionId next_id_ = 1;
   int events_since_audit_ = 0;
   telemetry::Collector telemetry_;

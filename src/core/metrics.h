@@ -79,6 +79,14 @@ class OfferedLoadTracker {
   };
   std::vector<HourSample> hourly() const;
 
+  // Snapshot save/restore of the hourly tallies.
+  const std::vector<double>& hourly_bandwidth() const {
+    return hourly_bandwidth_;
+  }
+  void restore(std::vector<double> hourly_bandwidth) {
+    hourly_bandwidth_ = std::move(hourly_bandwidth);
+  }
+
  private:
   int num_cells_;
   sim::Duration mean_lifetime_s_;

@@ -130,6 +130,11 @@ void CellularSystem::run_for(sim::Duration duration) {
   simulator_.run_until(simulator_.now() + duration);
 }
 
+void CellularSystem::run_until(sim::Time t) {
+  PABR_CHECK(t >= simulator_.now(), "run_until into the past");
+  simulator_.run_until(t);
+}
+
 void CellularSystem::reset_metrics() {
   const sim::Time t = simulator_.now();
   for (geom::CellId c = 0; c < config_.num_cells; ++c) {
@@ -347,7 +352,11 @@ double CellularSystem::current_reservation(geom::CellId cell) const {
 void CellularSystem::schedule_next_arrival() {
   const sim::Time t = workload_.next_arrival_after(simulator_.now());
   if (!std::isfinite(t)) return;  // zero arrival rate
-  simulator_.schedule_at(t, [this, t] {
+  schedule_arrival_at(t);
+}
+
+void CellularSystem::schedule_arrival_at(sim::Time t) {
+  next_arrival_ = simulator_.schedule_at(t, [this, t] {
     traffic::ConnectionRequest req = workload_.make_request(t);
     schedule_next_arrival();
     handle_arrival(std::move(req));
@@ -445,10 +454,22 @@ void CellularSystem::maybe_schedule_retry(traffic::ConnectionRequest request) {
     telemetry_.emit(simulator_.now(), telemetry::EventKind::kRetry, next.cell,
                     next.id, static_cast<double>(next.attempt));
   }
-  simulator_.schedule_in(wait, [this, next = std::move(next)]() mutable {
-    handle_arrival(std::move(next));
-    maybe_audit();
-  });
+  schedule_retry_event(next_retry_token_++, simulator_.now() + wait,
+                       std::move(next));
+}
+
+void CellularSystem::schedule_retry_event(std::uint64_t token, sim::Time when,
+                                          traffic::ConnectionRequest next) {
+  const sim::EventHandle handle =
+      simulator_.schedule_at(when, [this, token] {
+        const auto it = pending_retries_.find(token);
+        PABR_CHECK(it != pending_retries_.end(), "retry token vanished");
+        traffic::ConnectionRequest req = std::move(it->second.request);
+        pending_retries_.erase(it);
+        handle_arrival(std::move(req));
+        maybe_audit();
+      });
+  pending_retries_.emplace(token, PendingRetry{handle, std::move(next)});
 }
 
 void CellularSystem::start_connection(

@@ -8,6 +8,8 @@
 // call back into the system for occupancy and on-demand B_r computation.
 #pragma once
 
+#include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -33,6 +35,10 @@
 #include "traffic/retry.h"
 #include "traffic/workload.h"
 #include "wired/backbone.h"
+
+namespace pabr::snapshot {
+class Reader;
+}  // namespace pabr::snapshot
 
 namespace pabr::core {
 
@@ -148,6 +154,11 @@ class CellularSystem final : public admission::AdmissionContext {
 
   // ---- Run control ------------------------------------------------------
   void run_for(sim::Duration duration);
+  /// Advances to the absolute sim time `t` (>= now()). Resumed runs use
+  /// this rather than run_for so they stop at exactly the same clock
+  /// value as the uninterrupted run (now() + (end - now()) can differ
+  /// from `end` by an ulp, which the bitwise digest would notice).
+  void run_until(sim::Time t);
   sim::Time now() const { return simulator_.now(); }
 
   /// Zeroes all probability/mean accumulators (used after a warm-up phase)
@@ -232,6 +243,15 @@ class CellularSystem final : public admission::AdmissionContext {
   /// SystemConfig::audit_every additionally needs PABR_AUDIT.
   void audit_invariants();
 
+  // ---- Snapshot (src/core/system_snapshot.cc, format in src/snapshot/) ----
+  /// Serializes the complete simulation state — event calendar, cells,
+  /// mobiles, estimators, metrics, RNG streams, telemetry, faults — so
+  /// that load() + run_for(rest) is bitwise identical to the
+  /// uninterrupted run (audit invariant I10). Only legal between events
+  /// (i.e. from outside run_for).
+  void save(std::ostream& os);
+  static std::unique_ptr<CellularSystem> load(std::istream& is);
+
  private:
   struct MobileRecord {
     mobility::Mobile m;
@@ -249,9 +269,21 @@ class CellularSystem final : public admission::AdmissionContext {
   };
 
   void schedule_next_arrival();
+  /// Books the arrival event at absolute time `t` (split out of
+  /// schedule_next_arrival so a snapshot load can re-create the pending
+  /// arrival at its saved fire time).
+  void schedule_arrival_at(sim::Time t);
   bool handle_arrival(traffic::ConnectionRequest request);
   bool try_admit(const traffic::ConnectionRequest& request);
   void maybe_schedule_retry(traffic::ConnectionRequest request);
+  /// Books the retry event for `next` at absolute time `when` under the
+  /// given token and tracks it in pending_retries_ (shared by the live
+  /// path, which allocates a fresh token, and snapshot load, which
+  /// replays the saved one).
+  void schedule_retry_event(std::uint64_t token, sim::Time when,
+                            traffic::ConnectionRequest next);
+  /// Applies a parsed snapshot onto the freshly constructed system.
+  void restore_from(const snapshot::Reader& reader);
   void start_connection(const traffic::ConnectionRequest& request);
   void schedule_crossing(MobileRecord& rec);
   void handle_crossing(traffic::ConnectionId id);
@@ -318,6 +350,19 @@ class CellularSystem final : public admission::AdmissionContext {
   std::vector<BaseStation> stations_;
   std::vector<CellMetrics> metrics_;
   std::unordered_map<traffic::ConnectionId, MobileRecord> mobiles_;
+  /// Handle of the one pending Poisson-arrival event (snapshot needs its
+  /// fire time; inert when the arrival rate is zero).
+  sim::EventHandle next_arrival_;
+  /// Pending §5.3 retry events keyed by a monotone token: the scheduled
+  /// request travels in this map — not in the event closure — so a
+  /// snapshot can serialize and re-schedule it. Erased when the retry
+  /// fires (retries are never cancelled).
+  struct PendingRetry {
+    sim::EventHandle handle;
+    traffic::ConnectionRequest request;
+  };
+  std::map<std::uint64_t, PendingRetry> pending_retries_;
+  std::uint64_t next_retry_token_ = 1;
   std::unordered_map<geom::CellId, CellTrace> traces_;
   OfferedLoadTracker load_tracker_;
   std::unique_ptr<wired::Backbone> backbone_;  // null unless config_.wired

@@ -1,0 +1,409 @@
+// CellularSystem::save/load — full simulator state capture into the
+// src/snapshot container (DESIGN.md §13).
+//
+// Save serializes every state-bearing member plus the pending event
+// calendar as (fire time, insertion seq) pairs. Load reconstructs the
+// system from the embedded config, then re-schedules the saved events in
+// ascending original-seq order: fresh consecutive seqs preserve the
+// original relative order of time ties, which is all the event queue's
+// comparator looks at, so the resumed trajectory is bitwise identical to
+// the uninterrupted run (invariant I10).
+#include <algorithm>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.h"
+#include "snapshot/format.h"
+#include "snapshot/parts.h"
+#include "util/check.h"
+
+namespace pabr::core {
+
+namespace {
+
+/// Pending-event slot: presence flag + fire time + insertion seq.
+void put_pending(snapshot::Encoder& e,
+                 const std::optional<sim::EventQueue::PendingInfo>& p) {
+  e.b(p.has_value());
+  if (p.has_value()) {
+    e.f64(p->when);
+    e.u64(p->seq);
+  }
+}
+
+std::optional<sim::EventQueue::PendingInfo> get_pending(snapshot::Decoder& d) {
+  if (!d.b()) return std::nullopt;
+  sim::EventQueue::PendingInfo p;
+  p.when = d.f64();
+  p.seq = d.u64();
+  return p;
+}
+
+}  // namespace
+
+void CellularSystem::save(std::ostream& os) {
+  snapshot::Writer w(snapshot::SystemKind::kLinear,
+                     snapshot::config_digest(config_), simulator_.now(),
+                     config_.seed);
+
+  {
+    auto& e = w.begin_section("config");
+    snapshot::put_config(e, config_);
+  }
+  {
+    auto& e = w.begin_section("simulator");
+    e.f64(simulator_.now());
+    e.u64(simulator_.events_executed());
+    e.u64(simulator_.queue_next_seq());
+    e.u64(simulator_.queue_next_id());
+    e.u64(static_cast<std::uint64_t>(events_since_audit_));
+  }
+  {
+    auto& e = w.begin_section("rngs");
+    e.str(workload_.rng_state());
+    e.u64(workload_.next_id());
+    e.str(retry_.rng_state());
+    e.str(route_rng_.save_state());
+  }
+  {
+    auto& e = w.begin_section("cells");
+    for (const Cell& cell : cells_) snapshot::put_cell(e, cell);
+  }
+  {
+    auto& e = w.begin_section("stations");
+    for (const BaseStation& bs : stations_) snapshot::put_station(e, bs);
+  }
+  {
+    auto& e = w.begin_section("metrics");
+    for (const CellMetrics& m : metrics_) snapshot::put_cell_metrics(e, m);
+  }
+  {
+    auto& e = w.begin_section("traces");
+    e.u32(static_cast<std::uint32_t>(traces_.size()));
+    // Global cell order, not map order, so the payload is deterministic.
+    for (geom::CellId c = 0; c < config_.num_cells; ++c) {
+      const auto it = traces_.find(c);
+      if (it == traces_.end()) continue;
+      e.i64(c);
+      snapshot::put_series(e, it->second.t_est);
+      snapshot::put_series(e, it->second.br);
+      snapshot::put_series(e, it->second.phd);
+    }
+  }
+  {
+    auto& e = w.begin_section("mobiles");
+    std::vector<const MobileRecord*> recs;
+    recs.reserve(mobiles_.size());
+    for (const auto& [id, rec] : mobiles_) recs.push_back(&rec);
+    std::sort(recs.begin(), recs.end(),
+              [](const MobileRecord* a, const MobileRecord* b) {
+                return a->m.id < b->m.id;
+              });
+    e.u32(static_cast<std::uint32_t>(recs.size()));
+    for (const MobileRecord* rec : recs) {
+      snapshot::put_mobile(e, rec->m);
+      e.i64(rec->crossing_to);
+      e.f64(rec->crossing_boundary_km);
+      e.i64(rec->dual_cell);
+      e.i64(rec->dual_bw);
+      put_pending(e, simulator_.pending(rec->expiry));
+      put_pending(e, simulator_.pending(rec->crossing));
+      put_pending(e, simulator_.pending(rec->zone_entry));
+    }
+  }
+  {
+    auto& e = w.begin_section("arrival");
+    put_pending(e, simulator_.pending(next_arrival_));
+  }
+  {
+    auto& e = w.begin_section("retries");
+    e.u64(next_retry_token_);
+    e.u32(static_cast<std::uint32_t>(pending_retries_.size()));
+    for (const auto& [token, pr] : pending_retries_) {  // std::map: sorted
+      const auto p = simulator_.pending(pr.handle);
+      PABR_CHECK(p.has_value(), "tracked retry has no pending event");
+      e.u64(token);
+      e.f64(p->when);
+      e.u64(p->seq);
+      snapshot::put_request(e, pr.request);
+    }
+  }
+  {
+    auto& e = w.begin_section("accountant");
+    snapshot::put_accountant(e, accountant_);
+  }
+  {
+    auto& e = w.begin_section("interconnect");
+    snapshot::put_interconnect(e, interconnect_);
+  }
+  {
+    auto& e = w.begin_section("load");
+    const auto& hours = load_tracker_.hourly_bandwidth();
+    e.u32(static_cast<std::uint32_t>(hours.size()));
+    for (double h : hours) e.f64(h);
+  }
+  {
+    auto& e = w.begin_section("wired");
+    e.b(backbone_ != nullptr);
+    e.u64(wired_blocks_.count());
+    e.u64(wired_drops_.count());
+    if (backbone_ != nullptr) {
+      snapshot::put_backbone(e, *backbone_, config_.num_cells);
+    }
+  }
+  {
+    auto& e = w.begin_section("engine");
+    snapshot::put_engine(e, reservation_engine_);
+  }
+  {
+    auto& e = w.begin_section("telemetry");
+    e.b(telemetry_.enabled());
+    if (telemetry_.enabled()) {
+      // Raw registry snapshot: telemetry_snapshot() would sync gauges and
+      // mutate state, which save() must never do.
+      snapshot::put_metrics_snapshot(e, telemetry_.registry().snapshot());
+      snapshot::put_trace_buffer(e, telemetry_.buffer());
+    }
+  }
+  {
+    auto& e = w.begin_section("fault");
+    const bool present = fault_ != nullptr;
+    e.b(present);
+    if (present) fault_->save(e);
+  }
+
+  w.finish(os);
+}
+
+std::unique_ptr<CellularSystem> CellularSystem::load(std::istream& is) {
+  snapshot::Reader reader(is);
+  reader.require_kind(snapshot::SystemKind::kLinear);
+
+  auto cfg_dec = reader.open("config");
+  SystemConfig cfg = snapshot::get_linear_config(cfg_dec);
+  cfg_dec.finish();
+  PABR_CHECK(snapshot::config_digest(cfg) == reader.header().config_digest,
+             "snapshot config digest mismatch");
+
+  auto system = std::make_unique<CellularSystem>(std::move(cfg));
+  system->restore_from(reader);
+  return system;
+}
+
+void CellularSystem::restore_from(const snapshot::Reader& reader) {
+  // Drop the constructor's bootstrap arrival event; every pending event
+  // comes from the snapshot. The constructor's draw from the workload
+  // stream is erased below when the RNG states are restored.
+  simulator_.reset();
+  next_arrival_ = sim::EventHandle{};
+  PABR_CHECK(mobiles_.empty() && pending_retries_.empty(),
+             "restore_from on a used system");
+
+  double now = 0.0;
+  std::uint64_t executed = 0;
+  std::uint64_t saved_next_seq = 0;
+  std::uint64_t saved_next_id = 0;
+  {
+    auto d = reader.open("simulator");
+    now = d.f64();
+    executed = d.u64();
+    saved_next_seq = d.u64();
+    saved_next_id = d.u64();
+    events_since_audit_ = static_cast<int>(d.u64());
+    d.finish();
+  }
+  {
+    auto d = reader.open("rngs");
+    const std::string workload_state = d.str();
+    const traffic::ConnectionId next_id = d.u64();
+    workload_.restore(workload_state, next_id);
+    retry_.restore_rng(d.str());
+    route_rng_.load_state(d.str());
+    d.finish();
+  }
+  {
+    auto d = reader.open("cells");
+    for (Cell& cell : cells_) snapshot::restore_cell(d, cell);
+    d.finish();
+  }
+  {
+    auto d = reader.open("stations");
+    for (BaseStation& bs : stations_) snapshot::restore_station(d, bs);
+    d.finish();
+  }
+  {
+    auto d = reader.open("metrics");
+    for (CellMetrics& m : metrics_) snapshot::restore_cell_metrics(d, m);
+    d.finish();
+  }
+  {
+    auto d = reader.open("traces");
+    const std::uint32_t n = d.u32();
+    PABR_CHECK(n == traces_.size(), "snapshot trace-cell set mismatch");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto cell = static_cast<geom::CellId>(d.i64());
+      const auto it = traces_.find(cell);
+      PABR_CHECK(it != traces_.end(), "snapshot traces an untraced cell");
+      snapshot::restore_series(d, it->second.t_est);
+      snapshot::restore_series(d, it->second.br);
+      snapshot::restore_series(d, it->second.phd);
+    }
+    d.finish();
+  }
+
+  // Saved live events, re-scheduled below in ascending original-seq
+  // order so fresh consecutive seqs reproduce the original ordering.
+  struct SavedEvent {
+    std::uint64_t seq;
+    std::function<void()> schedule;
+  };
+  std::vector<SavedEvent> events;
+
+  {
+    auto d = reader.open("mobiles");
+    const std::uint32_t n = d.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      MobileRecord rec;
+      rec.m = snapshot::get_mobile(d);
+      rec.crossing_to = static_cast<geom::CellId>(d.i64());
+      rec.crossing_boundary_km = d.f64();
+      rec.dual_cell = static_cast<geom::CellId>(d.i64());
+      rec.dual_bw = static_cast<traffic::Bandwidth>(d.i64());
+      const auto expiry = get_pending(d);
+      const auto crossing = get_pending(d);
+      const auto zone_entry = get_pending(d);
+      const traffic::ConnectionId id = rec.m.id;
+      auto [it, inserted] = mobiles_.emplace(id, std::move(rec));
+      PABR_CHECK(inserted, "duplicate mobile id in snapshot");
+      MobileRecord* r = &it->second;
+      if (expiry.has_value()) {
+        events.push_back({expiry->seq, [this, r, when = expiry->when, id] {
+                            r->expiry = simulator_.schedule_at(when, [this, id] {
+                              handle_expiry(id);
+                              maybe_audit();
+                            });
+                          }});
+      }
+      if (crossing.has_value()) {
+        events.push_back(
+            {crossing->seq, [this, r, when = crossing->when, id] {
+               r->crossing = simulator_.schedule_at(when, [this, id] {
+                 handle_crossing(id);
+                 maybe_audit();
+               });
+             }});
+      }
+      if (zone_entry.has_value()) {
+        events.push_back(
+            {zone_entry->seq, [this, r, when = zone_entry->when, id] {
+               r->zone_entry = simulator_.schedule_at(when, [this, id] {
+                 handle_zone_entry(id);
+                 maybe_audit();
+               });
+             }});
+      }
+    }
+    d.finish();
+  }
+  {
+    auto d = reader.open("arrival");
+    const auto arrival = get_pending(d);
+    d.finish();
+    if (arrival.has_value()) {
+      events.push_back({arrival->seq, [this, when = arrival->when] {
+                          schedule_arrival_at(when);
+                        }});
+    }
+  }
+  {
+    auto d = reader.open("retries");
+    next_retry_token_ = d.u64();
+    const std::uint32_t n = d.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t token = d.u64();
+      const sim::Time when = d.f64();
+      const std::uint64_t seq = d.u64();
+      traffic::ConnectionRequest req = snapshot::get_request(d);
+      events.push_back(
+          {seq, [this, token, when, req = std::move(req)]() mutable {
+             schedule_retry_event(token, when, std::move(req));
+           }});
+    }
+    d.finish();
+  }
+  {
+    auto d = reader.open("accountant");
+    snapshot::restore_accountant(d, accountant_);
+    d.finish();
+  }
+  {
+    auto d = reader.open("interconnect");
+    snapshot::restore_interconnect(d, interconnect_);
+    d.finish();
+  }
+  {
+    auto d = reader.open("load");
+    const std::uint32_t n = d.u32();
+    std::vector<double> hours(n);
+    for (std::uint32_t i = 0; i < n; ++i) hours[i] = d.f64();
+    load_tracker_.restore(std::move(hours));
+    d.finish();
+  }
+  {
+    auto d = reader.open("wired");
+    const bool has_backbone = d.b();
+    PABR_CHECK(has_backbone == (backbone_ != nullptr),
+               "snapshot/config disagree on wired backbone");
+    wired_blocks_.restore(d.u64());
+    wired_drops_.restore(d.u64());
+    if (backbone_ != nullptr) {
+      snapshot::restore_backbone(d, *backbone_, config_.num_cells);
+    }
+    d.finish();
+  }
+  {
+    auto d = reader.open("engine");
+    snapshot::restore_engine(d, reservation_engine_);
+    d.finish();
+  }
+  {
+    auto d = reader.open("telemetry");
+    const bool enabled = d.b();
+    PABR_CHECK(enabled == telemetry_.enabled(),
+               "snapshot/build disagree on telemetry");
+    if (enabled) {
+      const telemetry::MetricsSnapshot snap =
+          snapshot::get_metrics_snapshot(d);
+      telemetry_.registry().restore(snap);
+      snapshot::restore_trace_buffer(d, telemetry_.buffer());
+    }
+    d.finish();
+  }
+  {
+    auto d = reader.open("fault");
+    const bool present = d.b();
+    PABR_CHECK(present == (fault_ != nullptr),
+               "snapshot/build disagree on fault injection");
+    if (present) fault_->load(d);
+    d.finish();
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const SavedEvent& a, const SavedEvent& b) {
+              return a.seq < b.seq;
+            });
+  for (SavedEvent& ev : events) ev.schedule();
+
+  simulator_.advance_queue_counters(
+      std::max(saved_next_seq, simulator_.queue_next_seq()),
+      std::max(saved_next_id, simulator_.queue_next_id()));
+  simulator_.restore_clock(now, executed);
+}
+
+}  // namespace pabr::core

@@ -41,6 +41,11 @@
 #include "sim/random.h"
 #include "sim/time.h"
 
+namespace pabr::snapshot {
+class Encoder;
+class Decoder;
+}  // namespace pabr::snapshot
+
 namespace pabr::fault {
 
 /// A deterministic outage window scripted directly in the config —
@@ -130,6 +135,16 @@ class FaultInjector {
   /// reply, and delay draws. Exposed for the determinism tests.
   bool message_lost(geom::CellId from, geom::CellId to, sim::Time t,
                     int attempt, std::uint32_t salt, double probability) const;
+
+  /// Snapshot save/load (src/snapshot/) of the lazily materialized
+  /// timelines: RNG stream position, flip list and coverage horizon per
+  /// entity, written in sorted key order so the payload is deterministic.
+  /// The timelines are reconstructable from the fault seed alone, but
+  /// restoring them verbatim keeps a resumed run's memoization state —
+  /// and therefore its RNG stream positions — bitwise identical. load()
+  /// expects a freshly constructed injector with the same config.
+  void save(snapshot::Encoder& enc) const;
+  void load(snapshot::Decoder& dec);
 
  private:
   /// Alternating up/down interval timeline of one entity, generated

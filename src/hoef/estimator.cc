@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/format.h"
 #include "util/check.h"
 
 namespace pabr::hoef {
@@ -469,6 +470,63 @@ std::size_t HandoffEstimator::cached_events() const {
     for (const auto& [next, ring] : h.by_next) n += ring.size();
   }
   return n;
+}
+
+void HandoffEstimator::save(snapshot::Encoder& enc) const {
+  enc.u64(state_version_);
+  enc.f64(last_event_time_);
+  enc.u32(static_cast<std::uint32_t>(by_prev_.size()));
+  for (const auto& [prev, h] : by_prev_) {
+    enc.u32(static_cast<std::uint32_t>(prev));
+    enc.u64(h.revision);
+    // A snapshot fresh by revision can be rebuilt bit-for-bit at its
+    // recorded build time; anything else must stay invalid after load.
+    const bool fresh =
+        h.snapshot.valid && h.snapshot.revision == h.revision;
+    enc.b(fresh);
+    enc.f64(fresh ? h.snapshot.built_at : 0.0);
+    enc.u32(static_cast<std::uint32_t>(h.by_next.size()));
+    for (const auto& [next, ring] : h.by_next) {
+      enc.u32(static_cast<std::uint32_t>(next));
+      enc.u32(static_cast<std::uint32_t>(ring.size()));
+      for (const Quadruplet& q : ring) {
+        enc.f64(q.event_time);
+        enc.f64(q.sojourn);
+      }
+    }
+  }
+}
+
+void HandoffEstimator::load(snapshot::Decoder& dec) {
+  PABR_CHECK(by_prev_.empty(), "estimator load on a non-fresh estimator");
+  state_version_ = dec.u64();
+  last_event_time_ = dec.f64();
+  const std::uint32_t n_prev = dec.u32();
+  by_prev_.reserve(n_prev);
+  for (std::uint32_t i = 0; i < n_prev; ++i) {
+    const auto prev = static_cast<geom::CellId>(dec.u32());
+    PrevHistory& h = by_prev_.find_or_insert(prev);
+    h.revision = dec.u64();
+    const bool fresh = dec.b();
+    const sim::Time built_at = dec.f64();
+    const std::uint32_t n_next = dec.u32();
+    h.by_next.reserve(n_next);
+    for (std::uint32_t j = 0; j < n_next; ++j) {
+      const auto next = static_cast<geom::CellId>(dec.u32());
+      util::Ring<Quadruplet>& ring = h.by_next.find_or_insert(next);
+      const std::uint32_t n_quads = dec.u32();
+      ring.reserve(n_quads);
+      for (std::uint32_t k = 0; k < n_quads; ++k) {
+        Quadruplet q;
+        q.event_time = dec.f64();
+        q.sojourn = dec.f64();
+        q.prev = prev;
+        q.next = next;
+        ring.push_back(q);
+      }
+    }
+    if (fresh) build_snapshot(h, built_at);
+  }
 }
 
 }  // namespace pabr::hoef

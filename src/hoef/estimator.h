@@ -43,6 +43,11 @@
 #include "util/flat_map.h"
 #include "util/ring.h"
 
+namespace pabr::snapshot {
+class Encoder;
+class Decoder;
+}  // namespace pabr::snapshot
+
 namespace pabr::hoef {
 
 struct EstimatorConfig {
@@ -165,6 +170,17 @@ class HandoffEstimator {
 
   geom::CellId self() const { return self_; }
   const EstimatorConfig& config() const { return config_; }
+
+  /// Snapshot save/load (src/snapshot/): serializes the quadruplet store
+  /// and revision counters, plus — for each per-prev snapshot that was
+  /// fresh by revision at save time — its build timestamp, so load()
+  /// rebuilds the exact snapshot the uninterrupted run was consulting
+  /// (build_snapshot is a pure function of the rings, the config and the
+  /// build time). A stale saved snapshot stays invalid after load, so a
+  /// finite-T_int freshness test cannot wrongly pass. load() expects a
+  /// freshly constructed estimator with the same self/config.
+  void save(snapshot::Encoder& enc) const;
+  void load(snapshot::Decoder& dec);
 
  private:
   struct Selected {

@@ -100,6 +100,24 @@ class IncrementalEngine {
   std::uint64_t terms_recomputed() const { return terms_recomputed_; }
   std::uint64_t terms_reused() const { return terms_reused_; }
 
+  /// Sorted keys of pairs currently marked stale (snapshot payload).
+  const std::vector<std::uint64_t>& stale_keys() const { return stale_keys_; }
+
+  /// Snapshot restore onto a freshly constructed engine: reinstates the
+  /// degraded-mode marks and the monotone tallies but NOT the pair term
+  /// caches — accumulate() is bitwise-identical to a from-scratch rescan,
+  /// so a resumed run repopulates the caches on first use and every
+  /// post-heal audit still passes. Only terms_reused/terms_recomputed
+  /// diverge from the uninterrupted run (documented in DESIGN.md §13).
+  void restore(std::vector<std::uint64_t> stale_keys,
+               std::uint64_t pairs_invalidated, std::uint64_t terms_recomputed,
+               std::uint64_t terms_reused) {
+    stale_keys_ = std::move(stale_keys);
+    pairs_invalidated_ = pairs_invalidated;
+    terms_recomputed_ = terms_recomputed;
+    terms_reused_ = terms_reused;
+  }
+
   /// Mirrors the per-term recompute/reuse tallies onto telemetry counters
   /// (telemetry/metrics.h). Null pointers detach; bumps are no-ops until
   /// bound and fold away entirely when telemetry is compiled out.

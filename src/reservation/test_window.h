@@ -84,6 +84,28 @@ class TestWindowController {
   std::uint64_t drops_in_window() const { return n_hd_; }
   std::uint64_t base_window() const { return w_; }
 
+  /// Snapshot save/restore of the full controller state. W itself is
+  /// derived from the config and not part of the state.
+  struct State {
+    std::uint64_t w_obs = 0;
+    std::uint64_t n_h = 0;
+    std::uint64_t n_hd = 0;
+    sim::Duration t_est = 0.0;
+    int last_direction = 0;
+    int streak = 0;
+  };
+  State state() const {
+    return State{w_obs_, n_h_, n_hd_, t_est_, last_direction_, streak_};
+  }
+  void restore(const State& s) {
+    w_obs_ = s.w_obs;
+    n_h_ = s.n_h;
+    n_hd_ = s.n_hd;
+    t_est_ = s.t_est;
+    last_direction_ = s.last_direction;
+    streak_ = s.streak;
+  }
+
  private:
   /// Step size for the next move in `direction` (+1 = widen, -1 =
   /// narrow), growing per the configured policy on consecutive

@@ -7,8 +7,9 @@ namespace pabr::sim {
 EventHandle EventQueue::schedule(Time when, Callback cb) {
   PABR_CHECK(cb != nullptr, "scheduling a null callback");
   const std::uint64_t id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
-  live_ids_.insert(id);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, id, std::move(cb)});
+  live_ids_.emplace(id, PendingInfo{when, seq});
   ++live_count_;
   return EventHandle{id};
 }
@@ -55,6 +56,22 @@ void EventQueue::clear() {
   live_ids_.clear();
   cancelled_.clear();
   live_count_ = 0;
+}
+
+std::optional<EventQueue::PendingInfo> EventQueue::pending(
+    EventHandle handle) const {
+  if (!handle.valid()) return std::nullopt;
+  const auto it = live_ids_.find(handle.id_);
+  if (it == live_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EventQueue::advance_counters(std::uint64_t next_seq,
+                                  std::uint64_t next_id) {
+  PABR_CHECK(next_seq >= next_seq_ && next_id >= next_id_,
+             "counters may only advance");
+  next_seq_ = next_seq;
+  next_id_ = next_id;
 }
 
 }  // namespace pabr::sim

@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -38,6 +40,14 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  /// Fire time and insertion sequence of a still-pending event
+  /// (snapshot introspection: the sequence is what reproduces same-time
+  /// tie-break order across a save/restore cycle).
+  struct PendingInfo {
+    Time when = 0.0;
+    std::uint64_t seq = 0;
+  };
+
   /// Schedules `cb` to fire at absolute time `when`.
   EventHandle schedule(Time when, Callback cb);
 
@@ -59,6 +69,21 @@ class EventQueue {
   /// Drops every pending event.
   void clear();
 
+  /// Fire time + insertion sequence of a pending event; nullopt when the
+  /// handle is inert, fired or cancelled.
+  std::optional<PendingInfo> pending(EventHandle handle) const;
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t next_id() const { return next_id_; }
+
+  /// Fast-forwards the sequence/id counters to the values a saved run
+  /// had reached (monotone only). Restoring a snapshot re-schedules the
+  /// pending events in ascending original-sequence order — which gives
+  /// them fresh consecutive sequences preserving their relative order,
+  /// all below the saved next_seq — and then advances the counters here
+  /// so post-resume events sort exactly as in the uninterrupted run.
+  void advance_counters(std::uint64_t next_seq, std::uint64_t next_id);
+
  private:
   struct Entry {
     Time when;
@@ -77,9 +102,10 @@ class EventQueue {
   bool is_dead(const Entry& e) const;
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Ids still pending in the heap; an id leaves this set when it fires or
-  // is cancelled. Bounded by the number of pending events.
-  std::unordered_set<std::uint64_t> live_ids_;
+  // Ids still pending in the heap mapped to their fire time + insertion
+  // sequence; an id leaves this map when it fires or is cancelled.
+  // Bounded by the number of pending events.
+  std::unordered_map<std::uint64_t, PendingInfo> live_ids_;
   // Cancelled ids whose heap entries have not surfaced yet.
   std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 0;

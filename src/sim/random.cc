@@ -1,8 +1,10 @@
 #include "sim/random.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "util/check.h"
+#include "util/digest.h"
 
 namespace pabr::sim {
 namespace {
@@ -49,12 +51,26 @@ bool Rng::bernoulli(double p) {
 
 std::uint64_t derive_seed(std::uint64_t run_seed,
                           std::string_view stream_name) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
-  for (char c : stream_name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;  // FNV prime
-  }
+  const std::uint64_t h =
+      util::fnv1a_bytes(stream_name.data(), stream_name.size());
   return splitmix64(h ^ splitmix64(run_seed));
+}
+
+std::string Rng::save_state() const {
+  // mt19937_64's stream inserter is standard-mandated to be an exact
+  // textual encoding of the engine state (classic locale, decimal),
+  // round-tripping bit-for-bit through the extractor on any platform.
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << engine_;
+  return os.str();
+}
+
+void Rng::load_state(const std::string& state) {
+  std::istringstream is(state);
+  is.imbue(std::locale::classic());
+  is >> engine_;
+  PABR_CHECK(!is.fail(), "malformed mt19937_64 state string");
 }
 
 }  // namespace pabr::sim

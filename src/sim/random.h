@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <string_view>
 
 namespace pabr::sim {
@@ -34,6 +35,12 @@ class Rng {
   bool bernoulli(double p);
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Full engine state as the standard's exact textual encoding
+  /// (value-serializable; load_state() restores it so the next N draws
+  /// are identical on any platform — snapshot/restore contract).
+  std::string save_state() const;
+  void load_state(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

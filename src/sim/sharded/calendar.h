@@ -78,6 +78,11 @@ class EventCalendar {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
+  /// Heap array in storage (not pop) order — checkpoint writers sort a
+  /// copy by event_before, which is total, so the result is canonical.
+  const std::vector<PendingEvent>& raw() const { return heap_; }
+  void clear() { heap_.clear(); }
+
   const PendingEvent& top() const { return heap_.front(); }
 
   PendingEvent pop() {

@@ -1,6 +1,8 @@
 // Configuration of the sharded hex-grid executor (DESIGN.md §12).
 #pragma once
 
+#include <string>
+
 #include "core/hex_system.h"
 #include "sim/time.h"
 
@@ -35,6 +37,20 @@ struct ShardedConfig {
   /// sharded counterpart of HexSystemConfig::audit_every; that field is
   /// ignored here because event-count cadences are not shard-invariant).
   bool audit_at_barriers = false;
+
+  /// Checkpoint cadence in simulated seconds (0 = never). Snapped to the
+  /// slot grid: a snapshot is written at every slot-start barrier whose
+  /// index is a multiple of ceil(checkpoint_every_s / slot). The state is
+  /// serialized in global cell order at a barrier, so any shard count
+  /// produces the identical file; checkpoint_path is overwritten each
+  /// time (DESIGN.md §13).
+  sim::Duration checkpoint_every_s = 0.0;
+  std::string checkpoint_path;
+
+  /// Path of a sharded snapshot to resume from ("" = fresh run). The
+  /// snapshot's config digest and slot grid must match this config; the
+  /// shard count is free to differ.
+  std::string resume_from;
 };
 
 }  // namespace pabr::sim::sharded

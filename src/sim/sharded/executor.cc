@@ -3,34 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
-#include <bit>
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <thread>
 
 #include "util/check.h"
+#include "util/digest.h"
 
 namespace pabr::sim::sharded {
 
 namespace {
-
-/// FNV-1a 64 over an explicit word stream.
-class Fnv1a {
- public:
-  void mix(std::uint64_t word) {
-    for (int i = 0; i < 8; ++i) {
-      hash_ ^= (word >> (8 * i)) & 0xffu;
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
-  std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
 
 double ratio_of(std::uint64_t hits, std::uint64_t trials) {
   return trials == 0
@@ -85,6 +70,13 @@ ShardedExecutor::ShardedExecutor(ShardedConfig config)
                "warm-up leaves no measurement slots");
   }
 
+  if (config_.checkpoint_every_s > 0.0) {
+    PABR_CHECK(!config_.checkpoint_path.empty(),
+               "checkpoint cadence set without a checkpoint path");
+    checkpoint_period_ = static_cast<std::uint64_t>(
+        std::ceil(config_.checkpoint_every_s / slot_));
+  }
+
   const auto n = static_cast<std::size_t>(grid_.num_cells());
   shared_.grid = &grid_;
   shared_.motion = &motion_;
@@ -112,6 +104,13 @@ ShardedResult ShardedExecutor::run() {
     shards.push_back(std::make_unique<Shard>(config_, shared_, s));
   }
 
+  std::uint64_t start_slot = 0;
+  if (!config_.resume_from.empty()) {
+    std::ifstream is(config_.resume_from, std::ios::binary);
+    PABR_CHECK(is.good(), "cannot open the resume snapshot");
+    start_slot = restore_checkpoint(is, shards);
+  }
+
   std::barrier sync(num_shards);
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_shards));
@@ -137,10 +136,26 @@ ShardedResult ShardedExecutor::run() {
       sync.arrive_and_wait();
       return !abort.load(std::memory_order_relaxed);
     };
-    for (std::uint64_t k = 0; k < num_slots_; ++k) {
+    for (std::uint64_t k = start_slot; k < num_slots_; ++k) {
       const sim::Time t0 = slot_ * static_cast<double>(k);
       const sim::Time t1 =
           std::min(slot_ * static_cast<double>(k + 1), config_.duration_s);
+      // Checkpoint barrier: every shard finished the previous slot's P4
+      // (the trailing barrier provides the happens-before), so shard 0
+      // can serialize the whole quiesced state before anyone moves on.
+      if (checkpoint_period_ != 0 && k != start_slot &&
+          k % checkpoint_period_ == 0) {
+        const bool ok = guarded([&] {
+          if (s == 0) {
+            std::ofstream os(config_.checkpoint_path,
+                             std::ios::binary | std::ios::trunc);
+            PABR_CHECK(os.good(), "cannot open the checkpoint path");
+            write_checkpoint(os, k, shards);
+            PABR_CHECK(os.good(), "checkpoint write failed");
+          }
+        });
+        if (!ok) break;
+      }
       const bool ok =
           guarded([&] {
             shard.drain_and_publish(t0);
@@ -182,7 +197,7 @@ ShardedResult ShardedExecutor::run() {
   core::SystemStatus st;
   double br_sum = 0.0;
   double bu_sum = 0.0;
-  Fnv1a digest;
+  util::Fnv1a digest;
   const int n = grid_.num_cells();
   result.cells.reserve(static_cast<std::size_t>(n));
   for (geom::CellId c = 0; c < n; ++c) {
@@ -213,16 +228,16 @@ ShardedResult ShardedExecutor::run() {
     br_sum += row.br_avg;
     bu_sum += row.bu_avg;
 
-    digest.mix(row.bu);
-    digest.mix(static_cast<std::uint64_t>(cell.connection_count()));
-    digest.mix(row.br);
-    digest.mix(row.t_est);
-    digest.mix(row.blocks);
-    digest.mix(row.requests);
-    digest.mix(row.drops);
-    digest.mix(row.handoffs);
-    digest.mix(row.br_avg);
-    digest.mix(row.bu_avg);
+    digest.add_double(row.bu);
+    digest.add_u64(static_cast<std::uint64_t>(cell.connection_count()));
+    digest.add_double(row.br);
+    digest.add_double(row.t_est);
+    digest.add_u64(row.blocks);
+    digest.add_u64(row.requests);
+    digest.add_u64(row.drops);
+    digest.add_u64(row.handoffs);
+    digest.add_double(row.br_avg);
+    digest.add_double(row.bu_avg);
   }
   st.pcb = ratio_of(st.blocks, st.requests);
   st.phd = ratio_of(st.drops, st.handoffs);
@@ -251,7 +266,7 @@ ShardedResult ShardedExecutor::run() {
   result.status = st;
   if (!snaps.empty()) result.telemetry = telemetry::merge_snapshots(snaps);
 
-  digest.mix(result.events);
+  digest.add_u64(result.events);
   result.digest = digest.value();
   result.events_per_second =
       result.wall_seconds > 0.0

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "core/metrics.h"
@@ -62,7 +64,24 @@ class ShardedExecutor {
   const geom::HexTopology& grid() const { return grid_; }
   const Partition& partition() const { return partition_; }
 
+  /// Digest of everything that pins the trajectory: the hex system
+  /// config plus the slot grid (duration, warm-up, slot override). The
+  /// shard count is deliberately excluded — any count produces the same
+  /// trajectory, the same checkpoint file, and may resume any file.
+  static std::uint64_t config_digest(const ShardedConfig& config);
+
  private:
+  /// Serializes the global state at the start of slot `slot` (all shards
+  /// quiesced at the barrier; only shard 0's worker calls this). The
+  /// payload is in global cell order / canonical event order, so it is
+  /// byte-identical for every shard count. sharded/snapshot.cc.
+  void write_checkpoint(std::ostream& os, std::uint64_t slot,
+                        const std::vector<std::unique_ptr<Shard>>& shards);
+  /// Restores a checkpoint onto freshly constructed shards and returns
+  /// the slot index to resume at. sharded/snapshot.cc.
+  std::uint64_t restore_checkpoint(
+      std::istream& is, std::vector<std::unique_ptr<Shard>>& shards);
+
   ShardedConfig config_;
   geom::HexTopology grid_;
   mobility::HexMotion motion_;
@@ -71,6 +90,7 @@ class ShardedExecutor {
   sim::Duration slot_ = 0.0;
   std::uint64_t num_slots_ = 0;
   std::uint64_t reset_slot_ = 0;  ///< slot index of the warm-up reset (0 = none)
+  std::uint64_t checkpoint_period_ = 0;  ///< in slots; 0 = never
 };
 
 }  // namespace pabr::sim::sharded

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <string>
 
+#include "snapshot/parts.h"
 #include "util/check.h"
 
 namespace pabr::sim::sharded {
@@ -545,6 +546,28 @@ double Shard::scratch_contribution(geom::CellId source, geom::CellId target,
                                              t_est);
   }
   return running;
+}
+
+// ---- snapshot hooks ---------------------------------------------------------
+
+void Shard::save_cell_state(snapshot::Encoder& e, geom::CellId cell) const {
+  const auto li = local(cell);
+  snapshot::put_cell(e, cells_[li]);
+  snapshot::put_station(e, stations_[li]);
+  snapshot::put_cell_metrics(e, metrics_[li]);
+  e.str(arrival_rng_[li].save_state());
+  e.str(motion_rng_[li].save_state());
+  e.u64(ordinal_[li]);
+}
+
+void Shard::restore_cell_state(snapshot::Decoder& d, geom::CellId cell) {
+  const auto li = local(cell);
+  snapshot::restore_cell(d, cells_[li]);
+  snapshot::restore_station(d, stations_[li]);
+  snapshot::restore_cell_metrics(d, metrics_[li]);
+  arrival_rng_[li].load_state(d.str());
+  motion_rng_[li].load_state(d.str());
+  ordinal_[li] = d.u64();
 }
 
 std::size_t Shard::active_connections() const {

@@ -43,6 +43,11 @@
 #include "sim/sharded/partition.h"
 #include "telemetry/telemetry.h"
 
+namespace pabr::snapshot {
+class Encoder;
+class Decoder;
+}  // namespace pabr::snapshot
+
 namespace pabr::sim::sharded {
 
 /// Global slot-frozen state plus the cross-shard mailboxes. Writes and
@@ -114,6 +119,25 @@ class Shard final : public admission::AdmissionContext {
   telemetry::Collector& telemetry() { return telemetry_; }
   std::uint64_t events_processed() const { return events_; }
   std::size_t active_connections() const;
+
+  // ---- snapshot hooks (executor checkpoint/resume; sharded/snapshot.cc) ---
+  /// Serializes / restores one owned cell's complete state: radio table,
+  /// base station, metrics, both RNG streams and the id ordinal. The
+  /// executor drives these in GLOBAL cell order so the payload is
+  /// independent of the partition.
+  void save_cell_state(snapshot::Encoder& e, geom::CellId cell) const;
+  void restore_cell_state(snapshot::Decoder& d, geom::CellId cell);
+  const EventCalendar& calendar() const { return calendar_; }
+  /// Drops the constructor's primed arrival ticks ahead of a restore.
+  void clear_calendar() { calendar_.clear(); }
+  void push_event(const PendingEvent& e) { route(e); }
+  backhaul::SignalingAccountant& accountant_mutable() { return accountant_; }
+  /// Overwrites the event tally and clock after a restore (the aggregate
+  /// tally lands on shard 0; every other shard restarts from zero).
+  void restore_progress(std::uint64_t events, sim::Time now) {
+    events_ = events;
+    now_ = now;
+  }
 
  private:
   bool owned(geom::CellId cell) const {

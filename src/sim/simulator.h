@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "util/check.h"
 
 namespace pabr::sim {
 
@@ -44,6 +46,25 @@ class Simulator {
   void reset();
 
   std::size_t pending_events() const { return queue_.size(); }
+
+  // ---- snapshot/restore hooks (src/snapshot/) -----------------------------
+  /// Fire time + insertion sequence of a pending event.
+  std::optional<EventQueue::PendingInfo> pending(EventHandle handle) const {
+    return queue_.pending(handle);
+  }
+  std::uint64_t queue_next_seq() const { return queue_.next_seq(); }
+  std::uint64_t queue_next_id() const { return queue_.next_id(); }
+  /// See EventQueue::advance_counters.
+  void advance_queue_counters(std::uint64_t next_seq, std::uint64_t next_id) {
+    queue_.advance_counters(next_seq, next_id);
+  }
+  /// Restores the clock and event total of a saved run. The clock may
+  /// only move forward; pending events must be re-scheduled separately.
+  void restore_clock(Time now, std::uint64_t executed) {
+    PABR_CHECK(now >= now_, "snapshot clock behind the simulator");
+    now_ = now;
+    executed_ = executed;
+  }
 
  private:
   EventQueue queue_;

@@ -19,6 +19,8 @@ class Counter {
   void add(std::uint64_t n = 1) { count_ += n; }
   std::uint64_t count() const { return count_; }
   void reset() { count_ = 0; }
+  /// Snapshot restore: overwrites the tally with a saved value.
+  void restore(std::uint64_t count) { count_ = count; }
 
  private:
   std::uint64_t count_ = 0;
@@ -45,6 +47,11 @@ class RatioEstimator {
                               static_cast<double>(trials_);
   }
   void reset() { hits_ = trials_ = 0; }
+  /// Snapshot restore.
+  void restore(std::uint64_t hits, std::uint64_t trials) {
+    hits_ = hits;
+    trials_ = trials;
+  }
 
  private:
   std::uint64_t hits_ = 0;
@@ -60,9 +67,15 @@ class MeanAccumulator {
   }
   std::uint64_t samples() const { return n_; }
   double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double sum() const { return sum_; }
   void reset() {
     sum_ = 0.0;
     n_ = 0;
+  }
+  /// Snapshot restore.
+  void restore(double sum, std::uint64_t n) {
+    sum_ = sum;
+    n_ = n;
   }
 
  private:
@@ -88,6 +101,25 @@ class TimeWeightedMean {
   double current() const { return current_; }
 
   void reset(Time t);
+
+  // Snapshot save/restore of the full integrator state.
+  struct State {
+    double integral = 0.0;
+    double current = 0.0;
+    Time last_time = 0.0;
+    Time start = 0.0;
+    bool has_value = false;
+  };
+  State state() const {
+    return State{integral_, current_, last_time_, start_, has_value_};
+  }
+  void restore(const State& s) {
+    integral_ = s.integral;
+    current_ = s.current;
+    last_time_ = s.last_time;
+    start_ = s.start;
+    has_value_ = s.has_value;
+  }
 
  private:
   double integral_ = 0.0;

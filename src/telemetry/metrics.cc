@@ -78,6 +78,23 @@ void Histogram::reset() {
   max_ = -std::numeric_limits<double>::infinity();
 }
 
+void Histogram::restore(const HistogramSummary& s) {
+  PABR_CHECK(s.lo == lo_ && s.hi == hi_ && s.buckets.size() == buckets_.size(),
+             "histogram restore with a different bucket layout");
+  buckets_ = s.buckets;
+  underflow_ = s.underflow;
+  overflow_ = s.overflow;
+  count_ = s.count;
+  sum_ = s.sum;
+  if (count_ == 0) {
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  } else {
+    min_ = s.min;
+    max_ = s.max;
+  }
+}
+
 std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;
@@ -153,6 +170,16 @@ void Registry::reset() {
   for (Counter& c : counters_) c.reset();
   for (Gauge& g : gauges_) g.reset();
   for (Histogram& h : histograms_) h.reset();
+}
+
+void Registry::restore(const MetricsSnapshot& snap) {
+  for (const auto& [name, v] : snap.counters) counter(name)->restore(v);
+  for (const auto& [name, v] : snap.gauges) gauge(name)->set(v);
+  for (const HistogramSummary& h : snap.histograms) {
+    histogram(h.name, h.lo, h.hi,
+              h.buckets.empty() ? 1 : h.buckets.size())
+        ->restore(h);
+  }
 }
 
 namespace {

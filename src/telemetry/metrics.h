@@ -32,6 +32,8 @@ class Counter {
   void add(std::uint64_t n = 1) { count_ += n; }
   std::uint64_t count() const { return count_; }
   void reset() { count_ = 0; }
+  /// Snapshot restore: overwrites the tally with a saved value.
+  void restore(std::uint64_t count) { count_ = count; }
 
  private:
   std::uint64_t count_ = 0;
@@ -47,6 +49,8 @@ class Gauge {
  private:
   double value_ = 0.0;
 };
+
+struct HistogramSummary;
 
 /// Fixed-width-bucket histogram over [lo, hi). Out-of-range samples are
 /// NOT clamped into the edge buckets: they land in explicit underflow
@@ -77,6 +81,9 @@ class Histogram {
   double quantile(double q) const;
 
   void reset();
+  /// Snapshot restore from a summary with the same bucket layout. An
+  /// empty summary (count == 0) resets min/max to their sentinels.
+  void restore(const HistogramSummary& s);
 
  private:
   double lo_, hi_, width_;
@@ -134,6 +141,14 @@ class Registry {
 
   MetricsSnapshot snapshot() const;
   void reset();  ///< zeroes every instrument, keeps registrations
+
+  /// Snapshot restore: walks `snap` in order, find-or-creating each
+  /// instrument and overwriting its state. Replaying the saved
+  /// registration order reproduces instrument order exactly, and
+  /// instruments wired up before the restore (e.g. the simulators'
+  /// pre-registered counters) keep their pointers — deque storage never
+  /// reallocates.
+  void restore(const MetricsSnapshot& snap);
 
   std::size_t instruments() const {
     return counters_.size() + gauges_.size() + histograms_.size();

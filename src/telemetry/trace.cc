@@ -4,11 +4,15 @@
 #include <fstream>
 #include <iostream>
 
+#include "util/digest.h"
+
 namespace pabr::telemetry {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'A', 'B', 'R', 'T', 'R', 'C', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends an FNV-1a checksum of the record body after the records, so
+// pabr-trace can tell a truncated/corrupted body from a well-formed one.
+constexpr std::uint32_t kVersion = 2;
 // A corrupt header must not drive a multi-gigabyte allocation.
 constexpr std::uint64_t kMaxRecords = 1ull << 32;
 constexpr std::uint32_t kMaxMetaEntries = 1u << 16;
@@ -64,12 +68,15 @@ bool write_streams(const std::string& path, const TraceMeta& meta,
   for (const auto& s : streams) total += s.size();
   put_u64(out, total);
   put_u64(out, rotated_out);
+  util::Fnv1a body_digest;
   for (std::size_t slot = 0; slot < streams.size(); ++slot) {
     for (TraceRecord rec : streams[slot]) {
       rec.stream = static_cast<std::uint16_t>(slot);
       out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+      body_digest.add_bytes(&rec, sizeof(rec));
     }
   }
+  put_u64(out, body_digest.value());
   if (!out) {
     std::cerr << "warning: short write while tracing to " << path << '\n';
     return false;
@@ -160,6 +167,26 @@ void TraceBuffer::clear() {
   sample_seq_ = 0;
 }
 
+void TraceBuffer::restore(const std::vector<TraceRecord>& records,
+                          std::uint64_t emitted, std::uint64_t sampled_out,
+                          std::uint64_t rotated_out,
+                          std::uint64_t sample_seq) {
+  ring_.assign(records.begin(), records.end());
+  if (capacity_ != 0 && ring_.size() > capacity_) {
+    // A snapshot from a larger ring: keep the newest records, as the
+    // smaller ring itself would have.
+    ring_.erase(ring_.begin(),
+                ring_.begin() +
+                    static_cast<std::ptrdiff_t>(ring_.size() - capacity_));
+  }
+  head_ = 0;
+  wrapped_ = false;
+  emitted_ = emitted;
+  sampled_out_ = sampled_out;
+  rotated_out_ = rotated_out;
+  sample_seq_ = sample_seq;
+}
+
 void TraceMeta::set(const std::string& key, const std::string& value) {
   for (auto& [k, v] : entries) {
     if (k == key) {
@@ -202,8 +229,13 @@ std::optional<TraceFile> read_trace(const std::string& path) {
     return std::nullopt;
   }
   std::uint32_t version = 0;
-  if (!get_u32(in, &version) || version != kVersion) {
-    std::cerr << "error: unsupported trace version in " << path << '\n';
+  if (!get_u32(in, &version)) {
+    std::cerr << "error: truncated trace header in " << path << '\n';
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    std::cerr << "error: " << path << " has trace format version " << version
+              << "; this build reads version " << kVersion << '\n';
     return std::nullopt;
   }
   TraceFile file;
@@ -229,8 +261,20 @@ std::optional<TraceFile> read_trace(const std::string& path) {
   file.records.resize(count);
   in.read(reinterpret_cast<char*>(file.records.data()),
           static_cast<std::streamsize>(count * sizeof(TraceRecord)));
-  if (!in.good()) {
+  if (!in.good() && count != 0) {
     std::cerr << "error: truncated trace body in " << path << '\n';
+    return std::nullopt;
+  }
+  std::uint64_t checksum = 0;
+  if (!get_u64(in, &checksum)) {
+    std::cerr << "error: trace checksum missing in " << path << '\n';
+    return std::nullopt;
+  }
+  const std::uint64_t actual = util::fnv1a_bytes(
+      file.records.data(), file.records.size() * sizeof(TraceRecord));
+  if (actual != checksum) {
+    std::cerr << "error: trace body checksum mismatch in " << path
+              << " (file corrupted?)\n";
     return std::nullopt;
   }
   return file;

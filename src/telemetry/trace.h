@@ -90,6 +90,16 @@ class TraceBuffer {
 
   void clear();
 
+  std::uint64_t sample_seq() const { return sample_seq_; }
+
+  /// Snapshot restore: re-fills the ring (oldest first) and overwrites
+  /// the counters. The restored ring starts unwrapped at slot 0 — an
+  /// equivalent unrolling of the saved state, since records() is the only
+  /// way the ring's internal rotation is observable.
+  void restore(const std::vector<TraceRecord>& records, std::uint64_t emitted,
+               std::uint64_t sampled_out, std::uint64_t rotated_out,
+               std::uint64_t sample_seq);
+
  private:
   std::size_t capacity_;
   std::uint32_t sample_every_;

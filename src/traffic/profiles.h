@@ -31,6 +31,11 @@ class DailyProfile {
   double max_value() const;
   double min_value() const;
 
+  /// The sorted knot list (snapshot/config serialization).
+  const std::vector<std::pair<double, double>>& knots() const {
+    return knots_;
+  }
+
  private:
   std::vector<std::pair<double, double>> knots_;
 };

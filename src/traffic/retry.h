@@ -37,6 +37,10 @@ class RetryPolicy {
   /// so it can run inside the constructor's initializer list.
   static bool validate_config(const RetryConfig& config);
 
+  // Snapshot save/restore of the policy's RNG stream position.
+  std::string rng_state() const { return rng_.save_state(); }
+  void restore_rng(const std::string& state) { rng_.load_state(state); }
+
  private:
   RetryConfig config_;
   sim::Rng rng_;

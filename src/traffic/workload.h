@@ -69,6 +69,16 @@ class WorkloadGenerator {
 
   const WorkloadConfig& config() const { return config_; }
 
+  // Snapshot save/restore: the RNG stream position plus the id counter
+  // are the generator's only mutable state (the installed profiles are
+  // pure functions reinstalled from the config on load).
+  std::string rng_state() const { return rng_.save_state(); }
+  ConnectionId next_id() const { return next_id_; }
+  void restore(const std::string& rng_state, ConnectionId next_id) {
+    rng_.load_state(rng_state);
+    next_id_ = next_id;
+  }
+
  private:
   const geom::LinearTopology& road_;
   WorkloadConfig config_;

@@ -1,0 +1,50 @@
+// Order-sensitive FNV-1a 64 — the one digest primitive every consumer
+// shares: trajectory digests (audit/differential), the sharded
+// executor's end-state digest, snapshot section checksums
+// (snapshot/format) and the .pabrtrace payload checksum.
+//
+// Words are folded low byte first, so the digest of a u64 stream is
+// identical to the digest of its little-endian byte stream — which is
+// what lets add_bytes() over a serialized section and add_u64() over the
+// values it contains agree on the same constants.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace pabr::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+class Fnv1a {
+ public:
+  void add_byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnv1aPrime;
+  }
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      add_byte(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+    }
+  }
+  void add_double(double v) { add_u64(std::bit_cast<std::uint64_t>(v)); }
+  void add_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) add_byte(p[i]);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffset;
+};
+
+/// One-shot convenience for contiguous buffers.
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t n) {
+  Fnv1a d;
+  d.add_bytes(data, n);
+  return d.value();
+}
+
+}  // namespace pabr::util

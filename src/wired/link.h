@@ -51,6 +51,14 @@ class Link {
   /// Bandwidth held by one attached connection (0 when not carried).
   traffic::Bandwidth held(traffic::ConnectionId id) const;
 
+  /// The attachment table, id-ordered (snapshot payload; restore goes
+  /// through Backbone::admit so the link bookkeeping is rebuilt by the
+  /// same code path as the live run).
+  const std::map<traffic::ConnectionId, traffic::Bandwidth>& attachments()
+      const {
+    return by_id_;
+  }
+
  private:
   LinkId id_;
   std::string name_;

@@ -1,0 +1,114 @@
+// RunPlan-level checkpoint/resume (core/experiment.h): run_system with a
+// checkpoint cadence must not perturb the trajectory, the emitted file
+// must finish to the exact same digest when resumed — including across
+// the warm-up reset boundary — and run_replicated must keep per-seed
+// checkpoint files apart.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "util/check.h"
+
+namespace pabr::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+SystemConfig small_config() {
+  StationaryParams p;
+  p.offered_load = 200.0;
+  p.policy = admission::PolicyKind::kAc2;
+  p.seed = 3;
+  return stationary_config(p);
+}
+
+RunPlan short_plan() {
+  RunPlan plan;
+  plan.warmup_s = 150.0;
+  plan.measure_s = 350.0;
+  return plan;
+}
+
+TEST(ExperimentResumeTest, CheckpointingDoesNotPerturbTheRun) {
+  const RunResult straight = run_system(small_config(), short_plan());
+  ASSERT_NE(straight.digest, 0u);
+
+  const std::string path = temp_path("experiment_ckpt");
+  RunPlan plan = short_plan();
+  plan.checkpoint_every_s = 120.0;  // fires at 120, 240, 360, 480 < 500
+  plan.checkpoint_path = path;
+  const RunResult checkpointed = run_system(small_config(), plan);
+  EXPECT_EQ(checkpointed.digest, straight.digest);
+  EXPECT_EQ(checkpointed.events, straight.events);
+
+  // The file now holds the newest (t = 480) checkpoint; resuming it must
+  // finish to the identical digest. The config argument is ignored — the
+  // snapshot carries its own.
+  RunPlan resume = short_plan();
+  resume.resume_from = path;
+  const RunResult resumed = run_system(SystemConfig{}, resume);
+  EXPECT_EQ(resumed.digest, straight.digest);
+  EXPECT_EQ(resumed.events, straight.events);
+  EXPECT_EQ(resumed.status.requests, straight.status.requests);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentResumeTest, ResumeAcrossTheWarmupResetBoundary) {
+  const RunResult straight = run_system(small_config(), short_plan());
+  const std::string path = temp_path("experiment_ckpt_warmup");
+
+  // Capture a PRE-warmup snapshot (t = 100 < warm-up 150) by running a
+  // truncated plan that stops — and checkpoints — at t = 100 with no
+  // reset applied.
+  {
+    RunPlan plan;
+    plan.warmup_s = 100.0;
+    plan.measure_s = 0.0;
+    plan.reset_after_warmup = false;
+    plan.checkpoint_every_s = 100.0;
+    plan.checkpoint_path = path;
+    run_system(small_config(), plan);
+  }
+  // Resuming from t=100 must re-apply the warm-up reset at t=150 and
+  // land on the uninterrupted digest.
+  RunPlan resume = short_plan();
+  resume.resume_from = path;
+  const RunResult resumed = run_system(SystemConfig{}, resume);
+  EXPECT_EQ(resumed.digest, straight.digest);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentResumeTest, ReplicatedRunsKeepSeparateCheckpointFiles) {
+  const std::string prefix = temp_path("experiment_ckpt_rep");
+  RunPlan plan;
+  plan.warmup_s = 50.0;
+  plan.measure_s = 150.0;
+  plan.checkpoint_every_s = 80.0;
+  plan.checkpoint_path = prefix;
+  const ReplicatedResult rep = run_replicated(small_config(), plan, 2, 2);
+  ASSERT_EQ(rep.runs.size(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    const std::string path = prefix + "-s" + std::to_string(i);
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    std::remove(path.c_str());
+  }
+  // Different seeds produced different states.
+  EXPECT_NE(rep.runs[0].digest, rep.runs[1].digest);
+}
+
+TEST(ExperimentResumeTest, ReplicatedRefusesSharedResumeFile) {
+  RunPlan plan = short_plan();
+  plan.resume_from = temp_path("whatever");
+  EXPECT_THROW(run_replicated(small_config(), plan, 2, 1), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::core

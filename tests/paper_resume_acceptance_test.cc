@@ -1,0 +1,114 @@
+// Acceptance pin for invariant I10 on the two paper experiments the
+// issue names: a Table 2 run (L = 300, R_vo = 1, high mobility, no
+// warm-up reset, per-cell end state) and a Fig. 13 run (warm-up +
+// metrics reset + measure flow driven directly on the system) must
+// finish bitwise-identically when checkpointed and resumed mid-run.
+// Lengths are reduced from the bench defaults; the configs are the
+// benches' own.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "audit/differential.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "core/system.h"
+
+namespace pabr::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// bench/table2_cell_status.cc's configuration, verbatim.
+SystemConfig table2_config(admission::PolicyKind kind) {
+  StationaryParams p;
+  p.offered_load = 300.0;
+  p.voice_ratio = 1.0;
+  p.mobility = Mobility::kHigh;
+  p.policy = kind;
+  p.seed = 1;
+  return stationary_config(p);
+}
+
+RunPlan table2_plan() {
+  RunPlan plan;  // the paper reports cumulative values: no reset
+  plan.warmup_s = 0.0;
+  plan.measure_s = 1500.0;
+  plan.reset_after_warmup = false;
+  return plan;
+}
+
+TEST(PaperResumeAcceptanceTest, Table2RunsResumeBitwise) {
+  for (const auto kind :
+       {admission::PolicyKind::kAc1, admission::PolicyKind::kAc3}) {
+    const SystemConfig cfg = table2_config(kind);
+    const RunResult straight = run_system(cfg, table2_plan());
+
+    const std::string path =
+        temp_path(std::string("table2_ckpt_") + policy_kind_name(kind));
+    RunPlan ckpt = table2_plan();
+    ckpt.checkpoint_every_s = 600.0;  // fires at 600 and 1200 < 1500
+    ckpt.checkpoint_path = path;
+    ASSERT_EQ(run_system(cfg, ckpt).digest, straight.digest)
+        << policy_kind_name(kind);
+
+    RunPlan resume = table2_plan();
+    resume.resume_from = path;
+    const RunResult resumed = run_system(SystemConfig{}, resume);
+    EXPECT_EQ(resumed.digest, straight.digest) << policy_kind_name(kind);
+    EXPECT_EQ(resumed.events, straight.events);
+    // Table 2 is a PER-CELL table: the per-cell end state must agree
+    // too, not just the digest.
+    ASSERT_EQ(resumed.cells.size(), straight.cells.size());
+    for (std::size_t i = 0; i < straight.cells.size(); ++i) {
+      EXPECT_EQ(resumed.cells[i].pcb, straight.cells[i].pcb) << i;
+      EXPECT_EQ(resumed.cells[i].phd, straight.cells[i].phd) << i;
+      EXPECT_EQ(resumed.cells[i].br, straight.cells[i].br) << i;
+      EXPECT_EQ(resumed.cells[i].t_est, straight.cells[i].t_est) << i;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// bench/fig13_ncalc_complexity.cc drives the system directly:
+// run_for(warmup), reset_metrics(), run_for(measure). Snapshot in the
+// middle of the measure phase and finish both twins.
+TEST(PaperResumeAcceptanceTest, Fig13FlowResumesBitwise) {
+  StationaryParams p;
+  p.offered_load = 200.0;
+  p.voice_ratio = 1.0;
+  p.mobility = Mobility::kHigh;
+  p.policy = admission::PolicyKind::kAc3;
+  p.seed = 1;
+  const SystemConfig cfg = stationary_config(p);
+  const double warmup = 400.0;
+  const double end = 1400.0;
+
+  CellularSystem straight(cfg);
+  straight.run_until(warmup);
+  straight.reset_metrics();
+  straight.run_until(end);
+  const std::uint64_t expected = audit::trajectory_digest(straight);
+  const double n_calc = straight.system_status().n_calc;
+
+  CellularSystem sys(cfg);
+  sys.run_until(warmup);
+  sys.reset_metrics();
+  sys.run_until(900.0);  // mid-measure
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  sys.save(buffer);
+  const auto resumed = CellularSystem::load(buffer);
+  resumed->run_until(end);
+  resumed->audit_invariants();
+  EXPECT_EQ(audit::trajectory_digest(*resumed), expected);
+  // Fig. 13's reported quantity survives the round-trip exactly.
+  EXPECT_EQ(resumed->system_status().n_calc, n_calc);
+}
+
+}  // namespace
+}  // namespace pabr::core

@@ -1,0 +1,101 @@
+// Sharded checkpoint/resume (DESIGN.md §13): a checkpoint written at a
+// barrier slot is byte-identical whatever the shard count, resuming —
+// even under a DIFFERENT shard count — reproduces the uninterrupted
+// run's end-state digest bitwise, and a snapshot from a different
+// configuration is refused up front.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "sim/sharded/executor.h"
+#include "util/check.h"
+
+namespace pabr::sim::sharded {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+ShardedConfig small_torus(int shards) {
+  ShardedConfig cfg;
+  cfg.system.rows = 6;
+  cfg.system.cols = 6;
+  cfg.system.wrap = true;
+  cfg.system.policy = admission::PolicyKind::kAc2;
+  cfg.system.arrival_rate_per_cell = 0.5;
+  cfg.system.seed = 17;
+  cfg.shards = shards;
+  cfg.duration_s = 150.0;
+  return cfg;
+}
+
+TEST(ShardedSnapshotTest, CheckpointFileIsShardCountInvariant) {
+  const std::string p1 = temp_path("sharded_ckpt_1s");
+  const std::string p4 = temp_path("sharded_ckpt_4s");
+  for (const auto& [shards, path] : {std::pair{1, p1}, std::pair{4, p4}}) {
+    ShardedConfig cfg = small_torus(shards);
+    cfg.checkpoint_every_s = 50.0;
+    cfg.checkpoint_path = path;
+    ShardedExecutor(cfg).run();
+  }
+  EXPECT_EQ(slurp(p1), slurp(p4));
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
+}
+
+TEST(ShardedSnapshotTest, ResumeMatchesUninterruptedAcrossShardCounts) {
+  const std::uint64_t straight = ShardedExecutor(small_torus(2)).run().digest;
+
+  const std::string path = temp_path("sharded_ckpt_resume");
+  {
+    ShardedConfig cfg = small_torus(2);
+    cfg.checkpoint_every_s = 60.0;  // snaps up to the slot grid
+    cfg.checkpoint_path = path;
+    EXPECT_EQ(ShardedExecutor(cfg).run().digest, straight)
+        << "writing checkpoints must not perturb the trajectory";
+  }
+  for (const int resume_shards : {1, 2, 4}) {
+    ShardedConfig cfg = small_torus(resume_shards);
+    cfg.resume_from = path;
+    const ShardedResult r = ShardedExecutor(cfg).run();
+    EXPECT_EQ(r.digest, straight) << "resumed under " << resume_shards
+                                  << " shards";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedSnapshotTest, ResumeRejectsMismatchedConfig) {
+  const std::string path = temp_path("sharded_ckpt_mismatch");
+  {
+    ShardedConfig cfg = small_torus(1);
+    cfg.checkpoint_every_s = 60.0;
+    cfg.checkpoint_path = path;
+    ShardedExecutor(cfg).run();
+  }
+  ShardedConfig other = small_torus(1);
+  other.system.arrival_rate_per_cell = 0.7;  // different config digest
+  other.resume_from = path;
+  EXPECT_THROW(ShardedExecutor(other).run(), InvariantError);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedSnapshotTest, CheckpointCadenceRequiresAPath) {
+  ShardedConfig cfg = small_torus(1);
+  cfg.checkpoint_every_s = 10.0;
+  EXPECT_THROW(ShardedExecutor exec(cfg), InvariantError);
+}
+
+}  // namespace
+}  // namespace pabr::sim::sharded

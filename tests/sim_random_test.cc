@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -136,6 +137,52 @@ TEST(RngTest, GoldenFirstDraws) {
   EXPECT_LT(u, 1.0);
   Rng r2(0);
   EXPECT_DOUBLE_EQ(u, r2.uniform01());
+}
+
+// Snapshot contract (DESIGN.md §13): save_state()/load_state() round-trip
+// the full engine state, so the next N draws after a restore are bitwise
+// identical to an uninterrupted stream — across distribution types, from
+// any stream position, and into an engine at a different position.
+TEST(RngTest, SaveLoadStateRoundTripsTheNextDraws) {
+  Rng original(1234);
+  // Advance to an arbitrary mid-stream position with mixed draw kinds.
+  for (int i = 0; i < 57; ++i) {
+    original.uniform01();
+    original.exponential(2.0);
+    original.uniform_int(0, 9);
+  }
+  const std::string state = original.save_state();
+
+  Rng restored(999);       // different seed, different position...
+  restored.uniform01();    // ...and some draws consumed
+  restored.load_state(state);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(original.uniform01(), restored.uniform01()) << "draw " << i;
+    EXPECT_EQ(original.exponential(3.5), restored.exponential(3.5));
+    EXPECT_EQ(original.uniform(-2.0, 2.0), restored.uniform(-2.0, 2.0));
+    EXPECT_EQ(original.uniform_int(-5, 40), restored.uniform_int(-5, 40));
+    EXPECT_EQ(original.bernoulli(0.3), restored.bernoulli(0.3));
+  }
+  // The state is value-serialized (printable text), not a memory dump.
+  EXPECT_FALSE(state.empty());
+  for (const char c : state) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || c == ' ') << static_cast<int>(c);
+  }
+}
+
+// The fault-generator stream random_scenario uses to draw fault
+// schedules is an ordinary named stream: same round-trip guarantee.
+TEST(RngFactoryTest, FaultGeneratorStreamRoundTrips) {
+  const RngFactory factory(77);
+  Rng faults = factory.make("fault-generator");
+  for (int i = 0; i < 13; ++i) faults.exponential(100.0);
+  const std::string state = faults.save_state();
+  Rng restored = factory.make("fault-generator");
+  restored.load_state(state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(faults.exponential(100.0), restored.exponential(100.0));
+    EXPECT_EQ(faults.uniform01(), restored.uniform01());
+  }
 }
 
 }  // namespace

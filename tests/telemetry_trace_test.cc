@@ -209,5 +209,46 @@ TEST(TelemetryTraceTest, ReadRejectsMissingAndCorruptFiles) {
   std::remove(trunc.c_str());
 }
 
+// The header is magic[8] | u32 version | ... — a file from a newer (or
+// garbage) format version must be reported and refused, not parsed as
+// garbage records.
+TEST(TelemetryTraceTest, ReadRejectsUnknownFormatVersion) {
+  const std::string path = temp_path("wrong_version.pabrtrace");
+  {
+    TraceMeta meta;
+    ASSERT_TRUE(write_trace(path, meta, {make_record(1), make_record(2)}));
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(8);  // the u32 version field follows the 8-byte magic
+    const std::uint32_t bogus = 0x7fffffffu;
+    io.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
+// v2 carries an FNV-1a checksum over the record body: a flipped payload
+// bit (framing intact, sizes unchanged) must be detected.
+TEST(TelemetryTraceTest, ReadRejectsCorruptedRecordBody) {
+  const std::string path = temp_path("flipped_body.pabrtrace");
+  {
+    TraceMeta meta;
+    std::vector<TraceRecord> recs;
+    for (std::uint64_t i = 0; i < 8; ++i) recs.push_back(make_record(i));
+    ASSERT_TRUE(write_trace(path, meta, recs));
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    // Flip a bit inside the record body (well past the header, before
+    // the trailing 8-byte checksum).
+    bytes[bytes.size() - 24] = static_cast<char>(bytes[bytes.size() - 24] ^ 1);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pabr::telemetry
