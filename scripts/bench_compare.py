@@ -21,13 +21,22 @@ a bug, not noise. ``--exact COL`` (repeatable) applies the same
 exact-equality rule to a named row column such as ``digest`` or
 ``match``.
 
+A timing/throughput cell whose BASELINE value is <= 0 cannot express a
+ratio, so it is not gated — but it is printed as an explicit ``skip``
+line (a silently ignored cell once hid a whole mis-captured baseline
+column of zeros). Determinism counters are never skipped: a 0 baseline
+against a nonzero fresh value is a hard FAIL like any other drift.
+Malformed (non-numeric) cells in either report are a FAIL, not a crash.
+
 Usage:
     scripts/bench_compare.py BASELINE.json FRESH.json [--threshold 0.15]
         [--exact COL ...]
+    scripts/bench_compare.py --self-test
 
 Exit status: 0 when every timing cell is within the threshold (faster is
 always fine), 1 on any regression or structural mismatch (missing row,
-missing timing column, exact-counter drift), 2 on unreadable input.
+missing timing column, exact-counter drift, malformed cell), 2 on
+unreadable input.
 
 CI runs reduced-length benches on shared runners, so the default 15%
 threshold is deliberately loose: it catches an accidentally-restored
@@ -35,6 +44,8 @@ O(n) rescan or per-call allocation, not scheduler jitter.
 """
 
 import argparse
+import contextlib
+import io
 import json
 import sys
 
@@ -47,15 +58,26 @@ def is_throughput_column(name: str) -> bool:
     return name.endswith("_per_s")
 
 
+def to_float(value):
+    """float(value), or None when the cell is not a number."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
 def load(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_compare: cannot read {path}: {e}")
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
     for key in ("columns", "rows"):
         if key not in report:
-            sys.exit(f"bench_compare: {path} has no '{key}' field")
+            print(f"bench_compare: {path} has no '{key}' field",
+                  file=sys.stderr)
+            sys.exit(2)
     return report
 
 
@@ -76,59 +98,58 @@ def compare_counters(base: dict, fresh: dict, threshold: float) -> int:
             failures += 1
             continue
         new = fresh_counters[name]
+        old_f = to_float(old)
+        new_f = to_float(new)
+        if old_f is None or new_f is None:
+            print(f"  FAIL counters.{name}: malformed value "
+                  f"({old!r} -> {new!r})")
+            failures += 1
+            continue
         if name.endswith("_seconds"):
-            print(f"  info counters.{name:18} {old:12.1f} -> {new:12.1f} s"
-                  f"  (host wall time, not gated)")
+            print(f"  info counters.{name:18} {old_f:12.1f} -> "
+                  f"{new_f:12.1f} s  (host wall time, not gated)")
             continue
         if is_throughput_column(name) or is_timing_column(name):
-            if float(old) <= 0.0:
+            if old_f <= 0.0:
+                print(f"  skip counters.{name:18} baseline {old_f:g} <= 0 "
+                      f"— not gated (fresh {new_f:g})")
                 continue
-            ratio = float(new) / float(old)
+            ratio = new_f / old_f
             if is_timing_column(name):
                 bad = ratio > 1.0 + threshold
             else:
                 bad = ratio < 1.0 - threshold
             verdict = "FAIL" if bad else "ok"
             print(f"  {verdict:4} counters.{name:18} "
-                  f"{old:12.1f} -> {new:12.1f}  ({ratio - 1.0:+.1%})")
+                  f"{old_f:12.1f} -> {new_f:12.1f}  ({ratio - 1.0:+.1%})")
             failures += 1 if bad else 0
             continue
-        # Determinism counter: exact equality, no tolerance.
-        bad = float(new) != float(old)
+        # Determinism counter: exact equality, no tolerance, no skip —
+        # 0 -> nonzero (e.g. digests_mismatch) must fail loudly.
+        bad = new_f != old_f
         verdict = "FAIL" if bad else "ok"
         print(f"  {verdict:4} counters.{name:18} "
-              f"{old:12g} == {new:12g}  (exact)")
+              f"{old_f:12g} == {new_f:12g}  (exact)")
         failures += 1 if bad else 0
     return failures
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="checked-in BENCH_*.json")
-    ap.add_argument("fresh", help="freshly generated report")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="allowed fractional slowdown per timing cell "
-                         "(default 0.15 = +15%%)")
-    ap.add_argument("--exact", action="append", default=[], metavar="COL",
-                    help="row column that must equal the baseline exactly "
-                         "(repeatable; e.g. --exact digest --exact match)")
-    args = ap.parse_args()
-
-    base = load(args.baseline)
-    fresh = load(args.fresh)
-
+def compare_reports(base: dict, fresh: dict, threshold: float,
+                    exact: list, baseline_name: str = "baseline") -> int:
+    """Full comparison of two loaded reports; returns the exit status."""
     base_cols = base["columns"]
     fresh_cols = fresh["columns"]
     timing = [c for c in base_cols if is_timing_column(c)]
     throughput = [c for c in base_cols if is_throughput_column(c)]
-    exact = list(args.exact)
     if not timing and not throughput:
-        sys.exit(f"bench_compare: no timing or throughput columns in "
-                 f"{args.baseline}")
+        print(f"bench_compare: no timing or throughput columns in "
+              f"{baseline_name}", file=sys.stderr)
+        return 2
     unknown_exact = [c for c in exact if c not in base_cols]
     if unknown_exact:
-        sys.exit(f"bench_compare: --exact column(s) not in baseline: "
-                 f"{unknown_exact}")
+        print(f"bench_compare: --exact column(s) not in baseline: "
+              f"{unknown_exact}", file=sys.stderr)
+        return 2
     missing_cols = [c for c in timing + throughput + exact
                     if c not in fresh_cols]
     if missing_cols:
@@ -138,7 +159,7 @@ def main() -> int:
     fresh_rows = rows_by_label(fresh)
     bench = base.get("bench", "?")
     failures = 0
-    print(f"bench_compare: {bench}  (threshold +{args.threshold:.0%})")
+    print(f"bench_compare: {bench}  (threshold +{threshold:.0%})")
     for row in base["rows"]:
         label = row[0]
         if label not in fresh_rows:
@@ -146,16 +167,27 @@ def main() -> int:
             failures += 1
             continue
         for col in timing + throughput:
-            old = float(row[base_cols.index(col)])
-            new = float(fresh_rows[label][fresh_cols.index(col)])
+            old_raw = row[base_cols.index(col)]
+            new_raw = fresh_rows[label][fresh_cols.index(col)]
+            old = to_float(old_raw)
+            new = to_float(new_raw)
+            if old is None or new is None:
+                print(f"  FAIL {label:24} {col:16} malformed numeric cell "
+                      f"({old_raw!r} -> {new_raw!r})")
+                failures += 1
+                continue
             if old <= 0.0:
-                continue  # degenerate baseline cell: nothing to gate on
+                # Degenerate baseline cell: no ratio to gate on, but say so
+                # — a column of silent zeros once masked a broken capture.
+                print(f"  skip {label:24} {col:16} baseline {old:g} <= 0 "
+                      f"— not gated (fresh {new:g})")
+                continue
             ratio = new / old
             if col in timing:  # lower is better
-                bad = ratio > 1.0 + args.threshold
+                bad = ratio > 1.0 + threshold
                 unit = "ns"
             else:  # throughput: higher is better
-                bad = ratio < 1.0 - args.threshold
+                bad = ratio < 1.0 - threshold
                 unit = "/s"
             verdict = "FAIL" if bad else "ok"
             print(f"  {verdict:4} {label:24} {col:16} "
@@ -175,14 +207,154 @@ def main() -> int:
     if extra:
         print(f"  note: rows only in fresh report (not gated): "
               f"{sorted(extra)}")
-    failures += compare_counters(base, fresh, args.threshold)
+    failures += compare_counters(base, fresh, threshold)
     if failures:
         print(f"bench_compare: {failures} regression(s) beyond "
-              f"+{args.threshold:.0%} — regenerate the baseline if the "
+              f"+{threshold:.0%} — regenerate the baseline if the "
               f"slowdown is intended")
         return 1
     print("bench_compare: all timing cells within threshold")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic reports exercising every verdict path. Run by CI
+# (bench-gate job) before the real comparison so a broken gate cannot
+# silently wave regressions through.
+# ---------------------------------------------------------------------------
+
+def _report(rows, counters=None, columns=("label", "mean_ns", "events_per_s",
+                                          "digest")):
+    return {"bench": "selftest", "columns": list(columns),
+            "rows": [list(r) for r in rows], "counters": counters or {}}
+
+
+def _run_case(name, base, fresh, threshold, exact, want_rc, want_substrings):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+        rc = compare_reports(base, fresh, threshold, exact)
+    text = out.getvalue()
+    problems = []
+    if rc != want_rc:
+        problems.append(f"exit {rc}, want {want_rc}")
+    for s in want_substrings:
+        if s not in text:
+            problems.append(f"output lacks {s!r}")
+    status = "ok" if not problems else "FAIL"
+    print(f"  {status:4} self-test: {name}" +
+          ("" if not problems else f"  [{'; '.join(problems)}]"))
+    if problems:
+        print("    --- captured output ---")
+        for line in text.rstrip().splitlines():
+            print(f"    {line}")
+    return 0 if not problems else 1
+
+
+def self_test() -> int:
+    print("bench_compare: self-test")
+    failures = 0
+    ident = _report([["a", 100.0, 5000.0, "deadbeef"]],
+                    {"events_total": 42, "elapsed_seconds": 1.0})
+
+    failures += _run_case(
+        "identical reports pass", ident, ident, 0.15, ["digest"],
+        want_rc=0, want_substrings=["all timing cells within threshold"])
+    failures += _run_case(
+        "timing regression fails",
+        _report([["a", 100.0, 5000.0, "d"]]),
+        _report([["a", 200.0, 5000.0, "d"]]),
+        0.15, [], want_rc=1, want_substrings=["FAIL", "mean_ns"])
+    failures += _run_case(
+        "timing improvement passes",
+        _report([["a", 100.0, 5000.0, "d"]]),
+        _report([["a", 10.0, 50000.0, "d"]]),
+        0.15, [], want_rc=0, want_substrings=["ok"])
+    failures += _run_case(
+        "throughput drop fails",
+        _report([["a", 100.0, 5000.0, "d"]]),
+        _report([["a", 100.0, 1000.0, "d"]]),
+        0.15, [], want_rc=1, want_substrings=["FAIL", "events_per_s"])
+    failures += _run_case(
+        "zero baseline cell prints skip, does not gate",
+        _report([["a", 0.0, 5000.0, "d"]]),
+        _report([["a", 9999.0, 5000.0, "d"]]),
+        0.15, [], want_rc=0,
+        want_substrings=["skip", "mean_ns", "not gated"])
+    failures += _run_case(
+        "zero baseline counter prints skip, does not gate",
+        _report([["a", 100.0, 5000.0, "d"]], {"warm_ns": 0}),
+        _report([["a", 100.0, 5000.0, "d"]], {"warm_ns": 123}),
+        0.15, [], want_rc=0, want_substrings=["skip counters.warm_ns"])
+    failures += _run_case(
+        "determinism counter 0 -> nonzero fails",
+        _report([["a", 100.0, 5000.0, "d"]], {"digests_mismatch": 0}),
+        _report([["a", 100.0, 5000.0, "d"]], {"digests_mismatch": 3}),
+        0.15, [], want_rc=1,
+        want_substrings=["FAIL", "digests_mismatch"])
+    failures += _run_case(
+        "malformed row cell fails cleanly",
+        _report([["a", 100.0, 5000.0, "d"]]),
+        _report([["a", "oops", 5000.0, "d"]]),
+        0.15, [], want_rc=1, want_substrings=["malformed numeric cell"])
+    failures += _run_case(
+        "malformed counter fails cleanly",
+        _report([["a", 100.0, 5000.0, "d"]], {"events_total": 42}),
+        _report([["a", 100.0, 5000.0, "d"]], {"events_total": "n/a"}),
+        0.15, [], want_rc=1, want_substrings=["malformed value"])
+    failures += _run_case(
+        "exact column mismatch fails",
+        _report([["a", 100.0, 5000.0, "cafe"]]),
+        _report([["a", 100.0, 5000.0, "f00d"]]),
+        0.15, ["digest"], want_rc=1, want_substrings=["FAIL", "digest"])
+    failures += _run_case(
+        "missing row fails",
+        _report([["a", 100.0, 5000.0, "d"], ["b", 50.0, 9000.0, "e"]]),
+        _report([["a", 100.0, 5000.0, "d"]]),
+        0.15, [], want_rc=1, want_substrings=["row missing"])
+    failures += _run_case(
+        "missing column fails",
+        _report([["a", 100.0, 5000.0, "d"]]),
+        {"bench": "selftest", "columns": ["label", "digest"],
+         "rows": [["a", "d"]], "counters": {}},
+        0.15, [], want_rc=1, want_substrings=["lacks timing columns"])
+    failures += _run_case(
+        "no gateable columns is a usage error",
+        _report([["a", "x"]], columns=("label", "note")),
+        _report([["a", "x"]], columns=("label", "note")),
+        0.15, [], want_rc=2,
+        want_substrings=["no timing or throughput columns"])
+
+    if failures:
+        print(f"bench_compare: self-test FAILED ({failures} case(s))")
+        return 1
+    print("bench_compare: self-test passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="checked-in BENCH_*.json")
+    ap.add_argument("fresh", nargs="?", help="freshly generated report")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional slowdown per timing cell "
+                         "(default 0.15 = +15%%)")
+    ap.add_argument("--exact", action="append", default=[], metavar="COL",
+                    help="row column that must equal the baseline exactly "
+                         "(repeatable; e.g. --exact digest --exact match)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in synthetic-report test suite "
+                         "and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        ap.error("BASELINE and FRESH are required unless --self-test")
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    return compare_reports(base, fresh, args.threshold, list(args.exact),
+                           baseline_name=args.baseline)
 
 
 if __name__ == "__main__":

@@ -1,22 +1,52 @@
 #!/usr/bin/env bash
-# Sanitized tier-1 check: configure a separate build tree with
-# AddressSanitizer + UBSan (-DPABR_SANITIZE=ON), build everything, and
-# run the full test suite. Any sanitizer report fails the ctest run.
+# Sanitized tier-1 check: configure a separate build tree with the
+# requested sanitizer, build everything, and run the test suite. Any
+# sanitizer report fails the run.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Usage: scripts/check.sh [build-dir] [mode]
+#   build-dir  default: build-asan
+#   mode       address (default): ASan + UBSan, full test suite
+#              thread:            TSan, concurrency-relevant suites only
+#                                 (sharded executor, parallel drivers,
+#                                 fuzz & metamorphic harnesses, snapshots)
+#                                 plus a multi-shard scale_sweep point
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+MODE="${2:-address}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S . -DPABR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+case "$MODE" in
+  address) SANITIZE=ON ;;
+  thread)  SANITIZE=thread ;;
+  *) echo "check.sh: unknown mode '$MODE' (want address or thread)" >&2
+     exit 2 ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . -DPABR_SANITIZE="$SANITIZE" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-# halt_on_error makes ASan reports fail the owning test instead of only
-# printing; detect_leaks catches forgotten event handles.
-export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
-echo "check.sh: sanitized build + full test suite passed"
+if [ "$MODE" = thread ]; then
+  # halt_on_error turns any report into a nonzero exit from the owning
+  # process; second_deadlock_stack makes lock-order reports actionable.
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  # The single-threaded model suites add nothing under TSan; run the
+  # suites that actually exercise the thread pool and cross-shard
+  # hand-off plumbing, then the parallel harness drivers and a
+  # multi-shard scale_sweep point for the executor's boundary-cell
+  # exchange at scale.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R 'Sharded|Parallel|Metamorphic|FuzzScenario|Snapshot'
+  "$BUILD_DIR/bench/metamorphic_driver" --seeds 20 --threads 4 --faults=true
+  "$BUILD_DIR/bench/fuzz_driver" --seeds 20 --threads 4
+  "$BUILD_DIR/bench/scale_sweep" --shards 4
+  echo "check.sh: TSan build + concurrency suites passed"
+else
+  # halt_on_error makes ASan reports fail the owning test instead of only
+  # printing; detect_leaks catches forgotten event handles.
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  echo "check.sh: sanitized build + full test suite passed"
+fi

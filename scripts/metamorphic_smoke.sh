@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Metamorphic-equivalence smoke: run bench/metamorphic_driver for a
+# modest seed batch. Every seed expands into a dyadic scripted scenario
+# that is re-run under each catalogue transform (ring rotation, direction
+# mirror, time-origin shift, BU rescale, id relabelling, rotate∘mirror)
+# and mapped back into the base frame; the whole batch repeats across the
+# thread pool and must match the sequential pass digest-for-digest. Runs
+# with scripted outages both off and on. Exit status is the driver's
+# (0 = clean).
+#
+# Usage: scripts/metamorphic_smoke.sh [build-dir] [seeds]
+#   build-dir  existing configured build tree (default: build)
+#   seeds      number of scenario seeds per pass (default: 100)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SEEDS="${2:-100}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Phase 2 of the driver re-runs the batch across a pool and compares it
+# against the sequential pass, so keep the pool >1 even on small runners.
+THREADS="$(( JOBS > 4 ? JOBS : 4 ))"
+
+cmake --build "$BUILD_DIR" -j "$JOBS" --target metamorphic_driver
+"$BUILD_DIR/bench/metamorphic_driver" --seeds "$SEEDS" --threads "$THREADS"
+"$BUILD_DIR/bench/metamorphic_driver" --seeds "$SEEDS" --threads "$THREADS" \
+  --faults=true
+echo "metamorphic_smoke.sh: $SEEDS seeds x catalogue clean (faults off + on)"

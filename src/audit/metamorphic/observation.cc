@@ -1,0 +1,212 @@
+#include "audit/metamorphic/observation.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace pabr::audit::metamorphic {
+namespace {
+
+/// Bound on the relative reassociation error tolerated for the sums
+/// named in Tolerance. The relaxed sums have at most a few hundred
+/// non-negative terms, so their reassociation error is bounded by
+/// n * eps ~ 1e-13 relative; 1e-12 leaves headroom without letting a
+/// model-level bug (which shifts values by whole BUs or probabilities)
+/// slip through.
+constexpr double kRelTol = 1e-12;
+
+bool nearly_equal(double a, double b) {
+  if (a == b) return true;  // covers +-0 and exact hits
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= kRelTol * scale;
+}
+
+class Differ {
+ public:
+  explicit Differ(const Tolerance& tol) : tol_(tol) {}
+
+  void exact_f(const char* name, double a, double b) {
+    // Bitwise: NaN != NaN and -0 != +0 are real divergences here.
+    if (mismatch_ || std::bit_cast<std::uint64_t>(a) ==
+                         std::bit_cast<std::uint64_t>(b)) {
+      return;
+    }
+    record(name, a, b, "bitwise");
+  }
+
+  void relaxed_f(const char* name, double a, double b, bool relaxed) {
+    if (mismatch_) return;
+    if (relaxed ? nearly_equal(a, b)
+                : std::bit_cast<std::uint64_t>(a) ==
+                      std::bit_cast<std::uint64_t>(b)) {
+      return;
+    }
+    record(name, a, b, relaxed ? "relative 1e-12" : "bitwise");
+  }
+
+  void exact_u(const char* name, std::uint64_t a, std::uint64_t b) {
+    if (mismatch_ || a == b) return;
+    std::ostringstream os;
+    os << where_ << name << ": " << a << " != " << b;
+    mismatch_ = os.str();
+  }
+
+  void set_where(std::string where) { where_ = std::move(where); }
+  const std::optional<std::string>& mismatch() const { return mismatch_; }
+  const Tolerance& tol() const { return tol_; }
+
+ private:
+  void record(const char* name, double a, double b, const char* mode) {
+    std::ostringstream os;
+    os.precision(17);
+    os << where_ << name << ": " << a << " != " << b << " (" << mode << ")";
+    mismatch_ = os.str();
+  }
+
+  Tolerance tol_;
+  std::string where_;
+  std::optional<std::string> mismatch_;
+};
+
+}  // namespace
+
+Observation observe(const core::CellularSystem& sys) {
+  Observation obs;
+  const int n = sys.config().num_cells;
+  obs.cells.reserve(static_cast<std::size_t>(n));
+  for (geom::CellId c = 0; c < n; ++c) {
+    const core::CellStatus s = sys.cell_status(c);
+    CellObservation co;
+    co.pcb = s.pcb;
+    co.phd = s.phd;
+    co.t_est = s.t_est;
+    co.br = s.br;
+    co.bu = s.bu;
+    co.br_avg = s.br_avg;
+    co.bu_avg = s.bu_avg;
+    co.requests = s.requests;
+    co.blocks = s.blocks;
+    co.handoffs = s.handoffs;
+    co.drops = s.drops;
+    obs.cells.push_back(co);
+  }
+  const core::SystemStatus s = sys.system_status();
+  obs.sys_pcb = s.pcb;
+  obs.sys_phd = s.phd;
+  obs.n_calc = s.n_calc;
+  obs.br_avg = s.br_avg;
+  obs.bu_avg = s.bu_avg;
+  obs.overload_frac = s.overload_frac;
+  obs.requests = s.requests;
+  obs.blocks = s.blocks;
+  obs.handoffs = s.handoffs;
+  obs.drops = s.drops;
+  obs.br_calculations = s.br_calculations;
+  obs.backhaul_messages = s.backhaul_messages;
+  obs.degrades = s.degrades;
+  obs.upgrades = s.upgrades;
+  obs.soft_allocations = s.soft_allocations;
+  obs.soft_fallbacks = s.soft_fallbacks;
+  obs.events_executed = sys.events_executed();
+  obs.active_connections = sys.active_connections();
+  obs.wired_blocks = sys.wired_blocks();
+  obs.wired_drops = sys.wired_drops();
+  return obs;
+}
+
+std::uint64_t digest(const Observation& obs) {
+  util::Fnv1a d;
+  d.add_u64(obs.cells.size());
+  for (const CellObservation& c : obs.cells) {
+    d.add_double(c.pcb);
+    d.add_double(c.phd);
+    d.add_double(c.t_est);
+    d.add_double(c.br);
+    d.add_double(c.bu);
+    d.add_double(c.br_avg);
+    d.add_double(c.bu_avg);
+    d.add_u64(c.requests);
+    d.add_u64(c.blocks);
+    d.add_u64(c.handoffs);
+    d.add_u64(c.drops);
+  }
+  d.add_double(obs.sys_pcb);
+  d.add_double(obs.sys_phd);
+  d.add_double(obs.n_calc);
+  d.add_double(obs.br_avg);
+  d.add_double(obs.bu_avg);
+  d.add_double(obs.overload_frac);
+  d.add_u64(obs.requests);
+  d.add_u64(obs.blocks);
+  d.add_u64(obs.handoffs);
+  d.add_u64(obs.drops);
+  d.add_u64(obs.br_calculations);
+  d.add_u64(obs.backhaul_messages);
+  d.add_u64(obs.degrades);
+  d.add_u64(obs.upgrades);
+  d.add_u64(obs.soft_allocations);
+  d.add_u64(obs.soft_fallbacks);
+  d.add_u64(obs.events_executed);
+  d.add_u64(obs.active_connections);
+  d.add_u64(obs.wired_blocks);
+  d.add_u64(obs.wired_drops);
+  return d.value();
+}
+
+std::optional<std::string> compare(const Observation& base,
+                                   const Observation& mapped,
+                                   const Tolerance& tol) {
+  Differ d(tol);
+  if (base.cells.size() != mapped.cells.size()) {
+    return "cell count: " + std::to_string(base.cells.size()) +
+           " != " + std::to_string(mapped.cells.size());
+  }
+  for (std::size_t i = 0; i < base.cells.size(); ++i) {
+    d.set_where("cell " + std::to_string(i) + " ");
+    const CellObservation& a = base.cells[i];
+    const CellObservation& b = mapped.cells[i];
+    d.exact_f("pcb", a.pcb, b.pcb);
+    d.exact_f("phd", a.phd, b.phd);
+    d.exact_f("t_est", a.t_est, b.t_est);
+    d.relaxed_f("br", a.br, b.br, tol.cell_reservation_ulp);
+    d.exact_f("bu", a.bu, b.bu);
+    d.relaxed_f("br_avg", a.br_avg, b.br_avg, tol.cell_reservation_ulp);
+    d.exact_f("bu_avg", a.bu_avg, b.bu_avg);
+    d.exact_u("requests", a.requests, b.requests);
+    d.exact_u("blocks", a.blocks, b.blocks);
+    d.exact_u("handoffs", a.handoffs, b.handoffs);
+    d.exact_u("drops", a.drops, b.drops);
+  }
+  d.set_where("system ");
+  d.exact_f("pcb", base.sys_pcb, mapped.sys_pcb);
+  d.exact_f("phd", base.sys_phd, mapped.sys_phd);
+  d.exact_f("n_calc", base.n_calc, mapped.n_calc);
+  // br_avg additionally inherits the per-cell reservation relaxation:
+  // relaxed per-cell inputs cannot reproduce a bitwise mean.
+  d.relaxed_f("br_avg", base.br_avg, mapped.br_avg,
+              tol.system_mean_ulp || tol.cell_reservation_ulp);
+  d.relaxed_f("bu_avg", base.bu_avg, mapped.bu_avg, tol.system_mean_ulp);
+  d.relaxed_f("overload_frac", base.overload_frac, mapped.overload_frac,
+              tol.system_mean_ulp);
+  d.exact_u("requests", base.requests, mapped.requests);
+  d.exact_u("blocks", base.blocks, mapped.blocks);
+  d.exact_u("handoffs", base.handoffs, mapped.handoffs);
+  d.exact_u("drops", base.drops, mapped.drops);
+  d.exact_u("br_calculations", base.br_calculations, mapped.br_calculations);
+  d.exact_u("backhaul_messages", base.backhaul_messages,
+            mapped.backhaul_messages);
+  d.exact_u("degrades", base.degrades, mapped.degrades);
+  d.exact_u("upgrades", base.upgrades, mapped.upgrades);
+  d.exact_u("soft_allocations", base.soft_allocations,
+            mapped.soft_allocations);
+  d.exact_u("soft_fallbacks", base.soft_fallbacks, mapped.soft_fallbacks);
+  d.exact_u("events_executed", base.events_executed, mapped.events_executed);
+  d.exact_u("active_connections", base.active_connections,
+            mapped.active_connections);
+  d.exact_u("wired_blocks", base.wired_blocks, mapped.wired_blocks);
+  d.exact_u("wired_drops", base.wired_drops, mapped.wired_drops);
+  return d.mismatch();
+}
+
+}  // namespace pabr::audit::metamorphic

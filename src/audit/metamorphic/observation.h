@@ -1,0 +1,104 @@
+// End-of-run observation vector for the metamorphic-equivalence harness
+// (DESIGN.md §14).
+//
+// An Observation flattens every observable the harness compares across a
+// behaviour-preserving scenario transformation: the per-cell Table-2
+// metrics, the SystemStatus aggregates, and the executor-level totals
+// (events executed, live connections, wired blocks/drops). Each transform
+// in transforms.h ships the exact mapping that carries an observation of
+// the TRANSFORMED run back into the original scenario's frame — cell
+// permutation, bandwidth-unit division — after which the two vectors must
+// agree field by field.
+//
+// Agreement is bitwise by default. The only exceptions are sums whose
+// association the transform provably changes (reservation/engine.cc
+// chains one running B_r sum across both neighbor groups, and
+// system_status() folds per-cell means in cell-index order), which are
+// compared under a bounded relative tolerance instead; Tolerance says
+// which of those two classes a transform is allowed to relax.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "util/digest.h"
+
+namespace pabr::audit::metamorphic {
+
+/// Per-cell slice of the observation (core::CellStatus minus the
+/// self-describing 1-based cell label — the position in
+/// Observation::cells is the identity).
+struct CellObservation {
+  double pcb = 0.0;
+  double phd = 0.0;
+  double t_est = 0.0;
+  double br = 0.0;
+  double bu = 0.0;
+  double br_avg = 0.0;
+  double bu_avg = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t drops = 0;
+};
+
+struct Observation {
+  std::vector<CellObservation> cells;
+
+  // core::SystemStatus, flattened.
+  double sys_pcb = 0.0;
+  double sys_phd = 0.0;
+  double n_calc = 0.0;
+  double br_avg = 0.0;
+  double bu_avg = 0.0;
+  double overload_frac = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t br_calculations = 0;
+  std::uint64_t backhaul_messages = 0;
+  std::uint64_t degrades = 0;
+  std::uint64_t upgrades = 0;
+  std::uint64_t soft_allocations = 0;
+  std::uint64_t soft_fallbacks = 0;
+
+  // Executor-level totals.
+  std::uint64_t events_executed = 0;
+  std::uint64_t active_connections = 0;
+  std::uint64_t wired_blocks = 0;
+  std::uint64_t wired_drops = 0;
+};
+
+/// Snapshot every observable of a finished run.
+Observation observe(const core::CellularSystem& sys);
+
+/// Order-sensitive FNV-1a over the full observation, doubles hashed by
+/// bit pattern — equal digests iff bitwise-equal observations.
+std::uint64_t digest(const Observation& obs);
+
+/// Which floating-point sums a transform is allowed to relax from
+/// bitwise equality to a bounded relative error, because the transform
+/// reassociates them (see header comment). Everything else — counters,
+/// probabilities derived from integer tallies, occupancy — stays exact.
+struct Tolerance {
+  /// Per-cell br / br_avg: the direction-mirroring transform swaps the
+  /// left/right neighbor groups of the engine's chained B_r sum.
+  bool cell_reservation_ulp = false;
+  /// System br_avg / bu_avg / overload_frac: any cell permutation
+  /// reorders system_status()'s fold over cells.
+  bool system_mean_ulp = false;
+};
+
+/// Field-by-field comparison of a base-run observation against a mapped
+/// transformed-run observation. Returns a human-readable description of
+/// the FIRST mismatching field ("cell 3 br_avg: 1.25 != 1.2500...01"),
+/// or nullopt when the observations agree under `tol`.
+std::optional<std::string> compare(const Observation& base,
+                                   const Observation& mapped,
+                                   const Tolerance& tol);
+
+}  // namespace pabr::audit::metamorphic

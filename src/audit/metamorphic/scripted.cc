@@ -1,0 +1,210 @@
+#include "audit/metamorphic/scripted.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/random.h"
+#include "util/check.h"
+
+namespace pabr::audit::metamorphic {
+namespace {
+
+/// Speeds that are exactly 2^-j km/s in binary64: 3600 * 2^-j km/h.
+constexpr double kSpeedCatalogueKmh[] = {225.0, 112.5, 56.25, 28.125,
+                                         14.0625};
+
+/// A position offset with an odd numerator over 2^20: adding any
+/// multiple of 2^-12 (retry displacements, crossing distances) can never
+/// produce an integer, so scripted mobiles never sit exactly on a cell
+/// boundary.
+double draw_offset(sim::Rng& rng) {
+  const int odd = 2 * rng.uniform_int(0, (1 << 19) - 1) + 1;
+  return static_cast<double>(odd) / static_cast<double>(1 << 20);
+}
+
+/// A strictly positive duration that is a multiple of 2^-10 s.
+sim::Duration draw_q10(sim::Rng& rng, int max_units) {
+  return static_cast<double>(1 + rng.uniform_int(0, max_units - 1)) / 1024.0;
+}
+
+const char* policy_name(admission::PolicyKind p) {
+  switch (p) {
+    case admission::PolicyKind::kAc1: return "AC1";
+    case admission::PolicyKind::kAc2: return "AC2";
+    case admission::PolicyKind::kAc3: return "AC3";
+    case admission::PolicyKind::kStatic: return "static";
+    case admission::PolicyKind::kNsDca: return "NS";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ScriptedScenario::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " cells=" << config.num_cells
+     << " policy=" << policy_name(config.policy)
+     << " cap=" << config.capacity_bu << " arrivals=" << arrivals.size()
+     << " horizon=" << horizon << " origin=" << config.time_origin
+     << " scale=" << bu_scale;
+  if (config.adaptive_qos) os << " adaptive";
+  if (config.wired.has_value()) os << " wired";
+  if (config.retry.enabled) os << " retry";
+  if (config.soft_handoff_zone_km > 0.0) os << " softho";
+  if (config.soft_capacity_margin > 0.0) os << " softcap";
+  if (config.fault.enabled) {
+    os << " outages=" << config.fault.outages.size();
+  }
+  return os.str();
+}
+
+ScriptedScenario random_scripted_scenario(std::uint64_t seed,
+                                          bool with_faults) {
+  const sim::RngFactory factory(seed);
+  sim::Rng cfg_rng = factory.make("meta-config");
+  sim::Rng arr_rng = factory.make("meta-arrivals");
+
+  ScriptedScenario s;
+  s.seed = seed;
+  core::SystemConfig& c = s.config;
+
+  const int n = cfg_rng.uniform_int(4, 12);
+  c.num_cells = n;
+  c.cell_diameter_km = 1.0;
+  c.ring = true;  // the rotation transform needs the ring symmetry
+  c.capacity_bu = static_cast<double>(cfg_rng.uniform_int(16, 48));
+
+  switch (cfg_rng.uniform_int(0, 4)) {
+    case 0: c.policy = admission::PolicyKind::kAc1; break;
+    case 1: c.policy = admission::PolicyKind::kAc2; break;
+    case 2: c.policy = admission::PolicyKind::kStatic; break;
+    default: c.policy = admission::PolicyKind::kAc3; break;
+  }
+  c.static_g = static_cast<double>(cfg_rng.uniform_int(2, 12));
+
+  c.adaptive_qos = cfg_rng.bernoulli(0.3);
+  c.video_min_bu = 2;
+  c.soft_capacity_margin = cfg_rng.bernoulli(0.25) ? 0.125 : 0.0;
+  if (cfg_rng.bernoulli(0.3)) {
+    wired::BackboneConfig w;
+    w.access_capacity_bu =
+        c.capacity_bu - static_cast<double>(cfg_rng.uniform_int(0, 8));
+    w.uplink_capacity_bu = c.capacity_bu * static_cast<double>(n) / 2.0;
+    c.wired = w;
+  }
+  c.soft_handoff_zone_km = cfg_rng.bernoulli(0.25) ? 0.25 : 0.0;
+
+  const double phd_targets[] = {0.01, 0.02, 0.05};
+  c.phd_target = phd_targets[cfg_rng.uniform_int(0, 2)];
+  const double t_starts[] = {1.0, 2.0, 4.0};
+  c.t_start = t_starts[cfg_rng.uniform_int(0, 2)];
+  // kFixed only: adaptive step rules feed on continuous observables,
+  // which the mirror transform is only ulp-equal on.
+  c.t_est_step = reservation::StepPolicy::kFixed;
+  // Default hoef config: infinite T_int selects the single-window
+  // estimator path, whose event selection depends only on time
+  // DIFFERENCES — required for time-shift invariance.
+
+  const double route_fractions[] = {0.0, 0.5, 1.0};
+  c.known_route_fraction = route_fractions[cfg_rng.uniform_int(0, 2)];
+
+  c.workload.arrival_rate_per_cell = 0.0;  // scripted arrivals only
+
+  c.retry.enabled = cfg_rng.bernoulli(0.5);
+  // Multiples of 2^-4 s in [1, 8): speed * wait stays a multiple of
+  // 2^-12 km for every catalogue speed.
+  c.retry.wait_s =
+      static_cast<double>(16 + cfg_rng.uniform_int(0, 111)) / 16.0;
+  const double giveups[] = {0.0, 0.1, 0.25};
+  c.retry.giveup_step = giveups[cfg_rng.uniform_int(0, 2)];
+
+  c.incremental_reservation = cfg_rng.bernoulli(0.5);
+  c.audit_every = cfg_rng.bernoulli(0.5) ? 0 : 7;
+  c.seed = cfg_rng.engine()();
+  c.time_origin = 0.0;
+
+  s.horizon = static_cast<double>(96 + cfg_rng.uniform_int(0, 160));
+
+  if (with_faults) {
+    sim::Rng fault_rng = factory.make("meta-faults");
+    c.fault.enabled = true;
+    c.fault.seed = fault_rng.engine()();
+    // All stochastic fault processes stay OFF: per-message fates are
+    // hashed from cell ids and absolute times, so a cell permutation or
+    // time shift would legitimately change them. Scripted windows are
+    // the transformable subset.
+    c.fault.link_mtbf_s = 0.0;
+    c.fault.station_mtbf_s = 0.0;
+    c.fault.message_loss = 0.0;
+    c.fault.message_delay = 0.0;
+    c.fault.degraded_floor_bu =
+        static_cast<double>(fault_rng.uniform_int(4, 12));
+    const int n_outages = 1 + fault_rng.uniform_int(0, 2);
+    for (int i = 0; i < n_outages; ++i) {
+      fault::ScriptedOutage o;
+      if (fault_rng.bernoulli(0.5)) {
+        o.kind = fault::ScriptedOutage::Kind::kLink;
+        o.a = fault_rng.uniform_int(0, n - 1);
+        o.b = (o.a + 1) % n;
+      } else {
+        o.kind = fault::ScriptedOutage::Kind::kStation;
+        o.a = fault_rng.uniform_int(0, n - 1);
+        o.b = geom::kNoCell;
+      }
+      o.from = draw_q10(fault_rng,
+                        static_cast<int>(s.horizon * 0.7 * 1024.0));
+      o.until = o.from +
+                draw_q10(fault_rng,
+                         static_cast<int>(s.horizon * 0.25 * 1024.0));
+      c.fault.outages.push_back(o);
+    }
+  }
+
+  const int n_arrivals = arr_rng.uniform_int(24, 96);
+  sim::Time t = 0.0;
+  traffic::ConnectionId id = 1;
+  for (int i = 0; i < n_arrivals; ++i) {
+    t += draw_q10(arr_rng, 2048);  // gaps in (0, 2] s, multiples of 2^-10
+    if (t >= 0.75 * s.horizon) break;
+    ScriptedArrival a;
+    a.at = t;
+    a.id = id++;
+    a.cell = arr_rng.uniform_int(0, n - 1);
+    a.offset = draw_offset(arr_rng);
+    a.direction = arr_rng.bernoulli(0.5) ? +1 : -1;
+    a.speed_kmh = kSpeedCatalogueKmh[arr_rng.uniform_int(0, 4)];
+    a.service = arr_rng.bernoulli(0.75) ? traffic::ServiceClass::kVoice
+                                        : traffic::ServiceClass::kVideo;
+    a.lifetime_s = draw_q10(arr_rng, 120 * 1024);
+    s.arrivals.push_back(a);
+  }
+  return s;
+}
+
+Observation run_scripted(const ScriptedScenario& scenario) {
+  const traffic::ScopedBuScale scale(scenario.bu_scale);
+  core::CellularSystem sys(scenario.config);
+  const double diameter = scenario.config.cell_diameter_km;
+  for (const ScriptedArrival& a : scenario.arrivals) {
+    PABR_CHECK(a.at > scenario.config.time_origin,
+               "scripted arrival before the time origin");
+    sys.run_until(a.at);
+    traffic::ConnectionRequest req;
+    req.id = a.id;
+    req.cell = a.cell;
+    req.position_km = (static_cast<double>(a.cell) + a.offset) * diameter;
+    req.direction = a.direction;
+    req.speed_kmh = a.speed_kmh;
+    req.service = a.service;
+    req.lifetime_s = a.lifetime_s;
+    req.requested_at = a.at;
+    req.attempt = 1;
+    sys.submit_request(req);
+  }
+  sys.run_until(scenario.config.time_origin + scenario.horizon);
+  // Final invariant checkpoint; callable in every build (audited or not).
+  sys.audit_invariants();
+  return observe(sys);
+}
+
+}  // namespace pabr::audit::metamorphic

@@ -1,0 +1,85 @@
+// Scripted scenarios for the metamorphic-equivalence harness
+// (DESIGN.md §14).
+//
+// A scripted scenario is a fully explicit simulation: the Poisson arrival
+// process is off (arrival_rate_per_cell = 0) and every connection request
+// — id, submission time, cell, in-cell offset, direction, speed, service,
+// lifetime — is listed, with faults limited to scripted outage windows.
+// Explicitness is what makes the catalogue's behaviour-preserving
+// transformations (cell rotation, direction mirroring, time-origin
+// shifts, bandwidth-unit rescaling, id relabelling) expressible as pure
+// functions of the scenario, with an exactly known observation mapping.
+//
+// Every continuous quantity is a dyadic rational chosen so that all
+// position/time arithmetic in the simulator is EXACT in binary64, which
+// is what entitles the harness to demand bitwise-equal observations:
+//   * in-cell offsets are odd/2^20 — an odd numerator plus any multiple
+//     of 2^-12 (see speeds/waits below) can never be an integer, so no
+//     mobile ever sits exactly on a cell boundary, where reflection
+//     would resolve cell_at() asymmetrically;
+//   * speeds are 3600 * 2^-j km/h, i.e. exactly 2^-j km/s, so distance
+//     = speed * time and time = distance / speed are exact;
+//   * submission times, lifetimes and outage window edges are multiples
+//     of 2^-10 s; retry waits are multiples of 2^-4 s, making every
+//     retry displacement a multiple of 2^-12 km.
+//
+// Config restrictions (documented per-field in random_scripted_scenario):
+// ring topology (rotation needs it), policy in {AC1, AC2, AC3, static}
+// (NS-DCA anchors its estimation interval at absolute time and is not
+// time-shift invariant), T_est step fixed, default hoef windowing
+// (infinite T_int), zero stochastic fault rates (per-message fates are
+// keyed by cell ids, so a cell permutation would change them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/metamorphic/observation.h"
+#include "core/system.h"
+#include "traffic/connection.h"
+
+namespace pabr::audit::metamorphic {
+
+/// One explicit new-connection request. `at` is the ABSOLUTE submission
+/// time (strictly after config.time_origin; strictly increasing across
+/// the list).
+struct ScriptedArrival {
+  sim::Time at = 0.0;
+  traffic::ConnectionId id = 0;
+  geom::CellId cell = 0;
+  /// In-cell position offset in units of the cell diameter, in (0, 1).
+  double offset = 0.5;
+  int direction = +1;
+  double speed_kmh = 0.0;
+  traffic::ServiceClass service = traffic::ServiceClass::kVoice;
+  sim::Duration lifetime_s = 0.0;
+};
+
+struct ScriptedScenario {
+  std::uint64_t seed = 0;  ///< generator seed (identification only)
+  core::SystemConfig config;
+  std::vector<ScriptedArrival> arrivals;
+  /// Run horizon: the run ends at config.time_origin + horizon.
+  sim::Duration horizon = 0.0;
+  /// Bandwidth-unit scale installed (via traffic::ScopedBuScale) for the
+  /// duration of the run; 1 outside the M4 rescaling transform.
+  traffic::Bandwidth bu_scale = 1;
+
+  /// One-line description for failure messages.
+  std::string summary() const;
+};
+
+/// Expands `seed` into a scenario within the restrictions above. The
+/// same seed always yields the same scenario, so a failing seed IS the
+/// repro. `with_faults` adds 1-3 scripted link/station outage windows
+/// (all stochastic fault rates stay zero).
+ScriptedScenario random_scripted_scenario(std::uint64_t seed,
+                                          bool with_faults = false);
+
+/// Builds the system, replays the arrival list (run_until + submit), runs
+/// to the horizon, executes one explicit audit_invariants() checkpoint
+/// and returns the observation.
+Observation run_scripted(const ScriptedScenario& scenario);
+
+}  // namespace pabr::audit::metamorphic

@@ -1,0 +1,181 @@
+#include "audit/metamorphic/transforms.h"
+
+#include <algorithm>
+
+#include "sim/random.h"
+#include "util/check.h"
+
+namespace pabr::audit::metamorphic {
+namespace {
+
+geom::CellId rotate_cell(geom::CellId c, int k, int n) {
+  return (c + k) % n;
+}
+
+geom::CellId mirror_cell(geom::CellId c, int n) { return n - 1 - c; }
+
+}  // namespace
+
+ScriptedScenario rotate_cells(const ScriptedScenario& s, int k) {
+  const int n = s.config.num_cells;
+  PABR_CHECK(s.config.ring, "rotation requires the ring topology");
+  PABR_CHECK(k > 0 && k < n, "rotation amount out of range");
+  ScriptedScenario out = s;
+  for (ScriptedArrival& a : out.arrivals) {
+    a.cell = rotate_cell(a.cell, k, n);
+  }
+  for (fault::ScriptedOutage& o : out.config.fault.outages) {
+    o.a = rotate_cell(o.a, k, n);
+    if (o.kind == fault::ScriptedOutage::Kind::kLink) {
+      o.b = rotate_cell(o.b, k, n);
+    }
+  }
+  return out;
+}
+
+ScriptedScenario mirror_direction(const ScriptedScenario& s) {
+  const int n = s.config.num_cells;
+  ScriptedScenario out = s;
+  for (ScriptedArrival& a : out.arrivals) {
+    a.cell = mirror_cell(a.cell, n);
+    // Position x = cell + offset maps to L - x = (n-1-cell) + (1-offset);
+    // 1 - odd/2^20 keeps an odd numerator, so the no-integer-positions
+    // guarantee survives reflection.
+    a.offset = 1.0 - a.offset;
+    a.direction = -a.direction;
+  }
+  for (fault::ScriptedOutage& o : out.config.fault.outages) {
+    o.a = mirror_cell(o.a, n);
+    if (o.kind == fault::ScriptedOutage::Kind::kLink) {
+      o.b = mirror_cell(o.b, n);  // links are undirected; order is free
+    }
+  }
+  return out;
+}
+
+ScriptedScenario shift_time(const ScriptedScenario& s, sim::Time delta) {
+  PABR_CHECK(delta > 0.0, "time shift must move forward");
+  ScriptedScenario out = s;
+  out.config.time_origin += delta;
+  for (ScriptedArrival& a : out.arrivals) a.at += delta;
+  for (fault::ScriptedOutage& o : out.config.fault.outages) {
+    o.from += delta;
+    o.until += delta;
+  }
+  return out;
+}
+
+ScriptedScenario rescale_bu(const ScriptedScenario& s,
+                            traffic::Bandwidth factor) {
+  PABR_CHECK(factor >= 2 && (factor & (factor - 1)) == 0,
+             "BU scale factor must be a power of two");
+  ScriptedScenario out = s;
+  out.bu_scale = s.bu_scale * factor;
+  const double f = static_cast<double>(factor);
+  core::SystemConfig& c = out.config;
+  c.capacity_bu *= f;
+  c.video_min_bu *= factor;
+  c.static_g *= f;
+  c.fault.degraded_floor_bu *= f;
+  if (c.wired.has_value()) {
+    c.wired->access_capacity_bu *= f;
+    c.wired->uplink_capacity_bu *= f;
+  }
+  return out;
+}
+
+ScriptedScenario shift_ids(const ScriptedScenario& s, std::uint64_t delta) {
+  ScriptedScenario out = s;
+  for (ScriptedArrival& a : out.arrivals) a.id += delta;
+  return out;
+}
+
+Observation unmap_rotation(const Observation& obs, int k) {
+  Observation out = obs;
+  const int n = static_cast<int>(obs.cells.size());
+  for (int c = 0; c < n; ++c) {
+    out.cells[static_cast<std::size_t>(c)] =
+        obs.cells[static_cast<std::size_t>(rotate_cell(c, k, n))];
+  }
+  return out;
+}
+
+Observation unmap_mirror(const Observation& obs) {
+  Observation out = obs;
+  std::reverse(out.cells.begin(), out.cells.end());
+  return out;
+}
+
+Observation unmap_rescale(const Observation& obs,
+                          traffic::Bandwidth factor) {
+  Observation out = obs;
+  const double f = static_cast<double>(factor);
+  for (CellObservation& c : out.cells) {
+    c.br /= f;
+    c.bu /= f;
+    c.br_avg /= f;
+    c.bu_avg /= f;
+  }
+  out.br_avg /= f;
+  out.bu_avg /= f;
+  return out;
+}
+
+std::vector<Transform> catalogue(const ScriptedScenario& s,
+                                 std::uint64_t seed) {
+  const sim::RngFactory factory(seed);
+  sim::Rng rng = factory.make("meta-transforms");
+  const int n = s.config.num_cells;
+  const int k = rng.uniform_int(1, n - 1);
+  // Dyadic forward shift: a multiple of 2^-10 s in (0, 512].
+  const sim::Time delta =
+      static_cast<double>(1 + rng.uniform_int(0, 512 * 1024 - 1)) / 1024.0;
+  const traffic::Bandwidth scales[] = {2, 4, 8};
+  const traffic::Bandwidth f = scales[rng.uniform_int(0, 2)];
+  const std::uint64_t id_delta =
+      1 + static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+
+  std::vector<Transform> out;
+  out.push_back(Transform{
+      "M1-rotate(" + std::to_string(k) + ")",
+      [k](const ScriptedScenario& in) { return rotate_cells(in, k); },
+      [k](const Observation& o) { return unmap_rotation(o, k); },
+      Tolerance{false, true}});
+  out.push_back(Transform{
+      "M2-mirror",
+      [](const ScriptedScenario& in) { return mirror_direction(in); },
+      [](const Observation& o) { return unmap_mirror(o); },
+      Tolerance{true, true}});
+  out.push_back(Transform{
+      "M3-shift-time(" + std::to_string(delta) + ")",
+      [delta](const ScriptedScenario& in) { return shift_time(in, delta); },
+      [](const Observation& o) { return o; },
+      Tolerance{false, false}});
+  out.push_back(Transform{
+      "M4-rescale-bu(" + std::to_string(f) + ")",
+      [f](const ScriptedScenario& in) { return rescale_bu(in, f); },
+      [f](const Observation& o) { return unmap_rescale(o, f); },
+      Tolerance{false, false}});
+  out.push_back(Transform{
+      "M5-shift-ids(" + std::to_string(id_delta) + ")",
+      [id_delta](const ScriptedScenario& in) {
+        return shift_ids(in, id_delta);
+      },
+      [](const Observation& o) { return o; },
+      Tolerance{false, false}});
+  // Composition probe: rotation after mirroring exercises that the
+  // catalogue composes (satellite test; also a stronger permutation than
+  // either alone).
+  out.push_back(Transform{
+      "M1xM2-rotate(" + std::to_string(k) + ")-mirror",
+      [k](const ScriptedScenario& in) {
+        return rotate_cells(mirror_direction(in), k);
+      },
+      [k](const Observation& o) {
+        return unmap_mirror(unmap_rotation(o, k));
+      },
+      Tolerance{true, true}});
+  return out;
+}
+
+}  // namespace pabr::audit::metamorphic

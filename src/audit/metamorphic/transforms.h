@@ -1,0 +1,90 @@
+// The metamorphic transformation catalogue (DESIGN.md §14).
+//
+// Each transform is a pure function of a ScriptedScenario paired with
+// the exact mapping that carries an observation of the transformed run
+// back into the original scenario's frame, and with the tolerance class
+// the comparison is entitled to (observation.h). The pairs are:
+//
+//   M1 rotate_cells(k)   — ring cell-index rotation c -> (c+k) mod n.
+//                          Unmap: inverse cell permutation. Per-cell
+//                          fields exact; system means over cells are
+//                          reassociated (ulp class).
+//   M2 mirror_direction  — spatial reflection x -> L - x: cells
+//                          c -> n-1-c, offsets o -> 1-o, directions
+//                          flip. Unmap: reverse the cell vector. The
+//                          engine's chained left+right B_r sum is
+//                          reassociated, so per-cell br/br_avg join the
+//                          ulp class.
+//   M3 shift_time(d)     — time-origin shift: every absolute time
+//                          (origin, arrivals, outage windows) moves by
+//                          the same dyadic d. Unmap: identity; fully
+//                          bitwise.
+//   M4 rescale_bu(f)     — uniform bandwidth-unit rescaling by a power
+//                          of two: demands (via traffic::ScopedBuScale)
+//                          and every BU-dimensioned config field scale
+//                          by f. Unmap: divide the BU-dimensioned
+//                          observables by f; fully bitwise (power-of-two
+//                          scaling commutes with binary64 rounding).
+//   M5 shift_ids(d)      — order-preserving connection-id relabelling
+//                          id -> id + d. Unmap: identity; fully bitwise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "audit/metamorphic/observation.h"
+#include "audit/metamorphic/scripted.h"
+
+namespace pabr::audit::metamorphic {
+
+// ---- Scenario transforms (pure; also unit-tested in isolation) ----------
+
+/// M1: rotate cell indices by k (0 < k < num_cells) on the ring.
+ScriptedScenario rotate_cells(const ScriptedScenario& s, int k);
+
+/// M2: reflect the road. Self-inverse.
+ScriptedScenario mirror_direction(const ScriptedScenario& s);
+
+/// M3: shift every absolute time by delta (> 0, dyadic).
+ScriptedScenario shift_time(const ScriptedScenario& s, sim::Time delta);
+
+/// M4: multiply every bandwidth by `factor` (a power of two >= 2).
+ScriptedScenario rescale_bu(const ScriptedScenario& s,
+                            traffic::Bandwidth factor);
+
+/// M5: relabel connection ids by +delta (order-preserving).
+ScriptedScenario shift_ids(const ScriptedScenario& s, std::uint64_t delta);
+
+// ---- Observation unmaps --------------------------------------------------
+
+/// Inverse of the M1 cell permutation: entry c of the result is entry
+/// (c+k) mod n of `obs`.
+Observation unmap_rotation(const Observation& obs, int k);
+
+/// Inverse of the M2 reflection: reverses the cell vector.
+Observation unmap_mirror(const Observation& obs);
+
+/// Inverse of the M4 rescaling: divides the BU-dimensioned observables
+/// (br, bu, br_avg, bu_avg per cell and system) by `factor`.
+Observation unmap_rescale(const Observation& obs, traffic::Bandwidth factor);
+
+// ---- Catalogue -----------------------------------------------------------
+
+struct Transform {
+  std::string name;
+  std::function<ScriptedScenario(const ScriptedScenario&)> apply;
+  /// Maps an observation of the transformed run back into the original
+  /// scenario's frame.
+  std::function<Observation(const Observation&)> unmap;
+  Tolerance tolerance;
+};
+
+/// The M1-M5 instances for one scenario, with per-seed transform
+/// parameters (rotation amount, time shift, scale factor, id shift)
+/// drawn deterministically from `seed`.
+std::vector<Transform> catalogue(const ScriptedScenario& s,
+                                 std::uint64_t seed);
+
+}  // namespace pabr::audit::metamorphic

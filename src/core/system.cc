@@ -41,6 +41,11 @@ CellularSystem::CellularSystem(SystemConfig config)
       }),
       load_tracker_(config_.num_cells, config_.workload.mean_lifetime_s) {
   PABR_CHECK(config_.capacity_bu > 0.0, "non-positive capacity");
+  PABR_CHECK(config_.time_origin >= 0.0, "negative time origin");
+  // Start the event clock at the configured origin so every absolute
+  // timestamp (arrivals, estimator periods, metric windows) is measured
+  // from it.
+  simulator_.restore_clock(config_.time_origin, 0);
 
   PABR_CHECK(
       config_.known_route_fraction >= 0.0 &&
@@ -60,9 +65,9 @@ CellularSystem::CellularSystem(SystemConfig config)
                         config_.soft_capacity_margin);
     stations_.emplace_back(c, config_.hoef, twc);
     auto& m = metrics_[static_cast<std::size_t>(c)];
-    m.br_mean.update(0.0, 0.0);
-    m.bu_mean.update(0.0, 0.0);
-    m.overload.update(0.0, 0.0);
+    m.br_mean.update(config_.time_origin, 0.0);
+    m.bu_mean.update(config_.time_origin, 0.0);
+    m.overload.update(config_.time_origin, 0.0);
   }
   for (geom::CellId c : config_.traced_cells) {
     check_cell_id(c);

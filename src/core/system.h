@@ -138,6 +138,14 @@ struct SystemConfig {
   /// — the same contract as telemetry.
   fault::FaultConfig fault;
 
+  /// Simulation clock value at construction. The system behaves as if it
+  /// had been created at this instant: the event clock starts here and the
+  /// time-weighted metric windows are anchored here. Used by the
+  /// metamorphic time-origin-shift transform (DESIGN.md §14, M3) — a run
+  /// whose scripted events are all shifted by Δ and whose time_origin is Δ
+  /// must reproduce the original run exactly.
+  sim::Time time_origin = 0.0;
+
   std::uint64_t seed = 1;
 };
 

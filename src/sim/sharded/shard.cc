@@ -256,9 +256,15 @@ void Shard::audit(sim::Time t) const {
       PABR_CHECK(prev_id == 0 || entry.id > prev_id,
                  "connection table not strictly id-sorted");
       prev_id = entry.id;
-      PABR_CHECK(entry.bandwidth == traffic::kVoiceBandwidth ||
-                     entry.bandwidth == traffic::kVideoBandwidth,
-                 "non-catalogue bandwidth attached");
+      // Compare against bandwidth_of(), not the raw constants: under the
+      // metamorphic BU-rescaling transform (DESIGN.md §14, M4) every
+      // catalogue bandwidth carries the active scale factor.
+      PABR_CHECK(
+          entry.bandwidth ==
+                  traffic::bandwidth_of(traffic::ServiceClass::kVoice) ||
+              entry.bandwidth ==
+                  traffic::bandwidth_of(traffic::ServiceClass::kVideo),
+          "non-catalogue bandwidth attached");
       PABR_CHECK(entry.view.reserve_bandwidth == entry.bandwidth,
                  "reserve bandwidth diverged from attachment");
       PABR_CHECK(entry.view.entered_cell_at <= t,

@@ -22,13 +22,19 @@ void TimeWeightedMean::update(Time t, double value) {
 }
 
 double TimeWeightedMean::mean(Time t) const {
-  if (!has_value_ || t <= start_) return 0.0;
+  if (!has_value_) return 0.0;
+  PABR_CHECK(t >= start_, "TimeWeightedMean: mean() before window start");
+  if (t <= start_) return 0.0;
   PABR_CHECK(t >= last_time_, "TimeWeightedMean: mean() before last update");
   const double total = integral_ + current_ * (t - last_time_);
   return total / (t - start_);
 }
 
 void TimeWeightedMean::reset(Time t) {
+  // A reset may only move the window forward (warm-up end); a backwards
+  // reset would let the next update() integrate a segment that overlaps
+  // already-accounted time.
+  PABR_CHECK(t >= last_time_, "TimeWeightedMean: reset into the past");
   integral_ = 0.0;
   current_ = 0.0;
   last_time_ = t;
@@ -43,9 +49,15 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    ++nan_dropped_;
+    return;
+  }
   const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
-  auto idx = static_cast<long>(std::floor((x - lo_) / width));
-  idx = std::clamp(idx, 0L, static_cast<long>(bins_.size()) - 1);
+  // Clamp before the integer cast: casting an out-of-range double (e.g.
+  // +/-inf from an out-of-range sample) to an integer is undefined.
+  double idx = std::floor((x - lo_) / width);
+  idx = std::clamp(idx, 0.0, static_cast<double>(bins_.size() - 1));
   ++bins_[static_cast<std::size_t>(idx)];
   ++total_;
 }

@@ -130,13 +130,20 @@ class TimeWeightedMean {
 };
 
 /// Histogram with fixed-width bins over [lo, hi); out-of-range samples are
-/// clamped into the edge bins. Used for sojourn-time distributions.
+/// clamped into the edge bins. NaN samples (e.g. a sojourn computed from a
+/// degenerate zero-length segment) fail every range comparison, so they are
+/// dropped into a dedicated tally instead of landing in an arbitrary edge
+/// bin — the same design as the telemetry histograms' overflow buckets.
+/// Used for sojourn-time distributions.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  /// Samples binned (NaN drops are excluded).
   std::uint64_t total() const { return total_; }
+  /// NaN samples dropped by add(); never part of total() or cdf().
+  std::uint64_t nan_dropped() const { return nan_dropped_; }
   const std::vector<std::uint64_t>& bins() const { return bins_; }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
@@ -147,6 +154,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::uint64_t> bins_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_dropped_ = 0;
 };
 
 }  // namespace pabr::sim

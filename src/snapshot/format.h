@@ -31,7 +31,10 @@
 namespace pabr::snapshot {
 
 inline constexpr std::string_view kMagic = "PABRSNAP";
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version history:
+//   1 — initial format.
+//   2 — SystemConfig gained `time_origin` (appended after `seed`).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Which simulator wrote the file; a loader refuses a mismatched kind.
 enum class SystemKind : std::uint32_t {

@@ -241,6 +241,7 @@ void put_config(Encoder& e, const core::SystemConfig& c) {
   put_telemetry_config(e, c.telemetry);
   put_fault_config(e, c.fault);
   e.u64(c.seed);
+  e.f64(c.time_origin);  // appended in format version 2
 }
 
 core::SystemConfig get_linear_config(Decoder& d) {
@@ -293,6 +294,7 @@ core::SystemConfig get_linear_config(Decoder& d) {
   c.telemetry = get_telemetry_config(d);
   c.fault = get_fault_config(d);
   c.seed = d.u64();
+  c.time_origin = d.f64();
   return c;
 }
 

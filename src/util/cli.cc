@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "util/check.h"
@@ -92,6 +93,11 @@ bool Parser::assign(const std::string& name, const std::string& value) {
 }
 
 bool Parser::parse(int argc, const char* const* argv) {
+  // Flags already assigned in this parse: a repeated flag (in either the
+  // `--name=value` or the split `--name value` form) is an error, not a
+  // silent last-wins — scripted bench invocations that concatenate flag
+  // lists must fail loudly instead of dropping the first value.
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -103,26 +109,37 @@ bool Parser::parse(int argc, const char* const* argv) {
       continue;
     }
     std::string body = arg.substr(2);
-    auto eq = body.find('=');
+    std::string value;
+    bool have_value = false;
+    const auto eq = body.find('=');
     if (eq != std::string::npos) {
-      if (!assign(body.substr(0, eq), body.substr(eq + 1))) return false;
-      continue;
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      have_value = true;
     }
-    // "--name value" or bare boolean "--name".
-    auto it = flags_.find(body);
+    const auto it = flags_.find(body);
     if (it == flags_.end()) {
       std::cerr << program_ << ": unknown flag --" << body << "\n";
       return false;
     }
-    if (it->second.kind == Flag::Kind::kBool) {
-      if (!assign(body, "")) return false;
-      continue;
-    }
-    if (i + 1 >= argc) {
-      std::cerr << program_ << ": --" << body << " requires a value\n";
+    if (!seen.insert(body).second) {
+      std::cerr << program_ << ": duplicate flag --" << body
+                << " (each flag may be given at most once)\n";
       return false;
     }
-    if (!assign(body, argv[++i])) return false;
+    if (!have_value) {
+      // "--name value" or bare boolean "--name".
+      if (it->second.kind == Flag::Kind::kBool) {
+        if (!assign(body, "")) return false;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": --" << body << " requires a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(body, value)) return false;
   }
   return true;
 }

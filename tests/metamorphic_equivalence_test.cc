@@ -1,0 +1,75 @@
+// Reduced metamorphic-equivalence sweep (DESIGN.md §14) that rides in
+// ctest: a couple dozen scripted scenarios, each run once as the base
+// reference and once per catalogue transform (M1 rotation, M2 mirror,
+// M3 time shift, M4 BU rescale, M5 id shift, M1 x M2), with every
+// transformed observation mapped back into the base frame and compared
+// field by field. bench/metamorphic_driver is the hundreds-of-seeds,
+// multi-threaded version of the same property.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "audit/metamorphic/observation.h"
+#include "audit/metamorphic/scripted.h"
+#include "audit/metamorphic/transforms.h"
+
+namespace pabr::audit::metamorphic {
+namespace {
+
+void check_seed(std::uint64_t seed, bool faults) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               (faults ? " faults=on" : " faults=off"));
+  const ScriptedScenario scenario = random_scripted_scenario(seed, faults);
+  const Observation base = run_scripted(scenario);
+  for (const Transform& t : catalogue(scenario, seed)) {
+    SCOPED_TRACE(t.name);
+    const Observation mapped = t.unmap(run_scripted(t.apply(scenario)));
+    const auto diff = compare(base, mapped, t.tolerance);
+    EXPECT_FALSE(diff.has_value()) << *diff << "\n  "
+                                   << scenario.summary();
+  }
+}
+
+TEST(MetamorphicEquivalence, CatalogueHoldsAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    check_seed(seed, /*faults=*/false);
+  }
+}
+
+TEST(MetamorphicEquivalence, CatalogueHoldsWithScriptedOutages) {
+  for (std::uint64_t seed = 100; seed <= 107; ++seed) {
+    check_seed(seed, /*faults=*/true);
+  }
+}
+
+TEST(MetamorphicEquivalence, RerunningTheBaseScenarioIsBitwiseStable) {
+  const ScriptedScenario scenario =
+      random_scripted_scenario(5, /*faults=*/true);
+  const Observation a = run_scripted(scenario);
+  const Observation b = run_scripted(scenario);
+  // The strictest tolerance: every field bitwise.
+  const auto diff = compare(a, b, Tolerance{false, false});
+  EXPECT_FALSE(diff.has_value()) << *diff;
+  EXPECT_EQ(digest(a), digest(b));
+}
+
+TEST(MetamorphicEquivalence, DigestSeparatesDifferentScenarios) {
+  const Observation a =
+      run_scripted(random_scripted_scenario(1, /*faults=*/false));
+  const Observation b =
+      run_scripted(random_scripted_scenario(2, /*faults=*/false));
+  EXPECT_NE(digest(a), digest(b));
+}
+
+TEST(MetamorphicEquivalence, CompareReportsTheFirstMismatch) {
+  Observation a;
+  a.cells.resize(2);
+  Observation b = a;
+  b.cells[1].drops = 3;
+  const auto diff = compare(a, b, Tolerance{false, false});
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("drops"), std::string::npos) << *diff;
+}
+
+}  // namespace
+}  // namespace pabr::audit::metamorphic

@@ -1,0 +1,247 @@
+// Unit tests for the metamorphic transformation catalogue in isolation
+// (DESIGN.md §14): each transform is a pure scenario mapping with an
+// exact algebra — mirroring is a bitwise involution, rotations compose
+// modulo the ring size, time shifts and id shifts are additive, BU
+// rescalings multiplicative — and the observation unmaps invert the
+// cell permutations exactly. The end-to-end equivalence property (run
+// both, compare) lives in metamorphic_equivalence_test.cc.
+#include "audit/metamorphic/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "audit/metamorphic/scripted.h"
+
+namespace pabr::audit::metamorphic {
+namespace {
+
+bool same_double(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Bitwise scenario equality over every field a transform may touch.
+void expect_same_scenario(const ScriptedScenario& a,
+                          const ScriptedScenario& b) {
+  EXPECT_TRUE(same_double(a.config.time_origin, b.config.time_origin));
+  EXPECT_TRUE(same_double(a.config.capacity_bu, b.config.capacity_bu));
+  EXPECT_TRUE(same_double(a.config.static_g, b.config.static_g));
+  EXPECT_EQ(a.config.video_min_bu, b.config.video_min_bu);
+  EXPECT_TRUE(same_double(a.config.fault.degraded_floor_bu,
+                          b.config.fault.degraded_floor_bu));
+  EXPECT_EQ(a.config.wired.has_value(), b.config.wired.has_value());
+  if (a.config.wired && b.config.wired) {
+    EXPECT_TRUE(same_double(a.config.wired->access_capacity_bu,
+                            b.config.wired->access_capacity_bu));
+    EXPECT_TRUE(same_double(a.config.wired->uplink_capacity_bu,
+                            b.config.wired->uplink_capacity_bu));
+  }
+  EXPECT_EQ(a.bu_scale, b.bu_scale);
+  ASSERT_EQ(a.config.fault.outages.size(), b.config.fault.outages.size());
+  for (std::size_t i = 0; i < a.config.fault.outages.size(); ++i) {
+    const fault::ScriptedOutage& x = a.config.fault.outages[i];
+    const fault::ScriptedOutage& y = b.config.fault.outages[i];
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.a, y.a);
+    EXPECT_EQ(x.b, y.b);
+    EXPECT_TRUE(same_double(x.from, y.from));
+    EXPECT_TRUE(same_double(x.until, y.until));
+  }
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    const ScriptedArrival& x = a.arrivals[i];
+    const ScriptedArrival& y = b.arrivals[i];
+    EXPECT_TRUE(same_double(x.at, y.at)) << "arrival " << i;
+    EXPECT_EQ(x.id, y.id) << "arrival " << i;
+    EXPECT_EQ(x.cell, y.cell) << "arrival " << i;
+    EXPECT_TRUE(same_double(x.offset, y.offset)) << "arrival " << i;
+    EXPECT_EQ(x.direction, y.direction) << "arrival " << i;
+    EXPECT_TRUE(same_double(x.speed_kmh, y.speed_kmh)) << "arrival " << i;
+    EXPECT_EQ(x.service, y.service) << "arrival " << i;
+    EXPECT_TRUE(same_double(x.lifetime_s, y.lifetime_s)) << "arrival " << i;
+  }
+}
+
+ScriptedScenario sample(std::uint64_t seed = 7, bool faults = true) {
+  return random_scripted_scenario(seed, faults);
+}
+
+TEST(MetamorphicTransforms, MirrorIsAnInvolution) {
+  const ScriptedScenario s = sample();
+  expect_same_scenario(s, mirror_direction(mirror_direction(s)));
+}
+
+TEST(MetamorphicTransforms, MirrorFlipsCellsOffsetsAndDirections) {
+  const ScriptedScenario s = sample();
+  const ScriptedScenario m = mirror_direction(s);
+  const int n = s.config.num_cells;
+  for (std::size_t i = 0; i < s.arrivals.size(); ++i) {
+    EXPECT_EQ(m.arrivals[i].cell, n - 1 - s.arrivals[i].cell);
+    EXPECT_TRUE(
+        same_double(m.arrivals[i].offset, 1.0 - s.arrivals[i].offset));
+    EXPECT_EQ(m.arrivals[i].direction, -s.arrivals[i].direction);
+    // The dyadic offset grid survives reflection: still strictly inside
+    // (0, 1) with the same denominator.
+    EXPECT_GT(m.arrivals[i].offset, 0.0);
+    EXPECT_LT(m.arrivals[i].offset, 1.0);
+  }
+}
+
+TEST(MetamorphicTransforms, RotationsComposeModuloRingSize) {
+  const ScriptedScenario s = sample();
+  const int n = s.config.num_cells;
+  const int k = 2 % n == 0 ? 1 : 2;
+  // rotate(k) then rotate(n-k) walks all the way around the ring.
+  expect_same_scenario(s, rotate_cells(rotate_cells(s, k), n - k));
+}
+
+TEST(MetamorphicTransforms, TimeShiftsAreAdditive) {
+  const ScriptedScenario s = sample();
+  expect_same_scenario(shift_time(shift_time(s, 3.5), 10.25),
+                       shift_time(s, 13.75));
+}
+
+TEST(MetamorphicTransforms, IdShiftsAreAdditive) {
+  const ScriptedScenario s = sample();
+  expect_same_scenario(shift_ids(shift_ids(s, 1000), 24),
+                       shift_ids(s, 1024));
+}
+
+TEST(MetamorphicTransforms, RescalingsAreMultiplicative) {
+  const ScriptedScenario s = sample();
+  expect_same_scenario(rescale_bu(rescale_bu(s, 2), 4), rescale_bu(s, 8));
+}
+
+TEST(MetamorphicTransforms, RotateComposesWithMirror) {
+  // The catalogue's composite entry applies rotate AFTER mirror; its
+  // scenario must equal the step-by-step composition and differ from the
+  // opposite order (the group is dihedral, not abelian) unless the
+  // rotation is self-paired.
+  const ScriptedScenario s = sample();
+  const int n = s.config.num_cells;
+  const int k = 1;
+  const ScriptedScenario composed = rotate_cells(mirror_direction(s), k);
+  for (std::size_t i = 0; i < s.arrivals.size(); ++i) {
+    EXPECT_EQ(composed.arrivals[i].cell,
+              (n - 1 - s.arrivals[i].cell + k) % n);
+  }
+  // mirror o rotate(k) o mirror == rotate(n-k): conjugating a rotation
+  // by the reflection inverts it.
+  expect_same_scenario(
+      mirror_direction(rotate_cells(mirror_direction(s), k)),
+      rotate_cells(s, n - k));
+}
+
+TEST(MetamorphicTransforms, UnmapRotationInvertsThePermutation) {
+  const int n = 9;
+  const int k = 4;
+  Observation in;
+  in.cells.resize(n);
+  // Transformed-frame index (c + k) % n holds original cell c's data.
+  for (int c = 0; c < n; ++c) {
+    in.cells[static_cast<std::size_t>((c + k) % n)].bu =
+        static_cast<double>(c);
+  }
+  const Observation out = unmap_rotation(in, k);
+  for (int c = 0; c < n; ++c) {
+    EXPECT_DOUBLE_EQ(out.cells[static_cast<std::size_t>(c)].bu,
+                     static_cast<double>(c));
+  }
+}
+
+TEST(MetamorphicTransforms, UnmapMirrorReversesCells) {
+  const int n = 6;
+  Observation in;
+  in.cells.resize(n);
+  for (int c = 0; c < n; ++c) {
+    in.cells[static_cast<std::size_t>(n - 1 - c)].bu =
+        static_cast<double>(c);
+  }
+  const Observation out = unmap_mirror(in);
+  for (int c = 0; c < n; ++c) {
+    EXPECT_DOUBLE_EQ(out.cells[static_cast<std::size_t>(c)].bu,
+                     static_cast<double>(c));
+  }
+}
+
+TEST(MetamorphicTransforms, UnmapComposition) {
+  // Composite frame: mirror first, rotate second — index
+  // (n-1-c+k) % n holds original cell c. The catalogue's composite
+  // unmap is unmap_mirror(unmap_rotation(.)).
+  const int n = 7;
+  const int k = 3;
+  Observation in;
+  in.cells.resize(n);
+  for (int c = 0; c < n; ++c) {
+    in.cells[static_cast<std::size_t>((n - 1 - c + k) % n)].bu =
+        static_cast<double>(c);
+  }
+  const Observation out = unmap_mirror(unmap_rotation(in, k));
+  for (int c = 0; c < n; ++c) {
+    EXPECT_DOUBLE_EQ(out.cells[static_cast<std::size_t>(c)].bu,
+                     static_cast<double>(c));
+  }
+}
+
+TEST(MetamorphicTransforms, UnmapRescaleDividesBandwidthFields) {
+  Observation in;
+  in.cells.resize(1);
+  in.cells[0].br = 8.0;
+  in.cells[0].bu = 16.0;
+  in.cells[0].br_avg = 4.0;
+  in.cells[0].bu_avg = 2.0;
+  in.cells[0].pcb = 0.25;  // dimensionless: untouched
+  in.br_avg = 4.0;
+  in.bu_avg = 2.0;
+  in.n_calc = 3.0;  // dimensionless: untouched
+  const Observation out = unmap_rescale(in, 4);
+  EXPECT_DOUBLE_EQ(out.cells[0].br, 2.0);
+  EXPECT_DOUBLE_EQ(out.cells[0].bu, 4.0);
+  EXPECT_DOUBLE_EQ(out.cells[0].br_avg, 1.0);
+  EXPECT_DOUBLE_EQ(out.cells[0].bu_avg, 0.5);
+  EXPECT_DOUBLE_EQ(out.cells[0].pcb, 0.25);
+  EXPECT_DOUBLE_EQ(out.br_avg, 1.0);
+  EXPECT_DOUBLE_EQ(out.bu_avg, 0.5);
+  EXPECT_DOUBLE_EQ(out.n_calc, 3.0);
+}
+
+TEST(MetamorphicTransforms, RescaleScalesEveryBuDimensionedConfigField) {
+  ScriptedScenario s = sample();
+  s.config.wired = wired::BackboneConfig{40.0, 160.0};
+  const ScriptedScenario r = rescale_bu(s, 2);
+  EXPECT_EQ(r.bu_scale, 2 * s.bu_scale);
+  EXPECT_DOUBLE_EQ(r.config.capacity_bu, 2.0 * s.config.capacity_bu);
+  EXPECT_EQ(r.config.video_min_bu, 2 * s.config.video_min_bu);
+  EXPECT_DOUBLE_EQ(r.config.static_g, 2.0 * s.config.static_g);
+  EXPECT_DOUBLE_EQ(r.config.fault.degraded_floor_bu,
+                   2.0 * s.config.fault.degraded_floor_bu);
+  EXPECT_DOUBLE_EQ(r.config.wired->access_capacity_bu, 80.0);
+  EXPECT_DOUBLE_EQ(r.config.wired->uplink_capacity_bu, 320.0);
+}
+
+TEST(MetamorphicTransforms, GeneratorIsDeterministic) {
+  const ScriptedScenario a = random_scripted_scenario(42, true);
+  const ScriptedScenario b = random_scripted_scenario(42, true);
+  expect_same_scenario(a, b);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(MetamorphicTransforms, ScopedBuScaleIsThreadLocalAndRestores) {
+  using traffic::ServiceClass;
+  EXPECT_EQ(traffic::bandwidth_of(ServiceClass::kVoice), 1);
+  {
+    const traffic::ScopedBuScale scale(4);
+    EXPECT_EQ(traffic::bandwidth_of(ServiceClass::kVoice), 4);
+    EXPECT_EQ(traffic::bandwidth_of(ServiceClass::kVideo), 16);
+    {
+      const traffic::ScopedBuScale inner(2);
+      EXPECT_EQ(traffic::bandwidth_of(ServiceClass::kVoice), 2);
+    }
+    EXPECT_EQ(traffic::bandwidth_of(ServiceClass::kVoice), 4);
+  }
+  EXPECT_EQ(traffic::bandwidth_of(ServiceClass::kVoice), 1);
+}
+
+}  // namespace
+}  // namespace pabr::audit::metamorphic

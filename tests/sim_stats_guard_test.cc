@@ -1,0 +1,113 @@
+// Regression tests for the stats-primitive guard rails:
+//   * TimeWeightedMean rejects out-of-order updates, backwards resets and
+//     mean() queries from before the averaging window — any of which
+//     would silently corrupt the B_r / B_u time averages with
+//     negative-width segments.
+//   * Histogram::add drops NaN samples into a dedicated tally instead of
+//     clamping them into an arbitrary edge bin (NaN fails both range
+//     comparisons, so the old behavior depended on the sign convention
+//     of the failed comparison chain).
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pabr::sim {
+namespace {
+
+TEST(TimeWeightedMeanGuard, InOrderUpdatesAverageExactly) {
+  TimeWeightedMean m;
+  m.update(0.0, 2.0);
+  m.update(10.0, 6.0);
+  // [0,10) at 2, [10,20) at 6 -> mean 4.
+  EXPECT_DOUBLE_EQ(m.mean(20.0), 4.0);
+}
+
+TEST(TimeWeightedMeanGuard, BackwardsUpdateThrows) {
+  TimeWeightedMean m;
+  m.update(10.0, 1.0);
+  EXPECT_THROW(m.update(9.0, 2.0), InvariantError);
+}
+
+TEST(TimeWeightedMeanGuard, EqualTimeUpdateIsAllowed) {
+  // Two state changes at the same instant are legal (zero-width segment);
+  // the later value wins.
+  TimeWeightedMean m;
+  m.update(5.0, 1.0);
+  m.update(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.current(), 3.0);
+  EXPECT_DOUBLE_EQ(m.mean(15.0), 3.0);
+}
+
+TEST(TimeWeightedMeanGuard, BackwardsResetThrows) {
+  TimeWeightedMean m;
+  m.update(10.0, 1.0);
+  EXPECT_THROW(m.reset(9.0), InvariantError);
+}
+
+TEST(TimeWeightedMeanGuard, ResetAtCurrentTimeRestartsWindow) {
+  TimeWeightedMean m;
+  m.update(0.0, 100.0);
+  m.reset(10.0);
+  m.update(10.0, 2.0);
+  // The pre-reset history is gone: [10,20) at 2 -> mean 2.
+  EXPECT_DOUBLE_EQ(m.mean(20.0), 2.0);
+}
+
+TEST(TimeWeightedMeanGuard, MeanBeforeWindowStartThrows) {
+  TimeWeightedMean m;
+  m.update(10.0, 1.0);
+  EXPECT_THROW(m.mean(9.0), InvariantError);
+}
+
+TEST(TimeWeightedMeanGuard, MeanAtWindowStartIsZero) {
+  TimeWeightedMean m;
+  m.update(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean(10.0), 0.0);
+}
+
+TEST(TimeWeightedMeanGuard, MeanBeforeAnyUpdateIsZero) {
+  const TimeWeightedMean m;
+  EXPECT_DOUBLE_EQ(m.mean(5.0), 0.0);
+}
+
+TEST(HistogramGuard, NanSamplesAreDroppedAndCounted) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.nan_dropped(), 2u);
+  for (const std::uint64_t b : h.bins()) EXPECT_EQ(b, 0u);
+}
+
+TEST(HistogramGuard, NanDoesNotPerturbRealSamples) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(9.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.nan_dropped(), 1u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[4], 1u);
+  // cdf ignores the dropped NaN entirely.
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+}
+
+TEST(HistogramGuard, InfinityStillClampsIntoEdgeBins) {
+  // +/-inf are genuine out-of-range samples, not NaN: they keep the
+  // documented clamp-into-edge-bin behavior.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.nan_dropped(), 0u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[4], 1u);
+}
+
+}  // namespace
+}  // namespace pabr::sim

@@ -103,6 +103,62 @@ TEST(CliTest, PositionalArgumentsCollected) {
   EXPECT_EQ(p.positional()[1], "more");
 }
 
+TEST(CliTest, RepeatedFlagEqualsFormFails) {
+  Parser p("t", "test");
+  double load = 0.0;
+  p.add_double("load", &load, "");
+  auto args = argv_of({"--load=60", "--load=80"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(CliTest, RepeatedFlagSplitFormFails) {
+  Parser p("t", "test");
+  int n = 0;
+  p.add_int("n", &n, "");
+  auto args = argv_of({"--n", "1", "--n", "2"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(CliTest, RepeatedFlagAcrossFormsFails) {
+  // The `--name=value` and split `--name value` spellings name the same
+  // flag; mixing them is still a repeat.
+  Parser p("t", "test");
+  double x = 0.0;
+  p.add_double("x", &x, "");
+  auto args = argv_of({"--x=1.5", "--x", "2.5"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(CliTest, RepeatedBareBooleanFails) {
+  Parser p("t", "test");
+  bool full = false;
+  p.add_bool("full", &full, "");
+  auto args = argv_of({"--full", "--full"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(CliTest, RepeatedUnknownFlagStillReportsUnknown) {
+  // Unknown-flag detection has priority over repeat detection.
+  Parser p("t", "test");
+  auto args = argv_of({"--nope=1", "--nope=2"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(CliTest, DistinctFlagsAllAssignOnce) {
+  Parser p("t", "test");
+  double load = 0.0;
+  bool full = false;
+  std::string out;
+  p.add_double("load", &load, "");
+  p.add_bool("full", &full, "");
+  p.add_string("out", &out, "");
+  auto args = argv_of({"--load", "88.5", "--full", "--out=r.csv"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_DOUBLE_EQ(load, 88.5);
+  EXPECT_TRUE(full);
+  EXPECT_EQ(out, "r.csv");
+}
+
 TEST(CliTest, DuplicateFlagRegistrationThrows) {
   Parser p("t", "test");
   int a = 0;
