@@ -19,9 +19,21 @@
 // and its trajectory digest printed — the command-line way to extend or
 // branch a checkpointed run.
 //
-// Exit status: 0 = all seeds clean, 1 = at least one divergence or
-// invariant violation (the offending seeds and scenario summaries are
-// printed — the seed alone reproduces the failure).
+// --guided switches to the coverage-guided genome fuzzer (DESIGN.md
+// §15): scenarios are explicit mutable genomes, a run's coverage is the
+// regime-feature signature harvested from its end-of-run counters, and
+// a genome joins the --corpus-dir corpus exactly when it reaches a
+// feature no earlier run reached. On any oracle violation the genome is
+// printed in full, --minimize shrinks it to a 1-minimal reproducer
+// (written to --repro-dir, default the corpus dir), and the driver
+// exits 1. --inject-bug (self-check only) arms the planted off-by-one
+// in src/fuzz/runner.cc; without --guided it runs the same genome
+// oracle stack over blind random genomes — the unguided baseline the
+// mutation-testing smoke compares against.
+//
+// Exit status: 0 = all seeds/genomes clean, 1 = at least one divergence
+// or invariant violation (the offending seed or genome is printed in a
+// form that alone reproduces the failure).
 #include <chrono>
 #include <exception>
 #include <fstream>
@@ -33,7 +45,12 @@
 #include "audit/differential.h"
 #include "bench_common.h"
 #include "core/random_scenario.h"
+#include "fuzz/corpus.h"
+#include "fuzz/minimize.h"
+#include "fuzz/mutate.h"
+#include "fuzz/runner.h"
 #include "sim/parallel.h"
+#include "sim/random.h"
 #include "snapshot/format.h"
 
 namespace {
@@ -43,6 +60,7 @@ struct SeedResult {
   std::uint64_t scratch = 0;
   std::uint64_t resumed = 0;
   bool failed = false;
+  std::string failed_stage;  ///< which of the three runs threw
   std::string error;
 };
 
@@ -95,6 +113,180 @@ int resume_from_file(const std::string& path, double resume_for) {
   }
 }
 
+// Shared settings of the genome-based modes (--guided / --inject-bug).
+struct GenomeModeOptions {
+  std::uint64_t base_seed = 1;
+  int audit_every = 8;
+  int max_execs = 400;
+  int threads = 1;
+  bool faults = false;
+  bool minimize = false;
+  std::string corpus_dir;
+  std::string repro_dir;
+  pabr::fuzz::BugConfig bug;
+};
+
+// Prints the violating genome in full (the .pabrfuzz text alone
+// reproduces the failure), optionally minimizes it, and writes the
+// reproducer next to the corpus. Always the exit-1 path.
+int report_violation(const pabr::fuzz::Genome& genome,
+                     const pabr::fuzz::OracleResult& result,
+                     const GenomeModeOptions& opt) {
+  using namespace pabr;
+  std::cout << "VIOLATION [" << result.stage << "] " << result.violation
+            << "\n  " << genome.summary() << "\n--- genome ---\n"
+            << genome.serialize() << "--------------\n";
+  fuzz::Genome repro = genome;
+  if (opt.minimize) {
+    const std::string stage = result.stage;
+    fuzz::MinimizeStats stats;
+    repro = fuzz::minimize(
+        genome,
+        [&](const fuzz::Genome& cand) {
+          const fuzz::OracleResult r =
+              fuzz::run_oracles(cand, opt.audit_every, opt.bug);
+          return !r.ok && r.stage == stage;
+        },
+        /*max_evals=*/500, &stats);
+    const fuzz::OracleResult after =
+        fuzz::run_oracles(repro, opt.audit_every, opt.bug);
+    std::cout << "minimized in " << stats.evaluations << " evals ("
+              << stats.accepted << " reductions): cells="
+              << repro.num_cells() << " requests=" << after.requests
+              << "\n  " << repro.summary() << "\n--- minimized genome ---\n"
+              << repro.serialize() << "------------------------\n";
+  }
+  const std::string dir =
+      !opt.repro_dir.empty() ? opt.repro_dir : opt.corpus_dir;
+  if (!dir.empty()) {
+    const std::string path = fuzz::save_to_corpus(dir, repro);
+    std::cout << "reproducer written to " << path << "\n";
+  }
+  return 1;
+}
+
+// Unguided baseline for the mutation-testing self-check: blind random
+// genomes through the same oracle stack, no coverage feedback.
+int blind_genome_mode(const GenomeModeOptions& opt) {
+  using namespace pabr;
+  bench::print_banner("Blind genome fuzzer — " +
+                      std::to_string(opt.max_execs) + " random genomes from " +
+                      std::to_string(opt.base_seed) +
+                      (opt.bug.resumed_off_by_one ? ", planted bug armed" : ""));
+  const auto n = static_cast<std::size_t>(opt.max_execs);
+  std::vector<fuzz::Genome> genomes;
+  genomes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    genomes.push_back(fuzz::random_genome(
+        opt.base_seed + static_cast<std::uint64_t>(i), opt.faults));
+  }
+  const std::vector<fuzz::OracleResult> results =
+      sim::parallel_map<fuzz::OracleResult>(opt.threads, n, [&](std::size_t i) {
+        return fuzz::run_oracles(genomes[i], opt.audit_every, opt.bug);
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!results[i].ok) return report_violation(genomes[i], results[i], opt);
+  }
+  std::cout << opt.max_execs << " execs, 0 violations\n";
+  return 0;
+}
+
+// The coverage-guided loop. Each round generates a fixed-size candidate
+// batch sequentially from the current corpus (one RNG stream), runs the
+// batch through the oracle stack via parallel_map, and merges coverage
+// in index order — so the corpus evolution, and therefore the whole
+// fuzzing trajectory, is identical at any --threads value.
+int guided_mode(const GenomeModeOptions& opt) {
+  using namespace pabr;
+  bench::print_banner(
+      "Coverage-guided genome fuzzer — budget " +
+      std::to_string(opt.max_execs) + " execs, corpus '" +
+      (opt.corpus_dir.empty() ? std::string("<memory>") : opt.corpus_dir) +
+      "'" + (opt.bug.resumed_off_by_one ? ", planted bug armed" : ""));
+
+  fuzz::CoverageMap coverage;
+  std::vector<fuzz::Genome> corpus = fuzz::load_corpus(opt.corpus_dir);
+  const std::size_t replayed = corpus.size();
+  // Bootstrap an empty corpus from blind random genomes.
+  if (corpus.empty()) {
+    const int boot = std::min(8, std::max(1, opt.max_execs));
+    for (int i = 0; i < boot; ++i) {
+      corpus.push_back(fuzz::random_genome(
+          opt.base_seed + static_cast<std::uint64_t>(i), opt.faults));
+    }
+  }
+
+  int execs = 0;
+  // Replay phase: every corpus entry re-runs under all oracles (checked-in
+  // reproducers act as regression tests) and seeds the coverage map.
+  {
+    const std::size_t n = corpus.size();
+    const std::vector<fuzz::OracleResult> results =
+        sim::parallel_map<fuzz::OracleResult>(
+            opt.threads, n, [&](std::size_t i) {
+              return fuzz::run_oracles(corpus[i], opt.audit_every, opt.bug);
+            });
+    for (std::size_t i = 0; i < n; ++i) {
+      ++execs;
+      if (!results[i].ok) return report_violation(corpus[i], results[i], opt);
+      coverage.merge(results[i].signature);
+    }
+    std::cout << "replayed " << replayed << " corpus entries, bootstrapped "
+              << (n - replayed) << ", features=" << coverage.size() << "\n";
+  }
+
+  sim::Rng rng(sim::derive_seed(opt.base_seed, "guided-fuzz"));
+  constexpr std::size_t kBatch = 16;  // fixed: independent of --threads
+  int round = 0;
+  while (execs < opt.max_execs) {
+    const std::size_t batch = std::min<std::size_t>(
+        kBatch, static_cast<std::size_t>(opt.max_execs - execs));
+    std::vector<fuzz::Genome> candidates;
+    candidates.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto pick = [&]() -> const fuzz::Genome& {
+        return corpus[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(corpus.size()) - 1))];
+      };
+      if (corpus.size() >= 2 && rng.bernoulli(0.35)) {
+        candidates.push_back(
+            fuzz::mutate(fuzz::crossover(pick(), pick(), rng), rng));
+      } else {
+        candidates.push_back(fuzz::mutate(pick(), rng));
+      }
+    }
+    const std::vector<fuzz::OracleResult> results =
+        sim::parallel_map<fuzz::OracleResult>(
+            opt.threads, batch, [&](std::size_t i) {
+              return fuzz::run_oracles(candidates[i], opt.audit_every, opt.bug);
+            });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      ++execs;
+      if (!results[i].ok) {
+        return report_violation(candidates[i], results[i], opt);
+      }
+      if (coverage.merge(results[i].signature) > 0) {
+        corpus.push_back(candidates[i]);
+        ++kept;
+        if (!opt.corpus_dir.empty()) {
+          fuzz::save_to_corpus(opt.corpus_dir, candidates[i]);
+        }
+      }
+    }
+    ++round;
+    if (round % 8 == 0 || execs >= opt.max_execs) {
+      std::cout << "round " << round << ": execs=" << execs
+                << " corpus=" << corpus.size()
+                << " features=" << coverage.size() << " (+" << kept
+                << " kept this round)\n";
+    }
+  }
+  std::cout << execs << " execs, 0 violations, corpus=" << corpus.size()
+            << ", features=" << coverage.size() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,8 +320,43 @@ int main(int argc, char** argv) {
                  "it instead of fuzzing");
   cli.add_double("resume-for", &resume_for,
                  "extra simulated seconds to run in --resume-from mode");
+  bool guided = false;
+  std::string corpus_dir;
+  std::string repro_dir;
+  int max_execs = 400;
+  bool minimize = false;
+  bool inject_bug = false;
+  cli.add_bool("guided", &guided,
+               "coverage-guided genome fuzzing instead of blind seeds");
+  cli.add_string("corpus-dir", &corpus_dir,
+                 "corpus directory of *.pabrfuzz genomes (replayed first; "
+                 "coverage-novel genomes are added)");
+  cli.add_string("repro-dir", &repro_dir,
+                 "where minimized reproducers are written (default: the "
+                 "corpus dir)");
+  cli.add_int("max-execs", &max_execs,
+              "genome execution budget for --guided / --inject-bug modes");
+  cli.add_bool("minimize", &minimize,
+               "delta-debug any violating genome down to a 1-minimal "
+               "reproducer before writing it out");
+  cli.add_bool("inject-bug", &inject_bug,
+               "self-check only: arm the planted resumed-digest off-by-one "
+               "(with --guided: guided hunt; without: blind genome baseline)");
   if (!cli.parse(argc, argv)) return 1;
   if (!resume_from.empty()) return resume_from_file(resume_from, resume_for);
+  if (guided || inject_bug) {
+    GenomeModeOptions gopt;
+    gopt.base_seed = base_seed;
+    gopt.audit_every = audit_every;
+    gopt.max_execs = max_execs;
+    gopt.threads = opts.threads > 0 ? opts.threads : sim::hardware_threads();
+    gopt.faults = faults;
+    gopt.minimize = minimize;
+    gopt.corpus_dir = corpus_dir;
+    gopt.repro_dir = repro_dir;
+    gopt.bug.resumed_off_by_one = inject_bug;
+    return guided ? guided_mode(gopt) : blind_genome_mode(gopt);
+  }
   if (faults && !buildinfo::fault_enabled()) {
     std::cout << "warning: --faults requested but fault-injection hooks were "
                  "compiled out (PABR_FAULT=OFF); schedules are generated but "
@@ -161,14 +388,32 @@ int main(int argc, char** argv) {
     } else {
       fractions.push_back(audit::snapshot_fraction_for_seed(seed));
     }
+    // One try block per run so a failure names the stage that threw —
+    // an audit violation inside the resumed third run used to be
+    // indistinguishable from one in the first.
     SeedResult r;
     try {
       r.incremental = audit::run_scenario_digest(spec, true, audit_every);
+    } catch (const std::exception& e) {
+      r.failed = true;
+      r.failed_stage = "incremental";
+      r.error = e.what();
+      return r;
+    }
+    try {
       r.scratch = audit::run_scenario_digest(spec, false, audit_every);
+    } catch (const std::exception& e) {
+      r.failed = true;
+      r.failed_stage = "scratch";
+      r.error = e.what();
+      return r;
+    }
+    try {
       r.resumed =
           audit::run_scenario_resume_digest(spec, true, audit_every, fractions);
     } catch (const std::exception& e) {
       r.failed = true;
+      r.failed_stage = "resumed";
       r.error = e.what();
     }
     return r;
@@ -197,9 +442,11 @@ int main(int argc, char** argv) {
     const core::ScenarioSpec spec = core::random_scenario(seed, faults);
     std::string status = "ok";
     if (sequential[i].failed) {
-      status = "audit: " + sequential[i].error;
+      status = "audit during " + sequential[i].failed_stage +
+               " run: " + sequential[i].error;
     } else if (threaded[i].failed) {
-      status = "audit (threaded): " + threaded[i].error;
+      status = "audit during " + threaded[i].failed_stage +
+               " run (threaded): " + threaded[i].error;
     } else if (sequential[i].incremental != sequential[i].scratch) {
       status = "incremental != scratch";
     } else if (sequential[i].resumed != sequential[i].incremental) {

@@ -533,9 +533,11 @@ void CellularSystem::schedule_crossing(MobileRecord& rec) {
       });
 
   // CDMA soft hand-off (§7): pre-allocate the second leg when the mobile
-  // enters the boundary zone.
+  // enters the boundary zone. A single-cell ring wraps onto itself
+  // (crossing->to == current cell) — there is no second cell to hold a
+  // leg in, and a dual attach of the same id would corrupt the cell.
   if (config_.soft_handoff_zone_km > 0.0 &&
-      crossing->to != geom::kNoCell) {
+      crossing->to != geom::kNoCell && crossing->to != rec.m.cell) {
     const sim::Duration lead =
         config_.soft_handoff_zone_km / rec.m.speed_km_per_s();
     const sim::Time when =
@@ -612,6 +614,15 @@ void CellularSystem::handle_crossing(traffic::ConnectionId id) {
     }
     terminate(rec, /*cancel_expiry=*/true, /*cancel_crossing=*/false);
     mobiles_.erase(it);
+    return;
+  }
+
+  if (to == from) {
+    // Single-cell ring: the boundary wraps straight back into the same
+    // cell. Pure motion — no hand-off happened, no bandwidth moved, so
+    // neither the estimator, the controller nor the backbone hears about
+    // it; just book the next lap.
+    schedule_crossing(rec);
     return;
   }
 

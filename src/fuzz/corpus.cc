@@ -1,0 +1,52 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace pabr::fuzz {
+
+namespace fs = std::filesystem;
+
+std::vector<Genome> load_corpus(const std::string& dir) {
+  std::vector<Genome> corpus;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return corpus;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".pabrfuzz") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  corpus.reserve(files.size());
+  for (const fs::path& p : files) {
+    std::ifstream in(p);
+    if (!in) throw std::runtime_error("corpus: cannot open " + p.string());
+    try {
+      corpus.push_back(Genome::parse(in));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("corpus: " + p.string() + ": " + e.what());
+    }
+  }
+  return corpus;
+}
+
+std::string save_to_corpus(const std::string& dir, const Genome& g) {
+  fs::create_directories(dir);
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.pabrfuzz",
+                static_cast<unsigned long long>(g.digest()));
+  const fs::path path = fs::path(dir) / name;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("corpus: cannot write " + path.string());
+  g.serialize(out);
+  if (!out) throw std::runtime_error("corpus: write failed " + path.string());
+  return path.string();
+}
+
+}  // namespace pabr::fuzz

@@ -1,0 +1,31 @@
+// On-disk corpus management for the guided fuzzer (DESIGN.md §15).
+//
+// A corpus directory is a flat set of `<digest>.pabrfuzz` files, one
+// genome each, named by the 16-hex-digit content digest of the
+// serialized text — so identical genomes dedup by construction and the
+// directory is safe to merge across machines or CI cache restores. The
+// coverage map is NOT persisted: replaying the corpus (cheap, a few
+// hundred short runs) rebuilds it exactly, which keeps the on-disk
+// format to one self-describing artifact kind.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/genome.h"
+
+namespace pabr::fuzz {
+
+/// Loads every `*.pabrfuzz` file under `dir`, sorted by filename so the
+/// replay order — and therefore the rebuilt coverage map and every
+/// digest derived from it — is identical on every filesystem. A missing
+/// directory yields an empty corpus; a malformed file throws
+/// std::runtime_error naming it.
+std::vector<Genome> load_corpus(const std::string& dir);
+
+/// Writes `g` to `dir/<%016x of g.digest()>.pabrfuzz` (creating `dir` if
+/// needed) and returns the path. Overwrites an existing entry with the
+/// same digest (same content by construction).
+std::string save_to_corpus(const std::string& dir, const Genome& g);
+
+}  // namespace pabr::fuzz

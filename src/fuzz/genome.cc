@@ -1,0 +1,479 @@
+#include "fuzz/genome.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.h"
+#include "traffic/workload.h"
+#include "util/digest.h"
+
+namespace pabr::fuzz {
+namespace {
+
+// Exploration bounds. Wider than the blind generator's draw ranges (so
+// mutation can reach edges like zero arrivals and single-cell rings) but
+// tight enough that one exec stays cheap: the guided loop budget assumes
+// a run is tens of milliseconds, not seconds.
+constexpr double kMinDuration = 20.0, kMaxDuration = 250.0;
+constexpr double kMinCapacity = 5.0, kMaxCapacity = 120.0;
+constexpr int kMinCells = 1, kMaxCells = 10;
+constexpr int kMinHexSide = 2, kMaxHexSide = 4;
+constexpr double kMaxArrivalRate = 1.5;
+constexpr std::size_t kMaxOutages = 8;
+constexpr std::size_t kMaxSnapPoints = 4;
+
+double clampd(double v, double lo, double hi) {
+  if (!(v >= lo)) return lo;  // also catches NaN
+  return v > hi ? hi : v;
+}
+
+int clampi(int v, int lo, int hi) { return std::clamp(v, lo, hi); }
+
+admission::PolicyKind policy_from_index(int i) {
+  switch (((i % 5) + 5) % 5) {
+    case 0: return admission::PolicyKind::kStatic;
+    case 1: return admission::PolicyKind::kNsDca;
+    case 2: return admission::PolicyKind::kAc1;
+    case 3: return admission::PolicyKind::kAc2;
+    default: return admission::PolicyKind::kAc3;
+  }
+}
+
+admission::PolicyKind policy_from_name(const std::string& name) {
+  for (int i = 0; i < 5; ++i) {
+    const auto kind = policy_from_index(i);
+    if (name == admission::policy_kind_name(kind)) return kind;
+  }
+  throw std::runtime_error("unknown admission policy: " + name);
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Genome::canonicalize() {
+  duration = clampd(duration, kMinDuration, kMaxDuration);
+  capacity_bu = clampd(capacity_bu, kMinCapacity, kMaxCapacity);
+  static_g = clampd(static_g, 0.5, capacity_bu * 0.5);
+  phd_target = clampd(phd_target, 0.001, 0.2);
+  t_start = clampd(t_start, 1.0, 5.0);  // TestWindowConfig: t_start >= t_min
+  if (t_int != 0.0) t_int = clampd(t_int, 600.0, 7200.0);
+  n_quad = clampi(n_quad, 5, 200);
+  voice_ratio = clampd(voice_ratio, 0.0, 1.0);
+  mean_lifetime_s = clampd(mean_lifetime_s, 5.0, 300.0);
+  speed_min_kmh = clampd(speed_min_kmh, 1.0, 200.0);
+  speed_max_kmh = clampd(speed_max_kmh, speed_min_kmh, speed_min_kmh + 100.0);
+  arrival_rate_per_cell = clampd(arrival_rate_per_cell, 0.0, kMaxArrivalRate);
+
+  cells = clampi(cells, kMinCells, kMaxCells);
+  soft_capacity_margin = clampd(soft_capacity_margin, 0.0, 0.5);
+  wired_access_bu = clampd(wired_access_bu, capacity_bu * 0.5,
+                           capacity_bu * 2.0);
+  wired_uplink_bu = clampd(wired_uplink_bu, capacity_bu,
+                           capacity_bu * 2.0 * kMaxCells);
+  soft_handoff_zone_km = clampd(soft_handoff_zone_km, 0.0, 0.5);
+  known_route_fraction = clampd(known_route_fraction, 0.0, 1.0);
+
+  rows = clampi(rows, kMinHexSide, kMaxHexSide);
+  cols = clampi(cols, kMinHexSide, kMaxHexSide + 1);
+  // The brick-wall torus embedding only closes with an even column count
+  // (geom::HexTopology) — mirror random_scenario's fix-up.
+  if (wrap && cols % 2 != 0) ++cols;
+
+  message_loss = clampd(message_loss, 0.0, 0.9);
+  message_delay = clampd(message_delay, 0.0, 0.9);
+  if (link_mtbf_s != 0.0) link_mtbf_s = clampd(link_mtbf_s, 30.0, 2000.0);
+  link_mttr_s = clampd(link_mttr_s, 1.0, 120.0);
+  if (station_mtbf_s != 0.0)
+    station_mtbf_s = clampd(station_mtbf_s, 30.0, 2000.0);
+  station_mttr_s = clampd(station_mttr_s, 1.0, 120.0);
+  max_retries = clampi(max_retries, 0, 6);
+  backoff_base_s = clampd(backoff_base_s, 0.005, 0.2);
+  backoff_max_s = clampd(backoff_max_s, backoff_base_s, backoff_base_s * 32.0);
+  degraded_floor_bu = clampd(degraded_floor_bu, 0.0, 20.0);
+
+  if (outages.size() > kMaxOutages) outages.resize(kMaxOutages);
+  const int n = num_cells();
+  for (OutageGene& o : outages) {
+    o.a = clampi(o.a, 0, n - 1);
+    o.b = clampi(o.b, 0, n - 1);
+    // Windows may start past the horizon on purpose (the
+    // wholly-outside-the-run edge case), just not unboundedly far.
+    o.from = clampd(o.from, 0.0, duration * 2.0);
+    o.until = clampd(o.until, o.from, o.from + 120.0);
+  }
+
+  for (double& f : snap_fractions) f = clampd(f, 0.0, 1.0);
+  std::sort(snap_fractions.begin(), snap_fractions.end());
+  if (snap_fractions.size() > kMaxSnapPoints)
+    snap_fractions.resize(kMaxSnapPoints);
+}
+
+core::ScenarioSpec Genome::to_scenario() const {
+  core::ScenarioSpec s;
+  s.seed = sim_seed;
+  s.hex = hex;
+  s.duration = duration;
+
+  fault::FaultConfig f;
+  if (faults) {
+    f.enabled = true;
+    f.seed = fault_seed;
+    f.message_loss = message_loss;
+    f.message_delay = message_delay;
+    f.link_mtbf_s = link_mtbf_s;
+    f.link_mttr_s = link_mttr_s;
+    f.station_mtbf_s = station_mtbf_s;
+    f.station_mttr_s = station_mttr_s;
+    f.max_retries = max_retries;
+    f.backoff_base_s = backoff_base_s;
+    f.backoff_max_s = backoff_max_s;
+    f.degraded_floor_bu = degraded_floor_bu;
+    for (const OutageGene& o : outages) {
+      fault::ScriptedOutage so;
+      so.kind = o.station ? fault::ScriptedOutage::Kind::kStation
+                          : fault::ScriptedOutage::Kind::kLink;
+      so.a = o.a;
+      so.b = o.station ? geom::kNoCell : o.b;
+      so.from = o.from;
+      so.until = o.until;
+      f.outages.push_back(so);
+    }
+  }
+
+  hoef::EstimatorConfig hoef;
+  if (t_int != 0.0) hoef.t_int = t_int;
+  hoef.n_quad = n_quad;
+
+  if (hex) {
+    core::HexSystemConfig& g = s.grid;
+    g.rows = rows;
+    g.cols = cols;
+    g.wrap = wrap;
+    g.capacity_bu = capacity_bu;
+    g.policy = policy;
+    g.static_g = static_g;
+    g.phd_target = phd_target;
+    g.t_start = t_start;
+    g.hoef = hoef;
+    g.voice_ratio = voice_ratio;
+    g.mean_lifetime_s = mean_lifetime_s;
+    g.speed_min_kmh = speed_min_kmh;
+    g.speed_max_kmh = speed_max_kmh;
+    g.arrival_rate_per_cell = arrival_rate_per_cell;
+    g.seed = sim_seed;
+    g.fault = f;
+    return s;
+  }
+
+  core::SystemConfig& c = s.linear;
+  c.num_cells = cells;
+  c.ring = ring;
+  c.capacity_bu = capacity_bu;
+  c.soft_capacity_margin = soft_capacity_margin;
+  c.adaptive_qos = adaptive_qos;
+  if (wired) {
+    wired::BackboneConfig wb;
+    wb.access_capacity_bu = wired_access_bu;
+    wb.uplink_capacity_bu = wired_uplink_bu;
+    c.wired = wb;
+  }
+  c.soft_handoff_zone_km = soft_handoff_zone_km;
+  c.policy = policy;
+  c.static_g = static_g;
+  c.phd_target = phd_target;
+  c.t_start = t_start;
+  c.hoef = hoef;
+  c.known_route_fraction = known_route_fraction;
+  c.workload.voice_ratio = voice_ratio;
+  c.workload.mean_lifetime_s = mean_lifetime_s;
+  c.workload.speed_min_kmh = speed_min_kmh;
+  c.workload.speed_max_kmh = speed_max_kmh;
+  c.workload.bidirectional = bidirectional;
+  c.workload.arrival_rate_per_cell = arrival_rate_per_cell;
+  c.retry.enabled = retry;
+  c.seed = sim_seed;
+  c.fault = f;
+  return s;
+}
+
+std::uint64_t Genome::digest() const {
+  util::Fnv1a d;
+  for (const char ch : serialize()) {
+    d.add_u64(static_cast<unsigned char>(ch));
+  }
+  return d.value();
+}
+
+std::string Genome::summary() const {
+  std::ostringstream os;
+  os << "genome " << std::hex << digest() << std::dec;
+  if (hex) {
+    os << " hex " << rows << 'x' << cols << (wrap ? " torus" : " open");
+  } else {
+    os << " linear cells=" << cells << (ring ? " ring" : " open");
+  }
+  os << " policy=" << admission::policy_kind_name(policy)
+     << " C=" << capacity_bu << " rate=" << arrival_rate_per_cell
+     << " dur=" << duration << " seed=" << sim_seed;
+  if (!hex) {
+    if (adaptive_qos) os << " adaptive";
+    if (wired) os << " wired";
+    if (soft_capacity_margin > 0.0) os << " softcap";
+    if (soft_handoff_zone_km > 0.0) os << " softho";
+    if (known_route_fraction > 0.0) os << " gps";
+    if (retry) os << " retry";
+  }
+  if (faults) os << " faults(" << outages.size() << " scripted)";
+  if (!snap_fractions.empty()) os << " snaps=" << snap_fractions.size();
+  return os.str();
+}
+
+void Genome::serialize(std::ostream& os) const {
+  os << "pabrfuzz 1\n";
+  os << "hex " << (hex ? 1 : 0) << '\n';
+  os << "duration " << fmt(duration) << '\n';
+  os << "sim_seed " << sim_seed << '\n';
+  os << "capacity " << fmt(capacity_bu) << '\n';
+  os << "policy " << admission::policy_kind_name(policy) << '\n';
+  os << "static_g " << fmt(static_g) << '\n';
+  os << "phd_target " << fmt(phd_target) << '\n';
+  os << "t_start " << fmt(t_start) << '\n';
+  os << "t_int " << fmt(t_int) << '\n';
+  os << "n_quad " << n_quad << '\n';
+  os << "voice_ratio " << fmt(voice_ratio) << '\n';
+  os << "lifetime " << fmt(mean_lifetime_s) << '\n';
+  os << "speed_min " << fmt(speed_min_kmh) << '\n';
+  os << "speed_max " << fmt(speed_max_kmh) << '\n';
+  os << "arrival_rate " << fmt(arrival_rate_per_cell) << '\n';
+  os << "cells " << cells << '\n';
+  os << "ring " << (ring ? 1 : 0) << '\n';
+  os << "soft_capacity " << fmt(soft_capacity_margin) << '\n';
+  os << "adaptive " << (adaptive_qos ? 1 : 0) << '\n';
+  os << "wired " << (wired ? 1 : 0) << '\n';
+  os << "wired_access " << fmt(wired_access_bu) << '\n';
+  os << "wired_uplink " << fmt(wired_uplink_bu) << '\n';
+  os << "soft_handoff_km " << fmt(soft_handoff_zone_km) << '\n';
+  os << "known_routes " << fmt(known_route_fraction) << '\n';
+  os << "bidirectional " << (bidirectional ? 1 : 0) << '\n';
+  os << "retry " << (retry ? 1 : 0) << '\n';
+  os << "rows " << rows << '\n';
+  os << "cols " << cols << '\n';
+  os << "wrap " << (wrap ? 1 : 0) << '\n';
+  os << "faults " << (faults ? 1 : 0) << '\n';
+  os << "fault_seed " << fault_seed << '\n';
+  os << "message_loss " << fmt(message_loss) << '\n';
+  os << "message_delay " << fmt(message_delay) << '\n';
+  os << "link_mtbf " << fmt(link_mtbf_s) << '\n';
+  os << "link_mttr " << fmt(link_mttr_s) << '\n';
+  os << "station_mtbf " << fmt(station_mtbf_s) << '\n';
+  os << "station_mttr " << fmt(station_mttr_s) << '\n';
+  os << "max_retries " << max_retries << '\n';
+  os << "backoff_base " << fmt(backoff_base_s) << '\n';
+  os << "backoff_max " << fmt(backoff_max_s) << '\n';
+  os << "degraded_floor " << fmt(degraded_floor_bu) << '\n';
+  for (const OutageGene& o : outages) {
+    os << "outage " << (o.station ? "station" : "link") << ' ' << o.a << ' '
+       << o.b << ' ' << fmt(o.from) << ' ' << fmt(o.until) << '\n';
+  }
+  for (const double f : snap_fractions) {
+    os << "snap " << fmt(f) << '\n';
+  }
+}
+
+std::string Genome::serialize() const {
+  std::ostringstream os;
+  serialize(os);
+  return os.str();
+}
+
+Genome Genome::parse(std::istream& is) {
+  Genome g;
+  g.outages.clear();
+  g.snap_fractions.clear();
+  std::string line;
+  if (!std::getline(is, line) || line != "pabrfuzz 1") {
+    throw std::runtime_error("not a pabrfuzz v1 genome: bad header line");
+  }
+  int lineno = 1;
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error("genome line " + std::to_string(lineno) + ": " +
+                             why + ": " + line);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    const auto rd = [&](double* out) {
+      if (!(ls >> *out)) fail("expected a number");
+    };
+    const auto ri = [&](int* out) {
+      if (!(ls >> *out)) fail("expected an integer");
+    };
+    const auto rb = [&](bool* out) {
+      int v = 0;
+      if (!(ls >> v)) fail("expected 0 or 1");
+      *out = v != 0;
+    };
+    const auto ru = [&](std::uint64_t* out) {
+      if (!(ls >> *out)) fail("expected an unsigned integer");
+    };
+    if (key == "hex") rb(&g.hex);
+    else if (key == "duration") rd(&g.duration);
+    else if (key == "sim_seed") ru(&g.sim_seed);
+    else if (key == "capacity") rd(&g.capacity_bu);
+    else if (key == "policy") {
+      std::string name;
+      if (!(ls >> name)) fail("expected a policy name");
+      g.policy = policy_from_name(name);
+    } else if (key == "static_g") rd(&g.static_g);
+    else if (key == "phd_target") rd(&g.phd_target);
+    else if (key == "t_start") rd(&g.t_start);
+    else if (key == "t_int") rd(&g.t_int);
+    else if (key == "n_quad") ri(&g.n_quad);
+    else if (key == "voice_ratio") rd(&g.voice_ratio);
+    else if (key == "lifetime") rd(&g.mean_lifetime_s);
+    else if (key == "speed_min") rd(&g.speed_min_kmh);
+    else if (key == "speed_max") rd(&g.speed_max_kmh);
+    else if (key == "arrival_rate") rd(&g.arrival_rate_per_cell);
+    else if (key == "cells") ri(&g.cells);
+    else if (key == "ring") rb(&g.ring);
+    else if (key == "soft_capacity") rd(&g.soft_capacity_margin);
+    else if (key == "adaptive") rb(&g.adaptive_qos);
+    else if (key == "wired") rb(&g.wired);
+    else if (key == "wired_access") rd(&g.wired_access_bu);
+    else if (key == "wired_uplink") rd(&g.wired_uplink_bu);
+    else if (key == "soft_handoff_km") rd(&g.soft_handoff_zone_km);
+    else if (key == "known_routes") rd(&g.known_route_fraction);
+    else if (key == "bidirectional") rb(&g.bidirectional);
+    else if (key == "retry") rb(&g.retry);
+    else if (key == "rows") ri(&g.rows);
+    else if (key == "cols") ri(&g.cols);
+    else if (key == "wrap") rb(&g.wrap);
+    else if (key == "faults") rb(&g.faults);
+    else if (key == "fault_seed") ru(&g.fault_seed);
+    else if (key == "message_loss") rd(&g.message_loss);
+    else if (key == "message_delay") rd(&g.message_delay);
+    else if (key == "link_mtbf") rd(&g.link_mtbf_s);
+    else if (key == "link_mttr") rd(&g.link_mttr_s);
+    else if (key == "station_mtbf") rd(&g.station_mtbf_s);
+    else if (key == "station_mttr") rd(&g.station_mttr_s);
+    else if (key == "max_retries") ri(&g.max_retries);
+    else if (key == "backoff_base") rd(&g.backoff_base_s);
+    else if (key == "backoff_max") rd(&g.backoff_max_s);
+    else if (key == "degraded_floor") rd(&g.degraded_floor_bu);
+    else if (key == "outage") {
+      OutageGene o;
+      std::string kind;
+      if (!(ls >> kind)) fail("expected outage kind");
+      if (kind == "station") o.station = true;
+      else if (kind == "link") o.station = false;
+      else fail("unknown outage kind");
+      if (!(ls >> o.a >> o.b >> o.from >> o.until)) {
+        fail("expected 'outage KIND a b from until'");
+      }
+      g.outages.push_back(o);
+    } else if (key == "snap") {
+      double f = 0.0;
+      rd(&f);
+      g.snap_fractions.push_back(f);
+    } else {
+      fail("unknown genome key '" + key + "'");
+    }
+  }
+  g.canonicalize();
+  return g;
+}
+
+Genome Genome::parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+Genome random_genome(std::uint64_t seed, bool with_faults) {
+  sim::Rng rng(sim::derive_seed(seed, "genome-generator"));
+  Genome g;
+  g.sim_seed = seed;
+  g.duration = rng.uniform(60.0, 180.0);
+  g.hex = rng.bernoulli(0.25);
+  g.capacity_bu = static_cast<double>(rng.uniform_int(20, 60));
+  g.policy = policy_from_index(rng.uniform_int(0, 9) < 6
+                                   ? 4
+                                   : rng.uniform_int(0, 3));
+  g.static_g = rng.uniform(2.0, g.capacity_bu * 0.4);
+  g.phd_target = rng.uniform(0.005, 0.05);
+  g.t_start = rng.uniform(1.0, 2.0);
+  g.t_int = rng.bernoulli(0.25) ? 3600.0 : 0.0;
+  g.n_quad = rng.uniform_int(20, 100);
+  g.voice_ratio = rng.uniform(0.3, 1.0);
+  g.mean_lifetime_s = rng.uniform(40.0, 120.0);
+  g.speed_min_kmh = rng.uniform(60.0, 100.0);
+  g.speed_max_kmh = g.speed_min_kmh + rng.uniform(10.0, 60.0);
+  const double load = rng.uniform(40.0, 150.0);
+  g.arrival_rate_per_cell = traffic::arrival_rate_for_load(
+      load, g.voice_ratio, g.mean_lifetime_s);
+
+  g.cells = rng.uniform_int(3, 8);
+  g.ring = rng.bernoulli(0.7);
+  g.soft_capacity_margin =
+      rng.bernoulli(0.3) ? rng.uniform(0.05, 0.2) : 0.0;
+  g.adaptive_qos = rng.bernoulli(0.5);
+  g.wired = rng.bernoulli(0.4);
+  g.wired_access_bu = rng.uniform(g.capacity_bu * 0.8, g.capacity_bu * 1.5);
+  g.wired_uplink_bu =
+      rng.uniform(g.capacity_bu, g.capacity_bu * static_cast<double>(g.cells));
+  g.soft_handoff_zone_km = rng.bernoulli(0.3) ? rng.uniform(0.05, 0.3) : 0.0;
+  g.known_route_fraction = rng.bernoulli(0.3) ? rng.uniform01() : 0.0;
+  g.bidirectional = rng.bernoulli(0.8);
+  g.retry = rng.bernoulli(0.3);
+
+  g.rows = rng.uniform_int(2, 4);
+  g.cols = rng.uniform_int(2, 4);
+  g.wrap = rng.bernoulli(0.5);
+
+  if (with_faults) {
+    g.faults = true;
+    g.fault_seed = sim::derive_seed(seed, "genome-fault");
+    g.message_loss = rng.bernoulli(0.7) ? rng.uniform(0.0, 0.3) : 0.0;
+    g.message_delay = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.2) : 0.0;
+    if (rng.bernoulli(0.6)) {
+      g.link_mtbf_s = rng.uniform(60.0, 600.0);
+      g.link_mttr_s = rng.uniform(5.0, 60.0);
+    }
+    if (rng.bernoulli(0.4)) {
+      g.station_mtbf_s = rng.uniform(120.0, 1200.0);
+      g.station_mttr_s = rng.uniform(5.0, 60.0);
+    }
+    g.max_retries = rng.uniform_int(0, 4);
+    g.backoff_base_s = rng.uniform(0.01, 0.1);
+    g.backoff_max_s = g.backoff_base_s * rng.uniform(1.0, 16.0);
+    g.degraded_floor_bu = rng.uniform(0.0, 15.0);
+    const int n_outages = rng.uniform_int(0, 2);
+    for (int k = 0; k < n_outages; ++k) {
+      OutageGene o;
+      o.station = rng.bernoulli(0.5);
+      o.a = rng.uniform_int(0, g.num_cells() - 1);
+      o.b = rng.uniform_int(0, g.num_cells() - 1);
+      o.from = rng.uniform(0.0, g.duration);
+      o.until = o.from + rng.uniform(5.0, 60.0);
+      g.outages.push_back(o);
+    }
+  }
+
+  // One seed-derived I10 probe point, like the blind driver's default.
+  g.snap_fractions.push_back(0.2 + 0.6 * rng.uniform01());
+  g.canonicalize();
+  return g;
+}
+
+}  // namespace pabr::fuzz

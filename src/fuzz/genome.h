@@ -1,0 +1,133 @@
+// Scenario genome for the coverage-guided fuzzer (DESIGN.md §15).
+//
+// Where the blind differential fuzzer samples a bare RNG seed and expands
+// it through core/random_scenario, the guided fuzzer works on an explicit,
+// mutable representation of the scenario: every knob that shapes a run —
+// topology, load mix, mobility, policy, feature toggles, fault script and
+// the I10 snapshot/resume probe points — is a named field that mutators
+// can tweak independently and the minimizer can shrink. A genome is
+// serializable to a line-oriented text format (`.pabrfuzz`) so corpus
+// entries and minimized reproducers are self-contained, diffable
+// artifacts: parsing the file back and replaying it reproduces the exact
+// trajectory (the simulation seed rides in the genome).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "admission/policy.h"
+#include "core/random_scenario.h"
+#include "fault/fault.h"
+
+namespace pabr::fuzz {
+
+/// One scripted outage window of the genome's fault script (mirrors
+/// fault::ScriptedOutage, kept separate so the genome stays a plain
+/// value type with its own serialization).
+struct OutageGene {
+  bool station = false;  ///< false = link outage
+  int a = 0;
+  int b = 0;  ///< second link endpoint (ignored for stations)
+  double from = 0.0;
+  double until = 0.0;
+};
+
+/// The full mutable scenario description. All fields are kept in
+/// model-legal ranges by canonicalize(); mutators may write anything and
+/// re-canonicalize afterwards.
+struct Genome {
+  // ---- Run shape ----------------------------------------------------------
+  bool hex = false;
+  double duration = 150.0;
+  std::uint64_t sim_seed = 1;  ///< seeds every named RNG stream of the run
+
+  // ---- Shared knobs -------------------------------------------------------
+  double capacity_bu = 40.0;
+  admission::PolicyKind policy = admission::PolicyKind::kAc3;
+  double static_g = 10.0;
+  double phd_target = 0.01;
+  double t_start = 1.0;
+  double t_int = 0.0;  ///< 0 = infinite T_int; finite disables probe caching
+  int n_quad = 50;
+  double voice_ratio = 0.7;
+  double mean_lifetime_s = 80.0;
+  double speed_min_kmh = 80.0;
+  double speed_max_kmh = 120.0;
+  double arrival_rate_per_cell = 0.5;  ///< 0 = a silent system (edge case)
+
+  // ---- Linear-road fields (hex == false) ----------------------------------
+  int cells = 5;
+  bool ring = true;
+  double soft_capacity_margin = 0.0;
+  bool adaptive_qos = false;
+  bool wired = false;
+  double wired_access_bu = 60.0;
+  double wired_uplink_bu = 400.0;
+  double soft_handoff_zone_km = 0.0;
+  double known_route_fraction = 0.0;
+  bool bidirectional = true;
+  bool retry = false;
+
+  // ---- Hex-grid fields (hex == true) --------------------------------------
+  int rows = 3;
+  int cols = 4;
+  bool wrap = true;
+
+  // ---- Fault script -------------------------------------------------------
+  bool faults = false;
+  std::uint64_t fault_seed = 1;
+  double message_loss = 0.0;
+  double message_delay = 0.0;
+  double link_mtbf_s = 0.0;  ///< 0 disables stochastic link faults
+  double link_mttr_s = 30.0;
+  double station_mtbf_s = 0.0;
+  double station_mttr_s = 30.0;
+  int max_retries = 3;
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 0.5;
+  double degraded_floor_bu = 10.0;
+  std::vector<OutageGene> outages;
+
+  // ---- I10 snapshot/resume probe points -----------------------------------
+  /// Ascending fractions of the horizon at which the run is snapshotted,
+  /// discarded and reloaded (audit::run_scenario_resume_digest). Empty =
+  /// no resume probe.
+  std::vector<double> snap_fractions;
+
+  /// Number of radio cells in the active topology.
+  int num_cells() const { return hex ? rows * cols : cells; }
+
+  /// Clamps every field into the ranges the model accepts (and the fuzzer
+  /// wants to explore), so any mutation or hand-edited corpus file yields
+  /// a runnable scenario. Idempotent.
+  void canonicalize();
+
+  /// Expands into the ScenarioSpec the differential runners consume.
+  /// Requires a canonical genome.
+  core::ScenarioSpec to_scenario() const;
+
+  /// Content digest over the serialized text — corpus filename and dedup
+  /// key (identical genomes collide on purpose).
+  std::uint64_t digest() const;
+
+  /// Human-readable one-liner for progress / failure messages.
+  std::string summary() const;
+
+  // ---- Text round-trip (.pabrfuzz) ----------------------------------------
+  void serialize(std::ostream& os) const;
+  std::string serialize() const;
+  /// Parses the serialize() format. Throws std::runtime_error naming the
+  /// offending line on malformed input; the parsed genome is
+  /// canonicalized before being returned.
+  static Genome parse(std::istream& is);
+  static Genome parse(const std::string& text);
+};
+
+/// Deterministic random genome for corpus bootstrap — the guided
+/// counterpart of core/random_scenario (similar ranges, independent
+/// implementation so both samplers keep their historical behavior).
+Genome random_genome(std::uint64_t seed, bool with_faults);
+
+}  // namespace pabr::fuzz

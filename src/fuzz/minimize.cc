@@ -1,0 +1,280 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace pabr::fuzz {
+namespace {
+
+/// Shared reduction state: the smallest failing genome so far plus the
+/// predicate-call budget.
+class Reducer {
+ public:
+  Reducer(const Genome& start, const FailurePredicate& pred, int max_evals,
+          MinimizeStats* stats)
+      : current_(start),
+        current_text_(start.serialize()),
+        pred_(pred),
+        max_evals_(max_evals),
+        stats_(stats) {}
+
+  const Genome& current() const { return current_; }
+  bool exhausted() const { return evals_ >= max_evals_; }
+
+  /// Canonicalizes `candidate`, runs the predicate, and adopts the
+  /// candidate if the violation survives. No-op (and no budget spent)
+  /// when the candidate canonicalizes back to the current genome.
+  bool try_accept(Genome candidate) {
+    candidate.canonicalize();
+    std::string text = candidate.serialize();
+    if (text == current_text_) return false;
+    if (exhausted()) return false;
+    ++evals_;
+    if (stats_ != nullptr) stats_->evaluations = evals_;
+    if (!pred_(candidate)) return false;
+    current_ = std::move(candidate);
+    current_text_ = std::move(text);
+    if (stats_ != nullptr) ++stats_->accepted;
+    return true;
+  }
+
+  /// Like try_accept, but on rejection retries the same candidate under
+  /// a few successor sim_seeds (deterministically: s0, s0+1, ...). A
+  /// traffic-shape reduction resamples the whole arrival trajectory, so
+  /// whether the violating event survives any single seed is a coin
+  /// flip — the seed is part of the repro, so swapping it is fair game.
+  bool try_accept_reseeded(const Genome& cand, int variants) {
+    const std::uint64_t s0 = cand.sim_seed;
+    for (int k = 0; k < variants && !exhausted(); ++k) {
+      Genome c = cand;
+      c.sim_seed = s0 + static_cast<std::uint64_t>(k);
+      if (try_accept(std::move(c))) return true;
+    }
+    return false;
+  }
+
+ private:
+  Genome current_;
+  std::string current_text_;
+  const FailurePredicate& pred_;
+  int evals_ = 0;
+  int max_evals_;
+  MinimizeStats* stats_;
+};
+
+/// Classic ddmin over a list-valued field: removes chunks of halving
+/// size while the violation survives.
+template <typename T>
+bool ddmin_list(Reducer& red, std::vector<T> Genome::* field) {
+  bool any = false;
+  std::size_t chunk = (red.current().*field).size();
+  while (chunk >= 1) {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      const std::size_t size = (red.current().*field).size();
+      for (std::size_t at = 0; at < size; at += chunk) {
+        Genome cand = red.current();
+        std::vector<T>& list = cand.*field;
+        const std::size_t hi = std::min(at + chunk, list.size());
+        list.erase(list.begin() + static_cast<std::ptrdiff_t>(at),
+                   list.begin() + static_cast<std::ptrdiff_t>(hi));
+        if (red.try_accept(std::move(cand))) {
+          any = removed = true;
+          break;  // indices shifted; rescan at this chunk size
+        }
+        if (red.exhausted()) return any;
+      }
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+  return any;
+}
+
+/// Bisects a scalar toward `floor`: first tries the floor outright, then
+/// binary-searches the smallest still-failing value (a handful of steps
+/// is plenty — the predicate is the expensive part).
+template <typename Set>
+bool shrink_scalar(Reducer& red, double hi, double floor, const Set& set) {
+  if (hi <= floor) return false;
+  {
+    Genome cand = red.current();
+    set(cand, floor);
+    if (red.try_accept(std::move(cand))) return true;
+  }
+  double lo = floor;  // known-passing side
+  bool any = false;
+  for (int step = 0; step < 6 && !red.exhausted(); ++step) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (mid <= lo || mid >= hi) break;
+    Genome cand = red.current();
+    set(cand, mid);
+    if (red.try_accept(std::move(cand))) {
+      hi = mid;
+      any = true;
+    } else {
+      lo = mid;
+    }
+  }
+  return any;
+}
+
+template <typename Set>
+bool shrink_int(Reducer& red, int hi, int floor, const Set& set) {
+  if (hi <= floor) return false;
+  {
+    Genome cand = red.current();
+    set(cand, floor);
+    if (red.try_accept(std::move(cand))) return true;
+  }
+  int lo = floor;
+  bool any = false;
+  while (hi - lo > 1 && !red.exhausted()) {
+    const int mid = lo + (hi - lo) / 2;
+    Genome cand = red.current();
+    set(cand, mid);
+    if (red.try_accept(std::move(cand))) {
+      hi = mid;
+      any = true;
+    } else {
+      lo = mid;
+    }
+  }
+  return any;
+}
+
+/// One sweep of wholesale simplifications: whole subsystems off, lists
+/// cleared, booleans to their plain defaults.
+bool simplify_pass(Reducer& red) {
+  bool any = false;
+  const auto drop = [&](auto&& edit) {
+    Genome cand = red.current();
+    edit(cand);
+    if (red.try_accept(std::move(cand))) any = true;
+  };
+  drop([](Genome& g) {
+    g.faults = false;
+    g.outages.clear();
+  });
+  drop([](Genome& g) { g.outages.clear(); });
+  drop([](Genome& g) {
+    g.message_loss = 0.0;
+    g.message_delay = 0.0;
+  });
+  drop([](Genome& g) {
+    g.link_mtbf_s = 0.0;
+    g.station_mtbf_s = 0.0;
+  });
+  drop([](Genome& g) { g.hex = false; });
+  drop([](Genome& g) { g.adaptive_qos = false; });
+  drop([](Genome& g) { g.wired = false; });
+  drop([](Genome& g) { g.soft_capacity_margin = 0.0; });
+  drop([](Genome& g) { g.soft_handoff_zone_km = 0.0; });
+  drop([](Genome& g) { g.known_route_fraction = 0.0; });
+  drop([](Genome& g) { g.retry = false; });
+  drop([](Genome& g) { g.t_int = 0.0; });
+  // Video-only first: at 4 BU per call a handful of connections already
+  // saturates a small cell, so contention-class violations survive with
+  // far fewer calls than the all-voice mix needs.
+  drop([](Genome& g) { g.voice_ratio = 0.0; });
+  drop([](Genome& g) { g.voice_ratio = 1.0; });
+  drop([](Genome& g) { g.snap_fractions.clear(); });
+  return any;
+}
+
+/// Fewer-but-longer connections: halving the arrival rate while doubling
+/// lifetimes keeps the occupancy (rate x lifetime) that contention-class
+/// violations need, with half the connection count. Runs after the
+/// structural shrinks so thinning the traffic cannot block a topology
+/// reduction; iterated across fixed-point rounds it drives the repro
+/// toward a handful of calls.
+bool thin_traffic_pass(Reducer& red) {
+  static constexpr double kFactors[] = {0.4, 0.6, 0.8};
+  bool any = false;
+  for (const double f : kFactors) {
+    if (red.exhausted()) break;
+    Genome cand = red.current();
+    cand.arrival_rate_per_cell *= f;
+    cand.mean_lifetime_s = std::min(cand.mean_lifetime_s / f, 300.0);
+    any |= red.try_accept_reseeded(cand, 4);
+  }
+  for (const double f : kFactors) {
+    if (red.exhausted()) break;
+    Genome cand = red.current();
+    cand.arrival_rate_per_cell *= f;
+    any |= red.try_accept_reseeded(cand, 4);
+  }
+  {
+    // Video-only: at 4 BU per call a couple of connections already
+    // saturate a small cell, so contention survives with far fewer calls.
+    Genome cand = red.current();
+    cand.voice_ratio = 0.0;
+    any |= red.try_accept_reseeded(cand, 4);
+  }
+  {
+    Genome cand = red.current();
+    cand.duration *= 0.7;
+    any |= red.try_accept_reseeded(cand, 4);
+  }
+  return any;
+}
+
+bool shrink_pass(Reducer& red) {
+  bool any = false;
+  any |= shrink_int(red, red.current().cells, 1,
+                    [](Genome& g, int v) { g.cells = v; });
+  if (red.current().hex) {
+    any |= shrink_int(red, red.current().rows, 2,
+                      [](Genome& g, int v) { g.rows = v; });
+    any |= shrink_int(red, red.current().cols, 2,
+                      [](Genome& g, int v) { g.cols = v; });
+  }
+  any |= shrink_scalar(red, red.current().duration, 20.0,
+                       [](Genome& g, double v) { g.duration = v; });
+  any |= shrink_scalar(red, red.current().arrival_rate_per_cell, 0.0,
+                       [](Genome& g, double v) { g.arrival_rate_per_cell = v; });
+  any |= shrink_scalar(red, red.current().capacity_bu, 5.0,
+                       [](Genome& g, double v) { g.capacity_bu = v; });
+  any |= shrink_scalar(red, red.current().mean_lifetime_s, 10.0,
+                       [](Genome& g, double v) { g.mean_lifetime_s = v; });
+  any |= shrink_int(red, red.current().n_quad, 5,
+                    [](Genome& g, int v) { g.n_quad = v; });
+  any |= shrink_int(red, red.current().max_retries, 0,
+                    [](Genome& g, int v) { g.max_retries = v; });
+  return any;
+}
+
+}  // namespace
+
+Genome minimize(const Genome& failing, const FailurePredicate& still_fails,
+                int max_evals, MinimizeStats* stats) {
+  Genome start = failing;
+  start.canonicalize();
+  Reducer red(start, still_fails, max_evals, stats);
+  {
+    // Long-shot minimal-traffic template before the incremental passes:
+    // a sparse video-only trickle of near-permanent calls reproduces
+    // contention-class violations with a handful of connections, and one
+    // accepted jump here replaces dozens of single-knob reductions.
+    Genome cand = red.current();
+    cand.arrival_rate_per_cell = std::min(cand.arrival_rate_per_cell, 0.1);
+    cand.mean_lifetime_s = 300.0;
+    cand.voice_ratio = 0.0;
+    red.try_accept_reseeded(cand, 8);
+  }
+  bool progress = true;
+  while (progress && !red.exhausted()) {
+    progress = false;
+    progress |= simplify_pass(red);
+    progress |= ddmin_list(red, &Genome::outages);
+    progress |= ddmin_list(red, &Genome::snap_fractions);
+    progress |= shrink_pass(red);
+    progress |= thin_traffic_pass(red);
+  }
+  return red.current();
+}
+
+}  // namespace pabr::fuzz

@@ -1,0 +1,35 @@
+// Delta-debugging repro minimization (DESIGN.md §15).
+//
+// Given a genome whose run violates an oracle and a predicate that
+// re-checks "does it still violate?", shrinks the genome to a local
+// minimum: feature toggles dropped, fault scripts and checkpoint lists
+// ddmin-reduced, and every size-like scalar (duration, cells, arrival
+// rate, capacity, ...) bisected toward its floor — each reduction kept
+// only if the violation survives. The procedure is deterministic (no
+// RNG anywhere), so the same failing genome always minimizes to the
+// same reproducer.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/genome.h"
+
+namespace pabr::fuzz {
+
+/// Re-runs the candidate and reports whether it still violates the SAME
+/// oracle (callers typically match the OracleResult stage, so the
+/// minimizer cannot wander onto an unrelated failure).
+using FailurePredicate = std::function<bool(const Genome&)>;
+
+struct MinimizeStats {
+  int evaluations = 0;  ///< predicate calls spent
+  int accepted = 0;     ///< reductions that kept the violation
+};
+
+/// Shrinks `failing` (which must satisfy the predicate) to a 1-minimal
+/// reproducer under at most `max_evals` predicate calls. Returns the
+/// smallest still-failing genome found.
+Genome minimize(const Genome& failing, const FailurePredicate& still_fails,
+                int max_evals = 500, MinimizeStats* stats = nullptr);
+
+}  // namespace pabr::fuzz

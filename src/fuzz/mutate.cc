@@ -1,0 +1,225 @@
+#include "fuzz/mutate.h"
+
+#include <algorithm>
+
+namespace pabr::fuzz {
+namespace {
+
+/// Multiplies a value by a factor in [0.5, 2.0) — the workhorse numeric
+/// perturbation (relative, so it works across magnitudes).
+double scale(double v, sim::Rng& rng) {
+  return v * rng.uniform(0.5, 2.0);
+}
+
+admission::PolicyKind random_policy(sim::Rng& rng) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0: return admission::PolicyKind::kStatic;
+    case 1: return admission::PolicyKind::kNsDca;
+    case 2: return admission::PolicyKind::kAc1;
+    case 3: return admission::PolicyKind::kAc2;
+    default: return admission::PolicyKind::kAc3;
+  }
+}
+
+}  // namespace
+
+int mutation_operator_count() { return 24; }
+
+Genome apply_mutation(const Genome& parent, int op, sim::Rng& rng) {
+  Genome g = parent;
+  switch (op) {
+    case 0:  // arrival-rate tweak, occasionally all the way to silence
+      g.arrival_rate_per_cell =
+          rng.bernoulli(0.1) ? 0.0 : scale(std::max(0.05, g.arrival_rate_per_cell), rng);
+      break;
+    case 1:
+      g.speed_min_kmh = scale(g.speed_min_kmh, rng);
+      g.speed_max_kmh = g.speed_min_kmh + rng.uniform(0.0, 80.0);
+      break;
+    case 2:
+      g.mean_lifetime_s = scale(g.mean_lifetime_s, rng);
+      break;
+    case 3:
+      g.duration = scale(g.duration, rng);
+      break;
+    case 4:
+      g.capacity_bu = scale(g.capacity_bu, rng);
+      break;
+    case 5:
+      g.policy = random_policy(rng);
+      break;
+    case 6:
+      g.voice_ratio = rng.uniform01();
+      break;
+    case 7:  // topology resize (also reaches the 1-cell edge)
+      if (g.hex) {
+        (rng.bernoulli(0.5) ? g.rows : g.cols) += rng.bernoulli(0.5) ? 1 : -1;
+      } else {
+        g.cells += rng.bernoulli(0.5) ? 1 : -1;
+      }
+      break;
+    case 8:
+      if (g.hex) g.wrap = !g.wrap;
+      else g.ring = !g.ring;
+      break;
+    case 9:
+      g.adaptive_qos = !g.adaptive_qos;
+      break;
+    case 10:
+      g.wired = !g.wired;
+      if (g.wired && rng.bernoulli(0.5)) {
+        g.wired_access_bu = rng.uniform(g.capacity_bu * 0.5, g.capacity_bu * 2.0);
+        g.wired_uplink_bu = rng.uniform(g.capacity_bu, g.capacity_bu * 8.0);
+      }
+      break;
+    case 11:
+      g.soft_capacity_margin =
+          rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.02, 0.3);
+      break;
+    case 12:
+      g.soft_handoff_zone_km =
+          rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.02, 0.4);
+      break;
+    case 13:
+      g.known_route_fraction = rng.bernoulli(0.3) ? 0.0 : rng.uniform01();
+      break;
+    case 14:
+      g.retry = !g.retry;
+      break;
+    case 15:
+      g.t_int = g.t_int == 0.0 ? rng.uniform(600.0, 7200.0) : 0.0;
+      break;
+    case 16:
+      g.n_quad = rng.uniform_int(5, 150);
+      break;
+    case 17:  // fault master toggle
+      g.faults = !g.faults;
+      if (g.faults && rng.bernoulli(0.5)) g.fault_seed = rng.engine()();
+      break;
+    case 18:  // fault process intensity tweaks
+      g.message_loss = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 0.4);
+      g.message_delay = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, 0.25);
+      g.link_mtbf_s = rng.bernoulli(0.4) ? 0.0 : rng.uniform(60.0, 900.0);
+      g.station_mtbf_s = rng.bernoulli(0.6) ? 0.0 : rng.uniform(120.0, 1500.0);
+      break;
+    case 19: {  // splice / drop / shift a scripted outage window
+      const int move = rng.uniform_int(0, 2);
+      if (move == 0 || g.outages.empty()) {
+        OutageGene o;
+        o.station = rng.bernoulli(0.5);
+        o.a = rng.uniform_int(0, std::max(0, g.num_cells() - 1));
+        o.b = rng.uniform_int(0, std::max(0, g.num_cells() - 1));
+        // Deliberately allow windows past the horizon (must be inert).
+        o.from = rng.uniform(0.0, g.duration * 1.5);
+        o.until = o.from + rng.uniform(2.0, 60.0);
+        g.outages.push_back(o);
+        g.faults = true;
+      } else if (move == 1) {
+        g.outages.erase(g.outages.begin() +
+                        rng.uniform_int(0, static_cast<int>(g.outages.size()) - 1));
+      } else {
+        OutageGene& o = g.outages[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(g.outages.size()) - 1))];
+        o.from = std::max(0.0, o.from + rng.uniform(-30.0, 30.0));
+        o.until = o.from + rng.uniform(2.0, 60.0);
+      }
+      break;
+    }
+    case 20: {  // move / add / drop an I10 checkpoint fraction
+      const int move = rng.uniform_int(0, 2);
+      if (move == 0 || g.snap_fractions.empty()) {
+        // Bias toward the boundaries — resume-at-t=0 / end-of-run probes.
+        const double f = rng.bernoulli(0.25)
+                             ? (rng.bernoulli(0.5) ? 0.0 : 1.0)
+                             : rng.uniform01();
+        g.snap_fractions.push_back(f);
+      } else if (move == 1) {
+        g.snap_fractions.erase(
+            g.snap_fractions.begin() +
+            rng.uniform_int(0, static_cast<int>(g.snap_fractions.size()) - 1));
+      } else {
+        g.snap_fractions[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(g.snap_fractions.size()) - 1))] =
+            rng.uniform01();
+      }
+      break;
+    }
+    case 21:  // fresh traffic trajectory under the same shape
+      g.sim_seed = rng.engine()();
+      break;
+    case 22:
+      g.static_g = rng.uniform(0.5, g.capacity_bu * 0.5);
+      g.phd_target = rng.uniform(0.002, 0.1);
+      break;
+    case 23:  // dimensionality flip: linear <-> hex
+      g.hex = !g.hex;
+      break;
+    default:
+      break;
+  }
+  g.canonicalize();
+  return g;
+}
+
+Genome mutate(const Genome& parent, sim::Rng& rng) {
+  Genome g = parent;
+  const int n = rng.uniform_int(1, 3);
+  for (int i = 0; i < n; ++i) {
+    g = apply_mutation(g, rng.uniform_int(0, mutation_operator_count() - 1),
+                       rng);
+  }
+  return g;
+}
+
+Genome crossover(const Genome& a, const Genome& b, sim::Rng& rng) {
+  Genome g = a;
+  const auto pick = [&](auto& dst, const auto& from_b) {
+    if (rng.bernoulli(0.5)) dst = from_b;
+  };
+  pick(g.hex, b.hex);
+  pick(g.duration, b.duration);
+  pick(g.sim_seed, b.sim_seed);
+  pick(g.capacity_bu, b.capacity_bu);
+  pick(g.policy, b.policy);
+  pick(g.static_g, b.static_g);
+  pick(g.phd_target, b.phd_target);
+  pick(g.t_int, b.t_int);
+  pick(g.n_quad, b.n_quad);
+  pick(g.voice_ratio, b.voice_ratio);
+  pick(g.mean_lifetime_s, b.mean_lifetime_s);
+  pick(g.speed_min_kmh, b.speed_min_kmh);
+  pick(g.speed_max_kmh, b.speed_max_kmh);
+  pick(g.arrival_rate_per_cell, b.arrival_rate_per_cell);
+  pick(g.cells, b.cells);
+  pick(g.ring, b.ring);
+  pick(g.soft_capacity_margin, b.soft_capacity_margin);
+  pick(g.adaptive_qos, b.adaptive_qos);
+  pick(g.wired, b.wired);
+  pick(g.wired_access_bu, b.wired_access_bu);
+  pick(g.wired_uplink_bu, b.wired_uplink_bu);
+  pick(g.soft_handoff_zone_km, b.soft_handoff_zone_km);
+  pick(g.known_route_fraction, b.known_route_fraction);
+  pick(g.bidirectional, b.bidirectional);
+  pick(g.retry, b.retry);
+  pick(g.rows, b.rows);
+  pick(g.cols, b.cols);
+  pick(g.wrap, b.wrap);
+  pick(g.faults, b.faults);
+  pick(g.fault_seed, b.fault_seed);
+  pick(g.message_loss, b.message_loss);
+  pick(g.message_delay, b.message_delay);
+  pick(g.link_mtbf_s, b.link_mtbf_s);
+  pick(g.link_mttr_s, b.link_mttr_s);
+  pick(g.station_mtbf_s, b.station_mtbf_s);
+  pick(g.station_mttr_s, b.station_mttr_s);
+  pick(g.max_retries, b.max_retries);
+  pick(g.backoff_base_s, b.backoff_base_s);
+  pick(g.backoff_max_s, b.backoff_max_s);
+  pick(g.degraded_floor_bu, b.degraded_floor_bu);
+  pick(g.outages, b.outages);
+  pick(g.snap_fractions, b.snap_fractions);
+  g.canonicalize();
+  return g;
+}
+
+}  // namespace pabr::fuzz

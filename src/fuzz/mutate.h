@@ -1,0 +1,32 @@
+// Structure-aware mutation and crossover over scenario genomes
+// (DESIGN.md §15). Every operator is deterministic given the Rng stream
+// handed in, and every result is re-canonicalized, so an arbitrary
+// mutation chain always yields a runnable scenario. The catalogue is
+// field-aware rather than byte-level: arrival-rate scaling, speed and
+// lifetime perturbation, policy/feature toggling, fault-window splicing
+// and checkpoint-fraction moves each touch one semantic knob — which is
+// what lets the coverage loop compose rare regime conjunctions one
+// feature at a time.
+#pragma once
+
+#include "fuzz/genome.h"
+#include "sim/random.h"
+
+namespace pabr::fuzz {
+
+/// Applies 1-3 randomly chosen catalogue mutations and canonicalizes.
+Genome mutate(const Genome& parent, sim::Rng& rng);
+
+/// Field-wise uniform crossover of two parents (lists — outages, snap
+/// fractions — are inherited whole from one side), canonicalized.
+Genome crossover(const Genome& a, const Genome& b, sim::Rng& rng);
+
+/// Number of distinct mutation operators (exposed for tests: the sweep
+/// test applies each operator index explicitly).
+int mutation_operator_count();
+
+/// Applies mutation operator `op` (0 <= op < mutation_operator_count()).
+/// Used by mutate() and directly by the exhaustive operator test.
+Genome apply_mutation(const Genome& parent, int op, sim::Rng& rng);
+
+}  // namespace pabr::fuzz

@@ -1,0 +1,136 @@
+#include "fuzz/runner.h"
+
+#include <cstdio>
+#include <exception>
+
+#include "audit/differential.h"
+#include "core/hex_system.h"
+#include "core/system.h"
+
+namespace pabr::fuzz {
+namespace {
+
+/// Everything the coverage signature needs from the primary run.
+struct Harvest {
+  std::uint64_t digest = 0;
+  core::SystemStatus status;
+  telemetry::MetricsSnapshot metrics;
+  std::uint64_t wired_blocks = 0;
+  std::uint64_t wired_drops = 0;
+};
+
+Harvest run_primary(const core::ScenarioSpec& spec) {
+  Harvest h;
+  if (spec.hex) {
+    core::HexCellularSystem sys(spec.grid);
+    sys.run_for(spec.duration);
+    sys.audit_invariants();
+    h.digest = audit::trajectory_digest(sys);
+    h.status = sys.system_status();
+    h.metrics = sys.telemetry_snapshot();
+  } else {
+    core::CellularSystem sys(spec.linear);
+    sys.run_for(spec.duration);
+    sys.audit_invariants();
+    h.digest = audit::trajectory_digest(sys);
+    h.status = sys.system_status();
+    h.metrics = sys.telemetry_snapshot();
+    h.wired_blocks = sys.wired_blocks();
+    h.wired_drops = sys.wired_drops();
+  }
+  return h;
+}
+
+std::string digest_pair(const char* what, std::uint64_t a, std::uint64_t b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s: %016llx != %016llx", what,
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+
+}  // namespace
+
+bool injected_bug_fires(const Genome& g, const core::SystemStatus& status) {
+  return !g.hex && g.ring && g.adaptive_qos && g.retry && g.wired &&
+         g.known_route_fraction > 0.0 && g.soft_handoff_zone_km > 0.0 &&
+         status.soft_fallbacks > 0;
+}
+
+OracleResult run_oracles(const Genome& g, int audit_every,
+                         const BugConfig& bug) {
+  OracleResult r;
+  core::ScenarioSpec spec = g.to_scenario();
+  // Arm the per-event audit cadence and (trajectory-transparent)
+  // telemetry on whichever config is live — the counters feed coverage.
+  const auto arm = [&](auto& cfg) {
+    cfg.incremental_reservation = true;
+    cfg.audit_every = audit_every;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.trace = false;
+    cfg.telemetry.time_admissions = false;
+  };
+  if (spec.hex) {
+    arm(spec.grid);
+  } else {
+    arm(spec.linear);
+  }
+
+  Harvest h;
+  try {
+    h = run_primary(spec);
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.stage = "run";
+    r.violation = e.what();
+    return r;
+  }
+  r.incremental = h.digest;
+  r.requests = h.status.requests;
+  r.signature =
+      run_signature(g, h.status, h.metrics, h.wired_blocks, h.wired_drops);
+
+  try {
+    r.scratch =
+        audit::run_scenario_digest(spec, /*incremental=*/false, audit_every);
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.stage = "run";
+    r.violation = std::string("scratch run: ") + e.what();
+    return r;
+  }
+  if (r.scratch != r.incremental) {
+    r.ok = false;
+    r.stage = "scratch-diff";
+    r.violation =
+        digest_pair("incremental != scratch", r.incremental, r.scratch);
+    return r;
+  }
+
+  if (g.snap_fractions.empty()) {
+    r.resumed = r.incremental;
+    return r;
+  }
+  try {
+    r.resumed = audit::run_scenario_resume_digest(
+        spec, /*incremental=*/true, audit_every, g.snap_fractions);
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.stage = "run";
+    r.violation = std::string("resume run: ") + e.what();
+    return r;
+  }
+  if (bug.resumed_off_by_one && injected_bug_fires(g, h.status)) {
+    r.resumed ^= 1;
+  }
+  if (r.resumed != r.incremental) {
+    r.ok = false;
+    r.stage = "resume-diff";
+    r.violation = digest_pair("resumed != uninterrupted (I10)", r.resumed,
+                              r.incremental);
+    return r;
+  }
+  return r;
+}
+
+}  // namespace pabr::fuzz

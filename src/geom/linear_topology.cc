@@ -10,15 +10,15 @@ namespace pabr::geom {
 
 LinearTopology::LinearTopology(int n, double cell_diameter_km, bool wrap)
     : n_(n), diameter_(cell_diameter_km), wrap_(wrap) {
-  PABR_CHECK(n >= 2, "LinearTopology: need at least two cells");
+  PABR_CHECK(n >= 1, "LinearTopology: need at least one cell");
   PABR_CHECK(cell_diameter_km > 0.0, "LinearTopology: non-positive diameter");
   neighbors_.resize(static_cast<std::size_t>(n));
   for (CellId c = 0; c < n; ++c) {
     auto& ns = neighbors_[static_cast<std::size_t>(c)];
-    if (wrap_) {
+    if (wrap_ && n > 1) {
       ns.push_back((c + n - 1) % n);
       ns.push_back((c + 1) % n);
-    } else {
+    } else if (!wrap_) {
       if (c > 0) ns.push_back(c - 1);
       if (c < n - 1) ns.push_back(c + 1);
     }

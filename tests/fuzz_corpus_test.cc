@@ -1,0 +1,62 @@
+// Regression replay of the checked-in fuzz corpus (tests/corpus/).
+//
+// Every *.pabrfuzz genome in the corpus — minimized reproducers from
+// past guided-fuzz findings plus hand-picked edge scenarios — must run
+// clean under all oracles: invariant audits, incremental vs scratch
+// reservation, and chained snapshot/resume (I10). Replay is also the
+// determinism gate: the same genome must digest identically whether the
+// batch runs on one thread or four.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/runner.h"
+#include "sim/parallel.h"
+
+namespace pabr::fuzz {
+namespace {
+
+std::vector<Genome> checked_in_corpus() {
+  const std::vector<Genome> corpus = load_corpus(PABR_TEST_CORPUS_DIR);
+  EXPECT_FALSE(corpus.empty()) << "no genomes under " << PABR_TEST_CORPUS_DIR;
+  return corpus;
+}
+
+TEST(FuzzCorpusTest, EveryGenomeRunsCleanUnderAllOracles) {
+  for (const Genome& g : checked_in_corpus()) {
+    const OracleResult r = run_oracles(g, /*audit_every=*/16);
+    EXPECT_TRUE(r.ok) << g.summary() << "\n[" << r.stage
+                      << "] " << r.violation;
+    EXPECT_EQ(r.incremental, r.scratch) << g.summary();
+    EXPECT_EQ(r.incremental, r.resumed) << g.summary();
+  }
+}
+
+TEST(FuzzCorpusTest, ReplayDigestsAreThreadCountInvariant) {
+  const std::vector<Genome> corpus = checked_in_corpus();
+  const auto run = [&](std::size_t i) {
+    return run_oracles(corpus[i], /*audit_every=*/0);
+  };
+  const auto seq = sim::parallel_map<OracleResult>(1, corpus.size(), run);
+  const auto par = sim::parallel_map<OracleResult>(4, corpus.size(), run);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(seq[i].ok) << corpus[i].summary() << ": " << seq[i].violation;
+    EXPECT_EQ(seq[i].incremental, par[i].incremental) << corpus[i].summary();
+    EXPECT_EQ(seq[i].scratch, par[i].scratch) << corpus[i].summary();
+    EXPECT_EQ(seq[i].resumed, par[i].resumed) << corpus[i].summary();
+  }
+}
+
+// The corpus replay itself must be reproducible from the serialized
+// artifacts alone: parse -> serialize -> parse yields the same digest.
+TEST(FuzzCorpusTest, ArtifactsRoundTripBitwise) {
+  for (const Genome& g : checked_in_corpus()) {
+    EXPECT_EQ(g.serialize(), Genome::parse(g.serialize()).serialize());
+  }
+}
+
+}  // namespace
+}  // namespace pabr::fuzz

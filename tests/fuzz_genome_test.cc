@@ -1,0 +1,259 @@
+// Unit tests for the guided-fuzzer building blocks (DESIGN.md §15):
+// genome serialization round-trips, canonicalization, the mutation /
+// crossover catalogue, coverage bucketing, corpus disk round-trips and
+// the delta-debugging minimizer on a synthetic predicate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "fuzz/corpus.h"
+#include "fuzz/coverage.h"
+#include "fuzz/genome.h"
+#include "fuzz/minimize.h"
+#include "fuzz/mutate.h"
+#include "fuzz/runner.h"
+#include "sim/random.h"
+
+namespace pabr::fuzz {
+namespace {
+
+TEST(GenomeTest, SerializeParseRoundTripsExactly) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Genome g = random_genome(seed, seed % 2 == 0);
+    const std::string text = g.serialize();
+    const Genome back = Genome::parse(text);
+    EXPECT_EQ(text, back.serialize()) << "seed " << seed;
+    EXPECT_EQ(g.digest(), back.digest()) << "seed " << seed;
+  }
+}
+
+TEST(GenomeTest, CanonicalizeIsIdempotent) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Genome g = random_genome(seed, true);
+    const std::string once = g.serialize();
+    g.canonicalize();
+    EXPECT_EQ(once, g.serialize()) << "seed " << seed;
+  }
+}
+
+TEST(GenomeTest, CanonicalizeClampsHostileValues) {
+  Genome g;
+  g.duration = -5.0;
+  g.cells = 0;
+  g.capacity_bu = 1e9;
+  g.voice_ratio = 7.0;
+  g.arrival_rate_per_cell = -1.0;
+  g.speed_max_kmh = -3.0;
+  g.snap_fractions = {2.0, -1.0, 0.5};
+  g.canonicalize();
+  EXPECT_GE(g.duration, 20.0);
+  EXPECT_GE(g.cells, 1);
+  EXPECT_LE(g.capacity_bu, 120.0);
+  EXPECT_LE(g.voice_ratio, 1.0);
+  EXPECT_GE(g.arrival_rate_per_cell, 0.0);
+  EXPECT_GE(g.speed_max_kmh, g.speed_min_kmh);
+  for (const double f : g.snap_fractions) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  // Must expand into a runnable scenario.
+  const core::ScenarioSpec spec = g.to_scenario();
+  EXPECT_GT(spec.duration, 0.0);
+}
+
+TEST(GenomeTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Genome::parse(std::string("not a genome")), std::runtime_error);
+  EXPECT_THROW(Genome::parse(std::string("pabrfuzz 99\n")), std::runtime_error);
+  EXPECT_THROW(Genome::parse(std::string("pabrfuzz 1\nduration oops\n")),
+               std::runtime_error);
+}
+
+TEST(MutateTest, EveryOperatorYieldsRunnableCanonicalGenome) {
+  sim::Rng rng(99);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Genome parent = random_genome(seed, seed % 2 == 0);
+    for (int op = 0; op < mutation_operator_count(); ++op) {
+      Genome child = apply_mutation(parent, op, rng);
+      const std::string text = child.serialize();
+      child.canonicalize();
+      EXPECT_EQ(text, child.serialize())
+          << "operator " << op << " returned a non-canonical genome";
+      EXPECT_NO_THROW(child.to_scenario()) << "operator " << op;
+    }
+  }
+}
+
+TEST(MutateTest, MutationAndCrossoverAreDeterministic) {
+  const Genome a = random_genome(5, true);
+  const Genome b = random_genome(6, false);
+  sim::Rng r1(1234), r2(1234);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(mutate(a, r1).serialize(), mutate(a, r2).serialize());
+    EXPECT_EQ(crossover(a, b, r1).serialize(),
+              crossover(a, b, r2).serialize());
+  }
+}
+
+TEST(CoverageTest, MagnitudeBucketsArePowersOfTwo) {
+  EXPECT_EQ(magnitude_bucket(0), 0u);
+  EXPECT_EQ(magnitude_bucket(1), 1u);
+  EXPECT_EQ(magnitude_bucket(2), 2u);
+  EXPECT_EQ(magnitude_bucket(3), 2u);
+  EXPECT_EQ(magnitude_bucket(4), 4u);
+  EXPECT_EQ(magnitude_bucket(1023), 512u);
+  EXPECT_EQ(magnitude_bucket(1u << 20), 1u << 16);  // capped
+}
+
+TEST(CoverageTest, CoverageMapCountsOnlyNewFeatures) {
+  CoverageMap map;
+  Signature sig;
+  sig.features = {"a", "b", "c"};
+  EXPECT_EQ(map.merge(sig), 3u);
+  EXPECT_EQ(map.merge(sig), 0u);
+  sig.features = {"c", "d"};
+  EXPECT_EQ(map.merge(sig), 1u);
+  EXPECT_EQ(map.size(), 4u);
+  EXPECT_TRUE(map.contains("d"));
+  EXPECT_FALSE(map.contains("e"));
+}
+
+TEST(CoverageTest, SignatureSeparatesRegimes) {
+  Genome linear = random_genome(3, false);
+  linear.hex = false;
+  linear.canonicalize();
+  Genome hex = linear;
+  hex.hex = true;
+  hex.canonicalize();
+  core::SystemStatus status;
+  telemetry::MetricsSnapshot metrics;
+  const Signature a = run_signature(linear, status, metrics, 0, 0);
+  const Signature b = run_signature(hex, status, metrics, 0, 0);
+  EXPECT_NE(a.features, b.features);
+  // Signatures are sorted and unique.
+  for (const Signature* s : {&a, &b}) {
+    for (std::size_t i = 1; i < s->features.size(); ++i) {
+      EXPECT_LT(s->features[i - 1], s->features[i]);
+    }
+  }
+}
+
+TEST(CorpusTest, SaveLoadRoundTripsSortedByFilename) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pabr_corpus_test").string();
+  std::filesystem::remove_all(dir);
+  std::vector<std::string> texts;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Genome g = random_genome(seed, false);
+    save_to_corpus(dir, g);
+    texts.push_back(g.serialize());
+  }
+  // Saving the same genome twice dedups by digest filename.
+  save_to_corpus(dir, random_genome(1, false));
+  const std::vector<Genome> loaded = load_corpus(dir);
+  ASSERT_EQ(loaded.size(), 5u);
+  std::sort(texts.begin(), texts.end());
+  std::vector<std::string> got;
+  for (const Genome& g : loaded) got.push_back(g.serialize());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(texts, got);
+  EXPECT_TRUE(load_corpus(dir + "/does-not-exist").empty());
+  std::filesystem::remove_all(dir);
+}
+
+// The minimizer against a cheap synthetic predicate: "fails whenever
+// adaptive QoS is on and there are at least 2 scripted outages". The
+// 1-minimal repro must keep exactly those and shed everything else.
+TEST(MinimizeTest, ShrinksToThePredicateCore) {
+  Genome g = random_genome(17, true);
+  g.adaptive_qos = true;
+  g.hex = false;
+  g.outages.resize(0);
+  for (int i = 0; i < 6; ++i) {
+    OutageGene o;
+    o.station = i % 2 == 1;
+    o.a = i % 3;
+    o.b = (i + 1) % 3;
+    o.from = 10.0 + i;
+    o.until = 20.0 + i;
+    g.outages.push_back(o);
+  }
+  g.snap_fractions = {0.2, 0.5, 0.9};
+  g.canonicalize();
+  const auto pred = [](const Genome& cand) {
+    return !cand.hex && cand.adaptive_qos && cand.outages.size() >= 2;
+  };
+  ASSERT_TRUE(pred(g));
+  MinimizeStats stats;
+  const Genome mini = minimize(g, pred, 400, &stats);
+  EXPECT_TRUE(pred(mini));
+  EXPECT_EQ(mini.outages.size(), 2u);
+  EXPECT_TRUE(mini.adaptive_qos);
+  EXPECT_TRUE(mini.snap_fractions.empty());
+  EXPECT_FALSE(mini.wired);
+  EXPECT_FALSE(mini.retry);
+  EXPECT_EQ(mini.cells, 1);
+  EXPECT_GT(stats.accepted, 0);
+  EXPECT_GT(stats.evaluations, 0);
+}
+
+TEST(MinimizeTest, IsDeterministic) {
+  Genome g = random_genome(29, true);
+  g.adaptive_qos = true;
+  g.hex = false;
+  g.canonicalize();
+  const auto pred = [](const Genome& cand) { return cand.adaptive_qos; };
+  const Genome a = minimize(g, pred, 200);
+  const Genome b = minimize(g, pred, 200);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+// Mutation-testing hook: the planted off-by-one must only ever fire in
+// the exact regime conjunction the smoke script is calibrated against.
+TEST(RunnerTest, InjectedBugRequiresTheFullConjunction) {
+  Genome g = random_genome(3, false);
+  g.hex = false;
+  g.ring = true;
+  g.adaptive_qos = true;
+  g.retry = true;
+  g.wired = true;
+  g.known_route_fraction = 0.5;
+  g.soft_handoff_zone_km = 0.2;
+  g.canonicalize();
+  core::SystemStatus status;
+  status.soft_fallbacks = 1;
+  EXPECT_TRUE(injected_bug_fires(g, status));
+  core::SystemStatus quiet;
+  EXPECT_FALSE(injected_bug_fires(g, quiet));
+  for (const auto& knock : {
+           std::function<void(Genome&)>([](Genome& x) { x.hex = true; }),
+           std::function<void(Genome&)>([](Genome& x) { x.ring = false; }),
+           std::function<void(Genome&)>(
+               [](Genome& x) { x.adaptive_qos = false; }),
+           std::function<void(Genome&)>([](Genome& x) { x.retry = false; }),
+           std::function<void(Genome&)>([](Genome& x) { x.wired = false; }),
+           std::function<void(Genome&)>(
+               [](Genome& x) { x.known_route_fraction = 0.0; }),
+           std::function<void(Genome&)>(
+               [](Genome& x) { x.soft_handoff_zone_km = 0.0; }),
+       }) {
+    Genome broken = g;
+    knock(broken);
+    EXPECT_FALSE(injected_bug_fires(broken, status));
+  }
+}
+
+TEST(RunnerTest, OraclesPassOnARandomGenomeAndFillTheSignature) {
+  Genome g = random_genome(8, false);
+  g.duration = 40.0;
+  g.canonicalize();
+  const OracleResult r = run_oracles(g, /*audit_every=*/16);
+  EXPECT_TRUE(r.ok) << r.stage << ": " << r.violation;
+  EXPECT_EQ(r.incremental, r.scratch);
+  EXPECT_EQ(r.incremental, r.resumed);
+  EXPECT_FALSE(r.signature.features.empty());
+}
+
+}  // namespace
+}  // namespace pabr::fuzz

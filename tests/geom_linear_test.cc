@@ -170,8 +170,22 @@ TEST(LinearTopologyTest, DescribeMentionsShape) {
 }
 
 TEST(LinearTopologyTest, ConstructionValidation) {
-  EXPECT_THROW(LinearTopology(1, 1.0, true), InvariantError);
+  EXPECT_THROW(LinearTopology(0, 1.0, true), InvariantError);
   EXPECT_THROW(LinearTopology(10, 0.0, true), InvariantError);
+}
+
+TEST(LinearTopologyTest, SingleCellIsLegal) {
+  // A 1-cell ring wraps onto itself: the sole boundary leads back into
+  // cell 0 and the neighbor list is empty (self-adjacency is motion,
+  // not a hand-off relation).
+  LinearTopology ring(1, 2.0, true);
+  EXPECT_TRUE(ring.neighbors(0).empty());
+  const auto b = ring.next_boundary(0.5, +1);
+  EXPECT_EQ(b.next_cell, 0);
+  EXPECT_GT(b.position_km, 0.5);
+  // Open road: one cell, both ends fall off the road.
+  LinearTopology open_road(1, 2.0, false);
+  EXPECT_TRUE(open_road.neighbors(0).empty());
 }
 
 TEST(LinearTopologyTest, NonUnitDiameter) {

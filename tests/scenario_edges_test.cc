@@ -1,0 +1,168 @@
+// Parameter-edge scenarios (ISSUE satellite of the guided-fuzz PR):
+// configurations at the rim of the generator's ranges must produce
+// clean, audit-passing runs — zero-arrival (silent) systems, the
+// single-cell ring that hands off onto itself, and fault windows that
+// lie wholly outside the run horizon.
+#include <gtest/gtest.h>
+
+#include "audit/differential.h"
+#include "core/system.h"
+#include "fault/fault.h"
+#include "fuzz/genome.h"
+#include "fuzz/runner.h"
+
+namespace pabr {
+namespace {
+
+TEST(ScenarioEdgeTest, ZeroArrivalRateStaysSilentAndClean) {
+  core::SystemConfig cfg;
+  cfg.num_cells = 4;
+  cfg.ring = true;
+  cfg.workload.arrival_rate_per_cell = 0.0;
+  core::CellularSystem sys(cfg);
+  sys.run_for(200.0);
+  EXPECT_NO_THROW(sys.audit_invariants());
+  const core::SystemStatus s = sys.system_status();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.handoffs, 0u);
+  EXPECT_EQ(sys.active_connections(), 0u);
+}
+
+TEST(ScenarioEdgeTest, SingleCellRingWrapsWithoutHandoffAccounting) {
+  core::SystemConfig cfg;
+  cfg.num_cells = 1;
+  cfg.ring = true;
+  cfg.capacity_bu = 20.0;
+  cfg.workload.arrival_rate_per_cell = 0.8;
+  core::CellularSystem sys(cfg);
+  sys.run_for(150.0);
+  EXPECT_NO_THROW(sys.audit_invariants());
+  const core::SystemStatus s = sys.system_status();
+  EXPECT_GT(s.requests, 0u);
+  // Wrapping onto yourself is motion, not a hand-off: nothing to drop,
+  // nothing for the estimator to record.
+  EXPECT_EQ(s.handoffs, 0u);
+  EXPECT_EQ(s.drops, 0u);
+}
+
+TEST(ScenarioEdgeTest, SingleCellRingWithSoftHandoffZoneIsSafe) {
+  // The §7 zone-entry pre-allocation must not double-attach the only
+  // cell when the "next" cell is the current one.
+  core::SystemConfig cfg;
+  cfg.num_cells = 1;
+  cfg.ring = true;
+  cfg.capacity_bu = 20.0;
+  cfg.soft_handoff_zone_km = 0.3;
+  cfg.workload.arrival_rate_per_cell = 1.0;
+  core::CellularSystem sys(cfg);
+  sys.run_for(150.0);
+  EXPECT_NO_THROW(sys.audit_invariants());
+  const core::SystemStatus s = sys.system_status();
+  EXPECT_EQ(s.soft_allocations, 0u);
+  EXPECT_EQ(s.soft_fallbacks, 0u);
+}
+
+TEST(ScenarioEdgeTest, SingleCellOpenRoadTerminatesOffRoad) {
+  core::SystemConfig cfg;
+  cfg.num_cells = 1;
+  cfg.ring = false;
+  cfg.workload.arrival_rate_per_cell = 0.8;
+  core::CellularSystem sys(cfg);
+  sys.run_for(150.0);
+  EXPECT_NO_THROW(sys.audit_invariants());
+  EXPECT_EQ(sys.system_status().handoffs, 0u);
+}
+
+TEST(ScenarioEdgeTest, SingleCellRingSurvivesAllOracles) {
+  // Differential + resume digests on the self-wrapping topology.
+  fuzz::Genome g;
+  g.hex = false;
+  g.cells = 1;
+  g.ring = true;
+  g.duration = 100.0;
+  g.sim_seed = 42;
+  g.arrival_rate_per_cell = 0.8;
+  g.soft_handoff_zone_km = 0.2;
+  g.snap_fractions = {0.5};
+  g.canonicalize();
+  ASSERT_EQ(g.cells, 1);
+  const fuzz::OracleResult r = fuzz::run_oracles(g, /*audit_every=*/8);
+  EXPECT_TRUE(r.ok) << "[" << r.stage << "] " << r.violation;
+}
+
+TEST(ScenarioEdgeTest, FaultWindowOutsideHorizonIsInert) {
+#ifndef PABR_FAULT_ENABLED
+  GTEST_SKIP() << "fault-injection hooks compiled out";
+#else
+  // Baseline: fault layer armed but with an empty script. Comparing
+  // fault-on vs fault-on isolates the scripted window itself — arming
+  // the layer legitimately reroutes signalling even when nothing fails.
+  fuzz::Genome g = fuzz::random_genome(5, false);
+  g.hex = false;
+  g.duration = 60.0;
+  g.faults = true;
+  g.outages.clear();
+  g.message_loss = 0.0;
+  g.message_delay = 0.0;
+  g.link_mtbf_s = 0.0;
+  g.station_mtbf_s = 0.0;
+  g.canonicalize();
+  const fuzz::OracleResult base = fuzz::run_oracles(g, /*audit_every=*/8);
+  ASSERT_TRUE(base.ok) << base.violation;
+
+  fuzz::Genome faulty = g;
+  fuzz::OutageGene o;
+  o.station = false;
+  o.a = 0;
+  o.b = 1;
+  o.from = faulty.duration * 1.5;
+  o.until = faulty.duration * 1.6;
+  faulty.outages.push_back(o);
+  faulty.canonicalize();
+  ASSERT_EQ(faulty.outages.size(), 1u);
+  const fuzz::OracleResult r = fuzz::run_oracles(faulty, /*audit_every=*/8);
+  EXPECT_TRUE(r.ok) << "[" << r.stage << "] " << r.violation;
+  // A schedule wholly past the horizon must not perturb the trajectory:
+  // loss/delay/MTBF processes are off in both genomes, so the digests
+  // must agree bitwise with the empty-script run.
+  EXPECT_EQ(r.incremental, base.incremental);
+#endif
+}
+
+TEST(ScenarioEdgeTest, ScriptedOutageInsideHorizonDoesPerturb) {
+#ifndef PABR_FAULT_ENABLED
+  GTEST_SKIP() << "fault-injection hooks compiled out";
+#else
+  // Control for the inert-window test: the same outage moved into the
+  // horizon must actually bite (otherwise the inert check proves nothing).
+  fuzz::Genome g = fuzz::random_genome(5, false);
+  g.hex = false;
+  g.duration = 60.0;
+  g.arrival_rate_per_cell = std::max(g.arrival_rate_per_cell, 0.8);
+  g.faults = true;
+  g.outages.clear();
+  g.message_loss = 0.0;
+  g.message_delay = 0.0;
+  g.link_mtbf_s = 0.0;
+  g.station_mtbf_s = 0.0;
+  g.canonicalize();
+  const fuzz::OracleResult base = fuzz::run_oracles(g, /*audit_every=*/8);
+  ASSERT_TRUE(base.ok) << base.violation;
+
+  fuzz::Genome faulty = g;
+  fuzz::OutageGene o;
+  o.station = true;
+  o.a = 0;
+  o.b = 0;
+  o.from = 5.0;
+  o.until = 55.0;
+  faulty.outages.push_back(o);
+  faulty.canonicalize();
+  const fuzz::OracleResult r = fuzz::run_oracles(faulty, /*audit_every=*/8);
+  EXPECT_TRUE(r.ok) << "[" << r.stage << "] " << r.violation;
+  EXPECT_NE(r.incremental, base.incremental);
+#endif
+}
+
+}  // namespace
+}  // namespace pabr
